@@ -1,0 +1,654 @@
+(* Benchmark harness: regenerates every experiment of the paper
+   reproduction (see DESIGN.md §4 and EXPERIMENTS.md) and then times the
+   framework's kernels with Bechamel (one Test.make per experiment).
+
+   Part 1 — experiment reproduction: prints the table/series each
+   experiment reports (verdicts, parameter ranges, crossovers, paving
+   volumes, probabilities).  Absolute numbers are machine-dependent; the
+   *shapes* (who wins, where verdicts flip) are the reproduction targets.
+
+   Part 2 — kernel timing: Bechamel OLS estimates of ns/run for one
+   representative workload per experiment, plus the ablations A1–A3.
+
+   Run with:  dune exec bench/main.exe *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module E = Reach.Encoding
+module C = Reach.Checker
+module Report = Core.Report
+
+let section title = Report.print [ Report.heading title ]
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* E1: Fenton–Karma spike-and-dome falsification                       *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1  Fenton-Karma spike-and-dome falsification (Sec. IV-A)";
+  let fk = Biomodels.Fenton_karma.automaton () in
+  let goal = Biomodels.Fenton_karma.spike_and_dome_goal () in
+  let rows =
+    List.map
+      (fun k ->
+        let r, dt =
+          timed (fun () ->
+              C.check (E.create ~min_jumps:2 ~goal ~k ~time_bound:400.0 fk))
+        in
+        [ string_of_int k; Fmt.str "%a" C.pp_result r; Fmt.str "%.2fs" dt ])
+      [ 2; 3; 4 ]
+  in
+  Report.print
+    [ Report.table ~header:[ "k"; "verdict (expected: unsat)"; "time" ] rows ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: BCF tau_so1 synthesis + APD map                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2  BCF parameter ranges causing early repolarization (Sec. IV-A)";
+  let bcf = Biomodels.Bueno_cherry_fenton.automaton ~free_params:[ "tau_so1" ] () in
+  let goal = Biomodels.Bueno_cherry_fenton.early_repolarization_goal () in
+  let verdict_rows =
+    List.map
+      (fun (lo, hi, expected) ->
+        let r, dt =
+          timed (fun () ->
+              C.check
+                (E.create
+                   ~param_box:(Box.of_list [ ("tau_so1", I.make lo hi) ])
+                   ~goal ~k:3 ~time_bound:150.0 bcf))
+        in
+        [ Fmt.str "[%g, %g]" lo hi; expected; Fmt.str "%a" C.pp_result r;
+          Fmt.str "%.2fs" dt ])
+      [ (5.0, 45.0, "delta-sat (abnormal witness)");
+        (5.0, 15.0, "delta-sat");
+        (25.0, 45.0, "unsat") ]
+  in
+  let apd_rows =
+    List.map
+      (fun tau ->
+        let apd =
+          Biomodels.Bueno_cherry_fenton.apd
+            ~constants:{ Biomodels.Bueno_cherry_fenton.epi with tau_so1 = tau }
+            ~params:[] ~t_end:800.0 ()
+        in
+        [ Fmt.str "%.0f" tau;
+          (match apd with Some a -> Fmt.str "%.1f" a | None -> "-") ])
+      [ 8.0; 12.0; 16.0; 20.0; 25.0; 30.0; 40.0; 50.0; 60.0 ]
+  in
+  Report.print
+    [ Report.table ~header:[ "tau_so1 box"; "expected"; "verdict"; "time" ] verdict_rows;
+      Report.text "APD series (monotone increasing in tau_so1; EPI normal ~270):";
+      Report.table ~header:[ "tau_so1"; "APD (ms)" ] apd_rows ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: prostate cancer IAS therapy                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3  Prostate cancer personalized IAS therapy (Sec. IV-B)";
+  let sim_rows =
+    List.map
+      (fun (label, r0, r1) ->
+        let y, cycles, _ = Biomodels.Prostate.simulate_therapy ~r0 ~r1 ~t_end:800.0 () in
+        [ label; Fmt.str "%.3f" y; string_of_int cycles;
+          (if y >= 1.0 then "RELAPSE" else "controlled") ])
+      [ ("continuous", -1.0, 1e9); ("IAS 4/10", 4.0, 10.0); ("IAS 6/12", 6.0, 12.0) ]
+  in
+  let automaton = Biomodels.Prostate.automaton () in
+  let relapse = Biomodels.Prostate.relapse_goal ~level:1.0 () in
+  let ias, dt_ias =
+    timed (fun () ->
+        C.check
+          (E.create
+             ~param_box:(Box.of_list [ ("r0", I.make 2.0 6.0); ("r1", I.make 8.0 14.0) ])
+             ~goal:relapse ~k:6 ~time_bound:400.0 automaton))
+  in
+  let cas, dt_cas =
+    timed (fun () ->
+        C.check
+          (E.create ~goal:relapse ~k:2 ~time_bound:1500.0
+             (Hybrid.Automaton.bind_params [ ("r0", -1.0); ("r1", 1e6) ] automaton)))
+  in
+  Report.print
+    [ Report.table ~header:[ "protocol"; "final y"; "cycles"; "outcome" ] sim_rows;
+      Report.kv
+        [ ("relapse, IAS box r0:[2,6] r1:[8,14] (expect unsat)",
+           Fmt.str "%a  (%.2fs)" C.pp_result ias dt_ias);
+          ("relapse, continuous therapy (expect delta-sat)",
+           Fmt.str "%a  (%.2fs)" C.pp_result cas dt_cas) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: TBI combination therapy (Fig. 3)                                *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4  TBI treatment-scheme synthesis 0->A->B->0 (Sec. IV-B, Fig. 3)";
+  let automaton = Biomodels.Tbi.automaton () in
+  let param_box =
+    Box.of_list [ ("theta1", I.make 0.6 2.0); ("theta2", I.make 0.4 2.0) ]
+  in
+  let untreated = Biomodels.Tbi.simulate_policy ~theta1:100.0 ~theta2:100.0 ~t_end:60.0 () in
+  let plan, dt =
+    timed (fun () ->
+        Core.Therapy.optimize ~param_box
+          ~recovery:(Biomodels.Tbi.recovery_goal ())
+          ~harm:(Biomodels.Tbi.death_goal ())
+          ~max_jumps:4 ~time_bound:40.0 automaton)
+  in
+  Report.print
+    [ Report.kv
+        [ ("untreated outcome (expect death)", untreated.Hybrid.Simulate.final_mode);
+          ("synthesized scheme (expect m0->mA->mB->m0, 3 jumps, safe)",
+           Fmt.str "%a" Core.Therapy.pp_outcome plan);
+          ("synthesis time", Fmt.str "%.2fs" dt) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: stimulation robustness sweep                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5  Cardiac stimulation robustness sweep (Sec. IV-C)";
+  let make (lo, hi) =
+    Biomodels.Bueno_cherry_fenton.automaton ~stimulus:lo ~stimulus_width:(hi -. lo) ()
+  in
+  let goal = Biomodels.Bueno_cherry_fenton.excitation_goal () in
+  let ranges = List.init 8 (fun i -> (0.05 *. float_of_int i, 0.05 *. float_of_int (i + 1))) in
+  let rows =
+    List.map
+      (fun ((lo, hi), v) ->
+        [ Fmt.str "[%.2f, %.2f]" lo hi; Fmt.str "%a" Core.Robustness.pp_verdict v ])
+      (Core.Robustness.sweep ~goal ~k:3 ~time_bound:100.0 make ranges)
+  in
+  Report.print
+    [ Report.table ~header:[ "stimulus range"; "verdict (crossover at 0.3)" ] rows ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Lyapunov stability certificates                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6  Lyapunov synthesis via exists-forall delta-decisions (Sec. IV-C)";
+  let rows =
+    List.map
+      (fun (name, sys) ->
+        let region = Biomodels.Classics.unit_box (Ode.System.vars sys) in
+        let (outcome, dt) =
+          timed (fun () ->
+              Lyapunov.Cegis.synthesize
+                (Lyapunov.Cegis.problem ~region
+                   ~template:(Lyapunov.Template.quadratic (Ode.System.vars sys))
+                   sys))
+        in
+        match outcome with
+        | Lyapunov.Cegis.Proved c ->
+            [ name; Fmt.str "%a" Expr.Term.pp c.Lyapunov.Cegis.v;
+              string_of_int c.Lyapunov.Cegis.iterations; Fmt.str "%.2fs" dt ]
+        | o -> [ name; Fmt.str "%a" Lyapunov.Cegis.pp_outcome o; "-"; Fmt.str "%.2fs" dt ])
+      [ ("damped rotation", Biomodels.Classics.damped_rotation);
+        ("damped nonlinear", Biomodels.Classics.damped_nonlinear);
+        ("proofreading chain", Biomodels.Classics.proofreading);
+        ("ERK cascade", Biomodels.Classics.erk_cascade) ]
+  in
+  Report.print [ Report.table ~header:[ "system"; "V"; "iters"; "time" ] rows ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: guaranteed calibration (BioPSy workload)                        *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7  Guaranteed calibration of a single-mode ODE model (Sec. IV-A)";
+  let sys = Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ] in
+  let data =
+    List.map
+      (fun t ->
+        Synth.Data.point ~time:t ~var:"x" ~value:(Float.exp (-.t)) ~tolerance:0.08)
+      [ 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let prob =
+    Synth.Biopsy.problem ~sys
+      ~param_box:(Box.of_list [ ("k", I.make 0.2 3.0) ])
+      ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+      ~data
+  in
+  let rows =
+    List.map
+      (fun eps ->
+        let r, dt =
+          timed (fun () ->
+              Synth.Biopsy.synthesize
+                ~config:{ Synth.Biopsy.default_config with epsilon = eps }
+                prob)
+        in
+        let vc, vi, vu = Synth.Biopsy.volumes prob r in
+        [ Fmt.str "%.3f" eps; Fmt.str "%.4f" vc; Fmt.str "%.4f" vi;
+          Fmt.str "%.4f" vu; string_of_int r.Synth.Biopsy.boxes_explored;
+          Fmt.str "%.2fs" dt ])
+      [ 0.2; 0.1; 0.05; 0.02 ]
+  in
+  (* falsification instance *)
+  let bad_data =
+    [ Synth.Data.point ~time:0.5 ~var:"x" ~value:2.0 ~tolerance:0.2;
+      Synth.Data.point ~time:1.0 ~var:"x" ~value:4.0 ~tolerance:0.2 ]
+  in
+  let bad =
+    Synth.Biopsy.problem ~sys
+      ~param_box:(Box.of_list [ ("k", I.make 0.2 3.0) ])
+      ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+      ~data:bad_data
+  in
+  let fr = Synth.Biopsy.synthesize bad in
+  Report.print
+    [ Report.text
+        "paving volumes vs epsilon (undecided must shrink, truth k=1 in consistent):";
+      Report.table
+        ~header:[ "eps"; "consistent"; "inconsistent"; "undecided"; "boxes"; "time" ]
+        rows;
+      Report.text "growth data against the decay model: falsified = %b (expect true)"
+        (Synth.Biopsy.falsified fr) ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: SMC of the p53 module                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8  SMC of the p53 radiation-response module (Fig. 2 branch)";
+  let problem lo hi =
+    Smc.Runner.problem
+      ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
+      ~init_dist:
+        [ ("p53", Smc.Sampler.Uniform (0.02, 0.08));
+          ("mdm2", Smc.Sampler.Uniform (0.02, 0.08)) ]
+      ~param_dist:[ ("damage", Smc.Sampler.Uniform (lo, hi)) ]
+      ~property:(Smc.Bltl.Finally (30.0, Smc.Bltl.prop "p53 >= 0.3"))
+      ~t_end:30.0 ()
+  in
+  let rows =
+    List.map
+      (fun (label, lo, hi) ->
+        let e, dt = timed (fun () -> Smc.Runner.estimate ~eps:0.1 ~alpha:0.05 (problem lo hi)) in
+        [ label; Fmt.str "%.3f" e.Smc.Estimate.p_hat;
+          Fmt.str "[%.2f, %.2f]" e.Smc.Estimate.ci_low e.Smc.Estimate.ci_high;
+          string_of_int e.Smc.Estimate.n; Fmt.str "%.2fs" dt ])
+      [ ("damage 0.0-0.1", 0.0, 0.1); ("damage 0.1-0.5", 0.1, 0.5);
+        ("damage 0.5-1.5", 0.5, 1.5) ]
+  in
+  let sprt =
+    Smc.Runner.test ~config:{ Smc.Sprt.default_config with theta = 0.9 }
+      (problem 0.5 1.5)
+  in
+  Report.print
+    [ Report.table ~header:[ "regime"; "P(pulse)"; "95% CI"; "n"; "time" ] rows;
+      Report.text "SPRT P >= 0.9 at high damage: %s" (Fmt.str "%a" Smc.Sprt.pp_result sprt) ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: DBN abstraction (the paper's proposed probabilistic extension)  *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9  Factored-DBN abstraction vs ground truth (Conclusion / refs [3]-[5])";
+  let decay = Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ] in
+  let grid = Dbn.Grid.create [ Dbn.Grid.axis ~var:"x" ~lo:0.0 ~hi:1.5 ~cells:15 ] in
+  let init_dist = [ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ] in
+  let m, learn_t =
+    timed (fun () ->
+        Dbn.Model.learn
+          ~config:{ Dbn.Model.default_learn with Dbn.Model.samples = 1500 }
+          ~grid ~slices:10 ~horizon:2.0 ~init_dist ~param_dist:[] decay)
+  in
+  let belief = Dbn.Model.belief_of_dist m init_dist in
+  (* analytic: P(x0 e^-t <= 0.5) for x0 ~ U(0.8, 1.2) *)
+  let exact t =
+    let lim = 0.5 *. Float.exp t in
+    Float.max 0.0 (Float.min 1.0 ((lim -. 0.8) /. 0.4))
+  in
+  let rows =
+    List.map
+      (fun t ->
+        let p =
+          Dbn.Model.probability m ~init_belief:belief ~var:"x" ~time:t (fun x ->
+              x <= 0.5)
+        in
+        [ Fmt.str "%.1f" t; Fmt.str "%.3f" p; Fmt.str "%.3f" (exact t);
+          Fmt.str "%.3f" (Float.abs (p -. exact t)) ])
+      [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.2 ]
+  in
+  Report.print
+    [ Report.text "decay workload, P(x <= 0.5 at t), learned in %.2fs:" learn_t;
+      Report.table ~header:[ "t"; "DBN"; "exact"; "abs err" ] rows ]
+
+(* ------------------------------------------------------------------ *)
+(* S1: delta-decision solver scaling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let s1 () =
+  section "S1  ICP solver behaviour: runtime vs delta and dimension (Sec. III)";
+  (* Tangency instance: x² + y² = 1 ∧ xy = 1/2 touches at the single
+     point x = y = 1/√2, so certification must localize a thin set —
+     the work grows as δ shrinks.  The near-tangent plane instance does
+     the same for the dimension sweep. *)
+  let tangency = Expr.Parse.formula "x^2 + y^2 = 1 and x*y = 1/2" in
+  let tangency_box = Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ] in
+  let near_tangent_plane n =
+    let vars = List.init n (fun i -> Printf.sprintf "x%d" i) in
+    let sum_sq =
+      String.concat " + " (List.map (fun v -> Printf.sprintf "%s^2" v) vars)
+    in
+    let f =
+      Expr.Parse.formula
+        (Printf.sprintf "%s = 1 and %s >= %.17g" sum_sq
+           (String.concat " + " vars)
+           (0.98 *. Float.sqrt (float_of_int n)))
+    in
+    let box = Box.of_list (List.map (fun v -> (v, I.make (-2.0) 2.0)) vars) in
+    (f, box)
+  in
+  let verdict_str = function
+    | Icp.Solver.Delta_sat _ -> "delta-sat"
+    | Icp.Solver.Unsat -> "unsat"
+    | Icp.Solver.Unknown _ -> "unknown"
+  in
+  let delta_rows =
+    List.map
+      (fun delta ->
+        let config =
+          { Icp.Solver.default_config with delta; epsilon = delta /. 10.0 }
+        in
+        let (r, stats), dt =
+          timed (fun () -> Icp.Solver.decide_with_stats ~config tangency tangency_box)
+        in
+        [ Fmt.str "%.0e" delta; verdict_str r;
+          string_of_int stats.Icp.Solver.boxes_processed; Fmt.str "%.4fs" dt ])
+      [ 1e-1; 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ]
+  in
+  let dim_rows =
+    List.map
+      (fun n ->
+        let f, box = near_tangent_plane n in
+        let config = { Icp.Solver.default_config with delta = 1e-3; epsilon = 1e-4 } in
+        let (r, stats), dt =
+          timed (fun () -> Icp.Solver.decide_with_stats ~config f box)
+        in
+        [ string_of_int n; verdict_str r;
+          string_of_int stats.Icp.Solver.boxes_processed; Fmt.str "%.4fs" dt ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Report.print
+    [ Report.text "tangency instance (x²+y²=1 ∧ xy=1/2), shrinking delta:";
+      Report.table ~header:[ "delta"; "verdict"; "boxes"; "time" ] delta_rows;
+      Report.text "near-tangent sphere/plane, dimension scaling at delta = 1e-3:";
+      Report.table ~header:[ "dim"; "verdict"; "boxes"; "time" ] dim_rows ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  section "A1  Ablation: validated-enclosure order (Euler-1 vs Taylor-2)";
+  let sys = Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ] in
+  let osc =
+    Ode.System.of_strings ~vars:[ "x"; "y" ] ~params:[]
+      ~rhs:[ ("x", "y"); ("y", "-x") ]
+  in
+  let run name sys init t_end order =
+    let config = { Ode.Enclosure.default_config with order } in
+    let tube, dt =
+      timed (fun () ->
+          Ode.Enclosure.flow ~config ~params:Box.empty_map ~init ~t_end sys)
+    in
+    [ name;
+      (match order with Ode.Enclosure.Euler_1 -> "Euler-1" | Ode.Enclosure.Taylor_2 -> "Taylor-2");
+      Fmt.str "%.3g" (Box.width tube.Ode.Enclosure.final);
+      string_of_bool tube.Ode.Enclosure.complete; Fmt.str "%.3fs" dt ]
+  in
+  let x0 = Box.of_list [ ("x", I.of_float 1.0) ] in
+  let xy0 = Box.of_list [ ("x", I.of_float 1.0); ("y", I.of_float 0.0) ] in
+  Report.print
+    [ Report.table
+        ~header:[ "system"; "order"; "final width"; "complete"; "time" ]
+        [ run "decay t=1" sys x0 1.0 Ode.Enclosure.Euler_1;
+          run "decay t=1" sys x0 1.0 Ode.Enclosure.Taylor_2;
+          run "oscillator t=2" osc xy0 2.0 Ode.Enclosure.Euler_1;
+          run "oscillator t=2" osc xy0 2.0 Ode.Enclosure.Taylor_2 ] ]
+
+let a2 () =
+  section "A2  Ablation: mode-path enumeration with/without goal pruning";
+  let tbi = Biomodels.Tbi.automaton () in
+  let g = Hybrid.Graph.of_automaton tbi in
+  let rows =
+    List.map
+      (fun k ->
+        let all = Hybrid.Graph.paths ~max_jumps:k g ~source:"m0" in
+        let pruned = Hybrid.Graph.paths ~targets:[ "m0" ] ~max_jumps:k g ~source:"m0" in
+        [ string_of_int k; string_of_int (List.length all);
+          string_of_int (List.length pruned) ])
+      [ 2; 3; 4; 5; 6 ]
+  in
+  Report.print
+    [ Report.text "TBI automaton (7 modes): candidate paths to explore:";
+      Report.table ~header:[ "k"; "all paths"; "goal-pruned" ] rows ]
+
+let a3 () =
+  section "A3  Ablation: ICP contraction on/off in the delta-decision search";
+  let f = Expr.Parse.formula "x^2 + y^2 = 1 and y >= x and x*y >= 0.1" in
+  let box = Box.of_list [ ("x", I.make (-2.0) 2.0); ("y", I.make (-2.0) 2.0) ] in
+  let rows =
+    List.map
+      (fun (label, use_contraction) ->
+        let config = { Icp.Solver.default_config with use_contraction } in
+        let (r, stats), dt = timed (fun () -> Icp.Solver.decide_with_stats ~config f box) in
+        [ label;
+          (match r with
+          | Icp.Solver.Delta_sat _ -> "delta-sat"
+          | Icp.Solver.Unsat -> "unsat"
+          | Icp.Solver.Unknown _ -> "unknown");
+          string_of_int stats.Icp.Solver.boxes_processed;
+          string_of_int stats.Icp.Solver.prunings; Fmt.str "%.4fs" dt ])
+      [ ("HC4 + bisection", true); ("bisection only", false) ]
+  in
+  Report.print
+    [ Report.table ~header:[ "variant"; "verdict"; "boxes"; "prunings"; "time" ] rows ]
+
+let a4 () =
+  section "A4  Ablation: ensemble-bracket size in the reachability checker";
+  let automaton = Biomodels.Prostate.automaton () in
+  let relapse = Biomodels.Prostate.relapse_goal ~level:1.0 () in
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("r0", I.make 2.0 6.0); ("r1", I.make 8.0 14.0) ])
+      ~goal:relapse ~k:6 ~time_bound:400.0 automaton
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let config = { C.default_config with fallback_samples = n } in
+        let r, dt = timed (fun () -> C.check ~config pb) in
+        [ string_of_int n; Fmt.str "%a" C.pp_result r; Fmt.str "%.2fs" dt ])
+      [ 4; 12; 24; 48 ]
+  in
+  Report.print
+    [ Report.text "E3 IAS-safety instance; the verdict must be stable in the";
+      Report.text "ensemble size while cost grows roughly linearly:";
+      Report.table ~header:[ "samples"; "verdict"; "time" ] rows ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel kernel timing                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let stage = Staged.stage in
+  let icp_sqrt2 =
+    let f = Expr.Parse.formula "x^2 = 2" in
+    let box = Box.of_list [ ("x", I.make 0.0 2.0) ] in
+    Test.make ~name:"s1/icp-sqrt2" (stage (fun () -> Icp.Solver.decide f box))
+  in
+  let icp_unsat =
+    let f = Expr.Parse.formula "x^2 + y^2 <= 1 and x + y >= 3" in
+    let box = Box.of_list [ ("x", I.make (-2.0) 2.0); ("y", I.make (-2.0) 2.0) ] in
+    Test.make ~name:"s1/icp-geom-unsat" (stage (fun () -> Icp.Solver.decide f box))
+  in
+  let ode_rk4 =
+    let sys =
+      Ode.System.of_strings ~vars:[ "x"; "y" ] ~params:[ "w" ]
+        ~rhs:[ ("x", "w*y"); ("y", "-w*x") ]
+    in
+    Test.make ~name:"ode/rk4-oscillator"
+      (stage (fun () ->
+           Ode.Integrate.simulate ~method_:(Ode.Integrate.Rk4 0.01)
+             ~params:[ ("w", 2.0) ]
+             ~init:[ ("x", 1.0); ("y", 0.0) ]
+             ~t_end:5.0 sys))
+  in
+  let enclosure_decay =
+    let sys = Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ] in
+    let init = Box.of_list [ ("x", I.of_float 1.0) ] in
+    Test.make ~name:"a1/enclosure-decay"
+      (stage (fun () -> Ode.Enclosure.flow ~params:Box.empty_map ~init ~t_end:1.0 sys))
+  in
+  let hybrid_sim =
+    let h = Biomodels.Fenton_karma.automaton () in
+    Test.make ~name:"e1/fk-simulate"
+      (stage (fun () -> Hybrid.Simulate.simulate ~params:[] ~init:[] ~t_end:400.0 h))
+  in
+  let bcf_sim =
+    Test.make ~name:"e2/bcf-apd"
+      (stage (fun () -> Biomodels.Bueno_cherry_fenton.apd ~params:[] ~t_end:600.0 ()))
+  in
+  let reach_decay =
+    let a =
+      Hybrid.Automaton.of_system
+        ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+        (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ])
+    in
+    let pb =
+      E.create
+        ~param_box:(Box.of_list [ ("k", I.make 0.1 3.0) ])
+        ~goal:{ E.goal_modes = []; predicate = Expr.Parse.formula "x <= 0.3" }
+        ~k:0 ~time_bound:1.0 a
+    in
+    Test.make ~name:"e3/reach-param-decay" (stage (fun () -> C.check pb))
+  in
+  let biopsy =
+    let sys = Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ] in
+    let data =
+      [ Synth.Data.point ~time:0.5 ~var:"x" ~value:(Float.exp (-0.5)) ~tolerance:0.08;
+        Synth.Data.point ~time:1.0 ~var:"x" ~value:(Float.exp (-1.0)) ~tolerance:0.08 ]
+    in
+    let prob =
+      Synth.Biopsy.problem ~sys
+        ~param_box:(Box.of_list [ ("k", I.make 0.2 3.0) ])
+        ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+        ~data
+    in
+    Test.make ~name:"e7/biopsy-decay"
+      (stage (fun () ->
+           Synth.Biopsy.synthesize
+             ~config:{ Synth.Biopsy.default_config with epsilon = 0.1 }
+             prob))
+  in
+  let bltl_monitor =
+    let tr =
+      Ode.Integrate.simulate ~method_:(Ode.Integrate.Rk4 0.01) ~params:[]
+        ~init:[ ("x", 1.0) ] ~t_end:2.0
+        (Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ])
+    in
+    let view = Smc.Bltl.of_trace tr in
+    let prop =
+      Smc.Bltl.Until (1.5, Smc.Bltl.prop "x >= 0.3", Smc.Bltl.prop "x <= 0.5")
+    in
+    Test.make ~name:"e8/bltl-monitor" (stage (fun () -> Smc.Bltl.holds view prop))
+  in
+  let cegis =
+    Test.make ~name:"e6/cegis-rotation"
+      (stage (fun () ->
+           Lyapunov.Cegis.synthesize
+             (Lyapunov.Cegis.problem
+                ~region:(Biomodels.Classics.unit_box [ "x"; "y" ])
+                ~template:(Lyapunov.Template.quadratic [ "x"; "y" ])
+                Biomodels.Classics.damped_rotation)))
+  in
+  let tbi_policy =
+    Test.make ~name:"e4/tbi-policy-sim"
+      (stage (fun () ->
+           Biomodels.Tbi.simulate_policy ~theta1:1.0 ~theta2:1.0 ~t_end:40.0 ()))
+  in
+  let prostate_sim =
+    Test.make ~name:"e3/prostate-ias-sim"
+      (stage (fun () ->
+           Biomodels.Prostate.simulate_therapy ~r0:4.0 ~r1:10.0 ~t_end:800.0 ()))
+  in
+  let robustness_one =
+    let make (a, b) =
+      Biomodels.Bueno_cherry_fenton.automaton ~stimulus:a ~stimulus_width:(b -. a) ()
+    in
+    Test.make ~name:"e5/robustness-one-range"
+      (stage (fun () ->
+           Core.Robustness.classify
+             ~goal:(Biomodels.Bueno_cherry_fenton.excitation_goal ())
+             ~k:3 ~time_bound:100.0 make (0.0, 0.05)))
+  in
+  [ icp_sqrt2; icp_unsat; ode_rk4; enclosure_decay; hybrid_sim; bcf_sim;
+    reach_decay; biopsy; bltl_monitor; cegis; tbi_policy; prostate_sim;
+    robustness_one ]
+
+let run_bechamel () =
+  section "Kernel timing (Bechamel OLS, ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let tests = Test.make_grouped ~name:"biomc" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> e
+        | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+    |> List.map (fun (name, ns) ->
+           [ name;
+             (if Float.is_nan ns then "-"
+              else if ns > 1e9 then Fmt.str "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+              else Fmt.str "%.0f ns" ns) ])
+  in
+  Report.print [ Report.table ~header:[ "kernel"; "time/run" ] rows ]
+
+let () =
+  Report.print
+    [ Report.heading "biomc benchmark harness";
+      Report.text
+        "Part 1 reproduces each experiment's table/series; Part 2 times kernels." ];
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  s1 ();
+  a1 ();
+  a2 ();
+  a3 ();
+  a4 ();
+  run_bechamel ()

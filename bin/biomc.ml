@@ -1,0 +1,446 @@
+(* biomc — command-line driver for the model-checking analysis framework.
+
+   Subcommands mirror the paper's analysis tasks:
+
+     biomc simulate   — numerically simulate a built-in model
+     biomc reach      — bounded reachability / falsification
+     biomc robustness — stimulation-robustness sweep (cardiac)
+     biomc therapy    — treatment-scheme synthesis (TBI / prostate)
+     biomc stability  — Lyapunov certificate synthesis
+     biomc smc        — statistical model checking of the p53 module
+     biomc solve      — decide an L_RF formula with the δ-decision core *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module Report = Core.Report
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term =
+  let env = Cmd.Env.info "BIOMC_VERBOSITY" in
+  Term.(const setup_logs $ Logs_cli.level ~env ())
+
+(* ---- Built-in model registry ---- *)
+
+type model_entry = {
+  description : string;
+  automaton : unit -> Hybrid.Automaton.t;
+  default_t_end : float;
+  default_params : (string * float) list;
+}
+
+let models =
+  [ ("fenton-karma",
+     { description = "Fenton-Karma cardiac cell (3 modes, Beeler-Reuter fit)";
+       automaton = (fun () -> Biomodels.Fenton_karma.automaton ());
+       default_t_end = 400.0; default_params = [] });
+    ("bcf",
+     { description = "Bueno-Cherry-Fenton minimal ventricular model (EPI)";
+       automaton = (fun () -> Biomodels.Bueno_cherry_fenton.automaton ());
+       default_t_end = 500.0; default_params = [] });
+    ("prostate",
+     { description = "Prostate cancer intermittent androgen suppression";
+       automaton = (fun () -> Biomodels.Prostate.automaton ());
+       default_t_end = 800.0; default_params = [ ("r0", 4.0); ("r1", 10.0) ] });
+    ("tbi",
+     { description = "TBI-induced multi-mode cell death network (Fig. 3)";
+       automaton = (fun () -> Biomodels.Tbi.automaton ());
+       default_t_end = 40.0; default_params = [ ("theta1", 1.0); ("theta2", 1.0) ] });
+  ]
+
+let model_conv =
+  let parse s =
+    match List.assoc_opt s models with
+    | Some m -> Ok (s, m)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (try: %s)" s
+               (String.concat ", " (List.map fst models))))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Fmt.string ppf name)
+
+let model_arg =
+  let doc = "Built-in model to analyze." in
+  Arg.(required & pos 0 (some model_conv) None & info [] ~docv:"MODEL" ~doc)
+
+let t_end_arg =
+  let doc = "Simulation / analysis time horizon." in
+  Arg.(value & opt (some float) None & info [ "t-end" ] ~docv:"TIME" ~doc)
+
+let param_arg =
+  let doc = "Bind a model parameter, e.g. --param r0=4.0 (repeatable)." in
+  let kv_conv =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i -> (
+          let k = String.sub s 0 i
+          and v = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt v with
+          | Some f -> Ok (k, f)
+          | None -> Error (`Msg (Printf.sprintf "invalid value in %S" s)))
+      | None -> Error (`Msg (Printf.sprintf "expected key=value, got %S" s))
+    in
+    Arg.conv (parse, fun ppf (k, v) -> Fmt.pf ppf "%s=%g" k v)
+  in
+  Arg.(value & opt_all kv_conv [] & info [ "param"; "p" ] ~docv:"KEY=VAL" ~doc)
+
+let merge_params defaults overrides =
+  List.map
+    (fun (k, dflt) ->
+      match List.assoc_opt k overrides with Some v -> (k, v) | None -> (k, dflt))
+    defaults
+  @ List.filter (fun (k, _) -> not (List.mem_assoc k defaults)) overrides
+
+(* ---- simulate ---- *)
+
+let simulate () (name, entry) t_end params samples csv =
+  let t_end = Option.value ~default:entry.default_t_end t_end in
+  let params = merge_params entry.default_params params in
+  let h = entry.automaton () in
+  let traj = Hybrid.Simulate.simulate ~params ~init:[] ~t_end h in
+  (match csv with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Hybrid.Simulate.to_csv traj);
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  let vars = Hybrid.Automaton.vars h in
+  let rows =
+    List.init samples (fun i ->
+        let t = t_end *. float_of_int i /. float_of_int (Stdlib.max 1 (samples - 1)) in
+        Fmt.str "%.3f" t
+        :: List.map
+             (fun v ->
+               match Hybrid.Simulate.value_at traj v t with
+               | Some x -> Fmt.str "%.5f" x
+               | None -> "-")
+             vars)
+  in
+  Report.print
+    [ Report.heading (Printf.sprintf "Simulation: %s" name);
+      Report.text "%s" entry.description;
+      Report.kv
+        [ ("path", String.concat " -> " traj.Hybrid.Simulate.path);
+          ("stop", Fmt.str "%a" Hybrid.Simulate.pp_stop_reason traj.Hybrid.Simulate.reason);
+          ("time", Fmt.str "%.3f" traj.Hybrid.Simulate.total_time) ];
+      Report.table ~header:("t" :: vars) rows ];
+  Ok ()
+
+let samples_arg =
+  let doc = "Number of sample rows to print." in
+  Arg.(value & opt int 21 & info [ "samples" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Also write the full trajectory as CSV to this file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let simulate_cmd =
+  let info = Cmd.info "simulate" ~doc:"Numerically simulate a built-in model." in
+  Cmd.v info
+    Term.(
+      term_result
+        (const simulate $ logs_term $ model_arg $ t_end_arg $ param_arg $ samples_arg
+       $ csv_arg))
+
+(* ---- reach ---- *)
+
+let goal_arg =
+  let doc =
+    "Goal predicate over the model variables (L_RF formula, e.g. 'y >= 1')."
+  in
+  Arg.(required & opt (some string) None & info [ "goal" ] ~docv:"FORMULA" ~doc)
+
+let goal_modes_arg =
+  let doc = "Restrict the goal to these modes (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "goal-mode" ] ~docv:"MODE" ~doc)
+
+let k_arg =
+  let doc = "Maximum number of discrete jumps (unrolling depth)." in
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
+
+let box_arg =
+  let doc =
+    "Search box for a free parameter, e.g. --box r0=2:6 (repeatable)."
+  in
+  let box_conv =
+    let parse s =
+      try
+        Scanf.sscanf s "%[^=]=%f:%f" (fun k lo hi -> Ok (k, I.make lo hi))
+      with _ -> Error (`Msg (Printf.sprintf "expected key=lo:hi, got %S" s))
+    in
+    Arg.conv (parse, fun ppf (k, i) -> Fmt.pf ppf "%s=%a" k I.pp i)
+  in
+  Arg.(value & opt_all box_conv [] & info [ "box" ] ~docv:"KEY=LO:HI" ~doc)
+
+let reach () (name, entry) t_end params goal goal_modes k boxes =
+  let time_bound = Option.value ~default:entry.default_t_end t_end in
+  let h = entry.automaton () in
+  let h = if params = [] then h else Hybrid.Automaton.bind_params params h in
+  let param_box = Box.of_list boxes in
+  match Expr.Parse.formula_opt goal with
+  | None -> Error (`Msg (Printf.sprintf "cannot parse goal %S" goal))
+  | Some predicate ->
+      let pb =
+        Reach.Encoding.create ~param_box
+          ~goal:{ Reach.Encoding.goal_modes; predicate }
+          ~k ~time_bound h
+      in
+      let result = Reach.Checker.check pb in
+      Report.print
+        [ Report.heading (Printf.sprintf "Bounded reachability: %s" name);
+          Report.kv
+            [ ("goal", goal); ("k", string_of_int k);
+              ("time bound", Fmt.str "%g" time_bound);
+              ("candidate paths", string_of_int (List.length (Reach.Encoding.candidate_paths pb))) ];
+          Report.text "verdict: %s" (Fmt.str "%a" Reach.Checker.pp_result result) ];
+      Ok ()
+
+let reach_cmd =
+  let info =
+    Cmd.info "reach"
+      ~doc:"Decide bounded reachability of a goal (delta-sat / unsat)."
+  in
+  Cmd.v info
+    Term.(
+      term_result
+        (const reach $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
+       $ goal_modes_arg $ k_arg $ box_arg))
+
+(* ---- robustness ---- *)
+
+let robustness () lo hi steps =
+  let make (a, b) =
+    Biomodels.Bueno_cherry_fenton.automaton ~stimulus:a ~stimulus_width:(b -. a) ()
+  in
+  let goal = Biomodels.Bueno_cherry_fenton.excitation_goal () in
+  let width = (hi -. lo) /. float_of_int steps in
+  let ranges =
+    List.init steps (fun i -> (lo +. (width *. float_of_int i), lo +. (width *. float_of_int (i + 1))))
+  in
+  let rows =
+    List.map
+      (fun ((a, b), v) ->
+        [ Fmt.str "[%.3f, %.3f]" a b; Fmt.str "%a" Core.Robustness.pp_verdict v ])
+      (Core.Robustness.sweep ~goal ~k:3 ~time_bound:100.0 make ranges)
+  in
+  Report.print
+    [ Report.heading "Cardiac stimulation robustness (BCF)";
+      Report.table ~header:[ "stimulus range"; "verdict" ] rows ];
+  Ok ()
+
+let robustness_cmd =
+  let lo =
+    Arg.(value & opt float 0.0 & info [ "lo" ] ~docv:"A" ~doc:"Lowest amplitude.")
+  in
+  let hi =
+    Arg.(value & opt float 0.4 & info [ "hi" ] ~docv:"B" ~doc:"Highest amplitude.")
+  in
+  let steps =
+    Arg.(value & opt int 8 & info [ "steps" ] ~docv:"N" ~doc:"Sweep resolution.")
+  in
+  let info =
+    Cmd.info "robustness"
+      ~doc:"Sweep stimulation amplitudes; unsat proves the range is filtered."
+  in
+  Cmd.v info Term.(term_result (const robustness $ logs_term $ lo $ hi $ steps))
+
+(* ---- therapy ---- *)
+
+let therapy () =
+  let automaton = Biomodels.Tbi.automaton () in
+  let param_box =
+    Box.of_list [ ("theta1", I.make 0.6 2.0); ("theta2", I.make 0.4 2.0) ]
+  in
+  let outcome =
+    Core.Therapy.optimize ~param_box
+      ~recovery:(Biomodels.Tbi.recovery_goal ())
+      ~harm:(Biomodels.Tbi.death_goal ())
+      ~max_jumps:4 ~time_bound:40.0 automaton
+  in
+  Report.print
+    [ Report.heading "TBI combination-therapy synthesis";
+      Report.text "%s" (Fmt.str "%a" Core.Therapy.pp_outcome outcome) ];
+  Ok ()
+
+let therapy_cmd =
+  let info =
+    Cmd.info "therapy"
+      ~doc:"Synthesize a minimal-drug treatment scheme for the TBI model."
+  in
+  Cmd.v info Term.(term_result (const therapy $ logs_term))
+
+(* ---- stability ---- *)
+
+let classic_systems =
+  [ ("damped-rotation", Biomodels.Classics.damped_rotation);
+    ("damped-nonlinear", Biomodels.Classics.damped_nonlinear);
+    ("proofreading", Biomodels.Classics.proofreading);
+    ("erk", Biomodels.Classics.erk_cascade) ]
+
+let stability () name =
+  match List.assoc_opt name classic_systems with
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown system %S (try: %s)" name
+             (String.concat ", " (List.map fst classic_systems))))
+  | Some sys ->
+      let region = Biomodels.Classics.unit_box (Ode.System.vars sys) in
+      let r = Core.Stability.prove ~region sys in
+      Report.print
+        [ Report.heading (Printf.sprintf "Lyapunov stability: %s" name);
+          Report.text "%s" (Fmt.str "%a" Core.Stability.pp_report r) ];
+      Ok ()
+
+let stability_cmd =
+  let sys_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SYSTEM" ~doc:"One of the built-in autonomous systems.")
+  in
+  let info =
+    Cmd.info "stability" ~doc:"Synthesize a Lyapunov certificate by CEGIS."
+  in
+  Cmd.v info Term.(term_result (const stability $ logs_term $ sys_arg))
+
+(* ---- smc ---- *)
+
+let smc () n =
+  let prob =
+    Smc.Runner.problem
+      ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
+      ~init_dist:
+        [ ("p53", Smc.Sampler.Uniform (0.02, 0.08));
+          ("mdm2", Smc.Sampler.Uniform (0.02, 0.08)) ]
+      ~param_dist:[ ("damage", Smc.Sampler.Uniform (0.5, 1.5)) ]
+      ~property:(Smc.Bltl.Finally (30.0, Smc.Bltl.prop "p53 >= 0.3"))
+      ~t_end:30.0 ()
+  in
+  let e = Smc.Runner.estimate_bayesian ~n prob in
+  Report.print
+    [ Report.heading "SMC: p53 pulse probability under high damage";
+      Report.text "%s" (Fmt.str "%a" Smc.Estimate.pp_estimate e) ];
+  Ok ()
+
+let smc_cmd =
+  let n_arg =
+    Arg.(value & opt int 300 & info [ "n" ] ~docv:"N" ~doc:"Sample count.")
+  in
+  let info = Cmd.info "smc" ~doc:"Statistical model checking demo (p53 module)." in
+  Cmd.v info Term.(term_result (const smc $ logs_term $ n_arg))
+
+(* ---- solve ---- *)
+
+let solve () formula boxes delta =
+  match Expr.Parse.formula_opt formula with
+  | None -> Error (`Msg (Printf.sprintf "cannot parse %S" formula))
+  | Some f ->
+      let box = Box.of_list boxes in
+      let missing =
+        List.filter (fun v -> not (Box.mem_var v box)) (Expr.Formula.free_var_list f)
+      in
+      if missing <> [] then
+        Error
+          (`Msg
+            (Printf.sprintf "missing --box for variable(s): %s"
+               (String.concat ", " missing)))
+      else begin
+        let config = { Icp.Solver.default_config with delta } in
+        let result, stats = Icp.Solver.decide_with_stats ~config f box in
+        Report.print
+          [ Report.heading "delta-decision";
+            Report.kv
+              [ ("formula", formula); ("delta", Fmt.str "%g" delta);
+                ("boxes", string_of_int stats.Icp.Solver.boxes_processed) ];
+            Report.text "verdict: %s" (Fmt.str "%a" Icp.Solver.pp_result result) ];
+        Ok ()
+      end
+
+let solve_cmd =
+  let formula_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMULA" ~doc:"Quantifier-free L_RF formula.")
+  in
+  let delta_arg =
+    Arg.(value & opt float 1e-3 & info [ "delta" ] ~docv:"D" ~doc:"Perturbation δ.")
+  in
+  let info = Cmd.info "solve" ~doc:"Decide an L_RF formula over given variable boxes." in
+  Cmd.v info
+    Term.(term_result (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg))
+
+(* ---- export (.drh) ---- *)
+
+let export () (name, entry) t_end params goal goal_modes k boxes output =
+  let time_bound = Option.value ~default:entry.default_t_end t_end in
+  let h = entry.automaton () in
+  let h = if params = [] then h else Hybrid.Automaton.bind_params params h in
+  match Expr.Parse.formula_opt goal with
+  | None -> Error (`Msg (Printf.sprintf "cannot parse goal %S" goal))
+  | Some predicate ->
+      let pb =
+        Reach.Encoding.create ~param_box:(Box.of_list boxes)
+          ~goal:{ Reach.Encoding.goal_modes; predicate }
+          ~k ~time_bound h
+      in
+      (match output with
+      | Some path ->
+          Reach.Drh.to_file path pb;
+          Fmt.pr "wrote %s (dReach .drh for model %s)@." path name
+      | None -> print_string (Reach.Drh.of_problem pb));
+      Ok ()
+
+let export_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file instead of stdout.")
+  in
+  let info =
+    Cmd.info "export"
+      ~doc:"Export a reachability problem in dReach .drh format (interop)."
+  in
+  Cmd.v info
+    Term.(
+      term_result
+        (const export $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
+       $ goal_modes_arg $ k_arg $ box_arg $ output_arg))
+
+(* ---- models listing ---- *)
+
+let list_models () =
+  Report.print
+    [ Report.heading "Built-in models";
+      Report.table
+        ~header:[ "name"; "description" ]
+        (List.map (fun (n, e) -> [ n; e.description ]) models);
+      Report.heading "Built-in autonomous systems (for `stability`)";
+      Report.table
+        ~header:[ "name"; "variables" ]
+        (List.map
+           (fun (n, s) -> [ n; String.concat ", " (Ode.System.vars s) ])
+           classic_systems) ];
+  Ok ()
+
+let list_cmd =
+  let info = Cmd.info "models" ~doc:"List the built-in models." in
+  Cmd.v info Term.(term_result (const list_models $ logs_term))
+
+let main_cmd =
+  let doc =
+    "Model checking-based analysis of systems biology models (δ-decisions)"
+  in
+  let info = Cmd.info "biomc" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ simulate_cmd; reach_cmd; robustness_cmd; therapy_cmd; stability_cmd;
+      smc_cmd; solve_cmd; export_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

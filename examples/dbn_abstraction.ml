@@ -1,0 +1,82 @@
+(* DBN abstraction of continuous dynamics — the probabilistic extension
+   the paper's conclusion proposes (refs [3]-[5]): approximate the system
+   by a factored dynamic Bayesian network over a discretized state space,
+   then answer probabilistic queries by (factored-frontier) inference
+   instead of repeated simulation.
+
+   Here the p53 radiation-response module is abstracted once, and the
+   dose-response question of the SMC example is answered from the DBN;
+   direct Monte Carlo provides the accuracy reference.
+
+   Run with:  dune exec examples/dbn_abstraction.exe *)
+
+module G = Dbn.Grid
+module M = Dbn.Model
+module Report = Core.Report
+
+let () =
+  let sys = Biomodels.Classics.p53_mdm2 in
+  let grid =
+    G.create
+      [ G.axis ~var:"p53" ~lo:0.0 ~hi:1.0 ~cells:12;
+        G.axis ~var:"mdm2" ~lo:0.0 ~hi:1.0 ~cells:12 ]
+  in
+  let init_dist damage_lo damage_hi =
+    ( [ ("p53", Smc.Sampler.Uniform (0.02, 0.08));
+        ("mdm2", Smc.Sampler.Uniform (0.02, 0.08)) ],
+      [ ("damage", Smc.Sampler.Uniform (damage_lo, damage_hi)) ] )
+  in
+  let regimes =
+    [ ("low damage (0.0-0.1)", 0.0, 0.1); ("medium damage (0.1-0.5)", 0.1, 0.5);
+      ("high damage (0.5-1.5)", 0.5, 1.5) ]
+  in
+  let rows =
+    List.map
+      (fun (label, lo, hi) ->
+        let init_spec, param_spec = init_dist lo hi in
+        (* learn one DBN per damage regime (the parameter enters through
+           the sampled trajectories) *)
+        let t0 = Unix.gettimeofday () in
+        let m =
+          M.learn
+            ~config:{ M.default_learn with M.samples = 1200 }
+            ~grid ~slices:15 ~horizon:30.0 ~init_dist:init_spec
+            ~param_dist:param_spec sys
+        in
+        let learn_t = Unix.gettimeofday () -. t0 in
+        let belief = M.belief_of_dist m init_spec in
+        (* P(p53 >= 0.3 at t = 30) from the DBN... *)
+        let t1 = Unix.gettimeofday () in
+        let p_dbn =
+          M.probability m ~init_belief:belief ~var:"p53" ~time:30.0 (fun x -> x >= 0.3)
+        in
+        let infer_t = Unix.gettimeofday () -. t1 in
+        (* ...and from direct Monte Carlo *)
+        let prob =
+          Smc.Runner.problem ~model:(Smc.Runner.Ode_model sys) ~init_dist:init_spec
+            ~param_dist:param_spec
+            ~property:(Smc.Bltl.Finally (0.5, Smc.Bltl.prop "p53 >= 0.3"))
+            ~t_end:30.0 ()
+        in
+        (* property evaluated at the horizon: use G over the last samples *)
+        let prob =
+          { prob with
+            Smc.Runner.property =
+              Smc.Bltl.Finally (30.0, Smc.Bltl.And
+                (Smc.Bltl.prop "p53 >= 0.3", Smc.Bltl.prop "t >= 29.9")) }
+        in
+        let mc = Smc.Runner.estimate ~eps:0.05 ~alpha:0.05 prob in
+        [ label; Fmt.str "%.3f" p_dbn; Fmt.str "%.3f" mc.Smc.Estimate.p_hat;
+          Fmt.str "%.2fs" learn_t; Fmt.str "%.3fs" infer_t ])
+      regimes
+  in
+  Report.print
+    [ Report.heading "Factored-DBN abstraction of the p53 module";
+      Report.text "query: P(p53 >= 0.3 at t = 30) under damage uncertainty";
+      Report.table
+        ~header:[ "regime"; "DBN inference"; "Monte Carlo"; "learn"; "infer" ]
+        rows;
+      Report.text
+        "Once learned, the DBN answers further queries by inference alone —";
+      Report.text
+        "the amortization that motivates the paper's proposed extension." ]

@@ -1,0 +1,62 @@
+(* Statistical model checking (the Fig.-2 refinement branch).
+
+   The p53–Mdm2 radiation-response module is simulated under uncertainty
+   in the initial DNA-damage level; BLTL properties quantify how reliably
+   the p53 pulse fires.  SPRT answers threshold questions cheaply;
+   Chernoff / Bayesian estimation quantifies probabilities.
+
+   Run with:  dune exec examples/smc_analysis.exe *)
+
+module L = Smc.Bltl
+module Report = Core.Report
+
+let () =
+  let base_problem property damage_lo damage_hi =
+    Smc.Runner.problem
+      ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
+      ~init_dist:
+        [ ("p53", Smc.Sampler.Uniform (0.02, 0.08));
+          ("mdm2", Smc.Sampler.Uniform (0.02, 0.08)) ]
+      ~param_dist:[ ("damage", Smc.Sampler.Uniform (damage_lo, damage_hi)) ]
+      ~property ~t_end:30.0 ()
+  in
+  let pulse = L.Finally (30.0, L.prop "p53 >= 0.3") in
+  let sustained = L.Finally (30.0, L.Globally (5.0, L.prop "p53 >= 0.25")) in
+  (* --- estimation across damage regimes --- *)
+  let rows =
+    List.map
+      (fun (label, lo, hi) ->
+        let e = Smc.Runner.estimate ~eps:0.05 ~alpha:0.05 (base_problem pulse lo hi) in
+        let b = Smc.Runner.estimate_bayesian ~n:400 (base_problem sustained lo hi) in
+        [ label;
+          Fmt.str "%.3f [%.3f, %.3f]" e.Smc.Estimate.p_hat e.Smc.Estimate.ci_low
+            e.Smc.Estimate.ci_high;
+          Fmt.str "%.3f [%.3f, %.3f]" b.Smc.Estimate.p_hat b.Smc.Estimate.ci_low
+            b.Smc.Estimate.ci_high ])
+      [ ("low damage (0.0 - 0.1)", 0.0, 0.1);
+        ("medium damage (0.1 - 0.5)", 0.1, 0.5);
+        ("high damage (0.5 - 1.5)", 0.5, 1.5) ]
+  in
+  (* --- SPRT: does the pulse fire with probability >= 0.9 at high damage? --- *)
+  let sprt =
+    Smc.Runner.test
+      ~config:{ Smc.Sprt.default_config with theta = 0.9 }
+      (base_problem pulse 0.5 1.5)
+  in
+  (* --- robustness: quantitative margin of the response --- *)
+  let margin = Smc.Runner.mean_robustness ~n:200 (base_problem pulse 0.5 1.5) in
+  Report.print
+    [ Report.heading "SMC analysis of the p53 radiation-response module";
+      Report.text "property P1 (pulse):     F[30] p53 >= 0.3";
+      Report.text "property P2 (sustained): F[30] G[5] p53 >= 0.25";
+      Report.table
+        ~header:[ "damage regime"; "P(P1) Chernoff 95%"; "P(P2) Bayes 95%" ]
+        rows;
+      Report.rule;
+      Report.kv
+        [ ("SPRT: P(P1) >= 0.9 at high damage", Fmt.str "%a" Smc.Sprt.pp_result sprt);
+          ("mean robustness of P1 at high damage", Fmt.str "%.4f" margin) ];
+      Report.text
+        "The pulse probability rises with the damage level: the dose-response";
+      Report.text
+        "shape the SMC branch feeds back into model refinement." ]

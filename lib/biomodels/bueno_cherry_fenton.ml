@@ -1,0 +1,204 @@
+(* Bueno–Cherry–Fenton minimal ventricular action-potential model
+   [Bueno-Orovio, Cherry & Fenton, J. Theor. Biol. 2008] as a 4-mode
+   hybrid automaton — the model in which the paper identifies parameter
+   ranges causing cardiac disorders (Sec. IV-A, following CMSB'14).
+
+   State: u (potential), v, w (gates), s (slow current gate).  The
+   Heaviside switches at θ_o = θ_v⁻ = 0.006, θ_w = 0.13 and θ_v = 0.3
+   partition the dynamics into four modes:
+
+     m1:  u < 0.006          m2:  0.006 ≤ u < 0.13
+     m3:  0.13 ≤ u < 0.3     m4:  u ≥ 0.3 (excited; J_fi active)
+
+   Within each mode the gate equations specialize as in the original
+   paper; the tanh-shaped time "constants" τ_so(u), τ_w⁻(u) and the
+   steady state s_∞(u) remain smooth functions of u.  Constants default
+   to the epicardial (EPI) set of Table 1. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+
+type constants = {
+  u_o : float;
+  u_u : float;  (** peak potential scale *)
+  theta_v : float;
+  theta_w : float;
+  theta_v_minus : float;
+  theta_o : float;
+  tau_v1_minus : float;
+  tau_v2_minus : float;
+  tau_v_plus : float;
+  tau_w1_minus : float;
+  tau_w2_minus : float;
+  k_w_minus : float;
+  u_w_minus : float;
+  tau_w_plus : float;
+  tau_fi : float;
+  tau_o1 : float;
+  tau_o2 : float;
+  tau_so1 : float;
+  tau_so2 : float;
+  k_so : float;
+  u_so : float;
+  tau_s1 : float;
+  tau_s2 : float;
+  k_s : float;
+  u_s : float;
+  tau_si : float;
+  tau_w_inf : float;
+  w_inf_star : float;
+}
+
+(* Epicardial parameter set (Bueno-Orovio et al. 2008, Table 1). *)
+let epi =
+  {
+    u_o = 0.0; u_u = 1.55; theta_v = 0.3; theta_w = 0.13; theta_v_minus = 0.006;
+    theta_o = 0.006; tau_v1_minus = 60.0; tau_v2_minus = 1150.0; tau_v_plus = 1.4506;
+    tau_w1_minus = 60.0; tau_w2_minus = 15.0; k_w_minus = 65.0; u_w_minus = 0.03;
+    tau_w_plus = 200.0; tau_fi = 0.11; tau_o1 = 400.0; tau_o2 = 6.0;
+    tau_so1 = 30.0181; tau_so2 = 0.9957; k_so = 2.0458; u_so = 0.65; tau_s1 = 2.7342;
+    tau_s2 = 16.0; k_s = 2.0994; u_s = 0.9087; tau_si = 1.8875; tau_w_inf = 0.07;
+    w_inf_star = 0.94;
+  }
+
+let mode1 = "bcf_m1"
+let mode2 = "bcf_m2"
+let mode3 = "bcf_m3"
+let mode4 = "bcf_m4"
+
+let lit ~free name value =
+  if List.mem name free then name else Printf.sprintf "%.17g" value
+
+(* Build the automaton; [free_params] promotes the named constants to
+   synthesis parameters (the CMSB'14 study varied tau_so1, tau_fi, …).
+   [stimulus] sets the initial potential; [stimulus_width] widens it into
+   a box (for robustness analysis over stimulation amplitudes). *)
+let automaton ?(constants = epi) ?(free_params = []) ?(stimulus = 0.4)
+    ?(stimulus_width = 0.0) () =
+  let c = constants in
+  let f = free_params in
+  let tau_fi = lit ~free:f "tau_fi" c.tau_fi in
+  let tau_o1 = lit ~free:f "tau_o1" c.tau_o1 in
+  let tau_o2 = lit ~free:f "tau_o2" c.tau_o2 in
+  let tau_so1 = lit ~free:f "tau_so1" c.tau_so1 in
+  let tau_si = lit ~free:f "tau_si" c.tau_si in
+  (* Smooth auxiliary expressions. *)
+  let tau_so =
+    Printf.sprintf "(%s + (%.17g - %s) * (1 + tanh(%.17g * (u - %.17g))) / 2)"
+      tau_so1 c.tau_so2 tau_so1 c.k_so c.u_so
+  in
+  let tau_w_minus =
+    Printf.sprintf "(%.17g + (%.17g - %.17g) * (1 + tanh(%.17g * (u - %.17g))) / 2)"
+      c.tau_w1_minus c.tau_w2_minus c.tau_w1_minus c.k_w_minus c.u_w_minus
+  in
+  let s_inf = Printf.sprintf "((1 + tanh(%.17g * (u - %.17g))) / 2)" c.k_s c.u_s in
+  let j_fi = Printf.sprintf "(-(v * (u - %.17g) * (%.17g - u) / %s))" c.theta_v c.u_u tau_fi in
+  let j_so_low tau_o = Printf.sprintf "((u - %.17g) / %s)" c.u_o tau_o in
+  let j_so_high = Printf.sprintf "(1 / %s)" tau_so in
+  let j_si = Printf.sprintf "(-(w * s / %s))" tau_si in
+  let ds tau_s = Printf.sprintf "(%s - s) / %.17g" s_inf tau_s in
+  let mode ~name ~du ~dv ~dw ~ds:ds_rhs ~inv =
+    Hybrid.Automaton.mode ~name
+      ~flow:[ ("u", P.term du); ("v", P.term dv); ("w", P.term dw); ("s", P.term ds_rhs) ]
+      ~invariant:(P.formula inv) ()
+  in
+  let m1 =
+    mode ~name:mode1
+      ~du:(Printf.sprintf "-(%s)" (j_so_low tau_o1))
+      ~dv:(Printf.sprintf "(1 - v) / %.17g" c.tau_v1_minus)
+      ~dw:(Printf.sprintf "((1 - u / %.17g) - w) / %s" c.tau_w_inf tau_w_minus)
+      ~ds:(ds c.tau_s1)
+      ~inv:(Printf.sprintf "u <= %.17g" c.theta_o)
+  in
+  let m2 =
+    mode ~name:mode2
+      ~du:(Printf.sprintf "-(%s)" (j_so_low tau_o2))
+      ~dv:(Printf.sprintf "-(v / %.17g)" c.tau_v2_minus)
+      ~dw:(Printf.sprintf "(%.17g - w) / %s" c.w_inf_star tau_w_minus)
+      ~ds:(ds c.tau_s1)
+      ~inv:(Printf.sprintf "u >= %.17g and u <= %.17g" c.theta_o c.theta_w)
+  in
+  let m3 =
+    mode ~name:mode3
+      ~du:(Printf.sprintf "-(%s + %s)" j_so_high j_si)
+      ~dv:(Printf.sprintf "-(v / %.17g)" c.tau_v2_minus)
+      ~dw:(Printf.sprintf "-(w / %.17g)" c.tau_w_plus)
+      ~ds:(ds c.tau_s2)
+      ~inv:(Printf.sprintf "u >= %.17g and u <= %.17g" c.theta_w c.theta_v)
+  in
+  let m4 =
+    mode ~name:mode4
+      ~du:(Printf.sprintf "-(%s + %s + %s)" j_fi j_so_high j_si)
+      ~dv:(Printf.sprintf "-(v / %.17g)" c.tau_v_plus)
+      ~dw:(Printf.sprintf "-(w / %.17g)" c.tau_w_plus)
+      ~ds:(ds c.tau_s2)
+      ~inv:(Printf.sprintf "u >= %.17g" c.theta_v)
+  in
+  let up source target threshold =
+    Hybrid.Automaton.jump ~source ~target
+      ~guard:(P.formula (Printf.sprintf "u >= %.17g" threshold))
+      ()
+  in
+  let down source target threshold =
+    Hybrid.Automaton.jump ~source ~target
+      ~guard:(P.formula (Printf.sprintf "u <= %.17g" threshold))
+      ()
+  in
+  let jumps =
+    [ up mode1 mode2 c.theta_o; up mode2 mode3 c.theta_w; up mode3 mode4 c.theta_v;
+      down mode4 mode3 c.theta_v; down mode3 mode2 c.theta_w; down mode2 mode1 c.theta_o ]
+  in
+  let init_mode =
+    if stimulus >= c.theta_v then mode4
+    else if stimulus >= c.theta_w then mode3
+    else if stimulus >= c.theta_o then mode2
+    else mode1
+  in
+  Hybrid.Automaton.create ~vars:[ "u"; "v"; "w"; "s" ] ~params:free_params
+    ~modes:[ m1; m2; m3; m4 ] ~jumps ~init_mode
+    ~init:
+      (Box.of_list
+         [ ("u", I.make stimulus (stimulus +. stimulus_width));
+           ("v", I.of_float 1.0); ("w", I.of_float 1.0); ("s", I.of_float 0.0) ])
+
+(* Action-potential duration: global time from stimulus until the
+   potential first falls back below θ_w (enters m2) after having been
+   excited.  [None] if no complete AP within the horizon. *)
+let apd ?(constants = epi) ?(stimulus = 0.4) ~params ~t_end () =
+  let h = automaton ~constants ~stimulus () in
+  let free = Hybrid.Automaton.params h in
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p params) then
+        invalid_arg (Printf.sprintf "Bcf.apd: parameter %S not bound" p))
+    free;
+  let traj = Hybrid.Simulate.simulate ~params ~init:[] ~t_end h in
+  let rec scan excited = function
+    | [] -> None
+    | (seg : Hybrid.Simulate.segment) :: rest ->
+        if String.equal seg.Hybrid.Simulate.seg_mode mode4 then scan true rest
+        else if excited && String.equal seg.Hybrid.Simulate.seg_mode mode2 then
+          Some seg.Hybrid.Simulate.t_global
+        else scan excited rest
+  in
+  scan false traj.Hybrid.Simulate.segments
+
+(* Goal: the cell fires a full action potential (reaches near-peak
+   potential) — used by the stimulation-robustness study (Sec. IV-C). *)
+let excitation_goal ?(peak = 1.0) () =
+  {
+    Reach.Encoding.goal_modes = [ mode4 ];
+    predicate = P.formula (Printf.sprintf "u >= %.17g" peak);
+  }
+
+(* Goal: abnormally early repolarization (tachycardia-like shortening) —
+   the potential is back below θ_o while the slow gate w is still high.
+   w decays during the plateau (τ_w⁺ = 200 ms) and only re-activates
+   slowly once repolarized, so w ≥ w_min right at entry into m1 (local
+   time ≤ [window]) certifies a collapsed, abnormally short AP. *)
+let early_repolarization_goal ?(w_min = 0.8) ?(window = 5.0) () =
+  {
+    Reach.Encoding.goal_modes = [ mode1 ];
+    predicate = P.formula (Printf.sprintf "w >= %.17g and t <= %.17g" w_min window);
+  }

@@ -1,0 +1,75 @@
+(** Bueno–Cherry–Fenton minimal ventricular model [Bueno-Orovio, Cherry &
+    Fenton 2008] as a 4-mode hybrid automaton — the model in which the
+    paper identifies parameter ranges causing cardiac disorders
+    (Sec. IV-A, CMSB'14).
+
+    State: u (potential), v, w (gates), s (slow-current gate); modes
+    split at θ_o = θ_v⁻ = 0.006, θ_w = 0.13, θ_v = 0.3. *)
+
+type constants = {
+  u_o : float;
+  u_u : float;
+  theta_v : float;
+  theta_w : float;
+  theta_v_minus : float;
+  theta_o : float;
+  tau_v1_minus : float;
+  tau_v2_minus : float;
+  tau_v_plus : float;
+  tau_w1_minus : float;
+  tau_w2_minus : float;
+  k_w_minus : float;
+  u_w_minus : float;
+  tau_w_plus : float;
+  tau_fi : float;
+  tau_o1 : float;
+  tau_o2 : float;
+  tau_so1 : float;
+  tau_so2 : float;
+  k_so : float;
+  u_so : float;
+  tau_s1 : float;
+  tau_s2 : float;
+  k_s : float;
+  u_s : float;
+  tau_si : float;
+  tau_w_inf : float;
+  w_inf_star : float;
+}
+
+val epi : constants
+(** The epicardial parameter set (Table 1 of the original paper; nominal
+    APD ≈ 270 ms). *)
+
+val mode1 : string
+val mode2 : string
+val mode3 : string
+val mode4 : string
+(** The excited mode (J_fi active). *)
+
+val automaton :
+  ?constants:constants ->
+  ?free_params:string list ->
+  ?stimulus:float ->
+  ?stimulus_width:float ->
+  unit ->
+  Hybrid.Automaton.t
+(** [stimulus_width > 0] widens the initial potential into a box — the
+    input range of the robustness study (Sec. IV-C). *)
+
+val apd :
+  ?constants:constants ->
+  ?stimulus:float ->
+  params:(string * float) list ->
+  t_end:float ->
+  unit ->
+  float option
+(** Time from stimulus until the potential falls back below θ_w after
+    excitation. *)
+
+val excitation_goal : ?peak:float -> unit -> Reach.Encoding.goal
+(** A full action potential fires (u ≥ [peak] in the excited mode). *)
+
+val early_repolarization_goal : ?w_min:float -> ?window:float -> unit -> Reach.Encoding.goal
+(** Tachycardia-like collapse: back below θ_o within [window] ms of entry
+    into mode 1 with the slow gate still high (w ≥ [w_min]). *)

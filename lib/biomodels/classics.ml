@@ -1,0 +1,82 @@
+(* Classic small biological systems used across the experiments: a
+   calibration target (Lotka–Volterra), stability-analysis subjects
+   (mass-action relaxation networks, per Sec. IV-C), and a p53 oscillator
+   for the SMC branch.
+
+   The stability subjects are simplified surrogates of the networks
+   analyzed by the Lyapunov literature the paper cites (kinetic
+   proofreading, ERK): linear/polynomial relaxation cascades with a
+   globally stable equilibrium at the origin.  DESIGN.md documents the
+   simplification. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+
+let sys = Ode.System.of_strings
+
+(* Lotka–Volterra predator–prey: the calibration workload (E7).  Ground
+   truth a = b = c = d = 1 with x0 = y0 = 1. *)
+let lotka_volterra =
+  sys ~vars:[ "x"; "y" ] ~params:[ "a"; "b" ]
+    ~rhs:[ ("x", "a*x - b*x*y"); ("y", "b*x*y - a*y") ]
+
+let lotka_volterra_full =
+  sys ~vars:[ "x"; "y" ] ~params:[ "a"; "b"; "c"; "d" ]
+    ~rhs:[ ("x", "a*x - b*x*y"); ("y", "c*x*y - d*y") ]
+
+(* Deactivation cascade (ERK-like): once the stimulus is removed, active
+   kinase levels relax to zero through linear dephosphorylation with
+   cascade coupling.  Globally stable at the origin. *)
+let erk_cascade =
+  sys ~vars:[ "mek"; "erk"; "erkpp" ] ~params:[]
+    ~rhs:
+      [ ("mek", "-0.5 * mek");
+        ("erk", "0.5 * mek - 0.8 * erk");
+        ("erkpp", "0.8 * erk - 1.2 * erkpp") ]
+
+(* Kinetic-proofreading-like chain with nonlinear (mass-action squared)
+   discard steps: intermediate complexes decay to zero after antigen
+   removal; the cubic terms make the stability question genuinely
+   nonlinear. *)
+let proofreading =
+  sys ~vars:[ "c0"; "c1" ] ~params:[]
+    ~rhs:
+      [ ("c0", "-0.9 * c0 - 0.4 * c0^3");
+        ("c1", "0.6 * c0 - 1.1 * c1 - 0.3 * c1^3") ]
+
+(* Damped nonlinear oscillator — the textbook Lyapunov benchmark
+   x' = -x³ - y, y' = x - y³ (V = x² + y² works; V̇ = -2x⁴ - 2y⁴). *)
+let damped_nonlinear =
+  sys ~vars:[ "x"; "y" ] ~params:[]
+    ~rhs:[ ("x", "-(x^3) - y"); ("y", "x - y^3") ]
+
+(* Linearly damped rotation (for quick tests). *)
+let damped_rotation =
+  sys ~vars:[ "x"; "y" ] ~params:[]
+    ~rhs:[ ("x", "-x - y"); ("y", "x - y") ]
+
+(* p53–Mdm2 negative feedback (radiation-response oscillator, cf. the
+   paper's refs on p53 dynamics after ionizing radiation).  With the
+   Hill-type repression below, p53 pulses after DNA damage and relaxes;
+   the SMC experiment asks for the probability that p53 exceeds a
+   response threshold within a time bound under noisy initial damage. *)
+let p53_mdm2 =
+  sys ~vars:[ "p53"; "mdm2" ] ~params:[ "damage" ]
+    ~rhs:
+      [ ("p53", "0.9 * damage / (damage + 0.5) - 1.2 * mdm2 * p53 / (p53 + 0.1) - 0.1 * p53");
+        ("mdm2", "0.8 * p53 * p53 / (p53 * p53 + 0.25) - 0.7 * mdm2") ]
+
+(* SIR epidemic (extra example workload for the quickstart). *)
+let sir =
+  sys ~vars:[ "s"; "i"; "r" ] ~params:[ "beta"; "gamma" ]
+    ~rhs:
+      [ ("s", "-(beta * s * i)");
+        ("i", "beta * s * i - gamma * i");
+        ("r", "gamma * i") ]
+
+(* Standard region boxes for the stability studies. *)
+let unit_box vars =
+  Box.of_list (List.map (fun v -> (v, I.make (-1.0) 1.0)) vars)
+
+let positive_box ?(hi = 1.0) vars =
+  Box.of_list (List.map (fun v -> (v, I.make 0.0 hi)) vars)

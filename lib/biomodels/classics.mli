@@ -1,0 +1,33 @@
+(** Classic small systems used across the experiments: calibration
+    targets, stability-analysis subjects (mass-action relaxation
+    surrogates; see DESIGN.md), and the p53 oscillator for SMC. *)
+
+val lotka_volterra : Ode.System.t
+(** Predator–prey with shared rate parameters a, b (calibration workload E7). *)
+
+val lotka_volterra_full : Ode.System.t
+(** Four-parameter variant (a, b, c, d). *)
+
+val erk_cascade : Ode.System.t
+(** Linear deactivation cascade (mek → erk → erkpp), stable at 0. *)
+
+val proofreading : Ode.System.t
+(** Kinetic-proofreading-like chain with cubic discard terms. *)
+
+val damped_nonlinear : Ode.System.t
+(** x' = −x³ − y, y' = x − y³ — the textbook Lyapunov benchmark. *)
+
+val damped_rotation : Ode.System.t
+(** x' = −x − y, y' = x − y. *)
+
+val p53_mdm2 : Ode.System.t
+(** p53–Mdm2 negative feedback with a "damage" parameter: pulses after
+    DNA damage (the SMC workload E8). *)
+
+val sir : Ode.System.t
+(** SIR epidemic (beta, gamma). *)
+
+val unit_box : string list -> Interval.Box.t
+(** [-1, 1] box over the given variables. *)
+
+val positive_box : ?hi:float -> string list -> Interval.Box.t

@@ -1,0 +1,161 @@
+(* Fenton–Karma three-variable cardiac cell model [Fenton & Karma, Chaos
+   1998] as a hybrid automaton — the model the paper *falsifies* against
+   the epicardial "spike-and-dome" action-potential morphology
+   (Sec. IV-A, following Liu et al. CMSB'14).
+
+   State: u (transmembrane potential, normalized), v (fast inward gate),
+   w (slow inward gate).  The Heaviside gates Θ(u - u_c) and Θ(u - u_v)
+   partition the dynamics into three modes:
+
+     low   u < u_v         p = 0, q = 0
+     mid   u_v ≤ u < u_c   p = 0, q = 1
+     high  u ≥ u_c         p = 1
+
+   Currents:
+     J_fi = -v·Θ(u-u_c)·(1-u)(u-u_c)/τ_d        (fast inward)
+     J_so =  u·(1-Θ(u-u_c))/τ_0 + Θ(u-u_c)/τ_r  (slow outward)
+     J_si = -w·(1 + tanh(k(u-u_csi)))/(2 τ_si)   (slow inward)
+     du/dt = -(J_fi + J_so + J_si)
+
+   Gates:
+     dv/dt = (1-p)(1-v)/τ_v⁻(u) - p·v/τ_v⁺ with τ_v⁻ = q·τ_v1⁻+(1-q)·τ_v2⁻
+     dw/dt = (1-p)(1-w)/τ_w⁻ - p·w/τ_w⁺
+
+   Constants default to the Beeler–Reuter fit of the original paper. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+
+type constants = {
+  tau_d : float;  (** fast inward (depolarization) time scale *)
+  tau_r : float;  (** repolarization *)
+  tau_si : float;  (** slow inward *)
+  tau_0 : float;  (** slow outward below u_c *)
+  tau_v_plus : float;
+  tau_v1_minus : float;
+  tau_v2_minus : float;
+  tau_w_plus : float;
+  tau_w_minus : float;
+  u_c : float;  (** excitation threshold *)
+  u_v : float;  (** fast-gate threshold *)
+  u_csi : float;  (** slow-inward sigmoid center *)
+  k : float;  (** slow-inward sigmoid steepness *)
+}
+
+(* Beeler–Reuter parameter fit from Fenton & Karma (1998), Table 1. *)
+let beeler_reuter =
+  {
+    tau_d = 0.25; tau_r = 33.0; tau_si = 30.0; tau_0 = 12.5; tau_v_plus = 3.33;
+    tau_v1_minus = 1250.0; tau_v2_minus = 19.6; tau_w_plus = 870.0;
+    tau_w_minus = 41.0; u_c = 0.13; u_v = 0.04; u_csi = 0.85; k = 10.0;
+  }
+
+let mode_low = "fk_low"
+let mode_mid = "fk_mid"
+let mode_high = "fk_high"
+
+(* Render a constant either as a literal or as a free parameter name. *)
+let lit ~free name value =
+  if List.mem name free then name else Printf.sprintf "%.17g" value
+
+(* Build the automaton.  [free_params] names constants promoted to
+   synthesis parameters (e.g. ["tau_d"; "tau_si"]); [stimulus] is the
+   initial normalized potential (the cell is observed right after a
+   stimulus, so no time-dependent forcing term is needed). *)
+let automaton ?(constants = beeler_reuter) ?(free_params = []) ?(stimulus = 0.3) () =
+  let c = constants in
+  let f = free_params in
+  let tau_d = lit ~free:f "tau_d" c.tau_d in
+  let tau_r = lit ~free:f "tau_r" c.tau_r in
+  let tau_si = lit ~free:f "tau_si" c.tau_si in
+  let tau_0 = lit ~free:f "tau_0" c.tau_0 in
+  let j_si = Printf.sprintf "-(w * (1 + tanh(%.17g * (u - %.17g))) / (2 * %s))" c.k c.u_csi tau_si in
+  let du_low_mid = Printf.sprintf "-(u / %s + %s)" tau_0 j_si in
+  let du_high =
+    Printf.sprintf "-(-(v * (1 - u) * (u - %.17g) / %s) + 1 / %s + %s)" c.u_c tau_d
+      tau_r j_si
+  in
+  let dv_recover tau_v_minus = Printf.sprintf "(1 - v) / %.17g" tau_v_minus in
+  let dw_recover = Printf.sprintf "(1 - w) / %.17g" c.tau_w_minus in
+  let low =
+    Hybrid.Automaton.mode ~name:mode_low
+      ~flow:
+        [ ("u", P.term du_low_mid);
+          ("v", P.term (dv_recover c.tau_v2_minus));
+          ("w", P.term dw_recover) ]
+      ~invariant:(P.formula (Printf.sprintf "u <= %.17g" c.u_v))
+      ()
+  in
+  let mid =
+    Hybrid.Automaton.mode ~name:mode_mid
+      ~flow:
+        [ ("u", P.term du_low_mid);
+          ("v", P.term (dv_recover c.tau_v1_minus));
+          ("w", P.term dw_recover) ]
+      ~invariant:(P.formula (Printf.sprintf "u >= %.17g and u <= %.17g" c.u_v c.u_c))
+      ()
+  in
+  let high =
+    Hybrid.Automaton.mode ~name:mode_high
+      ~flow:
+        [ ("u", P.term du_high);
+          ("v", P.term (Printf.sprintf "-(v / %.17g)" c.tau_v_plus));
+          ("w", P.term (Printf.sprintf "-(w / %.17g)" c.tau_w_plus)) ]
+      ~invariant:(P.formula (Printf.sprintf "u >= %.17g" c.u_c))
+      ()
+  in
+  let guard s = P.formula s in
+  let jumps =
+    [ Hybrid.Automaton.jump ~source:mode_low ~target:mode_mid
+        ~guard:(guard (Printf.sprintf "u >= %.17g" c.u_v)) ();
+      Hybrid.Automaton.jump ~source:mode_mid ~target:mode_high
+        ~guard:(guard (Printf.sprintf "u >= %.17g" c.u_c)) ();
+      Hybrid.Automaton.jump ~source:mode_mid ~target:mode_low
+        ~guard:(guard (Printf.sprintf "u <= %.17g" c.u_v)) ();
+      Hybrid.Automaton.jump ~source:mode_high ~target:mode_mid
+        ~guard:(guard (Printf.sprintf "u <= %.17g" c.u_c)) () ]
+  in
+  let init_mode =
+    if stimulus >= c.u_c then mode_high
+    else if stimulus >= c.u_v then mode_mid
+    else mode_low
+  in
+  Hybrid.Automaton.create ~vars:[ "u"; "v"; "w" ] ~params:free_params
+    ~modes:[ low; mid; high ] ~jumps ~init_mode
+    ~init:
+      (Box.of_list
+         [ ("u", I.of_float stimulus); ("v", I.of_float 1.0); ("w", I.of_float 1.0) ])
+
+(* Action-potential duration: time from stimulus to exit of the excited
+   mode (u falling below u_c), by simulation.  Returns [None] when the
+   cell never de-excites within the horizon. *)
+let apd ?(constants = beeler_reuter) ~params ~t_end () =
+  let h = automaton ~constants () in
+  let traj = Hybrid.Simulate.simulate ~params ~init:[] ~t_end h in
+  let crossing =
+    List.find_map
+      (fun (seg : Hybrid.Simulate.segment) ->
+        if String.equal seg.Hybrid.Simulate.seg_mode mode_high then
+          let t_exit =
+            seg.Hybrid.Simulate.t_global
+            +. Ode.Integrate.final_time seg.Hybrid.Simulate.trace
+          in
+          Some t_exit
+        else None)
+      traj.Hybrid.Simulate.segments
+  in
+  match crossing with
+  | Some t when t < t_end -. 1e-6 -> Some t
+  | _ -> None
+
+(* The spike-and-dome reachability question (Sec. IV-A): after the initial
+   excitation (mode high) and partial repolarization (mode mid), can the
+   potential re-excite to a dome of height ≥ [dome] without any further
+   stimulus?  The paper's result: unsat — Fenton–Karma cannot produce the
+   epicardial notch-and-dome morphology. *)
+let spike_and_dome_goal ?(dome = 0.5) () =
+  {
+    Reach.Encoding.goal_modes = [ mode_high ];
+    predicate = P.formula (Printf.sprintf "u >= %.17g" dome);
+  }

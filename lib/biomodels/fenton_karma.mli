@@ -1,0 +1,54 @@
+(** Fenton–Karma three-variable cardiac cell model [Fenton & Karma 1998]
+    as a 3-mode hybrid automaton — the model the paper *falsifies* against
+    the epicardial spike-and-dome AP morphology (Sec. IV-A, CMSB'14).
+
+    State: u (normalized transmembrane potential), v (fast gate), w (slow
+    gate); modes split at the thresholds u_v and u_c of the Heaviside
+    gates. *)
+
+type constants = {
+  tau_d : float;
+  tau_r : float;
+  tau_si : float;
+  tau_0 : float;
+  tau_v_plus : float;
+  tau_v1_minus : float;
+  tau_v2_minus : float;
+  tau_w_plus : float;
+  tau_w_minus : float;
+  u_c : float;  (** excitation threshold *)
+  u_v : float;  (** fast-gate threshold *)
+  u_csi : float;
+  k : float;
+}
+
+val beeler_reuter : constants
+(** The Beeler–Reuter parameter fit (Fenton & Karma 1998, Table 1). *)
+
+val mode_low : string
+val mode_mid : string
+val mode_high : string
+
+val automaton :
+  ?constants:constants ->
+  ?free_params:string list ->
+  ?stimulus:float ->
+  unit ->
+  Hybrid.Automaton.t
+(** [free_params] promotes the named constants (e.g. ["tau_d"; "tau_si"])
+    to synthesis parameters; [stimulus] is the initial potential (the cell
+    is observed right after a stimulus). *)
+
+val apd :
+  ?constants:constants ->
+  params:(string * float) list ->
+  t_end:float ->
+  unit ->
+  float option
+(** Action-potential duration (time to exit of the excited mode) by
+    simulation; [None] when the cell never de-excites in the horizon. *)
+
+val spike_and_dome_goal : ?dome:float -> unit -> Reach.Encoding.goal
+(** Re-excitation to a dome of height ≥ [dome] after partial
+    repolarization — combine with [min_jumps ≥ 2].  The paper's result:
+    unsat. *)

@@ -1,0 +1,99 @@
+(* Genetic circuit models — the gene-network analysis workloads of the
+   paper's related work (temporal-logic analysis of gene networks under
+   parameter uncertainty, its ref [46]).
+
+   The toggle switch [Gardner, Cantor & Collins 2000] is the canonical
+   bistability benchmark: reachability of either stable expression state
+   from an uncertain initial condition is a δ-decision question, and the
+   bistability region of the Hill parameters is a synthesis question.
+
+   The repressilator [Elowitz & Leibler 2000] is the canonical genetic
+   oscillator, used here as an oscillation workload for the monitors. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+
+(* ---- Toggle switch ----
+
+   du/dt = a1 / (1 + v^n) - u
+   dv/dt = a2 / (1 + u^m) - v
+
+   For a1 = a2 = 4 and n = m = 2 the system is bistable: attractors near
+   (u, v) ≈ (3.87, 0.26) and (0.26, 3.87). *)
+
+let toggle_switch =
+  Ode.System.of_strings ~vars:[ "u"; "v" ] ~params:[ "a1"; "a2" ]
+    ~rhs:[ ("u", "a1 / (1 + v^2) - u"); ("v", "a2 / (1 + u^2) - v") ]
+
+(* The toggle switch as a single-mode automaton with an uncertain initial
+   expression box (for reachability analysis). *)
+let toggle_automaton ?(u0 = I.make 0.0 0.5) ?(v0 = I.make 0.0 0.5) () =
+  Hybrid.Automaton.of_system
+    ~init:(Box.of_list [ ("u", u0); ("v", v0) ])
+    toggle_switch
+
+(* Goal: the circuit latches into the u-high state. *)
+let u_high_goal ?(level = 3.0) () =
+  {
+    Reach.Encoding.goal_modes = [];
+    predicate = P.formula (Printf.sprintf "u >= %.17g" level);
+  }
+
+let v_high_goal ?(level = 3.0) () =
+  {
+    Reach.Encoding.goal_modes = [];
+    predicate = P.formula (Printf.sprintf "v >= %.17g" level);
+  }
+
+(* Steady state reached by simulation from a point. *)
+let toggle_settles ~a1 ~a2 ~u0 ~v0 =
+  let tr =
+    Ode.Integrate.simulate
+      ~params:[ ("a1", a1); ("a2", a2) ]
+      ~init:[ ("u", u0); ("v", v0) ]
+      ~t_end:50.0 toggle_switch
+  in
+  let final = Ode.Integrate.final_state tr in
+  (final.(0), final.(1))
+
+(* Is the circuit bistable at these production rates?  Empirical check:
+   opposite corners settle into distinct attractors. *)
+let bistable ?(separation = 1.0) ~a1 ~a2 () =
+  let u_a, v_a = toggle_settles ~a1 ~a2 ~u0:2.0 ~v0:0.0 in
+  let u_b, v_b = toggle_settles ~a1 ~a2 ~u0:0.0 ~v0:2.0 in
+  Float.abs (u_a -. u_b) > separation && Float.abs (v_a -. v_b) > separation
+
+(* ---- Repressilator ----
+
+   Three genes repressing each other in a cycle (protein-only reduction):
+     dx/dt = alpha / (1 + z^n) - x        (+ basal leak alpha0)
+   Oscillates for sufficiently strong repression and cooperativity. *)
+
+let repressilator =
+  Ode.System.of_strings ~vars:[ "x"; "y"; "z" ] ~params:[ "alpha" ]
+    ~rhs:
+      [ ("x", "0.2 + alpha / (1 + y^4) - x");
+        ("y", "0.2 + alpha / (1 + z^4) - y");
+        ("z", "0.2 + alpha / (1 + x^4) - z") ]
+(* The Hill cooperativity is fixed at 4 (integer exponents keep the terms
+   polynomial-friendly for interval reasoning). *)
+
+let simulate_repressilator ?(alpha = 8.0) ~t_end () =
+  Ode.Integrate.simulate
+    ~params:[ ("alpha", alpha) ]
+    ~init:[ ("x", 1.2); ("y", 1.0); ("z", 0.8) ]
+    ~t_end repressilator
+
+(* Count maxima of a signal (oscillation evidence). *)
+let count_peaks ?(min_prominence = 0.1) signal =
+  let n = Array.length signal in
+  let peaks = ref 0 in
+  for i = 1 to n - 2 do
+    if
+      signal.(i) > signal.(i - 1)
+      && signal.(i) >= signal.(i + 1)
+      && signal.(i) > min_prominence
+    then incr peaks
+  done;
+  !peaks

@@ -1,0 +1,31 @@
+(** Genetic circuit models: the gene-network analysis workloads of the
+    paper's related work (temporal-logic analysis of gene networks under
+    parameter uncertainty).
+
+    - Toggle switch (Gardner–Cantor–Collins): the canonical bistability
+      benchmark; attractor reachability and bistability-region synthesis.
+    - Repressilator (Elowitz–Leibler): the canonical genetic oscillator
+      (protein-only reduction, cooperativity 4). *)
+
+val toggle_switch : Ode.System.t
+(** du/dt = a1/(1+v²) − u, dv/dt = a2/(1+u²) − v; bistable at
+    a1 = a2 = 4. *)
+
+val toggle_automaton :
+  ?u0:Interval.Ia.t -> ?v0:Interval.Ia.t -> unit -> Hybrid.Automaton.t
+(** Single-mode automaton with an uncertain initial expression box. *)
+
+val u_high_goal : ?level:float -> unit -> Reach.Encoding.goal
+val v_high_goal : ?level:float -> unit -> Reach.Encoding.goal
+
+val toggle_settles : a1:float -> a2:float -> u0:float -> v0:float -> float * float
+(** Steady state reached from a point (t = 50). *)
+
+val bistable : ?separation:float -> a1:float -> a2:float -> unit -> bool
+(** Empirical bistability check: opposite corners settle apart. *)
+
+val repressilator : Ode.System.t
+val simulate_repressilator : ?alpha:float -> t_end:float -> unit -> Ode.Integrate.trace
+
+val count_peaks : ?min_prominence:float -> float array -> int
+(** Local-maximum count of a signal (oscillation evidence). *)

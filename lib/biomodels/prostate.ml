@@ -1,0 +1,142 @@
+(* Intermittent androgen suppression (IAS) therapy for prostate cancer as
+   a two-mode hybrid automaton — the personalized-therapy case study of
+   Sec. IV-B (following Liu et al., HSCC'15, built on the Ideta et al.
+   model).
+
+   State: x (androgen-dependent cells), y (androgen-independent cells),
+   z (serum androgen).  The serum PSA proxy is v = c1·x + c2·y.
+
+   Modes:
+     on_treatment   androgen is suppressed:  dz/dt = -z/τ
+     off_treatment  androgen recovers:       dz/dt = (z0 - z)/τ
+
+   Cell dynamics (both modes):
+     dx/dt = (G(z) - M(z))·x
+     dy/dt = M(z)·x + (α_y·(1 - d·z/z0) - β_y)·y
+   with net AD growth G(z) = α_x(k1 + (1-k1)·z/(z+k2)) - β_x(k3 + (1-k3)·z/(z+k4))
+   and mutation rate M(z) = m1·(1 - z/z0).
+
+   Therapy design: the on/off thresholds r0 (pause treatment when PSA
+   falls below) and r1 (resume when PSA exceeds) are *parameters of the
+   jump conditions*; identifying values for which the androgen-independent
+   population never reaches the relapse level is a parameter-synthesis-
+   for-reachability problem (Definition 13). *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+
+type constants = {
+  alpha_x : float;  (** AD proliferation /day *)
+  beta_x : float;  (** AD apoptosis /day *)
+  alpha_y : float;  (** AI proliferation /day *)
+  beta_y : float;  (** AI apoptosis /day *)
+  k1 : float;
+  k2 : float;
+  k3 : float;
+  k4 : float;
+  m1 : float;  (** maximum mutation rate AD -> AI *)
+  z0 : float;  (** homeostatic androgen level (nM) *)
+  tau : float;  (** androgen dynamics time constant (days) *)
+  d : float;  (** androgen dependence of AI growth *)
+  c1 : float;  (** PSA contribution of AD cells *)
+  c2 : float;  (** PSA contribution of AI cells *)
+}
+
+(* Ideta et al. (2008)-style parameterization. *)
+let default_constants =
+  {
+    alpha_x = 0.0204; beta_x = 0.0076; alpha_y = 0.0242; beta_y = 0.0168;
+    k1 = 0.0; k2 = 2.0; k3 = 8.0; k4 = 0.5; m1 = 0.00005; z0 = 12.0; tau = 12.5;
+    d = 0.45; c1 = 1.0; c2 = 1.0;
+  }
+
+let mode_on = "on_treatment"
+let mode_off = "off_treatment"
+
+let psa_term c = Printf.sprintf "(%.17g * x + %.17g * y)" c.c1 c.c2
+
+(* Cell-population right-hand sides shared by both modes. *)
+let cell_flows c =
+  let growth =
+    Printf.sprintf
+      "(%.17g * (%.17g + %.17g * z / (z + %.17g)) - %.17g * (%.17g + %.17g * z / (z + %.17g)))"
+      c.alpha_x c.k1 (1.0 -. c.k1) c.k2 c.beta_x c.k3 (1.0 -. c.k3) c.k4
+  in
+  let mutation = Printf.sprintf "(%.17g * (1 - z / %.17g))" c.m1 c.z0 in
+  [ ("x", P.term (Printf.sprintf "(%s - %s) * x" growth mutation));
+    ("y",
+     P.term
+       (Printf.sprintf "%s * x + (%.17g * (1 - %.17g * z / %.17g) - %.17g) * y"
+          mutation c.alpha_y c.d c.z0 c.beta_y)) ]
+
+(* The IAS automaton.  [r0_free]/[r1_free] promote the thresholds to
+   synthesis parameters named "r0"/"r1"; otherwise fixed values are baked
+   into the guards. *)
+let automaton ?(constants = default_constants) ?(r0 = `Free) ?(r1 = `Free)
+    ?(x0 = 15.0) ?(y0 = 0.1) () =
+  let c = constants in
+  let psa = psa_term c in
+  let threshold name = function
+    | `Free -> (name, [ name ])
+    | `Fixed value -> (Printf.sprintf "%.17g" value, [])
+  in
+  let r0_str, p0 = threshold "r0" r0 in
+  let r1_str, p1 = threshold "r1" r1 in
+  let params = p0 @ p1 in
+  (* Invariants make the protocol mandatory (must-semantics): treatment
+     cannot continue once PSA has fallen to r0, and cannot stay paused
+     once PSA has rebounded to r1 — the HSCC'15 encoding. *)
+  let on_mode =
+    Hybrid.Automaton.mode ~name:mode_on
+      ~flow:(cell_flows c @ [ ("z", P.term (Printf.sprintf "-(z / %.17g)" c.tau)) ])
+      ~invariant:(P.formula (Printf.sprintf "%s >= %s" psa r0_str))
+      ()
+  in
+  let off_mode =
+    Hybrid.Automaton.mode ~name:mode_off
+      ~flow:
+        (cell_flows c
+        @ [ ("z", P.term (Printf.sprintf "(%.17g - z) / %.17g" c.z0 c.tau)) ])
+      ~invariant:(P.formula (Printf.sprintf "%s <= %s" psa r1_str))
+      ()
+  in
+  let jumps =
+    [ Hybrid.Automaton.jump ~source:mode_on ~target:mode_off
+        ~guard:(P.formula (Printf.sprintf "%s <= %s" psa r0_str))
+        ();
+      Hybrid.Automaton.jump ~source:mode_off ~target:mode_on
+        ~guard:(P.formula (Printf.sprintf "%s >= %s" psa r1_str))
+        () ]
+  in
+  Hybrid.Automaton.create ~vars:[ "x"; "y"; "z" ] ~params ~modes:[ on_mode; off_mode ]
+    ~jumps ~init_mode:mode_on
+    ~init:
+      (Box.of_list
+         [ ("x", I.of_float x0); ("y", I.of_float y0); ("z", I.of_float constants.z0) ])
+
+(* Relapse: the androgen-independent population exceeds [level] (the
+   castration-resistant takeover the therapy must avoid). *)
+let relapse_goal ?(level = 1.0) () =
+  {
+    Reach.Encoding.goal_modes = [];
+    predicate = P.formula (Printf.sprintf "y >= %.17g" level);
+  }
+
+(* PSA of a simulated state. *)
+let psa ?(constants = default_constants) env =
+  (constants.c1 *. List.assoc "x" env) +. (constants.c2 *. List.assoc "y" env)
+
+(* Simulate a fixed-threshold therapy and report (final y, number of
+   treatment cycles, trajectory). *)
+let simulate_therapy ?(constants = default_constants) ~r0 ~r1 ~t_end () =
+  let h = automaton ~constants ~r0:(`Fixed r0) ~r1:(`Fixed r1) () in
+  let traj = Hybrid.Simulate.simulate ~params:[] ~init:[] ~t_end h in
+  let cycles =
+    List.length
+      (List.filter
+         (fun (seg : Hybrid.Simulate.segment) ->
+           String.equal seg.Hybrid.Simulate.seg_mode mode_off)
+         traj.Hybrid.Simulate.segments)
+  in
+  (List.assoc "y" traj.Hybrid.Simulate.final_env, cycles, traj)

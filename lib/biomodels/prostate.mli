@@ -1,0 +1,55 @@
+(** Intermittent androgen suppression (IAS) therapy for prostate cancer
+    as a two-mode hybrid automaton — the personalized-therapy case study
+    of Sec. IV-B (Liu et al. HSCC'15, on the Ideta et al. model).
+
+    State: x (androgen-dependent cells), y (androgen-independent cells),
+    z (serum androgen); the PSA proxy is v = c1·x + c2·y.  The on/off
+    thresholds r0/r1 are parameters of the jump conditions; mode
+    invariants make the protocol mandatory (must-semantics). *)
+
+type constants = {
+  alpha_x : float;
+  beta_x : float;
+  alpha_y : float;
+  beta_y : float;
+  k1 : float;
+  k2 : float;
+  k3 : float;
+  k4 : float;
+  m1 : float;  (** maximum AD → AI mutation rate *)
+  z0 : float;  (** homeostatic androgen level *)
+  tau : float;
+  d : float;  (** androgen dependence of AI growth *)
+  c1 : float;
+  c2 : float;
+}
+
+val default_constants : constants
+
+val mode_on : string
+val mode_off : string
+
+val automaton :
+  ?constants:constants ->
+  ?r0:[ `Free | `Fixed of float ] ->
+  ?r1:[ `Free | `Fixed of float ] ->
+  ?x0:float ->
+  ?y0:float ->
+  unit ->
+  Hybrid.Automaton.t
+(** [`Free] thresholds become the synthesis parameters "r0"/"r1". *)
+
+val relapse_goal : ?level:float -> unit -> Reach.Encoding.goal
+(** Castration-resistant takeover: y ≥ [level]. *)
+
+val psa : ?constants:constants -> (string * float) list -> float
+
+val simulate_therapy :
+  ?constants:constants ->
+  r0:float ->
+  r1:float ->
+  t_end:float ->
+  unit ->
+  float * int * Hybrid.Simulate.trajectory
+(** Fixed-threshold protocol simulation: (final y, off-treatment cycles,
+    trajectory). *)

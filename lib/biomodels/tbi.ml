@@ -1,0 +1,209 @@
+(* Multi-mode model of the irradiation-induced cell-death signaling
+   network of Fig. 1 / Fig. 3 — the therapy-identification case study of
+   Sec. IV-B.
+
+   The paper's wet-lab network dynamics are proprietary; per the
+   substitution rule we build a synthetic mass-action surrogate that keeps
+   exactly the structure Fig. 3's analysis depends on: the mode/jump
+   topology (live untreated mode 0, per-pathway inhibition modes A–E,
+   absorbing death mode 1), monotone signature dynamics in mode 0, decay
+   of the targeted signature under each inhibitor, and the documented
+   apoptosis→necroptosis crosstalk (inhibiting one death pathway routes
+   flux into another), which is what forces multi-drug schedules.
+
+   State (pathway signatures, arbitrary units):
+     clox   oxidized cardiolipin      (apoptosis trigger; JP4-039 target)
+     rip3   phosphorylated RIP3       (necroptosis;   necrostatin-1)
+     casp3  executioner caspase       (apoptosis commitment)
+     lip    PE-AA-OOH lipid peroxide  (ferroptosis;   baicalein)
+     il     IL-1β                     (pyroptosis;    MCC950)
+     par    PAR polymer               (parthanatos;   XJB-veliparib)
+
+   Modes: "m0" (live, untreated), "mA" (JP4-039 on board), "mB" (A +
+   necrostatin-1), "mC" (baicalein), "mD" (MCC950), "mE" (XJB-veliparib),
+   "death".  Jump thresholds θ1 (CLox triggering drug A) and θ2 (RIP3
+   triggering drug B) are synthesis parameters (`Free) or fixed values.
+
+   The intended minimal treatment scheme is the paper's 0 → A → B → 0:
+   JP4-039 quenches CLox/casp3 but routes flux into RIP3, so necroptosis
+   inhibition must follow before the cell can be declared recovered.  A
+   direct return A → 0 is structurally present but infeasible — exactly
+   the shape the reachability analysis must discover. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+
+type constants = {
+  k_clox : float;  (** radiation-driven CLox production in mode 0 *)
+  d_clox : float;  (** basal CLox turnover *)
+  k_rip3 : float;  (** CLox → RIP3 coupling *)
+  d_rip3 : float;
+  k_casp3 : float;  (** CLox → casp3 coupling *)
+  d_casp3 : float;
+  k_lip : float;
+  d_lip : float;
+  k_il : float;
+  d_il : float;
+  k_par : float;
+  d_par : float;
+  crosstalk : float;  (** extra RIP3 drive while apoptosis is inhibited *)
+  drug_kill : float;  (** first-order clearance added by an inhibitor *)
+  lethal : float;  (** signature level at which the cell dies *)
+  safe : float;  (** recovery level for the return jump to mode 0 *)
+}
+
+let default_constants =
+  {
+    k_clox = 0.4; d_clox = 0.1; k_rip3 = 0.3; d_rip3 = 0.05; k_casp3 = 0.25;
+    d_casp3 = 0.02; k_lip = 0.05; d_lip = 0.08; k_il = 0.04; d_il = 0.08;
+    k_par = 0.03; d_par = 0.08; crosstalk = 0.25; drug_kill = 2.0; lethal = 3.0;
+    safe = 0.25;
+  }
+
+let mode0 = "m0"
+let mode_a = "mA"
+let mode_b = "mB"
+let mode_c = "mC"
+let mode_d = "mD"
+let mode_e = "mE"
+let mode_death = "death"
+
+let vars = [ "clox"; "rip3"; "casp3"; "lip"; "il"; "par" ]
+
+type threshold = [ `Free of string | `Fixed of float ]
+
+let threshold_str = function
+  | `Free name -> (name, [ name ])
+  | `Fixed v -> (Printf.sprintf "%.17g" v, [])
+
+let automaton ?(constants = default_constants) ?(theta1 = `Free "theta1")
+    ?(theta2 = `Free "theta2") () =
+  let c = constants in
+  let t1, p1 = threshold_str theta1 in
+  let t2, p2 = threshold_str theta2 in
+  let params = p1 @ p2 in
+  (* Baseline (untreated) flows: radiation drives CLox, which feeds the
+     downstream death pathways; minor pathways rise slowly. *)
+  let flow_m0 =
+    [ ("clox", Printf.sprintf "%.17g - %.17g * clox" c.k_clox c.d_clox);
+      ("rip3", Printf.sprintf "%.17g * clox - %.17g * rip3" c.k_rip3 c.d_rip3);
+      ("casp3", Printf.sprintf "%.17g * clox - %.17g * casp3" c.k_casp3 c.d_casp3);
+      ("lip", Printf.sprintf "%.17g * clox - %.17g * lip" c.k_lip c.d_lip);
+      ("il", Printf.sprintf "%.17g * clox - %.17g * il" c.k_il c.d_il);
+      ("par", Printf.sprintf "%.17g * clox - %.17g * par" c.k_par c.d_par) ]
+  in
+  (* A drug adds first-order clearance to its targets.  [boosts] adds
+     crosstalk drive to pathways that compensate. *)
+  let with_drug ~cleared ?(boosts = []) base =
+    List.map
+      (fun (v, rhs) ->
+        let rhs =
+          if List.mem v cleared then
+            Printf.sprintf "%s - %.17g * %s" rhs c.drug_kill v
+          else rhs
+        in
+        let rhs =
+          if List.mem v boosts then Printf.sprintf "%s + %.17g" rhs c.crosstalk
+          else rhs
+        in
+        (v, rhs))
+      base
+  in
+  let flow_a = with_drug ~cleared:[ "clox"; "casp3" ] ~boosts:[ "rip3" ] flow_m0 in
+  let flow_b = with_drug ~cleared:[ "clox"; "casp3"; "rip3" ] flow_m0 in
+  let flow_c = with_drug ~cleared:[ "lip" ] flow_m0 in
+  let flow_d = with_drug ~cleared:[ "il" ] flow_m0 in
+  let flow_e = with_drug ~cleared:[ "par" ] flow_m0 in
+  let flow_death = List.map (fun v -> (v, "0")) vars in
+  let parse_flow = List.map (fun (v, rhs) -> (v, P.term rhs)) in
+  (* Invariants enforce the monitoring policy (must-semantics): a live
+     mode cannot be sustained past a lethal signature, mode 0 cannot be
+     sustained once a drug trigger fires, and mode A must hand over to
+     necroptosis inhibition when RIP3 crosses θ2. *)
+  let lethal_inv =
+    String.concat " and "
+      (List.map
+         (fun v -> Printf.sprintf "%s <= %.17g" v c.lethal)
+         [ "casp3"; "rip3"; "lip"; "il"; "par" ])
+  in
+  let live_mode ?extra_inv name flow =
+    let inv =
+      match extra_inv with
+      | None -> lethal_inv
+      | Some e -> Printf.sprintf "%s and %s" lethal_inv e
+    in
+    Hybrid.Automaton.mode ~name ~flow:(parse_flow flow) ~invariant:(P.formula inv) ()
+  in
+  let triggers_m0 =
+    Printf.sprintf "clox <= %s and lip <= %s and il <= %s and par <= %s" t1 t1 t1 t1
+  in
+  let modes =
+    [ live_mode mode0 flow_m0 ~extra_inv:triggers_m0;
+      live_mode mode_a flow_a ~extra_inv:(Printf.sprintf "rip3 <= %s" t2);
+      live_mode mode_b flow_b; live_mode mode_c flow_c; live_mode mode_d flow_d;
+      live_mode mode_e flow_e;
+      Hybrid.Automaton.mode ~name:mode_death ~flow:(parse_flow flow_death) () ]
+  in
+  let lethal = Printf.sprintf "%.17g" c.lethal in
+  let death_guard =
+    P.formula
+      (Printf.sprintf "casp3 >= %s or rip3 >= %s or lip >= %s or il >= %s or par >= %s"
+         lethal lethal lethal lethal lethal)
+  in
+  let recovery_guard =
+    P.formula
+      (Printf.sprintf
+         "clox <= %.17g and rip3 <= %.17g and casp3 <= %.17g and lip <= %.17g and il <= %.17g and par <= %.17g"
+         c.safe c.safe c.safe c.safe c.safe c.safe)
+  in
+  let jump = Hybrid.Automaton.jump in
+  let jumps =
+    (* Drug-delivery decisions, triggered by molecular signatures. *)
+    [ jump ~source:mode0 ~target:mode_a
+        ~guard:(P.formula (Printf.sprintf "clox >= %s" t1)) ();
+      jump ~source:mode_a ~target:mode_b
+        ~guard:(P.formula (Printf.sprintf "rip3 >= %s" t2)) ();
+      jump ~source:mode0 ~target:mode_c
+        ~guard:(P.formula (Printf.sprintf "lip >= %s" t1)) ();
+      jump ~source:mode0 ~target:mode_d
+        ~guard:(P.formula (Printf.sprintf "il >= %s" t1)) ();
+      jump ~source:mode0 ~target:mode_e
+        ~guard:(P.formula (Printf.sprintf "par >= %s" t1)) ();
+      (* Recovery: back to the untreated live mode. *)
+      jump ~source:mode_a ~target:mode0 ~guard:recovery_guard ();
+      jump ~source:mode_b ~target:mode0 ~guard:recovery_guard ();
+      jump ~source:mode_c ~target:mode0 ~guard:recovery_guard ();
+      jump ~source:mode_d ~target:mode0 ~guard:recovery_guard ();
+      jump ~source:mode_e ~target:mode0 ~guard:recovery_guard () ]
+    (* Death is reachable from every live mode. *)
+    @ List.map
+        (fun source -> jump ~source ~target:mode_death ~guard:death_guard ())
+        [ mode0; mode_a; mode_b; mode_c; mode_d; mode_e ]
+  in
+  Hybrid.Automaton.create ~vars ~params ~modes ~jumps ~init_mode:mode0
+    ~init:
+      (Box.of_list
+         (List.map
+            (fun v -> (v, I.of_float (if String.equal v "clox" then 0.5 else 0.1)))
+            vars))
+
+(* Goal: the cell has recovered — it is back in the untreated live mode
+   with every signature at a safe level. *)
+let recovery_goal ?(constants = default_constants) () =
+  {
+    Reach.Encoding.goal_modes = [ mode0 ];
+    predicate =
+      P.formula
+        (Printf.sprintf "clox <= %.17g and rip3 <= %.17g and casp3 <= %.17g"
+           constants.safe constants.safe constants.safe);
+  }
+
+(* Goal: cell death (used to check that a candidate schedule avoids it). *)
+let death_goal () =
+  { Reach.Encoding.goal_modes = [ mode_death ]; predicate = Expr.Formula.tt }
+
+(* Simulate a fixed-threshold treatment policy. *)
+let simulate_policy ?(constants = default_constants) ~theta1 ~theta2 ~t_end () =
+  let h = automaton ~constants ~theta1:(`Fixed theta1) ~theta2:(`Fixed theta2) () in
+  Hybrid.Simulate.simulate ~params:[] ~init:[] ~t_end h

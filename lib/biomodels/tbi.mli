@@ -1,0 +1,62 @@
+(** Multi-mode model of the irradiation-induced cell-death network of
+    Fig. 1 / Fig. 3 — the combination-therapy case study of Sec. IV-B.
+
+    Synthetic mass-action surrogate (the wet-lab dynamics are
+    proprietary; see DESIGN.md §2) keeping exactly what the analysis
+    depends on: the Fig. 3 mode/jump topology (live mode 0, inhibitor
+    modes A–E, absorbing death), monotone signature growth untreated,
+    clearance under each drug, and the apoptosis→necroptosis crosstalk
+    that forces multi-drug schedules.  The drug-delivery thresholds θ1
+    (CLox → JP4-039) and θ2 (RIP3 → necrostatin-1) are synthesis
+    parameters. *)
+
+type constants = {
+  k_clox : float;
+  d_clox : float;
+  k_rip3 : float;
+  d_rip3 : float;
+  k_casp3 : float;
+  d_casp3 : float;
+  k_lip : float;
+  d_lip : float;
+  k_il : float;
+  d_il : float;
+  k_par : float;
+  d_par : float;
+  crosstalk : float;  (** extra RIP3 drive while apoptosis is inhibited *)
+  drug_kill : float;  (** first-order clearance added by an inhibitor *)
+  lethal : float;  (** signature level at which the cell dies *)
+  safe : float;  (** recovery level for the return jump to mode 0 *)
+}
+
+val default_constants : constants
+
+val mode0 : string
+val mode_a : string
+val mode_b : string
+val mode_c : string
+val mode_d : string
+val mode_e : string
+val mode_death : string
+
+val vars : string list
+(** clox, rip3, casp3, lip, il, par. *)
+
+type threshold = [ `Free of string | `Fixed of float ]
+
+val automaton :
+  ?constants:constants -> ?theta1:threshold -> ?theta2:threshold -> unit ->
+  Hybrid.Automaton.t
+
+val recovery_goal : ?constants:constants -> unit -> Reach.Encoding.goal
+(** Back in the untreated live mode with safe signature levels. *)
+
+val death_goal : unit -> Reach.Encoding.goal
+
+val simulate_policy :
+  ?constants:constants ->
+  theta1:float ->
+  theta2:float ->
+  t_end:float ->
+  unit ->
+  Hybrid.Simulate.trajectory

@@ -1,0 +1,42 @@
+(** Time-bounded robustness analysis (Sec. IV-C): an `unsat` answer
+    proves the system filters out a whole range of inputs.  The input
+    range is the initial box of the automaton built by the caller. *)
+
+type verdict =
+  | Robust  (** response unreachable from the whole range: a proof *)
+  | Excitable of (string * float) list  (** certified triggering witness *)
+  | Borderline of string
+
+val classify :
+  ?config:Reach.Checker.config ->
+  goal:Reach.Encoding.goal ->
+  k:int ->
+  time_bound:float ->
+  ('range -> Hybrid.Automaton.t) ->
+  'range ->
+  verdict
+
+val sweep :
+  ?config:Reach.Checker.config ->
+  goal:Reach.Encoding.goal ->
+  k:int ->
+  time_bound:float ->
+  ('range -> Hybrid.Automaton.t) ->
+  'range list ->
+  ('range * verdict) list
+(** The excitability threshold lies between the last Robust and the first
+    Excitable range. *)
+
+val threshold :
+  ?config:Reach.Checker.config ->
+  goal:Reach.Encoding.goal ->
+  k:int ->
+  time_bound:float ->
+  lo:float ->
+  hi:float ->
+  ?tol:float ->
+  (float -> Hybrid.Automaton.t) ->
+  float option
+(** Bisection on a scalar amplitude, assuming monotone excitability. *)
+
+val pp_verdict : verdict Fmt.t

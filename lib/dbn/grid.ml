@@ -1,0 +1,73 @@
+(* Discretization grids: each variable's range is split into equal-width
+   cells; a continuous state maps to a vector of cell indices.
+
+   The DBN abstraction (the paper's conclusion / refs [3]-[5]) replaces
+   continuous dynamics by cell-to-cell transition probabilities, so the
+   grid is the abstraction's resolution knob. *)
+
+module I = Interval.Ia
+
+type axis = {
+  var : string;
+  lo : float;
+  hi : float;
+  cells : int;
+}
+
+type t = axis list
+
+let axis ~var ~lo ~hi ~cells =
+  if cells < 1 then invalid_arg "Grid.axis: need at least one cell";
+  if not (lo < hi) then invalid_arg "Grid.axis: empty range";
+  { var; lo; hi; cells }
+
+let create axes : t =
+  let names = List.map (fun a -> a.var) axes in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Grid.create: duplicate variable";
+  axes
+
+let vars (g : t) = List.map (fun a -> a.var) g
+
+let find (g : t) v =
+  match List.find_opt (fun a -> String.equal a.var v) g with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Grid.find: no axis for %S" v)
+
+let cells_of (g : t) v = (find g v).cells
+
+(* Cell index of a value (clamped to the grid). *)
+let locate axis x =
+  if Float.is_nan x then invalid_arg "Grid.locate: NaN";
+  let w = (axis.hi -. axis.lo) /. float_of_int axis.cells in
+  let i = int_of_float (Float.floor ((x -. axis.lo) /. w)) in
+  Stdlib.max 0 (Stdlib.min (axis.cells - 1) i)
+
+let locate_var (g : t) v x = locate (find g v) x
+
+(* The interval covered by a cell. *)
+let cell_interval axis i =
+  if i < 0 || i >= axis.cells then invalid_arg "Grid.cell_interval: out of range";
+  let w = (axis.hi -. axis.lo) /. float_of_int axis.cells in
+  I.make (axis.lo +. (w *. float_of_int i)) (axis.lo +. (w *. float_of_int (i + 1)))
+
+let cell_mid axis i = I.mid (cell_interval axis i)
+
+(* Discretize a full environment in grid order. *)
+let locate_env (g : t) env =
+  List.map
+    (fun a ->
+      match List.assoc_opt a.var env with
+      | Some x -> locate a x
+      | None -> invalid_arg (Printf.sprintf "Grid.locate_env: missing %S" a.var))
+    g
+
+(* Cells of [v] whose interval intersects [pred]'s satisfying set —
+   approximated by midpoint membership. *)
+let cells_where (g : t) v pred =
+  let a = find g v in
+  List.filter (fun i -> pred (cell_mid a i)) (List.init a.cells Fun.id)
+
+let pp ppf (g : t) =
+  let pp_axis ppf a = Fmt.pf ppf "%s: [%g, %g] / %d" a.var a.lo a.hi a.cells in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_axis) g

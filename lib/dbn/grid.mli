@@ -1,0 +1,29 @@
+(** Discretization grids for the DBN abstraction: each variable's range is
+    split into equal-width cells. *)
+
+type axis = { var : string; lo : float; hi : float; cells : int }
+type t = axis list
+
+val axis : var:string -> lo:float -> hi:float -> cells:int -> axis
+(** @raise Invalid_argument on an empty range or no cells. *)
+
+val create : axis list -> t
+(** @raise Invalid_argument on duplicate variables. *)
+
+val vars : t -> string list
+val find : t -> string -> axis
+val cells_of : t -> string -> int
+
+val locate : axis -> float -> int
+(** Cell index of a value, clamped to the grid.
+    @raise Invalid_argument on NaN. *)
+
+val locate_var : t -> string -> float -> int
+val cell_interval : axis -> int -> Interval.Ia.t
+val cell_mid : axis -> int -> float
+val locate_env : t -> (string * float) list -> int list
+
+val cells_where : t -> string -> (float -> bool) -> int list
+(** Cells whose midpoint satisfies the predicate. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,64 @@
+(** Factored dynamic Bayesian network abstraction of ODE dynamics — the
+    probabilistic extension the paper's conclusion proposes (the
+    CMSB'09 / Bioinformatics'12 technique of its refs [3]–[5]).
+
+    The dynamics are sampled on a time grid; per time slice, a CPT
+    records how each variable's next cell depends on the current cells of
+    its *parents* (the variables in its right-hand side).  Inference uses
+    the fully factored belief-state approximation (factored frontier). *)
+
+module SMap : Map.S with type key = string
+
+type t
+
+val grid : t -> Grid.t
+val slice_count : t -> int
+val dt : t -> float
+
+val parents_of : Ode.System.t -> string -> string list
+(** The variable itself followed by the state variables its equation
+    mentions. *)
+
+(** {1 Learning} *)
+
+type learn_config = {
+  samples : int;
+  seed : int;
+  method_ : Ode.Integrate.method_;
+}
+
+val default_learn : learn_config
+
+val learn :
+  ?config:learn_config ->
+  grid:Grid.t ->
+  slices:int ->
+  horizon:float ->
+  init_dist:Smc.Sampler.spec ->
+  param_dist:Smc.Sampler.spec ->
+  Ode.System.t ->
+  t
+(** Estimate the slice-indexed CPTs from sampled trajectories (Laplace
+    smoothing 0.5).
+    @raise Invalid_argument on a bad slice count/horizon or a state
+    variable without a grid axis. *)
+
+(** {1 Inference} *)
+
+type belief = float array SMap.t
+(** Fully factored belief state: one marginal per variable. *)
+
+val uniform_belief : t -> belief
+val belief_of_dist : ?samples:int -> ?seed:int -> t -> Smc.Sampler.spec -> belief
+
+val step : t -> belief -> int -> belief
+(** One factored-frontier propagation through slice [k]. *)
+
+val propagate : t -> init_belief:belief -> belief list
+(** Beliefs at every slice boundary (first element = initial belief). *)
+
+val probability :
+  t -> init_belief:belief -> var:string -> time:float -> (float -> bool) -> float
+(** P(pred(var) at the slice boundary nearest [time]). *)
+
+val pp : t Fmt.t

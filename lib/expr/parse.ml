@@ -1,0 +1,313 @@
+(* Recursive-descent parser for terms and formulas.
+
+   Term grammar (usual precedences, ^ binds tightest and takes an integer
+   exponent):
+
+     term    ::= sum
+     sum     ::= prod (('+' | '-') prod)*
+     prod    ::= unary (('*' | '/') unary)*
+     unary   ::= '-' unary | power
+     power   ::= primary ('^' ('-')? int)?
+     primary ::= number | ident | ident '(' term (',' term)* ')' | '(' term ')'
+
+   Formula grammar:
+
+     formula ::= disj
+     disj    ::= conj ('or' conj | '\/' conj)*
+     conj    ::= unit ('and' unit | '/\' unit)*
+     unit    ::= 'not' unit | 'true' | 'false' | '(' formula ')'
+               | term rel term
+     rel     ::= '>' | '>=' | '<' | '<=' | '=' *)
+
+type token =
+  | Tnum of float
+  | Tident of string
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tcaret
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tgt
+  | Tge
+  | Tlt
+  | Tle
+  | Teq
+  | Tand
+  | Tor
+  | Tnot
+  | Ttrue
+  | Tfalse
+  | Teof
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c || c = '\'' || c = '.'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref !i in
+      let accept p = !j < n && p s.[!j] in
+      while accept is_digit do incr j done;
+      if accept (fun c -> c = '.') then begin
+        incr j;
+        while accept is_digit do incr j done
+      end;
+      if accept (fun c -> c = 'e' || c = 'E') then begin
+        incr j;
+        if accept (fun c -> c = '+' || c = '-') then incr j;
+        while accept is_digit do incr j done
+      end;
+      let lit = String.sub s !i (!j - !i) in
+      (match float_of_string_opt lit with
+      | Some v -> push (Tnum v)
+      | None -> error "invalid numeric literal %S" lit);
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      let id = String.sub s !i (!j - !i) in
+      (match id with
+      | "and" -> push Tand
+      | "or" -> push Tor
+      | "not" -> push Tnot
+      | "true" -> push Ttrue
+      | "false" -> push Tfalse
+      | _ -> push (Tident id));
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | ">=" -> push Tge; i := !i + 2
+      | "<=" -> push Tle; i := !i + 2
+      | "/\\" -> push Tand; i := !i + 2
+      | "\\/" -> push Tor; i := !i + 2
+      | "==" -> push Teq; i := !i + 2
+      | _ -> (
+          (match c with
+          | '+' -> push Tplus
+          | '-' -> push Tminus
+          | '*' -> push Tstar
+          | '/' -> push Tslash
+          | '^' -> push Tcaret
+          | '(' -> push Tlparen
+          | ')' -> push Trparen
+          | ',' -> push Tcomma
+          | '>' -> push Tgt
+          | '<' -> push Tlt
+          | '=' -> push Teq
+          | _ -> error "unexpected character %C" c);
+          incr i)
+    end
+  done;
+  push Teof;
+  List.rev !toks
+
+(* A tiny mutable cursor over the token list. *)
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> Teof | t :: _ -> t
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let expect c t what =
+  if peek c = t then advance c else error "expected %s" what
+
+let unary_funs =
+  [ ("exp", Term.exp); ("log", Term.log); ("sqrt", Term.sqrt); ("sin", Term.sin);
+    ("cos", Term.cos); ("tan", Term.tan); ("atan", Term.atan); ("tanh", Term.tanh);
+    ("abs", Term.abs) ]
+
+let binary_funs = [ ("min", Term.min_); ("max", Term.max_) ]
+
+let rec parse_term_c c = parse_sum c
+
+and parse_sum c =
+  let rec loop acc =
+    match peek c with
+    | Tplus ->
+        advance c;
+        loop (Term.add acc (parse_prod c))
+    | Tminus ->
+        advance c;
+        loop (Term.sub acc (parse_prod c))
+    | _ -> acc
+  in
+  loop (parse_prod c)
+
+and parse_prod c =
+  let rec loop acc =
+    match peek c with
+    | Tstar ->
+        advance c;
+        loop (Term.mul acc (parse_unary c))
+    | Tslash ->
+        advance c;
+        loop (Term.div acc (parse_unary c))
+    | _ -> acc
+  in
+  loop (parse_unary c)
+
+and parse_unary c =
+  match peek c with
+  | Tminus ->
+      advance c;
+      Term.neg (parse_unary c)
+  | _ -> parse_power c
+
+and parse_power c =
+  let base = parse_primary c in
+  match peek c with
+  | Tcaret -> (
+      advance c;
+      let sign =
+        match peek c with
+        | Tminus ->
+            advance c;
+            -1
+        | _ -> 1
+      in
+      match peek c with
+      | Tnum v when Float.is_integer v ->
+          advance c;
+          Term.pow base (sign * int_of_float v)
+      | _ -> error "expected integer exponent after '^'")
+  | _ -> base
+
+and parse_primary c =
+  match peek c with
+  | Tnum v ->
+      advance c;
+      Term.const v
+  | Tlparen ->
+      advance c;
+      let t = parse_term_c c in
+      expect c Trparen "')'";
+      t
+  | Tident id -> (
+      advance c;
+      match peek c with
+      | Tlparen -> (
+          advance c;
+          let args =
+            let rec loop acc =
+              let t = parse_term_c c in
+              match peek c with
+              | Tcomma ->
+                  advance c;
+                  loop (t :: acc)
+              | _ -> List.rev (t :: acc)
+            in
+            loop []
+          in
+          expect c Trparen "')'";
+          match (List.assoc_opt id unary_funs, List.assoc_opt id binary_funs, args) with
+          | Some f, _, [ a ] -> f a
+          | _, Some f, [ a; b ] -> f a b
+          | _ -> error "unknown function %S with %d argument(s)" id (List.length args))
+      | _ -> Term.var id)
+  | _ -> error "expected a term"
+
+let rec parse_formula_c c = parse_disj c
+
+and parse_disj c =
+  let rec loop acc =
+    match peek c with
+    | Tor ->
+        advance c;
+        loop (parse_conj c :: acc)
+    | _ -> ( match acc with [ f ] -> f | fs -> Formula.or_ (List.rev fs))
+  in
+  loop [ parse_conj c ]
+
+and parse_conj c =
+  let rec loop acc =
+    match peek c with
+    | Tand ->
+        advance c;
+        loop (parse_unit c :: acc)
+    | _ -> ( match acc with [ f ] -> f | fs -> Formula.and_ (List.rev fs))
+  in
+  loop [ parse_unit c ]
+
+and parse_unit c =
+  match peek c with
+  | Tnot ->
+      advance c;
+      Formula.neg (parse_unit c)
+  | Ttrue ->
+      advance c;
+      Formula.tt
+  | Tfalse ->
+      advance c;
+      Formula.ff
+  | Tlparen -> (
+      (* Could be a parenthesized formula or a parenthesized term followed
+         by a relation: backtrack by saving the cursor. *)
+      let saved = c.toks in
+      advance c;
+      try
+        let f = parse_formula_c c in
+        expect c Trparen "')'";
+        match peek c with
+        | Tgt | Tge | Tlt | Tle | Teq ->
+            (* It was actually a term comparison: reparse as relation. *)
+            c.toks <- saved;
+            parse_relation c
+        | _ -> f
+      with Error _ ->
+        c.toks <- saved;
+        parse_relation c)
+  | _ -> parse_relation c
+
+and parse_relation c =
+  let lhs = parse_term_c c in
+  let rel = peek c in
+  match rel with
+  | Tgt ->
+      advance c;
+      Formula.gt lhs (parse_term_c c)
+  | Tge ->
+      advance c;
+      Formula.ge lhs (parse_term_c c)
+  | Tlt ->
+      advance c;
+      Formula.lt lhs (parse_term_c c)
+  | Tle ->
+      advance c;
+      Formula.le lhs (parse_term_c c)
+  | Teq ->
+      advance c;
+      Formula.eq lhs (parse_term_c c)
+  | _ -> error "expected a relation operator"
+
+let finish c v =
+  match peek c with
+  | Teof -> v
+  | _ -> error "trailing input"
+
+let term s =
+  let c = { toks = tokenize s } in
+  finish c (parse_term_c c)
+
+let formula s =
+  let c = { toks = tokenize s } in
+  finish c (parse_formula_c c)
+
+let term_opt s = try Some (term s) with Error _ -> None
+let formula_opt s = try Some (formula s) with Error _ -> None

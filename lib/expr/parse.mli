@@ -1,0 +1,19 @@
+(** Recursive-descent parser for terms and formulas.
+
+    Term syntax: [+ - * /] with usual precedence, [^] with an integer
+    exponent binding tightest, unary functions
+    [exp log sqrt sin cos tan atan tanh abs] and binary [min max].
+
+    Formula syntax: relations [> >= < <= =] between terms, connectives
+    [and]/[/\], [or]/[\/], [not], constants [true]/[false]. *)
+
+exception Error of string
+
+val term : string -> Term.t
+(** @raise Error on malformed input. *)
+
+val formula : string -> Formula.t
+(** @raise Error on malformed input. *)
+
+val term_opt : string -> Term.t option
+val formula_opt : string -> Formula.t option

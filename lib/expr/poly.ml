@@ -1,0 +1,133 @@
+(* Polynomial canonical form: multivariate polynomials as monomial →
+   coefficient maps.
+
+   Canonicalization matters for interval methods: syntactic cancellation
+   (e.g. the Lie derivative of x² + y² along a rotation field is
+   -2xy + 2xy) removes the interval dependency problem entirely, turning
+   an unprovable bound into a trivial one.  Terms containing
+   non-polynomial operations are left untouched by {!canonicalize}. *)
+
+module VarMap = Map.Make (String)
+
+(* A monomial maps variables to (positive) exponents. *)
+module Mono = struct
+  type t = int VarMap.t
+
+  let compare = VarMap.compare Int.compare
+  let one : t = VarMap.empty
+  let var x : t = VarMap.singleton x 1
+  let mul (a : t) (b : t) : t = VarMap.union (fun _ i j -> Some (i + j)) a b
+
+  let pow (m : t) n : t =
+    if n = 0 then one else VarMap.map (fun e -> e * n) m
+
+  let degree (m : t) = VarMap.fold (fun _ e acc -> acc + e) m 0
+
+  let to_term (m : t) =
+    VarMap.fold
+      (fun x e acc -> Term.mul acc (Term.pow (Term.var x) e))
+      m Term.one
+end
+
+module MonoMap = Map.Make (Mono)
+
+type t = float MonoMap.t
+
+let zero : t = MonoMap.empty
+let const c : t = if c = 0.0 then zero else MonoMap.singleton Mono.one c
+let var x : t = MonoMap.singleton (Mono.var x) 1.0
+
+let add (a : t) (b : t) : t =
+  MonoMap.union
+    (fun _ x y ->
+      let s = x +. y in
+      if s = 0.0 then None else Some s)
+    a b
+
+let neg (a : t) : t = MonoMap.map (fun c -> -.c) a
+let sub a b = add a (neg b)
+
+let scale k (a : t) : t =
+  if k = 0.0 then zero else MonoMap.map (fun c -> k *. c) a
+
+let mul (a : t) (b : t) : t =
+  MonoMap.fold
+    (fun ma ca acc ->
+      MonoMap.fold
+        (fun mb cb acc -> add acc (MonoMap.singleton (Mono.mul ma mb) (ca *. cb)))
+        b acc)
+    a zero
+
+let rec pow (a : t) n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent"
+  else if n = 0 then const 1.0
+  else mul a (pow a (n - 1))
+
+let degree (p : t) = MonoMap.fold (fun m _ acc -> Stdlib.max acc (Mono.degree m)) p 0
+
+let coeff (p : t) m = match MonoMap.find_opt m p with Some c -> c | None -> 0.0
+
+let is_zero (p : t) = MonoMap.is_empty p
+
+let monomials (p : t) = MonoMap.bindings p
+
+(* ---- Conversion from/to terms ---- *)
+
+let rec of_term (t : Term.t) : t option =
+  match t with
+  | Term.Var x -> Some (var x)
+  | Term.Const c -> Some (const c)
+  | Term.Add (a, b) -> map2 add a b
+  | Term.Sub (a, b) -> map2 sub a b
+  | Term.Mul (a, b) -> map2 mul a b
+  | Term.Neg a -> Option.map neg (of_term a)
+  | Term.Pow (a, n) when n >= 0 -> Option.map (fun p -> pow p n) (of_term a)
+  | Term.Div (a, Term.Const c) when c <> 0.0 ->
+      Option.map (scale (1.0 /. c)) (of_term a)
+  | Term.Pow _ | Term.Div _ | Term.Exp _ | Term.Log _ | Term.Sqrt _ | Term.Sin _
+  | Term.Cos _ | Term.Tan _ | Term.Atan _ | Term.Tanh _ | Term.Abs _ | Term.Min _
+  | Term.Max _ ->
+      None
+
+and map2 f a b =
+  match (of_term a, of_term b) with
+  | Some pa, Some pb -> Some (f pa pb)
+  | _ -> None
+
+let to_term (p : t) =
+  if is_zero p then Term.zero
+  else
+    MonoMap.fold
+      (fun m c acc ->
+        let piece =
+          if Mono.degree m = 0 then Term.const c
+          else if c = 1.0 then Mono.to_term m
+          else if c = -1.0 then Term.neg (Mono.to_term m)
+          else Term.mul (Term.const c) (Mono.to_term m)
+        in
+        if Term.equal acc Term.zero then piece else Term.add acc piece)
+      p Term.zero
+
+(* Rewrite a term into expanded canonical polynomial form when possible;
+   returns the term unchanged otherwise. *)
+let canonicalize (t : Term.t) =
+  match of_term t with Some p -> to_term p | None -> Term.simplify t
+
+let equal (a : t) (b : t) = MonoMap.equal Float.equal a b
+
+let eval env (p : t) =
+  MonoMap.fold
+    (fun m c acc ->
+      let v =
+        VarMap.fold
+          (fun x e acc ->
+            match List.assoc_opt x env with
+            | Some value -> acc *. Float.pow value (float_of_int e)
+            | None -> invalid_arg (Printf.sprintf "Poly.eval: unbound %S" x))
+          m 1.0
+      in
+      acc +. (c *. v))
+    p 0.0
+
+let pp ppf (p : t) =
+  if is_zero p then Fmt.string ppf "0" else Term.pp ppf (to_term p)

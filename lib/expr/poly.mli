@@ -1,0 +1,61 @@
+(** Multivariate polynomials in monomial canonical form.
+
+    Canonicalization matters for interval methods: syntactic cancellation
+    (e.g. the Lie derivative of a conserved quadratic) removes interval
+    dependency entirely. *)
+
+module VarMap : Map.S with type key = string
+
+(** Monomials: maps from variables to positive exponents. *)
+module Mono : sig
+  type t = int VarMap.t
+
+  val compare : t -> t -> int
+  val one : t
+  val var : string -> t
+  val mul : t -> t -> t
+  val pow : t -> int -> t
+  val degree : t -> int
+  val to_term : t -> Term.t
+end
+
+module MonoMap : Map.S with type key = Mono.t
+
+type t = float MonoMap.t
+(** Polynomial as a map monomial → nonzero coefficient. *)
+
+(** {1 Construction and arithmetic} *)
+
+val zero : t
+val const : float -> t
+val var : string -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponents. *)
+
+(** {1 Queries} *)
+
+val degree : t -> int
+val coeff : t -> Mono.t -> float
+val is_zero : t -> bool
+val monomials : t -> (Mono.t * float) list
+val equal : t -> t -> bool
+val eval : (string * float) list -> t -> float
+
+(** {1 Conversion} *)
+
+val of_term : Term.t -> t option
+(** [None] when the term contains a non-polynomial operation. *)
+
+val to_term : t -> Term.t
+
+val canonicalize : Term.t -> Term.t
+(** Expand into canonical polynomial form when possible (with exact
+    monomial cancellation); otherwise just {!Term.simplify}. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,181 @@
+(* Parameterized hybrid automata (Definitions 6, 7 and 12 of the paper).
+
+   H = ⟨X, Q, flow, jump, inv, init⟩ with an L_RF representation: flows
+   are ODE right-hand sides over terms, and guards / invariants / initial
+   conditions are quantifier-free L_RF formulas.  Parameters ~p (Def. 12)
+   appear as free names shared by all components. *)
+
+module SSet = Expr.Term.SSet
+module Box = Interval.Box
+
+type mode = {
+  mode_name : string;
+  flow : (string * Expr.Term.t) list;  (** d var / dt, one entry per state var *)
+  invariant : Expr.Formula.t;  (** over vars ∪ params ∪ t *)
+}
+
+type jump = {
+  source : string;
+  target : string;
+  guard : Expr.Formula.t;  (** over vars ∪ params ∪ t (t = time in mode) *)
+  reset : (string * Expr.Term.t) list;  (** omitted variables are unchanged *)
+}
+
+type t = {
+  vars : string list;
+  params : string list;
+  modes : mode list;
+  jumps : jump list;
+  init_mode : string;
+  init : Box.t;  (** box over [vars]; singleton components give point inits *)
+}
+
+let vars h = h.vars
+let params h = h.params
+let modes h = h.modes
+let jumps h = h.jumps
+let init_mode h = h.init_mode
+let init_box h = h.init
+let mode_names h = List.map (fun m -> m.mode_name) h.modes
+let dim h = List.length h.vars
+
+let find_mode h name =
+  match List.find_opt (fun m -> String.equal m.mode_name name) h.modes with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Automaton.find_mode: unknown mode %S" name)
+
+let jumps_from h name = List.filter (fun j -> String.equal j.source name) h.jumps
+
+let mode ~name ~flow ?(invariant = Expr.Formula.tt) () =
+  { mode_name = name; flow; invariant }
+
+let jump ~source ~target ~guard ?(reset = []) () = { source; target; guard; reset }
+
+let check_scope ~what ~allowed names =
+  SSet.iter
+    (fun x ->
+      if not (SSet.mem x allowed) then
+        invalid_arg (Printf.sprintf "Automaton.create: unbound name %S in %s" x what))
+    names
+
+let create ~vars ~params ~modes ~jumps ~init_mode ~init =
+  let var_set = SSet.of_list vars in
+  let scope =
+    SSet.add Ode.System.time_var (SSet.union var_set (SSet.of_list params))
+  in
+  if modes = [] then invalid_arg "Automaton.create: no modes";
+  let names = List.map (fun m -> m.mode_name) modes in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Automaton.create: duplicate mode name";
+  if not (List.mem init_mode names) then
+    invalid_arg (Printf.sprintf "Automaton.create: unknown initial mode %S" init_mode);
+  List.iter
+    (fun m ->
+      List.iter
+        (fun v ->
+          if not (List.mem_assoc v m.flow) then
+            invalid_arg
+              (Printf.sprintf "Automaton.create: mode %S misses flow for %S" m.mode_name v))
+        vars;
+      List.iter
+        (fun (v, term) ->
+          if not (SSet.mem v var_set) then
+            invalid_arg
+              (Printf.sprintf "Automaton.create: mode %S has flow for non-state %S"
+                 m.mode_name v);
+          check_scope
+            ~what:(Printf.sprintf "flow of %S in mode %S" v m.mode_name)
+            ~allowed:scope (Expr.Term.free_vars term))
+        m.flow;
+      check_scope
+        ~what:(Printf.sprintf "invariant of mode %S" m.mode_name)
+        ~allowed:scope
+        (Expr.Formula.free_vars m.invariant))
+    modes;
+  List.iter
+    (fun j ->
+      if not (List.mem j.source names) then
+        invalid_arg (Printf.sprintf "Automaton.create: jump from unknown mode %S" j.source);
+      if not (List.mem j.target names) then
+        invalid_arg (Printf.sprintf "Automaton.create: jump to unknown mode %S" j.target);
+      check_scope
+        ~what:(Printf.sprintf "guard of jump %s -> %s" j.source j.target)
+        ~allowed:scope
+        (Expr.Formula.free_vars j.guard);
+      List.iter
+        (fun (v, term) ->
+          if not (SSet.mem v var_set) then
+            invalid_arg
+              (Printf.sprintf "Automaton.create: reset of non-state %S in %s -> %s" v
+                 j.source j.target);
+          check_scope
+            ~what:(Printf.sprintf "reset of %S in jump %s -> %s" v j.source j.target)
+            ~allowed:scope (Expr.Term.free_vars term))
+        j.reset)
+    jumps;
+  List.iter
+    (fun v ->
+      if not (Box.mem_var v init) then
+        invalid_arg (Printf.sprintf "Automaton.create: init misses variable %S" v))
+    vars;
+  { vars; params; modes; jumps; init_mode; init }
+
+(* The continuous dynamics of one mode as an ODE system. *)
+let mode_system h name =
+  let m = find_mode h name in
+  Ode.System.create ~vars:h.vars ~params:h.params ~rhs:m.flow
+
+(* A single-mode automaton from an ODE system — the degenerate case used
+   for plain ODE models in the framework. *)
+let of_system ?(mode_name = "m0") ?(invariant = Expr.Formula.tt) ~init sys =
+  {
+    vars = Ode.System.vars sys;
+    params = Ode.System.params sys;
+    modes = [ { mode_name; flow = Ode.System.rhs sys; invariant } ];
+    jumps = [];
+    init_mode = mode_name;
+    init;
+  }
+
+(* Substitute fixed values for (a subset of) parameters. *)
+let bind_params env h =
+  let bindings = List.map (fun (p, v) -> (p, Expr.Term.const v)) env in
+  let remaining = List.filter (fun p -> not (List.mem_assoc p env)) h.params in
+  {
+    h with
+    params = remaining;
+    modes =
+      List.map
+        (fun m ->
+          {
+            m with
+            flow = List.map (fun (v, t) -> (v, Expr.Term.subst bindings t)) m.flow;
+            invariant = Expr.Formula.subst bindings m.invariant;
+          })
+        h.modes;
+    jumps =
+      List.map
+        (fun j ->
+          {
+            j with
+            guard = Expr.Formula.subst bindings j.guard;
+            reset = List.map (fun (v, t) -> (v, Expr.Term.subst bindings t)) j.reset;
+          })
+        h.jumps;
+  }
+
+let pp ppf h =
+  let pp_mode ppf m =
+    Fmt.pf ppf "@[<v2>mode %s:@ inv: %a@ %a@]" m.mode_name Expr.Formula.pp m.invariant
+      Fmt.(list ~sep:cut (fun ppf (v, t) -> Fmt.pf ppf "d%s/dt = %a" v Expr.Term.pp t))
+      m.flow
+  in
+  let pp_jump ppf j =
+    Fmt.pf ppf "@[%s -> %s when %a@]" j.source j.target Expr.Formula.pp j.guard
+  in
+  Fmt.pf ppf "@[<v>vars: %a@ params: %a@ %a@ %a@ init: %s %a@]"
+    Fmt.(list ~sep:sp string) h.vars
+    Fmt.(list ~sep:sp string) h.params
+    Fmt.(list ~sep:cut pp_mode) h.modes
+    Fmt.(list ~sep:cut pp_jump) h.jumps
+    h.init_mode Box.pp h.init

@@ -1,0 +1,87 @@
+(** Parameterized hybrid automata (Definitions 6, 7 and 12 of the paper).
+
+    H = ⟨X, Q, flow, jump, inv, init⟩ with an L_RF representation: flows
+    are ODE right-hand sides, guards / invariants are quantifier-free
+    formulas over vars ∪ params ∪ t (t = local time in the mode), and the
+    initial condition is a box.  Parameters (Def. 12) are free names
+    shared by every component; they can be synthesized by {!Reach} or
+    fixed with {!bind_params}. *)
+
+module SSet = Expr.Term.SSet
+module Box = Interval.Box
+
+type mode = {
+  mode_name : string;
+  flow : (string * Expr.Term.t) list;
+  invariant : Expr.Formula.t;
+      (** must-semantics: the mode cannot be sustained once violated *)
+}
+
+type jump = {
+  source : string;
+  target : string;
+  guard : Expr.Formula.t;
+  reset : (string * Expr.Term.t) list;  (** omitted variables carry over *)
+}
+
+type t
+
+(** {1 Accessors} *)
+
+val vars : t -> string list
+val params : t -> string list
+val modes : t -> mode list
+val jumps : t -> jump list
+val init_mode : t -> string
+val init_box : t -> Box.t
+val mode_names : t -> string list
+val dim : t -> int
+
+val find_mode : t -> string -> mode
+(** @raise Invalid_argument on an unknown mode. *)
+
+val jumps_from : t -> string -> jump list
+
+(** {1 Construction} *)
+
+val mode :
+  name:string ->
+  flow:(string * Expr.Term.t) list ->
+  ?invariant:Expr.Formula.t ->
+  unit ->
+  mode
+
+val jump :
+  source:string ->
+  target:string ->
+  guard:Expr.Formula.t ->
+  ?reset:(string * Expr.Term.t) list ->
+  unit ->
+  jump
+
+val create :
+  vars:string list ->
+  params:string list ->
+  modes:mode list ->
+  jumps:jump list ->
+  init_mode:string ->
+  init:Box.t ->
+  t
+(** Validates mode-name uniqueness, flow completeness, name scoping of
+    every formula and reset, jump endpoints, and init coverage.
+    @raise Invalid_argument on any violation. *)
+
+val of_system :
+  ?mode_name:string -> ?invariant:Expr.Formula.t -> init:Box.t -> Ode.System.t -> t
+(** Single-mode automaton from an ODE system — the degenerate case used
+    for plain ODE models in the framework. *)
+
+(** {1 Derived views} *)
+
+val mode_system : t -> string -> Ode.System.t
+(** The continuous dynamics of one mode as an ODE system. *)
+
+val bind_params : (string * float) list -> t -> t
+(** Substitute fixed values for (a subset of) the parameters, everywhere. *)
+
+val pp : t Fmt.t

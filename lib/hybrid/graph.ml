@@ -1,0 +1,78 @@
+(* Discrete structure of a hybrid automaton: the mode graph.
+
+   Used by the bounded reachability checker to enumerate candidate mode
+   paths (sequences of discrete jumps) instead of blindly unrolling, and
+   to prune modes that cannot reach the goal. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  nodes : string list;
+  succ : string list SMap.t;
+  pred : string list SMap.t;
+}
+
+let of_automaton (h : Automaton.t) =
+  let nodes = Automaton.mode_names h in
+  let add key v m =
+    SMap.update key
+      (function Some l when List.mem v l -> Some l | Some l -> Some (v :: l) | None -> Some [ v ])
+      m
+  in
+  let succ, pred =
+    List.fold_left
+      (fun (s, p) (j : Automaton.jump) -> (add j.source j.target s, add j.target j.source p))
+      (SMap.empty, SMap.empty) (Automaton.jumps h)
+  in
+  { nodes; succ; pred }
+
+let successors g q = match SMap.find_opt q g.succ with Some l -> l | None -> []
+let predecessors g q = match SMap.find_opt q g.pred with Some l -> l | None -> []
+
+(* Fixpoint of a step relation from a seed set. *)
+let closure step seeds =
+  let rec go frontier seen =
+    match frontier with
+    | [] -> seen
+    | q :: rest ->
+        let fresh = List.filter (fun q' -> not (SSet.mem q' seen)) (step q) in
+        go (fresh @ rest) (List.fold_left (fun s q' -> SSet.add q' s) seen fresh)
+  in
+  go seeds (SSet.of_list seeds)
+
+let reachable_from g q = closure (successors g) [ q ]
+let co_reachable_to g qs = closure (predecessors g) qs
+
+(* All mode paths starting at [source] with at most [max_jumps] jumps,
+   optionally restricted to paths ending in [targets] and to modes that
+   can still reach a target (co-reachability pruning). *)
+let paths ?targets ~max_jumps g ~source =
+  let relevant =
+    match targets with
+    | None -> SSet.of_list g.nodes
+    | Some ts -> co_reachable_to g ts
+  in
+  let is_target q = match targets with None -> true | Some ts -> List.mem q ts in
+  let rec extend path q budget acc =
+    let acc = if is_target q then List.rev path :: acc else acc in
+    if budget = 0 then acc
+    else
+      List.fold_left
+        (fun acc q' ->
+          if SSet.mem q' relevant then extend (q' :: path) q' (budget - 1) acc else acc)
+        acc (successors g q)
+  in
+  if SSet.mem source relevant || is_target source then
+    List.rev (extend [ source ] source max_jumps [])
+  else []
+
+(* Paths of exactly [jumps] jumps. *)
+let paths_of_length ?targets ~jumps g ~source =
+  List.filter (fun p -> List.length p = jumps + 1) (paths ?targets ~max_jumps:jumps g ~source)
+
+let pp ppf g =
+  let edge ppf q =
+    Fmt.pf ppf "%s -> {%a}" q Fmt.(list ~sep:comma string) (successors g q)
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut edge) g.nodes

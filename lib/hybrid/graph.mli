@@ -1,0 +1,26 @@
+(** The discrete structure of a hybrid automaton: its mode graph.
+
+    Used by the bounded reachability checker to enumerate candidate mode
+    paths and prune modes that cannot reach the goal. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type t
+
+val of_automaton : Automaton.t -> t
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+val reachable_from : t -> string -> SSet.t
+val co_reachable_to : t -> string list -> SSet.t
+
+val paths : ?targets:string list -> max_jumps:int -> t -> source:string -> string list list
+(** All mode paths from [source] with at most [max_jumps] jumps; when
+    [targets] is given, only paths ending in a target are returned and
+    the search is restricted to modes co-reachable from the targets. *)
+
+val paths_of_length :
+  ?targets:string list -> jumps:int -> t -> source:string -> string list list
+(** Paths with exactly [jumps] jumps. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,262 @@
+(* HC4-revise: forward-backward interval constraint propagation.
+
+   Given a constraint [term ∈ target] and a box, the forward pass computes
+   an interval enclosure for every subterm; the backward pass intersects
+   the root with [target] and pushes the refined requirements down to the
+   variable leaves, whose intersection with the box gives the contracted
+   box.  HC4-revise never loses a solution: every point of the box that
+   satisfies the constraint is in the contracted box. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+
+exception Empty
+
+(* Annotated term tree: each node carries its forward interval value. *)
+type ann = { shape : shape; mutable value : I.t }
+
+and shape =
+  | AVar of string
+  | AConst of float
+  | AAdd of ann * ann
+  | ASub of ann * ann
+  | AMul of ann * ann
+  | ADiv of ann * ann
+  | ANeg of ann
+  | APow of ann * int
+  | AExp of ann
+  | ALog of ann
+  | ASqrt of ann
+  | ASin of ann
+  | ACos of ann
+  | ATan of ann
+  | AAtan of ann
+  | ATanh of ann
+  | AAbs of ann
+  | AMin of ann * ann
+  | AMax of ann * ann
+
+let rec annotate (t : Expr.Term.t) : ann =
+  let node shape = { shape; value = I.entire } in
+  match t with
+  | Var x -> node (AVar x)
+  | Const c -> node (AConst c)
+  | Add (a, b) -> node (AAdd (annotate a, annotate b))
+  | Sub (a, b) -> node (ASub (annotate a, annotate b))
+  | Mul (a, b) -> node (AMul (annotate a, annotate b))
+  | Div (a, b) -> node (ADiv (annotate a, annotate b))
+  | Neg a -> node (ANeg (annotate a))
+  | Pow (a, n) -> node (APow (annotate a, n))
+  | Exp a -> node (AExp (annotate a))
+  | Log a -> node (ALog (annotate a))
+  | Sqrt a -> node (ASqrt (annotate a))
+  | Sin a -> node (ASin (annotate a))
+  | Cos a -> node (ACos (annotate a))
+  | Tan a -> node (ATan (annotate a))
+  | Atan a -> node (AAtan (annotate a))
+  | Tanh a -> node (ATanh (annotate a))
+  | Abs a -> node (AAbs (annotate a))
+  | Min (a, b) -> node (AMin (annotate a, annotate b))
+  | Max (a, b) -> node (AMax (annotate a, annotate b))
+
+let rec forward box (n : ann) : I.t =
+  let v =
+    match n.shape with
+    | AVar x -> (
+        match Box.find_opt x box with
+        | Some i -> i
+        | None -> I.entire)
+    | AConst c -> I.of_float c
+    | AAdd (a, b) -> I.add (forward box a) (forward box b)
+    | ASub (a, b) -> I.sub (forward box a) (forward box b)
+    | AMul (a, b) -> I.mul (forward box a) (forward box b)
+    | ADiv (a, b) -> I.div (forward box a) (forward box b)
+    | ANeg a -> I.neg (forward box a)
+    | APow (a, k) -> I.pow_int (forward box a) k
+    | AExp a -> I.exp (forward box a)
+    | ALog a -> I.log (forward box a)
+    | ASqrt a -> I.sqrt (forward box a)
+    | ASin a -> I.sin (forward box a)
+    | ACos a -> I.cos (forward box a)
+    | ATan a -> I.tan (forward box a)
+    | AAtan a -> I.atan (forward box a)
+    | ATanh a -> I.tanh (forward box a)
+    | AAbs a -> I.abs (forward box a)
+    | AMin (a, b) -> I.min_ (forward box a) (forward box b)
+    | AMax (a, b) -> I.max_ (forward box a) (forward box b)
+  in
+  n.value <- v;
+  v
+
+(* Preimage of [r] under x ↦ x^k intersected with [x] (handles even
+   powers' two branches). *)
+let pow_preimage x r k =
+  if k mod 2 = 1 || k < 0 then
+    (* Odd powers are monotone bijections; negative powers fall back to a
+       division-based relation handled conservatively via root of inverse. *)
+    if k > 0 then I.inter x (I.root r k) else x
+  else
+    let pos = I.root r k in
+    if I.is_empty pos then I.empty
+    else
+      (* Intersect each preimage branch with [x] separately, then hull:
+         hulling first would fill the gap between the branches and lose
+         the contraction. *)
+      I.hull (I.inter x (I.neg pos)) (I.inter x pos)
+
+(* Preimage of [r] under abs intersected with [x]. *)
+let abs_preimage x r =
+  let rp = I.inter r (I.make 0.0 infinity) in
+  if I.is_empty rp then I.empty
+  else I.hull (I.inter x (I.neg rp)) (I.inter x rp)
+
+(* Backward pass: [require n r] intersects node [n] with requirement [r]
+   and propagates to children; variable requirements accumulate in
+   [reqs]. *)
+let backward reqs root target =
+  let rec require n r =
+    let v = I.inter n.value r in
+    if I.is_empty v then raise Empty;
+    if not (I.equal v n.value) then begin
+      n.value <- v;
+      push n
+    end
+  and push n =
+    let v = n.value in
+    match n.shape with
+    | AVar x ->
+        let cur = match Hashtbl.find_opt reqs x with Some i -> i | None -> I.entire in
+        let refined = I.inter cur v in
+        if I.is_empty refined then raise Empty;
+        Hashtbl.replace reqs x refined
+    | AConst c -> if not (I.mem c v) then raise Empty
+    | AAdd (a, b) ->
+        require a (I.sub v b.value);
+        require b (I.sub v a.value)
+    | ASub (a, b) ->
+        require a (I.add v b.value);
+        require b (I.sub a.value v)
+    | AMul (a, b) ->
+        if not (I.mem 0.0 b.value) then require a (I.div v b.value);
+        if not (I.mem 0.0 a.value) then require b (I.div v a.value)
+    | ADiv (a, b) ->
+        require a (I.mul v b.value);
+        if not (I.mem 0.0 v) then require b (I.div a.value v)
+    | ANeg a -> require a (I.neg v)
+    | APow (a, k) ->
+        let pre = pow_preimage a.value v k in
+        if I.is_empty pre then raise Empty;
+        require a pre
+    | AExp a ->
+        (* exp x ∈ v ⇒ v must meet (0, ∞) and x ∈ log v *)
+        let vp = I.inter v (I.make 0.0 infinity) in
+        if I.is_empty vp then raise Empty;
+        require a (I.log vp)
+    | ALog a -> require a (I.exp v)
+    | ASqrt a ->
+        let vp = I.inter v (I.make 0.0 infinity) in
+        if I.is_empty vp then raise Empty;
+        require a (I.sqr vp)
+    | ASin a | ACos a ->
+        (* Multivalued inverse: only prune when the range is impossible. *)
+        if I.is_empty (I.inter v (I.make (-1.0) 1.0)) then raise Empty;
+        ignore a
+    | ATan a -> ignore a
+    | AAtan a ->
+        let dom = I.make (-1.5707963267948966) 1.5707963267948966 in
+        let vc = I.inter v dom in
+        if I.is_empty vc then raise Empty;
+        require a (I.tan vc)
+    | ATanh a ->
+        let vc = I.inter v (I.make (-1.0) 1.0) in
+        if I.is_empty vc then raise Empty;
+        require a (I.atanh vc)
+    | AAbs a ->
+        let pre = abs_preimage a.value v in
+        if I.is_empty pre then raise Empty;
+        require a pre
+    | AMin (a, b) ->
+        (* min(a,b) ∈ v ⇒ a ≥ v.lo and b ≥ v.lo; if the other side lies
+           strictly above v, this side must realize the upper bound. *)
+        let low = I.make (I.lo v) infinity in
+        require a (I.inter a.value low);
+        require b (I.inter b.value low);
+        if I.lo b.value > I.hi v then require a (I.inter a.value v);
+        if I.lo a.value > I.hi v then require b (I.inter b.value v)
+    | AMax (a, b) ->
+        let high = I.make neg_infinity (I.hi v) in
+        require a (I.inter a.value high);
+        require b (I.inter b.value high);
+        if I.hi b.value < I.lo v then require a (I.inter a.value v);
+        if I.hi a.value < I.lo v then require b (I.inter b.value v)
+  in
+  require root target
+
+(* One HC4-revise step for [term ∈ target] on [box].  Returns the
+   contracted box, or [None] if the constraint is infeasible on the box. *)
+let revise ~term ~target box =
+  let root = annotate term in
+  ignore (forward box root);
+  if I.is_empty (I.inter root.value target) then None
+  else
+    let reqs = Hashtbl.create 8 in
+    try
+      backward reqs root target;
+      let contracted =
+        Hashtbl.fold
+          (fun x req acc ->
+            match Box.find_opt x acc with
+            | None -> acc
+            | Some cur ->
+                let refined = I.inter cur req in
+                if I.is_empty refined then raise Empty
+                else Box.set x refined acc)
+          reqs box
+      in
+      Some contracted
+    with Empty -> None
+
+(* A constraint is a term with a target interval for its value. *)
+type constr = { term : Expr.Term.t; target : I.t }
+
+let pp_constr ppf c = Fmt.pf ppf "%a ∈ %a" Expr.Term.pp c.term I.pp c.target
+
+let of_atom ?(delta = 0.0) (a : Expr.Formula.atom) =
+  (* Both strict and non-strict atoms contract against the closed target
+     [-δ, ∞): contraction works with closures, strictness is enforced at
+     verdict time. *)
+  { term = a.term; target = I.make (-.delta) infinity }
+
+(* Fixpoint contraction with all constraints.  Stops when no component
+   shrinks by more than [tol] (relative to its width) or after
+   [max_rounds].  Returns [None] on infeasibility. *)
+let fixpoint ?(tol = 0.01) ?(max_rounds = 20) constraints box =
+  let progressed old_box new_box =
+    let shrank = ref false in
+    Box.iter
+      (fun x i_new ->
+        match Box.find_opt x old_box with
+        | None -> ()
+        | Some i_old ->
+            let w_old = I.width i_old and w_new = I.width i_new in
+            if w_old > 0.0 && (w_old -. w_new) /. w_old > tol then shrank := true
+            else if w_old = infinity && w_new < infinity then shrank := true)
+      new_box;
+    !shrank
+  in
+  let rec loop box round =
+    let step =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> None
+          | Some b -> revise ~term:c.term ~target:c.target b)
+        (Some box) constraints
+    in
+    match step with
+    | None -> None
+    | Some box' ->
+        if round >= max_rounds || not (progressed box box') then Some box'
+        else loop box' (round + 1)
+  in
+  loop box 0

@@ -1,0 +1,35 @@
+(** HC4-revise interval constraint propagation.
+
+    Given a constraint [term ∈ target] and a box, the forward pass
+    computes interval enclosures for every subterm and the backward pass
+    pushes the refined requirement down to the variable leaves.
+    Contraction never loses solutions: every point of the box satisfying
+    the constraint is in the contracted box. *)
+
+exception Empty
+(** Raised internally when a requirement becomes empty; the public
+    functions catch it and return [None]. *)
+
+type constr = { term : Expr.Term.t; target : Interval.Ia.t }
+(** The constraint [term ∈ target]. *)
+
+val of_atom : ?delta:float -> Expr.Formula.atom -> constr
+(** Constraint form of an atom [t ⋈ 0]: the closed target [[-δ, +∞)].
+    Strictness is enforced at verdict time, not during contraction. *)
+
+val pp_constr : constr Fmt.t
+
+val revise :
+  term:Expr.Term.t -> target:Interval.Ia.t -> Interval.Box.t -> Interval.Box.t option
+(** One HC4-revise step.  [None] means the constraint is infeasible on the
+    box (a proof). *)
+
+val fixpoint :
+  ?tol:float ->
+  ?max_rounds:int ->
+  constr list ->
+  Interval.Box.t ->
+  Interval.Box.t option
+(** Round-robin contraction with all constraints until no component
+    shrinks by more than [tol] (relative) or [max_rounds] is reached.
+    [None] on infeasibility. *)

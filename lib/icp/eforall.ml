@@ -1,0 +1,110 @@
+(* ∃∀ formulas over the reals via CEGIS over δ-decisions (the paper's
+   Sec. IV-C(i), following the exists-forall delta-decision procedure of
+   Kong, Solar-Lezama & Gao, CAV'18).
+
+   Problem: find x ∈ X such that for all y ∈ Y, φ(x, y) holds.
+
+   CEGIS loop:
+   - ∃-step: find x satisfying φ(x, y_j) for every counterexample y_j
+     collected so far (each a quantifier-free instance, decided by
+     {!Solver});
+   - ∀-step: with x fixed, decide ¬φ(x, ·) over Y.  `unsat` proves the
+     candidate; a δ-sat witness y* becomes a new counterexample.
+
+   Semantics are one-sided as in the reference procedure: a [Proved]
+   answer guarantees ∀y. φ^δ(x, y) (the ∀-step refutes the δ-strengthened
+   violation), while [No_witness] means even the weakened instance
+   constraints became unsatisfiable. *)
+
+module Box = Interval.Box
+module F = Expr.Formula
+
+type config = {
+  max_iterations : int;
+  exists_solver : Solver.config;
+  forall_solver : Solver.config;
+  initial_cexs : (string * float) list list;  (** seed counterexamples *)
+  margin : float;
+      (** the ∀-step hunts for violations *exceeding* this margin; it must
+          dominate the solver's δ or boundary-equality points make the
+          loop diverge (the proved guarantee is ∀y. φ^margin) *)
+}
+
+let default_config =
+  {
+    max_iterations = 50;
+    exists_solver = Solver.default_config;
+    forall_solver = Solver.default_config;
+    initial_cexs = [];
+    margin = 1e-2;
+  }
+
+type result =
+  | Proved of { witness : (string * float) list; iterations : int;
+                counterexamples : (string * float) list list }
+  | No_witness of int  (** the ∃-step became unsat at this iteration *)
+  | Budget_exhausted of int
+
+let pp_result ppf = function
+  | Proved { witness; iterations; _ } ->
+      Fmt.pf ppf "proved in %d iteration(s): %a" iterations
+        Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string float))
+        witness
+  | No_witness i -> Fmt.pf ppf "no witness (exists-step unsat at iteration %d)" i
+  | Budget_exhausted i -> Fmt.pf ppf "budget exhausted after %d iteration(s)" i
+
+(* Default seed counterexamples: the corners (capped) and center of Y. *)
+let seed_points box =
+  let bindings = Box.to_list box in
+  let corners =
+    List.fold_left
+      (fun acc (v, itv) ->
+        if List.length acc > 16 then
+          List.map (fun pt -> (v, Interval.Ia.mid itv) :: pt) acc
+        else
+          List.concat_map
+            (fun pt ->
+              [ (v, Interval.Ia.lo itv) :: pt; (v, Interval.Ia.hi itv) :: pt ])
+            acc)
+      [ [] ] bindings
+  in
+  Box.mid_env box :: corners
+
+let solve ?(config = default_config) ~exists_box ~forall_box phi =
+  let exists_vars = Box.vars exists_box in
+  let forall_vars = Box.vars forall_box in
+  (* sanity: φ's free variables are covered *)
+  List.iter
+    (fun v ->
+      if not (List.mem v (exists_vars @ forall_vars)) then
+        invalid_arg (Printf.sprintf "Eforall.solve: unbound variable %S" v))
+    (F.free_var_list phi);
+  let subst_y env f =
+    F.subst (List.map (fun (y, v) -> (y, Expr.Term.const v)) env) f
+  in
+  let subst_x env f = subst_y env f in
+  let cexs0 =
+    match config.initial_cexs with [] -> seed_points forall_box | l -> l
+  in
+  let rec loop cexs iter =
+    if iter > config.max_iterations then Budget_exhausted (iter - 1)
+    else
+      let exists_formula = F.and_ (List.map (fun y -> subst_y y phi) cexs) in
+      match Solver.decide ~config:config.exists_solver exists_formula exists_box with
+      | Solver.Unsat -> No_witness iter
+      | Solver.Unknown _ -> Budget_exhausted iter
+      | Solver.Delta_sat w -> (
+          let x = w.Solver.point in
+          (* strengthen by the margin: only violations beyond it count *)
+          let violation = F.delta_weaken (-.config.margin) (F.neg (subst_x x phi)) in
+          match Solver.decide ~config:config.forall_solver violation forall_box with
+          | Solver.Unsat ->
+              Proved { witness = x; iterations = iter; counterexamples = cexs }
+          | Solver.Unknown _ -> Budget_exhausted iter
+          | Solver.Delta_sat cex ->
+              let y =
+                List.filter (fun (v, _) -> List.mem v forall_vars) cex.Solver.point
+              in
+              loop (y :: cexs) (iter + 1))
+  in
+  loop cexs0 1

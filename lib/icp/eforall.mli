@@ -1,0 +1,41 @@
+(** ∃∀ formulas over the reals via CEGIS over δ-decisions (Sec. IV-C(i);
+    Kong, Solar-Lezama & Gao, CAV'18).
+
+    [solve ~exists_box ~forall_box φ] searches for x in [exists_box] such
+    that φ(x, y) holds for every y in [forall_box].  Answers are
+    one-sided: [Proved] refutes the δ-strengthened violation over the
+    whole ∀-box; [No_witness] means the (δ-weakened) instance constraints
+    themselves became unsatisfiable. *)
+
+type config = {
+  max_iterations : int;
+  exists_solver : Solver.config;
+  forall_solver : Solver.config;
+  initial_cexs : (string * float) list list;
+      (** seed counterexamples; corners + center of the ∀-box when empty *)
+  margin : float;
+      (** violations must exceed this margin to count; the proved
+          guarantee is ∀y. φ^margin (must dominate the solver's δ) *)
+}
+
+val default_config : config
+
+type result =
+  | Proved of {
+      witness : (string * float) list;
+      iterations : int;
+      counterexamples : (string * float) list list;
+    }
+  | No_witness of int
+  | Budget_exhausted of int
+
+val solve :
+  ?config:config ->
+  exists_box:Interval.Box.t ->
+  forall_box:Interval.Box.t ->
+  Expr.Formula.t ->
+  result
+(** @raise Invalid_argument when φ mentions a variable outside both
+    boxes. *)
+
+val pp_result : result Fmt.t

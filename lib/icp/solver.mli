@@ -1,0 +1,65 @@
+(** Branch-and-prune δ-decision procedure — the dReal-equivalent core
+    (Theorem 1 of the paper).
+
+    Given a bounded quantifier-free L_RF formula φ and a box of variable
+    domains, {!decide} returns one of:
+    - [Unsat] — φ has no solution in the box (sound: outward-rounded
+      interval arithmetic and HC4 contraction never lose solutions);
+    - [Delta_sat w] — the δ-weakening φ^δ is satisfiable.  When
+      [w.certified] the witness point was explicitly checked to satisfy
+      φ^δ; otherwise the verdict is the one-sided interval answer that
+      δ-decidability licenses on a sub-ε box;
+    - [Unknown] — the work budget ran out first. *)
+
+type config = {
+  delta : float;  (** perturbation bound δ of the δ-decision problem *)
+  epsilon : float;  (** boxes thinner than this are no longer split *)
+  max_boxes : int;  (** branch-and-prune work budget *)
+  contractor_rounds : int;  (** HC4 fixpoint rounds per box *)
+  use_contraction : bool;  (** disable for bisection-only search (ablation) *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable boxes_processed : int;
+  mutable splits : int;
+  mutable prunings : int;
+  mutable max_depth : int;
+}
+
+type witness = {
+  point : (string * float) list;
+  box : Interval.Box.t;
+  certified : bool;
+}
+
+type result =
+  | Unsat
+  | Delta_sat of witness
+  | Unknown of string
+
+val pp_result : result Fmt.t
+
+val decide : ?config:config -> Expr.Formula.t -> Interval.Box.t -> result
+
+val decide_with_stats :
+  ?config:config -> Expr.Formula.t -> Interval.Box.t -> result * stats
+
+(** {1 Paving}
+
+    Partition of a box by formula status, used for guaranteed parameter
+    set identification. *)
+
+type paving = {
+  sat : Interval.Box.t list;  (** formula certainly holds on every point *)
+  unsat : Interval.Box.t list;  (** formula certainly fails on every point *)
+  undecided : Interval.Box.t list;
+}
+
+val pave : ?config:config -> Expr.Formula.t -> Interval.Box.t -> paving
+
+val paving_volumes : over:string list -> paving -> float * float * float
+(** Total (sat, unsat, undecided) volumes over the named dimensions. *)
+
+val pp_paving : paving Fmt.t

@@ -1,0 +1,104 @@
+(* Boxes: finite maps from variable names to intervals.
+
+   A box denotes the Cartesian product of its component intervals.  A box
+   is empty as a set as soon as one component is the empty interval; we
+   keep the component map around so that error messages can name the
+   offending variable. *)
+
+module SMap = Map.Make (String)
+
+type t = Ia.t SMap.t
+
+let empty_map : t = SMap.empty
+let of_list l : t = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty l
+let to_list (b : t) = SMap.bindings b
+let vars (b : t) = List.map fst (SMap.bindings b)
+let cardinal = SMap.cardinal
+let mem_var = SMap.mem
+
+let find name (b : t) =
+  match SMap.find_opt name b with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Box.find: unbound variable %S" name)
+
+let find_opt = SMap.find_opt
+let set name i (b : t) : t = SMap.add name i b
+let update name f (b : t) : t = SMap.add name (f (find name b)) b
+let remove = SMap.remove
+
+let is_empty (b : t) = SMap.exists (fun _ i -> Ia.is_empty i) b
+
+let equal (a : t) (b : t) = SMap.equal Ia.equal a b
+
+let subset (a : t) (b : t) =
+  SMap.for_all
+    (fun k i -> match SMap.find_opt k b with Some j -> Ia.subset i j | None -> false)
+    a
+
+(* Componentwise intersection over the union of domains; a variable bound
+   in only one box keeps its interval. *)
+let inter (a : t) (b : t) : t =
+  SMap.union (fun _ i j -> Some (Ia.inter i j)) a b
+
+let hull (a : t) (b : t) : t =
+  SMap.union (fun _ i j -> Some (Ia.hull i j)) a b
+
+let width (b : t) =
+  SMap.fold (fun _ i acc -> Float.max acc (Ia.width i)) b 0.0
+
+let max_dim (b : t) =
+  SMap.fold
+    (fun k i (best_k, best_w) ->
+      let w = Ia.width i in
+      if w > best_w then (Some k, w) else (best_k, best_w))
+    b (None, neg_infinity)
+
+(* Volume of the box (product of widths); infinite components give
+   [infinity], empty boxes give [0.]. *)
+let volume (b : t) =
+  if is_empty b then 0.0
+  else SMap.fold (fun _ i acc -> acc *. Ia.width i) b 1.0
+
+(* Volume restricted to the named variables. *)
+let volume_over names (b : t) =
+  if is_empty b then 0.0
+  else List.fold_left (fun acc n -> acc *. Ia.width (find n b)) 1.0 names
+
+let midpoint (b : t) = SMap.map (fun i -> Ia.of_float (Ia.mid i)) b
+
+let mid_env (b : t) : (string * float) list =
+  List.map (fun (k, i) -> (k, Ia.mid i)) (SMap.bindings b)
+
+let contains_env env (b : t) =
+  List.for_all
+    (fun (k, x) -> match SMap.find_opt k b with Some i -> Ia.mem x i | None -> false)
+    env
+
+(* Split along the widest component whose width exceeds [min_width]
+   (default 0: always split the widest).  Returns [None] when every
+   component is at most [min_width] wide or the box is degenerate. *)
+let split ?(min_width = 0.0) (b : t) =
+  match max_dim b with
+  | None, _ -> None
+  | Some k, w ->
+      if w <= min_width || w = 0.0 then None
+      else
+        let l, r = Ia.split (find k b) in
+        Some (SMap.add k l b, SMap.add k r b)
+
+let split_var name (b : t) =
+  let l, r = Ia.split (find name b) in
+  (SMap.add name l b, SMap.add name r b)
+
+let inflate eps (b : t) : t = SMap.map (Ia.inflate eps) b
+
+let map = SMap.map
+let fold f (b : t) acc = SMap.fold f b acc
+let iter = SMap.iter
+let for_all = SMap.for_all
+
+let pp ppf (b : t) =
+  let pp_binding ppf (k, i) = Fmt.pf ppf "%s ∈ %a" k Ia.pp i in
+  Fmt.pf ppf "@[<hv>{%a}@]" Fmt.(list ~sep:(any ";@ ") pp_binding) (SMap.bindings b)
+
+let to_string b = Fmt.str "%a" pp b

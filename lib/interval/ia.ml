@@ -1,0 +1,317 @@
+(* Scalar interval arithmetic with outward rounding.
+
+   An interval is a closed connected subset of the extended reals,
+   represented by its two bounds.  The empty interval is encoded with NaN
+   bounds and is propagated by every operation.  All arithmetic is
+   *outward rounded* (see {!Round}), so for every operation [op] and all
+   points [x ∈ a], [y ∈ b] it holds that [op x y ∈ op a b]: enclosures are
+   sound, never exact. *)
+
+type t = { lo : float; hi : float }
+
+let empty = { lo = nan; hi = nan }
+let is_empty i = Float.is_nan i.lo || Float.is_nan i.hi
+let entire = { lo = neg_infinity; hi = infinity }
+let zero = { lo = 0.0; hi = 0.0 }
+let one = { lo = 1.0; hi = 1.0 }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then empty
+  else if lo > hi then invalid_arg "Ia.make: lo > hi"
+  else { lo; hi }
+
+let make_unordered a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let of_float x = if Float.is_nan x then empty else { lo = x; hi = x }
+
+(* Smallest interval with double bounds containing the real whose decimal
+   representation rounded to [x]; used to absorb decimal-literal error. *)
+let of_literal x =
+  if Float.is_nan x then empty else { lo = Round.lo1 x; hi = Round.hi1 x }
+
+let lo i = i.lo
+let hi i = i.hi
+
+let is_entire i = (not (is_empty i)) && i.lo = neg_infinity && i.hi = infinity
+let is_bounded i = (not (is_empty i)) && Float.is_finite i.lo && Float.is_finite i.hi
+let is_singleton i = (not (is_empty i)) && i.lo = i.hi
+
+let mem x i = (not (is_empty i)) && (not (Float.is_nan x)) && i.lo <= x && x <= i.hi
+
+let subset a b =
+  is_empty a || ((not (is_empty b)) && b.lo <= a.lo && a.hi <= b.hi)
+
+let equal a b =
+  (is_empty a && is_empty b) || ((not (is_empty a)) && (not (is_empty b)) && a.lo = b.lo && a.hi = b.hi)
+
+let overlap a b =
+  (not (is_empty a)) && (not (is_empty b)) && a.lo <= b.hi && b.lo <= a.hi
+
+let inter a b =
+  if is_empty a || is_empty b then empty
+  else
+    let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+    if lo > hi then empty else { lo; hi }
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let width i = if is_empty i then 0.0 else Round.hi1 (i.hi -. i.lo)
+let rad i = if is_empty i then 0.0 else Round.hi1 (0.5 *. (i.hi -. i.lo))
+
+(* Midpoint, clamped to a finite representable value inside the interval. *)
+let mid i =
+  if is_empty i then nan
+  else if is_entire i then 0.0
+  else if i.lo = neg_infinity then Float.min i.hi (-.Float.max_float *. 0.5)
+  else if i.hi = infinity then Float.max i.lo (Float.max_float *. 0.5)
+  else
+    let m = 0.5 *. (i.lo +. i.hi) in
+    if Float.is_finite m then Float.max i.lo (Float.min i.hi m)
+    else 0.5 *. i.lo +. 0.5 *. i.hi
+
+let mag i = if is_empty i then 0.0 else Float.max (Float.abs i.lo) (Float.abs i.hi)
+
+let mig i =
+  if is_empty i then 0.0
+  else if i.lo <= 0.0 && 0.0 <= i.hi then 0.0
+  else Float.min (Float.abs i.lo) (Float.abs i.hi)
+
+(* Hausdorff distance between two nonempty intervals. *)
+let dist a b =
+  if is_empty a || is_empty b then nan
+  else Float.max (Float.abs (a.lo -. b.lo)) (Float.abs (a.hi -. b.hi))
+
+let inflate eps i =
+  if is_empty i then empty
+  else { lo = Round.lo1 (i.lo -. eps); hi = Round.hi1 (i.hi +. eps) }
+
+let split i =
+  if is_empty i then (empty, empty)
+  else
+    let m = mid i in
+    ({ lo = i.lo; hi = m }, { lo = m; hi = i.hi })
+
+(* ---- Ring operations ---- *)
+
+let neg i = if is_empty i then empty else { lo = -.i.hi; hi = -.i.lo }
+
+let add a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Round.lo1 (a.lo +. b.lo); hi = Round.hi1 (a.hi +. b.hi) }
+
+let sub a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Round.lo1 (a.lo -. b.hi); hi = Round.hi1 (a.hi -. b.lo) }
+
+let add_float a x = add a (of_float x)
+let sub_float a x = sub a (of_float x)
+
+(* Product of two bounds with the interval convention 0 * inf = 0. *)
+let prod x y = if x = 0.0 || y = 0.0 then 0.0 else x *. y
+
+let mul a b =
+  if is_empty a || is_empty b then empty
+  else
+    let p1 = prod a.lo b.lo
+    and p2 = prod a.lo b.hi
+    and p3 = prod a.hi b.lo
+    and p4 = prod a.hi b.hi in
+    { lo = Round.lo1 (Float.min (Float.min p1 p2) (Float.min p3 p4));
+      hi = Round.hi1 (Float.max (Float.max p1 p2) (Float.max p3 p4)) }
+
+let mul_float a x = mul a (of_float x)
+
+let sqr i =
+  if is_empty i then empty
+  else
+    let l = Float.abs i.lo and h = Float.abs i.hi in
+    let m = mig i and g = Float.max l h in
+    let lo = if m = 0.0 then 0.0 else Round.lo1 (m *. m) in
+    { lo; hi = Round.hi1 (g *. g) }
+
+(* Reciprocal.  If the interval straddles zero the result is the whole
+   line (a connected over-approximation of the two unbounded branches);
+   a zero singleton has empty reciprocal. *)
+let inv i =
+  if is_empty i then empty
+  else if i.lo = 0.0 && i.hi = 0.0 then empty
+  else if i.lo < 0.0 && i.hi > 0.0 then entire
+  else if i.lo = 0.0 then { lo = Round.lo1 (1.0 /. i.hi); hi = infinity }
+  else if i.hi = 0.0 then { lo = neg_infinity; hi = Round.hi1 (1.0 /. i.lo) }
+  else
+    let a = 1.0 /. i.hi and b = 1.0 /. i.lo in
+    { lo = Round.lo1 (Float.min a b); hi = Round.hi1 (Float.max a b) }
+
+let div a b = if is_empty a || is_empty b then empty else mul a (inv b)
+
+(* Integer power by sign analysis: exact monotonicity cases. *)
+let rec pow_int i n =
+  if is_empty i then empty
+  else if n = 0 then one
+  else if n < 0 then inv (pow_int i (-n))
+  else if n = 1 then i
+  else if n mod 2 = 0 then
+    let m = mig i and g = mag i in
+    let p x = Float.pow x (float_of_int n) in
+    let lo = if m = 0.0 then 0.0 else Float.max 0.0 (Round.lo2 (p m)) in
+    { lo; hi = Round.hi2 (p g) }
+  else
+    let p x =
+      (* Float.pow of a negative base with integer exponent is defined. *)
+      Float.pow x (float_of_int n)
+    in
+    { lo = Round.lo2 (p i.lo); hi = Round.hi2 (p i.hi) }
+
+(* ---- Monotone elementary functions ---- *)
+
+let monotone_incr f i =
+  if is_empty i then empty
+  else { lo = Round.lo2 (f i.lo); hi = Round.hi2 (f i.hi) }
+
+let exp i =
+  if is_empty i then empty
+  else
+    let l = Round.lo2 (Float.exp i.lo) and h = Round.hi2 (Float.exp i.hi) in
+    { lo = Float.max 0.0 l; hi = h }
+
+let log i =
+  if is_empty i then empty
+  else if i.hi <= 0.0 then empty
+  else
+    let lo = if i.lo <= 0.0 then neg_infinity else Round.lo2 (Float.log i.lo) in
+    { lo; hi = Round.hi2 (Float.log i.hi) }
+
+let sqrt i =
+  if is_empty i then empty
+  else if i.hi < 0.0 then empty
+  else
+    let l = if i.lo <= 0.0 then 0.0 else Float.max 0.0 (Round.lo2 (Float.sqrt i.lo)) in
+    { lo = l; hi = Round.hi2 (Float.sqrt i.hi) }
+
+let atan i = monotone_incr Float.atan i
+let tanh i =
+  if is_empty i then empty
+  else
+    let l = Float.max (-1.0) (Round.lo2 (Float.tanh i.lo))
+    and h = Float.min 1.0 (Round.hi2 (Float.tanh i.hi)) in
+    { lo = l; hi = h }
+
+let abs i =
+  if is_empty i then empty
+  else { lo = mig i; hi = mag i }
+
+let min_ a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+
+let max_ a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(* Real power through exp/log on the positive part of the base. *)
+let pow a b =
+  if is_empty a || is_empty b then empty
+  else exp (mul b (log a))
+
+(* Principal n-th root.  For odd [n] it is defined on the whole line (sign
+   preserving); for even [n] it is the nonnegative root of the nonnegative
+   part of the argument. *)
+let root i n =
+  if n <= 0 then invalid_arg "Ia.root: n must be positive"
+  else if is_empty i then empty
+  else if n = 1 then i
+  else
+    let r x =
+      if x = infinity then infinity
+      else if x = neg_infinity then neg_infinity
+      else Float.copy_sign (Float.pow (Float.abs x) (1.0 /. float_of_int n)) x
+    in
+    if n mod 2 = 1 then { lo = Round.lo2 (r i.lo); hi = Round.hi2 (r i.hi) }
+    else if i.hi < 0.0 then empty
+    else
+      let lo = if i.lo <= 0.0 then 0.0 else Float.max 0.0 (Round.lo2 (r i.lo)) in
+      { lo; hi = Round.hi2 (r i.hi) }
+
+(* Inverse hyperbolic tangent on the intersection with (-1, 1). *)
+let atanh i =
+  if is_empty i then empty
+  else
+    let j = inter i { lo = -1.0; hi = 1.0 } in
+    if is_empty j then empty
+    else
+      let f x = 0.5 *. Float.log ((1.0 +. x) /. (1.0 -. x)) in
+      let lo = if j.lo <= -1.0 then neg_infinity else Round.lo2 (f j.lo) in
+      let hi = if j.hi >= 1.0 then infinity else Round.hi2 (f j.hi) in
+      { lo; hi }
+
+(* ---- Trigonometric functions ----
+
+   Strategy: if the interval is at least one full period wide the result is
+   [-1, 1].  Otherwise we evaluate at the endpoints and check whether a
+   critical point (odd/even multiple of pi for cos extrema, of pi/2 shifted
+   for sin) lies inside; we use conservative rational comparisons against
+   outward-rounded pi.  A final small absolute inflation absorbs libm and
+   reduction error. *)
+
+let trig_guard = 4e-16
+
+let contains_multiple ~offset ~period:_ lo hi =
+  (* Is there an integer k with lo <= k*2pi + offset <= hi?
+     Conservative: widen the test window by one ulp on each side. *)
+  let k_min = Float.ceil ((lo -. offset) /. Round.two_pi_hi -. 1e-12) in
+  let k_max = Float.floor ((hi -. offset) /. Round.two_pi_lo +. 1e-12) in
+  (* Re-check candidates explicitly against a widened window. *)
+  let check k =
+    let x_lo = (k *. Round.two_pi_lo) +. offset -. 1e-9
+    and x_hi = (k *. Round.two_pi_hi) +. offset +. 1e-9 in
+    x_hi >= lo && x_lo <= hi
+  in
+  let rec scan k = k <= k_max && (check k || scan (k +. 1.0)) in
+  k_min <= k_max && scan k_min
+
+let unit = { lo = -1.0; hi = 1.0 }
+
+let cos i =
+  if is_empty i then empty
+  else if not (is_bounded i) then unit
+  else if i.hi -. i.lo >= Round.two_pi_lo then unit
+  else
+    let cl = Float.cos i.lo and ch = Float.cos i.hi in
+    let has_max = contains_multiple ~offset:0.0 ~period:0.0 i.lo i.hi in
+    let has_min = contains_multiple ~offset:Float.pi ~period:0.0 i.lo i.hi in
+    let hi_b = if has_max then 1.0 else Float.min 1.0 (Round.hi2 (Float.max cl ch) +. trig_guard) in
+    let lo_b = if has_min then -1.0 else Float.max (-1.0) (Round.lo2 (Float.min cl ch) -. trig_guard) in
+    { lo = lo_b; hi = hi_b }
+
+let sin i =
+  if is_empty i then empty
+  else cos (sub (of_literal (0.5 *. Float.pi)) i)
+
+let tan i =
+  if is_empty i then empty
+  else if not (is_bounded i) then entire
+  else if i.hi -. i.lo >= Round.pi_lo then entire
+  else if contains_multiple ~offset:(0.5 *. Float.pi) ~period:0.0 i.lo i.hi
+       || contains_multiple ~offset:(-0.5 *. Float.pi) ~period:0.0 i.lo i.hi
+  then entire
+  else
+    let tl = Float.tan i.lo and th = Float.tan i.hi in
+    if tl > th then entire
+    else { lo = Round.lo2 tl -. trig_guard; hi = Round.hi2 th +. trig_guard }
+
+(* ---- Sign queries (used by the decision procedure) ---- *)
+
+let certainly_gt_zero i = (not (is_empty i)) && i.lo > 0.0
+let certainly_ge_zero i = (not (is_empty i)) && i.lo >= 0.0
+let certainly_lt_zero i = (not (is_empty i)) && i.hi < 0.0
+let certainly_le_zero i = (not (is_empty i)) && i.hi <= 0.0
+let possibly_gt ~delta i = (not (is_empty i)) && i.hi > -.delta
+let possibly_ge ~delta i = (not (is_empty i)) && i.hi >= -.delta
+
+let pp ppf i =
+  if is_empty i then Fmt.string ppf "[empty]"
+  else Fmt.pf ppf "[%.17g, %.17g]" i.lo i.hi
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,145 @@
+(** Scalar interval arithmetic with outward rounding.
+
+    Intervals are closed connected subsets of the extended real line.  Every
+    operation is a sound enclosure: for all points [x ∈ a] and [y ∈ b],
+    [op x y ∈ op a b].  Soundness is obtained by widening each computed
+    bound outward by one ulp (two for libm transcendentals); see {!Round}.
+
+    The empty interval is a first-class value and is propagated by all
+    operations. *)
+
+type t = private { lo : float; hi : float }
+(** An interval [{lo; hi}] with [lo <= hi], or the empty interval (NaN
+    bounds).  The representation is exposed read-only for pattern matching;
+    use {!make} to construct. *)
+
+(** {1 Constructors and constants} *)
+
+val empty : t
+(** The empty set. *)
+
+val entire : t
+(** The whole extended real line [(-∞, +∞)]. *)
+
+val zero : t
+val one : t
+
+val make : float -> float -> t
+(** [make lo hi] is the interval [[lo, hi]].
+    @raise Invalid_argument if [lo > hi].  NaN arguments yield {!empty}. *)
+
+val make_unordered : float -> float -> t
+(** [make_unordered a b] is the interval spanned by [a] and [b] in either
+    order. *)
+
+val of_float : float -> t
+(** Singleton interval. *)
+
+val of_literal : float -> t
+(** [of_literal x] is [x] widened by one ulp on each side; use it for
+    decimal constants whose binary representation is inexact. *)
+
+(** {1 Accessors and predicates} *)
+
+val lo : t -> float
+val hi : t -> float
+val is_empty : t -> bool
+val is_entire : t -> bool
+val is_bounded : t -> bool
+(** True iff nonempty with two finite bounds. *)
+
+val is_singleton : t -> bool
+val mem : float -> t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val overlap : t -> t -> bool
+
+(** {1 Lattice and metric operations} *)
+
+val inter : t -> t -> t
+val hull : t -> t -> t
+val width : t -> float
+(** Upper bound on [hi - lo]; [0.] for the empty interval. *)
+
+val rad : t -> float
+val mid : t -> float
+(** A finite representable point inside the interval (NaN if empty). *)
+
+val mag : t -> float
+(** Magnitude: [max |lo| |hi|]. *)
+
+val mig : t -> float
+(** Mignitude: distance of the interval from zero. *)
+
+val dist : t -> t -> float
+(** Hausdorff distance between nonempty intervals. *)
+
+val inflate : float -> t -> t
+(** [inflate eps i] widens [i] by [eps] on each side (plus one ulp). *)
+
+val split : t -> t * t
+(** Bisect at the midpoint; the halves share the midpoint. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Division by an interval containing zero in its interior yields
+    {!entire} (the connected over-approximation). *)
+
+val add_float : t -> float -> t
+val sub_float : t -> float -> t
+val mul_float : t -> float -> t
+val inv : t -> t
+val sqr : t -> t
+val pow_int : t -> int -> t
+val pow : t -> t -> t
+(** Real power via [exp (b * log a)]; defined on the positive part of the
+    base. *)
+
+val root : t -> int -> t
+(** Principal [n]-th root: sign-preserving for odd [n], the nonnegative
+    branch on the nonnegative part of the argument for even [n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val atanh : t -> t
+(** Inverse hyperbolic tangent on the intersection with [(-1, 1)]. *)
+
+(** {1 Elementary functions} *)
+
+val exp : t -> t
+val log : t -> t
+(** Restricted to the positive part of the argument; empty if [hi <= 0]. *)
+
+val sqrt : t -> t
+val sin : t -> t
+val cos : t -> t
+val tan : t -> t
+val atan : t -> t
+val tanh : t -> t
+val abs : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** {1 Sign queries}
+
+    Used by the δ-decision procedure to classify atoms [t > 0] / [t ≥ 0]. *)
+
+val certainly_gt_zero : t -> bool
+val certainly_ge_zero : t -> bool
+val certainly_lt_zero : t -> bool
+val certainly_le_zero : t -> bool
+
+val possibly_gt : delta:float -> t -> bool
+(** [possibly_gt ~delta i]: the δ-weakened atom [t > -δ] cannot be refuted
+    on [i]. *)
+
+val possibly_ge : delta:float -> t -> bool
+
+(** {1 Printing} *)
+
+val pp : t Fmt.t
+val to_string : t -> string

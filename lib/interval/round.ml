@@ -1,0 +1,36 @@
+(* Directed-rounding surrogates.
+
+   OCaml does not expose the FPU rounding mode, so we widen every computed
+   bound by one unit in the last place in the conservative direction.  IEEE
+   binary64 arithmetic (+, -, *, /, sqrt) is correctly rounded to nearest,
+   hence the true real result of such an operation lies within one ulp of
+   the computed value; stepping one ulp outward therefore yields a sound
+   enclosure.  Transcendental functions from libm are faithfully rounded at
+   best, so we step two ulps outward for them. *)
+
+let next_up x =
+  if Float.is_nan x then nan
+  else if x = infinity then infinity
+  else Float.succ x
+
+let next_down x =
+  if Float.is_nan x then nan
+  else if x = neg_infinity then neg_infinity
+  else Float.pred x
+
+(* One-ulp widening: sound for correctly rounded operations. *)
+let lo1 x = next_down x
+let hi1 x = next_up x
+
+(* Two-ulp widening: used for libm transcendentals. *)
+let lo2 x = next_down (next_down x)
+let hi2 x = next_up (next_up x)
+
+(* Pi enclosures.  [Float.pi] is the nearest double to the real pi and is
+   known to round down; we still widen both sides for robustness. *)
+let pi_lo = next_down Float.pi
+let pi_hi = next_up Float.pi
+let two_pi_lo = next_down (2.0 *. Float.pi)
+let two_pi_hi = next_up (2.0 *. Float.pi)
+let half_pi_lo = next_down (0.5 *. Float.pi)
+let half_pi_hi = next_up (0.5 *. Float.pi)

@@ -1,0 +1,30 @@
+(** Directed-rounding surrogates.
+
+    OCaml does not expose the FPU rounding mode, so bounds are widened
+    outward by ulp steps: one ulp for correctly rounded IEEE operations
+    (+, -, *, /, sqrt — the true result lies within one ulp of the
+    computed value), two ulps for libm transcendentals (faithfully
+    rounded at best). *)
+
+val next_up : float -> float
+val next_down : float -> float
+
+val lo1 : float -> float
+(** One-ulp downward widening (sound lower bound for correctly rounded
+    operations). *)
+
+val hi1 : float -> float
+
+val lo2 : float -> float
+(** Two-ulp widening, for libm transcendentals. *)
+
+val hi2 : float -> float
+
+(** Outward-rounded enclosures of π, 2π and π/2. *)
+
+val pi_lo : float
+val pi_hi : float
+val two_pi_lo : float
+val two_pi_hi : float
+val half_pi_lo : float
+val half_pi_hi : float

@@ -1,0 +1,59 @@
+(** CEGIS synthesis of Lyapunov functions with δ-decisions (Sec. IV-C).
+
+    The ∃∀ problem — coefficients c such that V_c > 0 and V̇_c ≤ 0 on the
+    region minus a small ball — is decomposed counterexample-guided:
+    the ∃-step solves the (linear-in-c) point constraints with the ICP
+    solver; the ∀-step searches the region for a violation
+    [V ≤ 0 ∨ V̇ ≥ ζ] (ζ > 0 is the robustness margin of the
+    numerically-sound proof rules the paper cites).  `unsat` for both
+    violations certifies the candidate. *)
+
+type problem = {
+  sys : Ode.System.t;  (** autonomous, parameter-free *)
+  region : Interval.Box.t;
+  inner_radius : float;  (** points with |x|² < r² are exempt *)
+  template : Template.t;
+  mu : float;  (** positivity margin used in the ∃-step *)
+  zeta : float;  (** decrease margin proved in the ∀-step *)
+}
+
+val problem :
+  ?inner_radius:float ->
+  ?mu:float ->
+  ?zeta:float ->
+  region:Interval.Box.t ->
+  template:Template.t ->
+  Ode.System.t ->
+  problem
+(** @raise Invalid_argument on unbound parameters, a region missing a
+    variable, or a non-positive inner radius. *)
+
+type certificate = {
+  v : Expr.Term.t;
+  vdot : Expr.Term.t;  (** Lie derivative of [v] along the system *)
+  coefficients : (string * float) list;
+  iterations : int;
+  counterexamples : (string * float) list list;
+}
+
+type outcome =
+  | Proved of certificate
+  | No_candidate of int
+      (** ∃-step unsat: the template cannot fit the counterexamples *)
+  | Budget_exhausted of int
+
+type config = {
+  coeff_bound : float;  (** coefficient search box [-bound, bound] *)
+  max_iterations : int;
+  exists_solver : Icp.Solver.config;
+  forall_solver : Icp.Solver.config;
+}
+
+val default_config : config
+
+val synthesize : ?config:config -> problem -> outcome
+
+val validate : ?samples:int -> ?seed:int -> problem -> certificate -> bool
+(** Independent re-check by dense random sampling of the annulus. *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,88 @@
+(* Polynomial Lyapunov function templates.
+
+   A template is a linear combination Σ cᵢ·mᵢ of monomials over the state
+   variables with unknown coefficients cᵢ.  Only monomials of degree ≥ 1
+   appear, so V(0) = 0 holds by construction (the paper's Sec. IV-C
+   setting synthesizes the cᵢ with ∃∀ δ-decisions). *)
+
+module T = Expr.Term
+
+type t = {
+  vars : string list;
+  monomials : (string * int) list list;  (* each: (var, exponent) list *)
+  coeff_names : string list;  (* c0, c1, ... aligned with monomials *)
+}
+
+let coeff_prefix = "c__"
+
+(* All monomials over [vars] with total degree in [min_degree, max_degree]. *)
+let monomials_upto ~min_degree ~max_degree vars =
+  if min_degree < 1 then invalid_arg "Template: min degree must be >= 1";
+  if max_degree < min_degree then invalid_arg "Template: max < min degree";
+  let rec go vars degree_left =
+    match vars with
+    | [] -> [ [] ]
+    | v :: rest ->
+        List.concat_map
+          (fun e ->
+            List.map
+              (fun tail -> if e = 0 then tail else (v, e) :: tail)
+              (go rest (degree_left - e)))
+          (List.init (degree_left + 1) Fun.id)
+  in
+  List.filter
+    (fun m ->
+      let d = List.fold_left (fun acc (_, e) -> acc + e) 0 m in
+      min_degree <= d && d <= max_degree)
+    (go vars max_degree)
+
+let create ?(min_degree = 1) ~max_degree vars =
+  let monomials = monomials_upto ~min_degree ~max_degree vars in
+  let coeff_names = List.mapi (fun i _ -> Printf.sprintf "%s%d" coeff_prefix i) monomials in
+  { vars; monomials; coeff_names }
+
+(* Quadratic-form template: monomials of degree exactly 2 — the classical
+   first choice for Lyapunov candidates. *)
+let quadratic vars = create ~min_degree:2 ~max_degree:2 vars
+
+(* Even template: degrees 2 and 4 only (positive-definite-friendly). *)
+let even_quartic vars =
+  let t24 = create ~min_degree:2 ~max_degree:4 vars in
+  let keep =
+    List.filter_map
+      (fun (m, c) ->
+        let d = List.fold_left (fun acc (_, e) -> acc + e) 0 m in
+        if d mod 2 = 0 then Some (m, c) else None)
+      (List.combine t24.monomials t24.coeff_names)
+  in
+  { t24 with monomials = List.map fst keep; coeff_names = List.map snd keep }
+
+let size tpl = List.length tpl.monomials
+
+let mono_term m =
+  List.fold_left (fun acc (v, e) -> T.mul acc (T.pow (T.var v) e)) T.one m
+
+(* The template as a term over vars ∪ coefficient names. *)
+let term tpl =
+  List.fold_left2
+    (fun acc m c -> T.add acc (T.mul (T.var c) (mono_term m)))
+    T.zero tpl.monomials tpl.coeff_names
+
+(* Instantiate the coefficients with concrete values. *)
+let instantiate tpl coeffs =
+  if List.length coeffs <> size tpl then
+    invalid_arg "Template.instantiate: coefficient count mismatch";
+  let bindings = List.map2 (fun c v -> (c, T.const v)) tpl.coeff_names coeffs in
+  Expr.Poly.canonicalize (T.subst bindings (term tpl))
+
+(* Candidate value of V at a concrete state, as a function of the
+   coefficients only (a *linear* term over the cᵢ — which is what makes
+   the ∃-step of CEGIS an easy ICP problem). *)
+let at_point tpl env =
+  List.fold_left2
+    (fun acc m c ->
+      let v = List.fold_left (fun p (x, e) -> p *. Float.pow (List.assoc x env) (float_of_int e)) 1.0 m in
+      T.add acc (T.mul (T.var c) (T.const v)))
+    T.zero tpl.monomials tpl.coeff_names
+
+let pp ppf tpl = Expr.Term.pp ppf (term tpl)

@@ -1,0 +1,41 @@
+(** Polynomial Lyapunov-function templates.
+
+    A template is a linear combination Σ cᵢ·mᵢ of monomials of degree ≥ 1
+    over the state variables with unknown coefficients cᵢ, so V(0) = 0 by
+    construction. *)
+
+type t = {
+  vars : string list;
+  monomials : (string * int) list list;  (** (variable, exponent) lists *)
+  coeff_names : string list;  (** aligned with [monomials] *)
+}
+
+val coeff_prefix : string
+(** Prefix of generated coefficient names (avoids collisions with state
+    variables). *)
+
+val create : ?min_degree:int -> max_degree:int -> string list -> t
+(** All monomials with total degree in [[min_degree, max_degree]].
+    @raise Invalid_argument when [min_degree < 1] or the range is empty. *)
+
+val quadratic : string list -> t
+(** Monomials of degree exactly 2 — the classical first choice. *)
+
+val even_quartic : string list -> t
+(** Degrees 2 and 4 only (positive-definite-friendly). *)
+
+val size : t -> int
+
+val term : t -> Expr.Term.t
+(** The template as a term over vars ∪ coefficient names; *linear* in the
+    coefficients. *)
+
+val instantiate : t -> float list -> Expr.Term.t
+(** Substitute concrete coefficients (canonicalized).
+    @raise Invalid_argument on an arity mismatch. *)
+
+val at_point : t -> (string * float) list -> Expr.Term.t
+(** V at a concrete state as a linear term over the coefficients only —
+    what makes the ∃-step of CEGIS an easy ICP problem. *)
+
+val pp : t Fmt.t

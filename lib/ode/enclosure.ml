@@ -1,0 +1,186 @@
+(* Validated interval integration.
+
+   Computes guaranteed enclosures of ODE flows over boxes of initial
+   states and parameters — the "ODE theory solver" that the bounded
+   reachability encoding (dReach-equivalent) consults.
+
+   Per step of size h from state box X0:
+   1. A-priori enclosure B ⊇ X([0,h]) by Picard-style inflation:
+        B ← X0 ∪ (X0 + [0,h]·f(B))    until containment;
+   2. Tightened endpoint box:
+      - order 1 (interval Euler):   X1 = X0 + h·f(B)
+      - order 2 (interval Taylor):  X1 = X0 + h·f(X0) + (h²/2)·(Jf·f)(B)
+      Both are sound by the integral/Taylor mean value forms since the
+      trajectory stays in B over the step. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+
+let src = Logs.Src.create "ode.enclosure" ~doc:"validated integration"
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type order = Euler_1 | Taylor_2
+
+type config = {
+  order : order;
+  h : float;  (** initial/maximum step size *)
+  h_min : float;  (** refuse to shrink the step below this *)
+  inflation : float;  (** multiplicative inflation used during Picard iteration *)
+  max_picard : int;
+  max_width : float;  (** abort when the state box gets wider than this *)
+}
+
+let default_config =
+  { order = Taylor_2; h = 0.05; h_min = 1e-5; inflation = 0.05; max_picard = 30;
+    max_width = 1e4 }
+
+type step = {
+  t_lo : float;
+  t_hi : float;
+  enclosure : Box.t;  (** encloses the state over the whole step *)
+  at_end : Box.t;  (** encloses the state at [t_hi] *)
+}
+
+type tube = {
+  vars : string list;
+  steps : step list;  (* in increasing time order *)
+  final : Box.t;
+  t_end : float;  (* time actually reached *)
+  complete : bool;  (* false when integration aborted (blow-up) *)
+}
+
+(* Second-derivative terms (Jf·f + ∂f/∂t) for the Taylor-2 remainder. *)
+let second_derivative sys =
+  let field = System.rhs sys in
+  List.map
+    (fun (v, fi) ->
+      let along = Expr.Term.lie_derivative field fi in
+      let time_part = Expr.Term.deriv System.time_var fi in
+      (v, Expr.Term.add along time_part))
+    field
+
+(* Evaluate the field over [state ∪ params ∪ t]. *)
+let eval_field terms params time state =
+  let box =
+    Box.set System.time_var time
+      (List.fold_left (fun b (k, i) -> Box.set k i b) params (Box.to_list state))
+  in
+  List.map (fun (v, t) -> (v, Expr.Term.eval_interval box t)) terms
+
+let box_add_scaled state scale deriv =
+  List.fold_left
+    (fun b (v, d) -> Box.update v (fun x -> I.add x (I.mul scale d)) b)
+    state deriv
+
+(* One validated step; [None] when no a-priori enclosure was found. *)
+let flow_step cfg sys second params t0 h x0 =
+  let time_whole = I.make t0 (t0 +. h) in
+  let h_itv = I.make 0.0 h in
+  let field = System.rhs sys in
+  (* Picard iteration for the a-priori enclosure. *)
+  let rec picard b k =
+    if k > cfg.max_picard then None
+    else
+      let f_b = eval_field field params time_whole b in
+      let next = box_add_scaled x0 h_itv f_b in
+      if Box.subset next b then Some b
+      else
+        let widened =
+          Box.map
+            (fun i -> I.inflate (cfg.inflation *. (I.width i +. 1e-12)) i)
+            (Box.hull b next)
+        in
+        picard widened (k + 1)
+  in
+  let seed =
+    let f0 = eval_field field params time_whole x0 in
+    Box.map (fun i -> I.inflate (cfg.inflation *. (I.width i +. 1e-9)) i)
+      (box_add_scaled x0 h_itv f0)
+    |> Box.hull x0
+  in
+  match picard seed 0 with
+  | None -> None
+  | Some b ->
+      let at_end =
+        match cfg.order with
+        | Euler_1 ->
+            let f_b = eval_field field params time_whole b in
+            box_add_scaled x0 (I.of_float h) f_b
+        | Taylor_2 ->
+            let f_x0 = eval_field field params (I.of_float t0) x0 in
+            let d2_b = eval_field second params time_whole b in
+            let first = box_add_scaled x0 (I.of_float h) f_x0 in
+            box_add_scaled first (I.make 0.0 (0.5 *. h *. h)) d2_b
+            |> fun taylor ->
+            (* The endpoint also lies in the a-priori enclosure: intersect
+               for a tighter-than-either result. *)
+            Box.inter taylor b
+      in
+      if Box.is_empty at_end then None
+      else Some ({ t_lo = t0; t_hi = t0 +. h; enclosure = b; at_end }, at_end)
+
+(* Integrate from [init] (a box over state variables) for [t_end] time
+   units with parameters in [params] (a box over parameter names). *)
+let flow ?(config = default_config) ?(t0 = 0.0) ~params ~init ~t_end sys =
+  let second = if config.order = Taylor_2 then second_derivative sys else [] in
+  let rec go t x h steps =
+    if t >= t_end -. 1e-12 then
+      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = true }
+    else if Box.width x > config.max_width then begin
+      Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (Box.width x));
+      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = false }
+    end
+    else
+      let h = Float.min h (t_end -. t) in
+      match flow_step config sys second params t h x with
+      | Some (step, x') -> go step.t_hi x' config.h (step :: steps)
+      | None ->
+          if h <= config.h_min then
+            { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
+              complete = false }
+          else go t x (h /. 2.0) steps
+  in
+  go t0 init config.h []
+
+(* Hull of the tube over its whole time span. *)
+let tube_hull tube =
+  match tube.steps with
+  | [] -> tube.final
+  | s :: rest -> List.fold_left (fun acc st -> Box.hull acc st.enclosure) s.enclosure rest
+
+(* Enclosure of the state at a given time (hull of covering steps). *)
+let state_at tube t =
+  let covering =
+    List.filter (fun s -> s.t_lo -. 1e-12 <= t && t <= s.t_hi +. 1e-12) tube.steps
+  in
+  match covering with
+  | [] -> None
+  | s :: rest -> Some (List.fold_left (fun acc st -> Box.hull acc st.enclosure) s.enclosure rest)
+
+(* Three-valued truth of [formula] (over vars ∪ params ∪ t) along the tube:
+   - [`Never]: certainly false at every time in [0, t_end];
+   - [`Always]: certainly true at every time;
+   - [`Sometimes ts]: possibly true on the returned time windows. *)
+let formula_along tube ~params formula =
+  let verdicts =
+    List.map
+      (fun s ->
+        let box =
+          Box.set System.time_var (I.make s.t_lo s.t_hi)
+            (List.fold_left (fun b (k, i) -> Box.set k i b) params
+               (Box.to_list s.enclosure))
+        in
+        (s, Expr.Formula.eval_cert box formula))
+      tube.steps
+  in
+  let possible =
+    List.filter_map
+      (fun (s, v) ->
+        match v with
+        | Expr.Formula.Impossible -> None
+        | Expr.Formula.Certain | Expr.Formula.Unknown -> Some (s.t_lo, s.t_hi))
+      verdicts
+  in
+  if possible = [] then `Never
+  else if List.for_all (fun (_, v) -> v = Expr.Formula.Certain) verdicts then `Always
+  else `Sometimes possible

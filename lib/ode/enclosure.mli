@@ -1,0 +1,67 @@
+(** Validated interval integration: guaranteed enclosures of ODE flows
+    over boxes of initial states and parameters.
+
+    Per step: a Picard-style inflation finds an a-priori enclosure [B] of
+    the solution over the step, then the endpoint is tightened with an
+    interval Euler (order 1) or interval Taylor (order 2) form — both
+    sound because the trajectory provably stays in [B].
+
+    Caveat: single-shot interval methods are exponentially pessimistic on
+    expansive dynamics (no Lohner-style coordinate frames here); callers
+    like {!Reach.Checker} gate on tube quality and fall back to sampling
+    brackets when the tube degenerates. *)
+
+type order = Euler_1 | Taylor_2
+
+type config = {
+  order : order;
+  h : float;  (** initial/maximum step size *)
+  h_min : float;  (** give up (incomplete tube) rather than shrink below *)
+  inflation : float;  (** multiplicative inflation in the Picard iteration *)
+  max_picard : int;
+  max_width : float;  (** abort when the state box exceeds this width *)
+}
+
+val default_config : config
+
+type step = {
+  t_lo : float;
+  t_hi : float;
+  enclosure : Interval.Box.t;  (** encloses the state over the whole step *)
+  at_end : Interval.Box.t;  (** encloses the state at [t_hi] *)
+}
+
+type tube = {
+  vars : string list;
+  steps : step list;  (** increasing time order *)
+  final : Interval.Box.t;
+  t_end : float;  (** time actually reached *)
+  complete : bool;  (** [false] when integration aborted early *)
+}
+
+val flow :
+  ?config:config ->
+  ?t0:float ->
+  params:Interval.Box.t ->
+  init:Interval.Box.t ->
+  t_end:float ->
+  System.t ->
+  tube
+(** Guaranteed enclosure of every trajectory starting in [init] under any
+    parameter value in [params]. *)
+
+val tube_hull : tube -> Interval.Box.t
+val state_at : tube -> float -> Interval.Box.t option
+(** Hull of the steps covering time [t]. *)
+
+val formula_along :
+  tube ->
+  params:Interval.Box.t ->
+  Expr.Formula.t ->
+  [ `Never | `Always | `Sometimes of (float * float) list ]
+(** Three-valued truth of a formula along the tube: [`Never] and
+    [`Always] are proofs; [`Sometimes] lists the time windows where the
+    formula may hold. *)
+
+val second_derivative : System.t -> (string * Expr.Term.t) list
+(** [Jf·f + ∂f/∂t] — the Taylor-2 remainder terms (exposed for tests). *)

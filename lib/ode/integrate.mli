@@ -1,0 +1,92 @@
+(** Numerical ODE integration with dense traces and event localization. *)
+
+type method_ =
+  | Euler of float  (** fixed step size *)
+  | Rk4 of float  (** fixed step size *)
+  | Rkf45 of { rtol : float; atol : float; h0 : float; h_max : float }
+      (** adaptive Runge–Kutta–Fehlberg 4(5) *)
+  | Implicit_euler of { h : float; newton_iters : int; newton_tol : float }
+      (** backward Euler with a damped Newton solve per step; A-stable,
+          for stiff systems where explicit steppers need tiny steps *)
+
+val default_rkf45 : method_
+
+val default_implicit : float -> method_
+(** [default_implicit h] is backward Euler at step [h]. *)
+
+type trace = {
+  vars : string list;
+  times : float array;
+  states : float array array;  (** [states.(i)] is the state at [times.(i)] *)
+}
+
+(** {1 Trace accessors} *)
+
+val length : trace -> int
+val final_time : trace -> float
+val final_state : trace -> float array
+
+val var_index : trace -> string -> int
+(** @raise Invalid_argument on an unknown variable. *)
+
+val env_at : trace -> int -> (string * float) list
+(** Environment at sample [i], including {!System.time_var}. *)
+
+val final_env : trace -> (string * float) list
+
+val state_at : trace -> float -> float array
+(** Linear interpolation, clamped to the trace span. *)
+
+val value_at : trace -> string -> float -> float
+val signal : trace -> string -> float array
+
+val to_csv : trace -> string
+(** CSV rendering with header [t,var1,var2,...]. *)
+
+(** {1 Integration} *)
+
+val simulate :
+  ?t0:float ->
+  ?method_:method_ ->
+  params:(string * float) list ->
+  init:(string * float) list ->
+  t_end:float ->
+  System.t ->
+  trace
+(** Integrate from the initial environment over [[t0, t_end]].
+    @raise Invalid_argument on missing initial values or parameters. *)
+
+type event = { time : float; state : float array }
+
+val simulate_until :
+  ?t0:float ->
+  ?method_:method_ ->
+  ?tol:float ->
+  params:(string * float) list ->
+  init:(string * float) list ->
+  t_end:float ->
+  guard:Expr.Formula.t ->
+  System.t ->
+  trace * event option
+(** Integrate until [guard] (over vars ∪ params ∪ t) first becomes true;
+    the crossing is localized by bisection to within [tol] and the trace
+    is truncated at the event.  [None] when the guard never fires. *)
+
+(** {1 Raw steppers} (exposed for reuse and testing) *)
+
+val euler_step : (float -> float array -> float array) -> float -> float array -> float -> float array
+val rk4_step : (float -> float array -> float array) -> float -> float array -> float -> float array
+
+val rkf45_step :
+  (float -> float array -> float array) ->
+  float -> float array -> float -> float array * float array
+(** One RKF 4(5) step, returning the order-4 and order-5 solutions. *)
+
+val implicit_euler_step :
+  newton_iters:int ->
+  newton_tol:float ->
+  (float -> float array -> float array) ->
+  float -> float array -> float -> float array
+
+val solve_linear : float array array -> float array -> float array
+(** Dense Gaussian elimination with partial pivoting (exposed for tests). *)

@@ -1,0 +1,112 @@
+(* ODE systems d x_i / dt = f_i(x, p, t) over L_RF terms.
+
+   A system names its state variables and parameters explicitly; the
+   right-hand sides may mention state variables, parameters, and the
+   reserved time variable "t".  Validation happens at construction, so
+   integrators can assume well-formedness. *)
+
+module SSet = Expr.Term.SSet
+
+let time_var = "t"
+
+type t = {
+  vars : string list;  (* state variables, in storage order *)
+  params : string list;  (* free parameters, in storage order *)
+  rhs : (string * Expr.Term.t) list;  (* one entry per state variable *)
+}
+
+let vars s = s.vars
+let params s = s.params
+let rhs s = s.rhs
+let dim s = List.length s.vars
+
+let rhs_of s x =
+  match List.assoc_opt x s.rhs with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "System.rhs_of: no equation for %S" x)
+
+let create ~vars ~params ~rhs =
+  let var_set = SSet.of_list vars in
+  let param_set = SSet.of_list params in
+  if SSet.cardinal var_set <> List.length vars then
+    invalid_arg "System.create: duplicate state variable";
+  if SSet.cardinal param_set <> List.length params then
+    invalid_arg "System.create: duplicate parameter";
+  (match SSet.choose_opt (SSet.inter var_set param_set) with
+  | Some x -> invalid_arg (Printf.sprintf "System.create: %S is both state and parameter" x)
+  | None -> ());
+  if SSet.mem time_var var_set || SSet.mem time_var param_set then
+    invalid_arg "System.create: \"t\" is reserved for time";
+  List.iter
+    (fun v ->
+      if not (List.mem_assoc v rhs) then
+        invalid_arg (Printf.sprintf "System.create: missing equation for %S" v))
+    vars;
+  List.iter
+    (fun (v, term) ->
+      if not (SSet.mem v var_set) then
+        invalid_arg (Printf.sprintf "System.create: equation for non-state %S" v);
+      SSet.iter
+        (fun x ->
+          if
+            not
+              (SSet.mem x var_set || SSet.mem x param_set || String.equal x time_var)
+          then
+            invalid_arg
+              (Printf.sprintf "System.create: unbound name %S in equation for %S" x v))
+        (Expr.Term.free_vars term))
+    rhs;
+  (* Order equations by variable order. *)
+  let rhs = List.map (fun v -> (v, List.assoc v rhs)) vars in
+  { vars; params; rhs }
+
+(* Parse a system from (var, rhs-string) pairs. *)
+let of_strings ~vars ~params ~rhs =
+  create ~vars ~params ~rhs:(List.map (fun (v, s) -> (v, Expr.Parse.term s)) rhs)
+
+(* Fix parameters to values, yielding a parameter-free system. *)
+let bind_params env s =
+  let bindings = List.map (fun (p, v) -> (p, Expr.Term.const v)) env in
+  let remaining = List.filter (fun p -> not (List.mem_assoc p env)) s.params in
+  {
+    vars = s.vars;
+    params = remaining;
+    rhs = List.map (fun (v, t) -> (v, Expr.Term.subst bindings t)) s.rhs;
+  }
+
+(* Compile the vector field into a fast closure.  The returned function
+   computes the derivative array for a given time and state; parameters
+   are fixed at compile time. *)
+let compile ?(param_env = []) s =
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p param_env) then
+        invalid_arg (Printf.sprintf "System.compile: parameter %S not bound" p))
+    s.params;
+  let bound = bind_params param_env s in
+  let order = bound.vars @ [ time_var ] in
+  let compiled =
+    Array.of_list (List.map (fun (_, t) -> Expr.Term.compile ~vars:order t) bound.rhs)
+  in
+  let n = Array.length compiled in
+  fun t state ->
+    let arr = Array.make (n + 1) 0.0 in
+    Array.blit state 0 arr 0 n;
+    arr.(n) <- t;
+    Array.map (fun f -> f arr) compiled
+
+(* Interval evaluation of the vector field over a box binding state
+   variables, parameters, and (optionally) time. *)
+let eval_interval ?(time = Interval.Ia.entire) s box =
+  let box = Interval.Box.set time_var time box in
+  List.map (fun (v, term) -> (v, Expr.Term.eval_interval box term)) s.rhs
+
+(* Symbolic Jacobian: matrix of ∂f_i/∂x_j in variable order. *)
+let jacobian s =
+  List.map
+    (fun (_, fi) -> List.map (fun xj -> Expr.Term.deriv xj fi) s.vars)
+    s.rhs
+
+let pp ppf s =
+  let eq ppf (v, t) = Fmt.pf ppf "d%s/dt = %a" v Expr.Term.pp t in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut eq) s.rhs

@@ -1,0 +1,48 @@
+(** ODE systems [d xᵢ/dt = fᵢ(x, p, t)] over L_RF terms.
+
+    Right-hand sides may mention the state variables, the declared
+    parameters, and the reserved time variable {!time_var}.  Construction
+    validates well-formedness so integrators don't have to. *)
+
+module SSet = Expr.Term.SSet
+
+val time_var : string
+(** The reserved time variable, ["t"]. *)
+
+type t
+
+val vars : t -> string list
+(** State variables, in storage order. *)
+
+val params : t -> string list
+val rhs : t -> (string * Expr.Term.t) list
+val rhs_of : t -> string -> Expr.Term.t
+val dim : t -> int
+
+val create :
+  vars:string list -> params:string list -> rhs:(string * Expr.Term.t) list -> t
+(** @raise Invalid_argument on duplicate/overlapping names, a missing or
+    extra equation, an unbound name in a right-hand side, or use of
+    {!time_var} as a state/parameter name. *)
+
+val of_strings :
+  vars:string list -> params:string list -> rhs:(string * string) list -> t
+(** Like {!create} with right-hand sides parsed by {!Expr.Parse.term}. *)
+
+val bind_params : (string * float) list -> t -> t
+(** Substitute values for (a subset of) the parameters. *)
+
+val compile : ?param_env:(string * float) list -> t -> float -> float array -> float array
+(** [compile ~param_env sys] is the vector field as a fast closure
+    [t -> state -> derivative]; all parameters must be bound.
+    @raise Invalid_argument on an unbound parameter. *)
+
+val eval_interval :
+  ?time:Interval.Ia.t -> t -> Interval.Box.t -> (string * Interval.Ia.t) list
+(** Interval enclosure of the field over a box binding states and
+    parameters. *)
+
+val jacobian : t -> Expr.Term.t list list
+(** Symbolic Jacobian [∂fᵢ/∂xⱼ] in variable order. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,611 @@
+(* δ-decision of bounded reachability and parameter synthesis
+   (Definitions 11 and 13 of the paper; the dReach-equivalent).
+
+   For each candidate mode path the checker runs a branch-and-prune search
+   over the *search box* — the parameter box joined with every
+   non-singleton dimension of the initial state box.  A box is evaluated
+   by propagating a flow enclosure along the path:
+
+     X_0  --flow q_0-->  guard window  --reset-->  X_1  --flow q_1--> ...
+
+   If at some step the jump guard is never enabled, or the goal predicate
+   is false throughout the final mode, the box is pruned (unsat
+   direction).  Surviving boxes are *certified* by numerically simulating
+   the path at sampled points and checking the δ-weakened goal; failing
+   certification the box is split, and sub-ε boxes yield Unknown (we do
+   not claim one-sided δ-sat without a point witness here, because the
+   flow enclosures are not always rigorous — see below).
+
+   Flow enclosures come in two strengths:
+   - a *validated tube* (Ode.Enclosure) — rigorous, used whenever it
+     stays tight;
+   - an *ensemble bracket* — when the validated tube blows up (stiff
+     cardiac dynamics make single-shot interval Taylor methods explode,
+     a known limitation), the checker hulls a deterministic ensemble of
+     numerical trajectories over time windows and inflates the hull.
+     Verdicts that relied on a bracket carry [rigorous = false]: they
+     are high-confidence numerical claims, not proofs.  EXPERIMENTS.md
+     reports the flag for every experiment. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module F = Expr.Formula
+module T = Expr.Term
+
+let src = Logs.Src.create "reach.checker" ~doc:"bounded reachability"
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  delta : float;
+  epsilon : float;  (** minimum search-box width before giving up splitting *)
+  max_param_boxes : int;
+  enclosure : Ode.Enclosure.config;
+  sim_method : Ode.Integrate.method_;
+  fallback_samples : int;  (** ensemble size for the bracketing fallback *)
+  fallback_windows : int;  (** time windows per mode for the bracket *)
+  fallback_margin : float;  (** relative inflation of the bracket hull *)
+  certify_samples : int;  (** extra certification points besides the midpoint *)
+  tube_quality_width : float;
+      (** a validated tube wider than this is considered degenerate and is
+          replaced by the ensemble bracket *)
+}
+
+let default_config =
+  {
+    delta = 1e-3;
+    epsilon = 1e-3;
+    max_param_boxes = 4_000;
+    enclosure = Ode.Enclosure.default_config;
+    sim_method = Ode.Integrate.default_rkf45;
+    fallback_samples = 24;
+    fallback_windows = 120;
+    fallback_margin = 0.05;
+    certify_samples = 8;
+    tube_quality_width = 1.0;
+  }
+
+type witness = {
+  path : string list;
+  params : (string * float) list;
+  init : (string * float) list;  (** initial state realizing the witness *)
+  reach_time : float;
+  certified : bool;
+  param_box : Box.t;
+}
+
+type result =
+  | Unsat of { rigorous : bool }
+  | Delta_sat of witness
+  | Unknown of string
+
+let pp_result ppf = function
+  | Unsat { rigorous } ->
+      Fmt.pf ppf "unsat%s" (if rigorous then "" else " (ensemble-bracketed)")
+  | Delta_sat w ->
+      Fmt.pf ppf "delta-sat via %a%s params [%a] at t=%.4g"
+        Fmt.(list ~sep:(any "->") string)
+        w.path
+        (if w.certified then " (certified)" else "")
+        Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string float))
+        w.params w.reach_time
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why
+
+(* ---- Search box: parameters ∪ wide initial-state dimensions ---- *)
+
+let searchable_box (pb : Encoding.t) =
+  let init = Hybrid.Automaton.init_box pb.Encoding.automaton in
+  Box.fold
+    (fun v itv acc -> if I.is_singleton itv then acc else Box.set v itv acc)
+    init pb.Encoding.param_box
+
+(* Split a search box into (params part, init-state box). *)
+let interpret_box (pb : Encoding.t) sbox =
+  let automaton = pb.Encoding.automaton in
+  let params =
+    List.fold_left
+      (fun acc p -> Box.set p (Box.find p sbox) acc)
+      Box.empty_map
+      (Hybrid.Automaton.params automaton)
+  in
+  let init =
+    Box.fold
+      (fun v itv acc ->
+        match Box.find_opt v sbox with
+        | Some refined -> Box.set v refined acc
+        | None -> Box.set v itv acc)
+      (Hybrid.Automaton.init_box automaton)
+      Box.empty_map
+  in
+  (params, init)
+
+(* ---- Flow enclosures: validated tube, or ensemble bracket ---- *)
+
+type segment_enclosure = {
+  steps : Ode.Enclosure.step list;
+  rigorous : bool;
+}
+
+(* Deterministic sample points of a box: midpoint + uniform draws. *)
+let sample_envs ~seed ~n box =
+  let rng = Random.State.make [| seed; Box.cardinal box |] in
+  let mid = Box.mid_env box in
+  let draw () =
+    List.map
+      (fun (v, itv) ->
+        let w = I.width itv in
+        if w <= 0.0 then (v, I.mid itv)
+        else (v, I.lo itv +. Random.State.float rng w))
+      (Box.to_list box)
+  in
+  mid :: List.init n (fun _ -> draw ())
+
+let bracket_of_traces cfg t_end traces =
+  let windows = Stdlib.max 1 cfg.fallback_windows in
+  let dt = t_end /. float_of_int windows in
+  let steps =
+    List.init windows (fun i ->
+        let t_lo = dt *. float_of_int i and t_hi = dt *. float_of_int (i + 1) in
+        let hulls =
+          List.filter_map
+            (fun (tr : Ode.Integrate.trace) ->
+              if Ode.Integrate.final_time tr < t_lo -. 1e-9 then None
+              else begin
+                (* hull of sampled states within (and bounding) the window *)
+                let samples =
+                  [ Ode.Integrate.state_at tr t_lo;
+                    Ode.Integrate.state_at tr (0.5 *. (t_lo +. t_hi));
+                    Ode.Integrate.state_at tr t_hi ]
+                in
+                let vars = tr.Ode.Integrate.vars in
+                Some
+                  (List.fold_left
+                     (fun acc st ->
+                       let b =
+                         Box.of_list
+                           (List.mapi (fun j v -> (v, I.of_float st.(j))) vars)
+                       in
+                       match acc with None -> Some b | Some a -> Some (Box.hull a b))
+                     None samples)
+              end)
+            traces
+        in
+        let hull =
+          List.fold_left
+            (fun acc h -> match (acc, h) with
+              | None, h -> h
+              | acc, None -> acc
+              | Some a, Some b -> Some (Box.hull a b))
+            None hulls
+        in
+        match hull with
+        | None -> None
+        | Some h ->
+            let inflated =
+              Box.map
+                (fun itv -> I.inflate (cfg.fallback_margin *. I.width itv +. 1e-6) itv)
+                h
+            in
+            Some
+              { Ode.Enclosure.t_lo; t_hi; enclosure = inflated; at_end = inflated })
+  in
+  List.filter_map Fun.id steps
+
+(* Compute an enclosure of the flow of [sys] from [init_box] under
+   [params_box] over [0, t_end]; validated when possible, bracketed
+   otherwise.  [None] when even the ensemble produced nothing. *)
+let flow_enclosure cfg pb_sys ~params_box ~init_box ~t_end =
+  let tube =
+    Ode.Enclosure.flow ~config:cfg.enclosure ~params:params_box ~init:init_box ~t_end
+      pb_sys
+  in
+  let init_width = Box.width init_box in
+  let tube_usable =
+    tube.Ode.Enclosure.complete
+    && Box.width tube.Ode.Enclosure.final
+       <= Float.max cfg.tube_quality_width (4.0 *. init_width)
+  in
+  if tube_usable then Some { steps = tube.Ode.Enclosure.steps; rigorous = true }
+  else begin
+    (* Ensemble fallback: simulate from sampled (params, init) pairs. *)
+    let joint =
+      List.fold_left (fun b (k, v) -> Box.set k v b) params_box (Box.to_list init_box)
+    in
+    let envs = sample_envs ~seed:20200426 ~n:cfg.fallback_samples joint in
+    let traces =
+      List.filter_map
+        (fun env ->
+          let params =
+            List.filter (fun (k, _) -> Box.mem_var k params_box) env
+          in
+          let init = List.filter (fun (k, _) -> Box.mem_var k init_box) env in
+          match
+            Ode.Integrate.simulate ~method_:cfg.sim_method ~params ~init ~t_end pb_sys
+          with
+          | tr -> Some tr
+          | exception _ -> None)
+        envs
+    in
+    match bracket_of_traces cfg t_end traces with
+    | [] -> None
+    | steps -> Some { steps; rigorous = false }
+  end
+
+(* ---- Validated path feasibility ---- *)
+
+let apply_reset_box automaton params_box (j : Hybrid.Automaton.jump) state_box =
+  let env =
+    Box.set Ode.System.time_var I.entire
+      (List.fold_left (fun b (k, v) -> Box.set k v b) state_box (Box.to_list params_box))
+  in
+  List.fold_left
+    (fun acc v ->
+      match List.assoc_opt v j.reset with
+      | Some term -> Box.set v (T.eval_interval env term) acc
+      | None -> acc)
+    state_box
+    (Hybrid.Automaton.vars automaton)
+
+(* Contract a state box with a formula (over vars ∪ params ∪ t) using HC4
+   fixpoint propagation — per DNF branch, hulled.  [None] when every
+   branch is infeasible.  This is the ICP step that keeps jump-state
+   hulls tight (e.g. restricting post-guard states to the guard surface
+   and the target mode's invariant). *)
+let contract_states formula ~params_box state_box =
+  if formula = F.True then Some state_box
+  else
+    let full =
+      Box.set Ode.System.time_var I.entire
+        (List.fold_left (fun b (k, v) -> Box.set k v b) state_box (Box.to_list params_box))
+    in
+    let branches = F.dnf formula in
+    let contracted =
+      List.filter_map
+        (fun atoms ->
+          let constraints = List.map (Icp.Contractor.of_atom ~delta:0.0) atoms in
+          Icp.Contractor.fixpoint ~max_rounds:5 constraints full)
+        branches
+    in
+    match contracted with
+    | [] -> None
+    | b :: rest ->
+        let hull = List.fold_left Box.hull b rest in
+        (* read back only the state components *)
+        Some (Box.map Fun.id (Box.fold (fun v _ acc -> Box.set v (Box.find v hull) acc) state_box Box.empty_map))
+
+(* Drop tube steps past the point where the mode invariant is *certainly*
+   violated: every trajectory has left the mode by then, so later windows
+   are spurious.  (Over-approximation keeps this sound for pruning.) *)
+let truncate_at_invariant inv ~params_box steps =
+  if inv = F.True then steps
+  else
+    let rec go acc = function
+      | [] -> List.rev acc
+      | (s : Ode.Enclosure.step) :: rest -> (
+          let box =
+            Box.set Ode.System.time_var (I.make s.t_lo s.t_hi)
+              (List.fold_left
+                 (fun b (k, v) -> Box.set k v b)
+                 s.enclosure (Box.to_list params_box))
+          in
+          match F.eval_cert box inv with
+          | F.Impossible -> List.rev (s :: acc)
+          | F.Certain | F.Unknown -> go (s :: acc) rest)
+    in
+    go [] steps
+
+(* Hull of the enclosure over the time windows where [formula] might
+   hold. *)
+let states_satisfying steps ~params_box formula =
+  let hits =
+    List.filter_map
+      (fun (s : Ode.Enclosure.step) ->
+        let box =
+          Box.set Ode.System.time_var (I.make s.t_lo s.t_hi)
+            (List.fold_left
+               (fun b (k, v) -> Box.set k v b)
+               s.enclosure (Box.to_list params_box))
+        in
+        match F.eval_cert box formula with
+        | F.Impossible -> None
+        | F.Certain | F.Unknown -> Some s.enclosure)
+      steps
+  in
+  match hits with
+  | [] -> None
+  | b :: rest -> Some (List.fold_left Box.hull b rest)
+
+(* `Infeasible of rigor | `Maybe *)
+let path_feasible cfg (pb : Encoding.t) path ~params_box ~init_box =
+  let automaton = pb.Encoding.automaton in
+  let rec walk state_box rigorous = function
+    | [] -> `Infeasible true
+    | [ last ] -> (
+        let sys = Hybrid.Automaton.mode_system automaton last in
+        match
+          flow_enclosure cfg sys ~params_box ~init_box:state_box
+            ~t_end:pb.Encoding.time_bound
+        with
+        | None -> `Maybe
+        | Some enc -> (
+            let rigorous = rigorous && enc.rigorous in
+            let inv = (Hybrid.Automaton.find_mode automaton last).invariant in
+            let steps = truncate_at_invariant inv ~params_box enc.steps in
+            match states_satisfying steps ~params_box pb.Encoding.goal.predicate with
+            | None -> `Infeasible rigorous
+            | Some _ -> `Maybe))
+    | q :: (q' :: _ as rest) -> (
+        let sys = Hybrid.Automaton.mode_system automaton q in
+        match
+          flow_enclosure cfg sys ~params_box ~init_box:state_box
+            ~t_end:pb.Encoding.time_bound
+        with
+        | None -> `Maybe
+        | Some enc -> (
+            let rigorous = rigorous && enc.rigorous in
+            let jump =
+              List.find
+                (fun (j : Hybrid.Automaton.jump) -> String.equal j.target q')
+                (Hybrid.Automaton.jumps_from automaton q)
+            in
+            let source_inv = (Hybrid.Automaton.find_mode automaton q).invariant in
+            let target_inv = (Hybrid.Automaton.find_mode automaton q').invariant in
+            let steps = truncate_at_invariant source_inv ~params_box enc.steps in
+            match states_satisfying steps ~params_box jump.guard with
+            | None -> `Infeasible rigorous
+            | Some guard_states -> (
+                (* ICP-tighten: jump states satisfy the guard and the
+                   source invariant; post-reset states satisfy the target
+                   invariant. *)
+                match
+                  contract_states (F.and_ [ jump.guard; source_inv ]) ~params_box
+                    guard_states
+                with
+                | None -> `Infeasible rigorous
+                | Some tightened -> (
+                    let next = apply_reset_box automaton params_box jump tightened in
+                    if Box.is_empty next then `Infeasible rigorous
+                    else
+                      match contract_states target_inv ~params_box next with
+                      | None -> `Infeasible rigorous
+                      | Some next -> walk next rigorous rest))))
+  in
+  walk init_box true path
+
+(* ---- Certification by guided simulation ---- *)
+
+let simulate_along_path cfg (pb : Encoding.t) path ~param_env ~init_env =
+  let automaton = pb.Encoding.automaton in
+  let vars = Hybrid.Automaton.vars automaton in
+  let delta = cfg.delta in
+  (* Integrate one mode until [target] (δ-weakened) fires; respect the
+     mode invariant: leaving it before the target means the prescribed
+     trajectory does not exist. *)
+  let run_mode mode_name state_env target =
+    let sys = Hybrid.Automaton.mode_system automaton mode_name in
+    let inv = (Hybrid.Automaton.find_mode automaton mode_name).invariant in
+    let target_w = F.delta_weaken delta target in
+    (* The invariant is δ-weakened symmetrically: a δ-weakened guard can
+       legitimately overshoot the mode boundary by up to δ. *)
+    let inv_w = F.delta_weaken (2.0 *. delta) inv in
+    let stop = F.or_ [ target_w; F.neg inv_w ] in
+    let _, event =
+      Ode.Integrate.simulate_until ~method_:cfg.sim_method ~params:param_env
+        ~init:state_env ~t_end:pb.Encoding.time_bound ~guard:stop sys
+    in
+    match event with
+    | None -> None
+    | Some ev ->
+        let env =
+          ((Ode.System.time_var, ev.Ode.Integrate.time) :: param_env)
+          @ List.mapi (fun i v -> (v, ev.Ode.Integrate.state.(i))) vars
+        in
+        if F.holds_env env target_w then Some (ev, env) else None
+  in
+  let rec walk state_env t_global = function
+    | [] -> None
+    | [ last ] -> (
+        match run_mode last state_env pb.Encoding.goal.predicate with
+        | Some (ev, _) -> Some (t_global +. ev.Ode.Integrate.time)
+        | None -> None)
+    | q :: (q' :: _ as rest) -> (
+        let jump =
+          List.find
+            (fun (j : Hybrid.Automaton.jump) -> String.equal j.target q')
+            (Hybrid.Automaton.jumps_from automaton q)
+        in
+        match run_mode q state_env jump.guard with
+        | None -> None
+        | Some (ev, env_at_jump) ->
+            let state' =
+              List.map
+                (fun v ->
+                  match List.assoc_opt v jump.reset with
+                  | Some term -> (v, T.eval_env env_at_jump term)
+                  | None -> (v, List.assoc v env_at_jump))
+                vars
+            in
+            walk state' (t_global +. ev.Ode.Integrate.time) rest)
+  in
+  walk init_env 0.0 path
+
+(* Try to certify δ-sat from sampled points of the search box. *)
+let certify cfg pb path sbox =
+  let envs = sample_envs ~seed:927 ~n:cfg.certify_samples sbox in
+  let automaton = pb.Encoding.automaton in
+  let init_default = Box.mid_env (Hybrid.Automaton.init_box automaton) in
+  List.find_map
+    (fun env ->
+      let param_env =
+        List.filter (fun (k, _) -> List.mem k (Hybrid.Automaton.params automaton)) env
+      in
+      let init_env =
+        List.map
+          (fun (v, dflt) ->
+            match List.assoc_opt v env with Some x -> (v, x) | None -> (v, dflt))
+          init_default
+      in
+      match simulate_along_path cfg pb path ~param_env ~init_env with
+      | Some t ->
+          Some
+            (Delta_sat
+               {
+                 path;
+                 params = param_env;
+                 init = init_env;
+                 reach_time = t;
+                 certified = true;
+                 param_box = sbox;
+               })
+      | None -> None)
+    envs
+
+(* ---- Per-path branch and prune over the search box ---- *)
+
+let decide_path cfg pb path =
+  let budget = ref cfg.max_param_boxes in
+  let rigorous_all = ref true in
+  let rec search sbox =
+    if !budget <= 0 then Unknown "search box budget exhausted"
+    else begin
+      decr budget;
+      let params_box, init_box = interpret_box pb sbox in
+      match path_feasible cfg pb path ~params_box ~init_box with
+      | `Infeasible rigorous ->
+          if not rigorous then rigorous_all := false;
+          Unsat { rigorous }
+      | `Maybe -> (
+          match certify cfg pb path sbox with
+          | Some r -> r
+          | None -> (
+              match Box.split ~min_width:cfg.epsilon sbox with
+              | Some (l, r) -> (
+                  match search l with
+                  | Unsat { rigorous = rl } -> (
+                      match search r with
+                      | Unsat { rigorous = rr } -> Unsat { rigorous = rl && rr }
+                      | other -> other)
+                  | other -> other)
+              | None ->
+                  Unknown "sub-epsilon box survived pruning without a witness"))
+    end
+  in
+  search (searchable_box pb)
+
+(* ---- Public API ---- *)
+
+(* Decide the bounded reachability problem: try every candidate mode path
+   (shortest first — therapy identification wants minimal drug counts). *)
+let check ?(config = default_config) (pb : Encoding.t) =
+  let paths =
+    List.sort
+      (fun a b -> compare (List.length a) (List.length b))
+      (Encoding.candidate_paths pb)
+  in
+  Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
+  let rec go unknown rigorous = function
+    | [] -> (
+        match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
+    | path :: rest -> (
+        Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
+        match decide_path config pb path with
+        | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
+        | Delta_sat w -> Delta_sat w
+        | Unknown why -> go (Some why) rigorous rest)
+  in
+  go None true paths
+
+(* Universal feasibility on jump-free paths (see the synthesis notes). *)
+let path_surely_reaches cfg (pb : Encoding.t) path ~params_box ~init_box =
+  match path with
+  | [ only ] ->
+      let automaton = pb.Encoding.automaton in
+      let sys = Hybrid.Automaton.mode_system automaton only in
+      let tube =
+        Ode.Enclosure.flow ~config:cfg.enclosure ~params:params_box ~init:init_box
+          ~t_end:pb.Encoding.time_bound sys
+      in
+      tube.Ode.Enclosure.complete
+      && List.exists
+           (fun (s : Ode.Enclosure.step) ->
+             let box =
+               Box.set Ode.System.time_var (I.make s.t_lo s.t_hi)
+                 (List.fold_left
+                    (fun b (k, v) -> Box.set k v b)
+                    s.enclosure (Box.to_list params_box))
+             in
+             F.eval_cert box pb.Encoding.goal.predicate = F.Certain)
+           tube.Ode.Enclosure.steps
+  | _ -> false
+
+(* Parameter synthesis for reachability (Definition 13), BioPSy-style
+   guaranteed paving of the search box:
+   - [feasible]: *every* value in the box provably reaches the goal;
+   - [infeasible]: *no* value can reach the goal (the [rigorous] flag
+     records whether the proof used only validated tubes);
+   - [undecided]: sub-ε boxes; those whose sampled point certifiably
+     reaches the goal carry the witness. *)
+type synthesis = {
+  feasible : (Box.t * witness) list;
+  infeasible : (Box.t * bool) list;  (* box, rigorous *)
+  undecided : (Box.t * witness option) list;
+}
+
+let synthesize ?(config = default_config) (pb : Encoding.t) =
+  let paths =
+    List.sort
+      (fun a b -> compare (List.length a) (List.length b))
+      (Encoding.candidate_paths pb)
+  in
+  let feasible = ref [] and infeasible = ref [] and undecided = ref [] in
+  let budget = ref config.max_param_boxes in
+  let certify_box sbox =
+    List.find_map
+      (fun path ->
+        match certify config pb path sbox with
+        | Some (Delta_sat w) -> Some w
+        | _ -> None)
+      paths
+  in
+  let rec go sbox =
+    if !budget <= 0 then undecided := (sbox, None) :: !undecided
+    else begin
+      decr budget;
+      let params_box, init_box = interpret_box pb sbox in
+      let verdicts =
+        List.map (fun path -> path_feasible config pb path ~params_box ~init_box) paths
+      in
+      if List.for_all (function `Infeasible _ -> true | `Maybe -> false) verdicts
+      then
+        let rigorous =
+          List.for_all (function `Infeasible r -> r | `Maybe -> false) verdicts
+        in
+        infeasible := (sbox, rigorous) :: !infeasible
+      else if
+        List.exists
+          (fun path -> path_surely_reaches config pb path ~params_box ~init_box)
+          paths
+      then begin
+        let w =
+          match certify_box sbox with
+          | Some w -> w
+          | None ->
+              { path = List.hd paths; params = Box.mid_env params_box;
+                init = Box.mid_env init_box; reach_time = nan; certified = false;
+                param_box = sbox }
+        in
+        feasible := (sbox, w) :: !feasible
+      end
+      else
+        match Box.split ~min_width:config.epsilon sbox with
+        | Some (l, r) ->
+            go l;
+            go r
+        | None -> undecided := (sbox, certify_box sbox) :: !undecided
+    end
+  in
+  go (searchable_box pb);
+  { feasible = !feasible; infeasible = !infeasible; undecided = !undecided }
+
+let pp_synthesis ppf s =
+  Fmt.pf ppf "synthesis: %d feasible, %d infeasible, %d undecided boxes"
+    (List.length s.feasible) (List.length s.infeasible) (List.length s.undecided)

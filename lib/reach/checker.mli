@@ -1,0 +1,107 @@
+(** δ-decision of bounded reachability and parameter synthesis for
+    reachability (Definitions 11 and 13) — the dReach-equivalent.
+
+    Per candidate mode path, a branch-and-prune search runs over the
+    *search box* (parameter box ∪ non-singleton initial-state dimensions).
+    Boxes are evaluated by propagating flow enclosures along the path,
+    ICP-tightening jump states with guards and invariants; infeasible
+    boxes are pruned (unsat direction), surviving boxes are certified by
+    guided numerical simulation (δ-sat direction) or split.
+
+    Flow enclosures are validated tubes when tight, and deterministic
+    *ensemble brackets* (sampled trajectories hulled over time windows)
+    when the tube degenerates on stiff dynamics.  Verdicts carry a
+    [rigorous] flag: [Unsat {rigorous = false}] is a high-confidence
+    numerical claim, not an interval proof.  δ-sat witnesses with
+    [certified = true] are sound regardless. *)
+
+module Box = Interval.Box
+
+type config = {
+  delta : float;
+  epsilon : float;  (** minimum search-box width *)
+  max_param_boxes : int;
+  enclosure : Ode.Enclosure.config;
+  sim_method : Ode.Integrate.method_;
+  fallback_samples : int;  (** ensemble size of the bracketing fallback *)
+  fallback_windows : int;  (** time windows per mode for the bracket *)
+  fallback_margin : float;  (** relative inflation of the bracket hull *)
+  certify_samples : int;  (** certification points besides the midpoint *)
+  tube_quality_width : float;
+      (** a validated tube wider than this is replaced by the bracket *)
+}
+
+val default_config : config
+
+type witness = {
+  path : string list;
+  params : (string * float) list;
+  init : (string * float) list;
+  reach_time : float;
+  certified : bool;
+  param_box : Box.t;
+}
+
+type result =
+  | Unsat of { rigorous : bool }
+  | Delta_sat of witness
+  | Unknown of string
+
+val pp_result : result Fmt.t
+
+val check : ?config:config -> Encoding.t -> result
+(** Decide the bounded reachability problem; candidate paths are explored
+    shortest-first (therapy identification wants minimal drug counts). *)
+
+(** {1 Parameter synthesis for reachability (Definition 13)} *)
+
+type synthesis = {
+  feasible : (Box.t * witness) list;
+      (** every value in the box provably reaches the goal *)
+  infeasible : (Box.t * bool) list;
+      (** no value can reach the goal; the flag records rigor *)
+  undecided : (Box.t * witness option) list;
+      (** sub-ε boxes; a sampled certified witness when one exists *)
+}
+
+val synthesize : ?config:config -> Encoding.t -> synthesis
+val pp_synthesis : synthesis Fmt.t
+
+(** {1 Building blocks} (exposed for the workflow layer and tests) *)
+
+val searchable_box : Encoding.t -> Box.t
+val interpret_box : Encoding.t -> Box.t -> Box.t * Box.t
+
+type segment_enclosure = { steps : Ode.Enclosure.step list; rigorous : bool }
+
+val flow_enclosure :
+  config ->
+  Ode.System.t ->
+  params_box:Box.t ->
+  init_box:Box.t ->
+  t_end:float ->
+  segment_enclosure option
+
+val contract_states :
+  Expr.Formula.t -> params_box:Box.t -> Interval.Box.t -> Interval.Box.t option
+
+val states_satisfying :
+  Ode.Enclosure.step list -> params_box:Box.t -> Expr.Formula.t -> Interval.Box.t option
+
+val path_feasible :
+  config ->
+  Encoding.t ->
+  string list ->
+  params_box:Box.t ->
+  init_box:Box.t ->
+  [ `Infeasible of bool | `Maybe ]
+
+val simulate_along_path :
+  config ->
+  Encoding.t ->
+  string list ->
+  param_env:(string * float) list ->
+  init_env:(string * float) list ->
+  float option
+(** Simulate the automaton forcing the given mode path (respecting
+    δ-weakened guards and invariants); returns the global goal time. *)

@@ -1,0 +1,13 @@
+(** Export of bounded reachability problems to dReach's .drh input
+    format, so models built here can be cross-checked against the
+    original dReach/dReal toolchain the paper used. *)
+
+val of_problem : Encoding.t -> string
+(** Render the automaton, the parameter boxes (as constant-derivative
+    variables, the standard dReach encoding of symbolic constants), the
+    initial condition, and one goal line per goal mode. *)
+
+val to_file : string -> Encoding.t -> unit
+
+val formula_to_drh : Expr.Formula.t -> string
+val term_to_drh : Expr.Term.t -> string

@@ -1,0 +1,112 @@
+(* (k, M)-bounded reachability problems (Section III-C of the paper).
+
+   A problem fixes the automaton, the parameter search box, the goal
+   (target modes plus a state predicate), the maximum number of discrete
+   jumps k, and the per-mode time bound M.  [Checker] decides it; this
+   module only defines and validates the problem statement, and renders
+   the symbolic Reach_{k,M} encoding for inspection — the unrolled
+   formula of Section III-C with per-step copies x_0, x_0^t, …, x_k,
+   x_k^t of the state variables. *)
+
+module Box = Interval.Box
+module F = Expr.Formula
+module T = Expr.Term
+
+type goal = {
+  goal_modes : string list;  (** empty means "any mode" *)
+  predicate : F.t;  (** over vars ∪ params ∪ t (local time in final mode) *)
+}
+
+type t = {
+  automaton : Hybrid.Automaton.t;
+  param_box : Box.t;  (** search domain for the synthesized parameters *)
+  goal : goal;
+  k : int;  (** maximum number of discrete jumps *)
+  min_jumps : int;  (** paths with fewer jumps are excluded (e.g. to ask
+                        about a *re*-entry of the goal mode) *)
+  time_bound : float;  (** M: maximum dwell time in each mode *)
+}
+
+let create ?(param_box = Box.empty_map) ?(min_jumps = 0) ~goal ~k ~time_bound automaton =
+  if k < 0 then invalid_arg "Encoding.create: k must be >= 0";
+  if min_jumps < 0 || min_jumps > k then
+    invalid_arg "Encoding.create: min_jumps must be in [0, k]";
+  if time_bound <= 0.0 then invalid_arg "Encoding.create: time bound must be positive";
+  List.iter
+    (fun q ->
+      if not (List.mem q (Hybrid.Automaton.mode_names automaton)) then
+        invalid_arg (Printf.sprintf "Encoding.create: unknown goal mode %S" q))
+    goal.goal_modes;
+  List.iter
+    (fun p ->
+      if not (Box.mem_var p param_box) then
+        invalid_arg (Printf.sprintf "Encoding.create: parameter %S has no search box" p))
+    (Hybrid.Automaton.params automaton);
+  { automaton; param_box; goal; k; min_jumps; time_bound }
+
+let goal_modes pb =
+  match pb.goal.goal_modes with
+  | [] -> Hybrid.Automaton.mode_names pb.automaton
+  | ms -> ms
+
+(* Candidate mode paths, pruned by co-reachability of the goal modes and
+   the [min_jumps] lower bound. *)
+let candidate_paths pb =
+  let g = Hybrid.Graph.of_automaton pb.automaton in
+  List.filter
+    (fun p -> List.length p > pb.min_jumps)
+    (Hybrid.Graph.paths ~targets:(goal_modes pb) ~max_jumps:pb.k g
+       ~source:(Hybrid.Automaton.init_mode pb.automaton))
+
+(* ---- Symbolic rendering of Reach_{k,M} ----
+
+   The solver works on the validated-flow representation rather than this
+   formula, but printing the encoding documents precisely which instance
+   is being decided, step-indexed exactly as in the paper. *)
+
+let step_var v i post = Printf.sprintf "%s_%d%s" v i (if post then "t" else "")
+
+let render_path pb path =
+  let buf = Buffer.create 1024 in
+  let vars = Hybrid.Automaton.vars pb.automaton in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rename_step i post f =
+    F.rename (List.map (fun v -> (v, step_var v i post)) vars) f
+  in
+  List.iteri
+    (fun i q ->
+      let m = Hybrid.Automaton.find_mode pb.automaton q in
+      add "(flow_%s %s -> %s over time_%d in [0, %g])\n" q
+        (String.concat "," (List.map (fun v -> step_var v i false) vars))
+        (String.concat "," (List.map (fun v -> step_var v i true) vars))
+        i pb.time_bound;
+      if m.invariant <> F.tt then
+        add "  (invariant_%s along step %d: %s)\n" q i
+          (F.to_string (rename_step i true m.invariant));
+      match List.nth_opt path (i + 1) with
+      | None -> ()
+      | Some q' ->
+          let j =
+            List.find
+              (fun (j : Hybrid.Automaton.jump) -> String.equal j.target q')
+              (Hybrid.Automaton.jumps_from pb.automaton q)
+          in
+          add "  (jump_%s_%s: guard %s; resets %s)\n" q q'
+            (F.to_string (rename_step i true j.guard))
+            (String.concat ", "
+               (List.map
+                  (fun (v, t) -> Printf.sprintf "%s := %s" (step_var v (i + 1) false) (T.to_string t))
+                  j.reset)))
+    path;
+  let last = List.length path - 1 in
+  add "(goal at step %d: %s)\n" last
+    (F.to_string
+       (F.rename (List.map (fun v -> (v, step_var v last true)) vars) pb.goal.predicate));
+  Buffer.contents buf
+
+let render pb =
+  let paths = candidate_paths pb in
+  String.concat "\n-- or --\n\n" (List.map (render_path pb) paths)
+
+let pp_goal ppf g =
+  Fmt.pf ppf "modes {%a} with %a" Fmt.(list ~sep:comma string) g.goal_modes F.pp g.predicate

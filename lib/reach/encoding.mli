@@ -1,0 +1,51 @@
+(** (k, M)-bounded reachability problems (Section III-C of the paper).
+
+    A problem fixes the automaton, the search box for its parameters, the
+    goal (target modes plus a state predicate), the jump budget [k]
+    (optionally a lower bound too) and the per-mode dwell-time bound [M].
+    {!Checker} decides it; this module validates the statement and can
+    render the symbolic Reach_{k,M} unrolling for inspection. *)
+
+module Box = Interval.Box
+
+type goal = {
+  goal_modes : string list;  (** empty means any mode *)
+  predicate : Expr.Formula.t;
+      (** over vars ∪ params ∪ t (t = local time in the final mode) *)
+}
+
+type t = {
+  automaton : Hybrid.Automaton.t;
+  param_box : Box.t;
+  goal : goal;
+  k : int;
+  min_jumps : int;
+  time_bound : float;
+}
+
+val create :
+  ?param_box:Box.t ->
+  ?min_jumps:int ->
+  goal:goal ->
+  k:int ->
+  time_bound:float ->
+  Hybrid.Automaton.t ->
+  t
+(** @raise Invalid_argument on a negative [k], [min_jumps] outside
+    [[0, k]], a non-positive time bound, an unknown goal mode, or a free
+    parameter without a search box. *)
+
+val goal_modes : t -> string list
+
+val candidate_paths : t -> string list list
+(** Mode paths compatible with the problem: from the initial mode, ending
+    in a goal mode, between [min_jumps] and [k] jumps, pruned by
+    co-reachability. *)
+
+val render : t -> string
+(** Human-readable Reach_{k,M} unrolling (per-step variable copies as in
+    the paper's encoding), one block per candidate path. *)
+
+val render_path : t -> string list -> string
+val step_var : string -> int -> bool -> string
+val pp_goal : goal Fmt.t

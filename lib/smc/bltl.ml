@@ -1,0 +1,152 @@
+(* Bounded linear temporal logic over continuous traces.
+
+   The paper's SMC framework (Sec. I and the Fig. 2 refinement branch)
+   encodes behavioural constraints as BLTL formulas and checks them on
+   simulated trajectories.  Time bounds are real-valued; satisfaction is
+   evaluated on the sampled time points of a trace (the standard
+   discretized semantics).
+
+   Both qualitative satisfaction and the quantitative robustness degree
+   (max-min signed distance) are provided; robustness > 0 implies
+   satisfaction at the sampled resolution. *)
+
+type t =
+  | Prop of Expr.Formula.t  (** state predicate over vars ∪ params ∪ t *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of float * t * t  (** φ U≤b ψ *)
+  | Finally of float * t  (** F≤b φ = true U≤b φ *)
+  | Globally of float * t  (** G≤b φ = ¬F≤b ¬φ *)
+
+let prop s = Prop (Expr.Parse.formula s)
+
+let rec pp ppf = function
+  | Prop f -> Fmt.pf ppf "(%a)" Expr.Formula.pp f
+  | Not f -> Fmt.pf ppf "!%a" pp f
+  | And (a, b) -> Fmt.pf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | Implies (a, b) -> Fmt.pf ppf "(%a => %a)" pp a pp b
+  | Next f -> Fmt.pf ppf "X %a" pp f
+  | Until (b, f, g) -> Fmt.pf ppf "(%a U[%g] %a)" pp f b pp g
+  | Finally (b, f) -> Fmt.pf ppf "F[%g] %a" b pp f
+  | Globally (b, f) -> Fmt.pf ppf "G[%g] %a" b pp f
+
+(* Horizon: how much trace time the formula needs beyond its start. *)
+let rec horizon = function
+  | Prop _ -> 0.0
+  | Not f | Next f -> horizon f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> Float.max (horizon a) (horizon b)
+  | Until (b, f, g) -> b +. Float.max (horizon f) (horizon g)
+  | Finally (b, f) | Globally (b, f) -> b +. horizon f
+
+(* ---- Semantics over a sampled trace ---- *)
+
+type trace_view = {
+  times : float array;
+  env_at : int -> (string * float) list;  (* full environment at index i *)
+  n : int;
+}
+
+let of_trace ?(params = []) (tr : Ode.Integrate.trace) =
+  {
+    times = tr.Ode.Integrate.times;
+    env_at = (fun i -> params @ Ode.Integrate.env_at tr i);
+    n = Ode.Integrate.length tr;
+  }
+
+(* A hybrid trajectory as a single concatenated view (global time). *)
+let of_trajectory ?(params = []) (traj : Hybrid.Simulate.trajectory) =
+  let pieces =
+    List.concat_map
+      (fun (seg : Hybrid.Simulate.segment) ->
+        let tr = seg.Hybrid.Simulate.trace in
+        List.init (Ode.Integrate.length tr) (fun i ->
+            let env = Ode.Integrate.env_at tr i in
+            let t_local = List.assoc Ode.System.time_var env in
+            let t_global = seg.Hybrid.Simulate.t_global +. t_local in
+            ( t_global,
+              (Ode.System.time_var, t_global)
+              :: List.remove_assoc Ode.System.time_var env )))
+      traj.Hybrid.Simulate.segments
+  in
+  let arr = Array.of_list pieces in
+  {
+    times = Array.map fst arr;
+    env_at = (fun i -> params @ snd arr.(i));
+    n = Array.length arr;
+  }
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Bltl: unbound variable %S" x)
+
+(* Qualitative satisfaction at sample index [i]. *)
+let rec sat view i = function
+  | Prop f -> Expr.Formula.holds (lookup (view.env_at i)) f
+  | Not f -> not (sat view i f)
+  | And (a, b) -> sat view i a && sat view i b
+  | Or (a, b) -> sat view i a || sat view i b
+  | Implies (a, b) -> (not (sat view i a)) || sat view i b
+  | Next f -> if i + 1 < view.n then sat view (i + 1) f else sat view i f
+  | Finally (b, f) -> exists_within view i b (fun j -> sat view j f)
+  | Globally (b, f) -> not (exists_within view i b (fun j -> not (sat view j f)))
+  | Until (b, f, g) ->
+      let t0 = view.times.(i) in
+      let rec go j =
+        if j >= view.n || view.times.(j) -. t0 > b then false
+        else if sat view j g then true
+        else if sat view j f then go (j + 1)
+        else false
+      in
+      go i
+
+and exists_within view i bound p =
+  let t0 = view.times.(i) in
+  let rec go j =
+    if j >= view.n || view.times.(j) -. t0 > bound then false
+    else p j || go (j + 1)
+  in
+  go i
+
+let holds ?(at = 0) view f =
+  if view.n = 0 then invalid_arg "Bltl.holds: empty trace";
+  sat view at f
+
+(* Quantitative robustness degree (Fainekos-Pappas style). *)
+let rec rob view i = function
+  | Prop f -> Expr.Formula.robustness (lookup (view.env_at i)) f
+  | Not f -> -.rob view i f
+  | And (a, b) -> Float.min (rob view i a) (rob view i b)
+  | Or (a, b) -> Float.max (rob view i a) (rob view i b)
+  | Implies (a, b) -> Float.max (-.rob view i a) (rob view i b)
+  | Next f -> if i + 1 < view.n then rob view (i + 1) f else rob view i f
+  | Finally (b, f) ->
+      fold_within view i b neg_infinity Float.max (fun j -> rob view j f)
+  | Globally (b, f) ->
+      fold_within view i b infinity Float.min (fun j -> rob view j f)
+  | Until (b, f, g) ->
+      let t0 = view.times.(i) in
+      let rec go j best prefix =
+        if j >= view.n || view.times.(j) -. t0 > b then best
+        else
+          let here = Float.min prefix (rob view j g) in
+          let best = Float.max best here in
+          go (j + 1) best (Float.min prefix (rob view j f))
+      in
+      go i neg_infinity infinity
+
+and fold_within view i bound init combine f =
+  let t0 = view.times.(i) in
+  let rec go j acc =
+    if j >= view.n || view.times.(j) -. t0 > bound then acc
+    else go (j + 1) (combine acc (f j))
+  in
+  go i init
+
+let robustness ?(at = 0) view f =
+  if view.n = 0 then invalid_arg "Bltl.robustness: empty trace";
+  rob view at f

@@ -1,0 +1,49 @@
+(** Bounded linear temporal logic over continuous traces.
+
+    The SMC branch of the framework encodes behavioural constraints as
+    BLTL formulas evaluated on sampled trajectories (discretized
+    semantics).  Both qualitative satisfaction and the quantitative
+    robustness degree are provided. *)
+
+type t =
+  | Prop of Expr.Formula.t  (** state predicate over vars ∪ params ∪ t *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of float * t * t  (** φ U≤b ψ *)
+  | Finally of float * t  (** F≤b φ *)
+  | Globally of float * t  (** G≤b φ *)
+
+val prop : string -> t
+(** Atomic predicate from concrete syntax ({!Expr.Parse.formula}). *)
+
+val horizon : t -> float
+(** Trace time the formula needs beyond its evaluation point. *)
+
+val pp : t Fmt.t
+
+(** {1 Trace views} *)
+
+type trace_view = {
+  times : float array;
+  env_at : int -> (string * float) list;
+  n : int;
+}
+
+val of_trace : ?params:(string * float) list -> Ode.Integrate.trace -> trace_view
+
+val of_trajectory :
+  ?params:(string * float) list -> Hybrid.Simulate.trajectory -> trace_view
+(** Concatenated view of a hybrid trajectory on the global time axis. *)
+
+(** {1 Semantics} *)
+
+val holds : ?at:int -> trace_view -> t -> bool
+(** Qualitative satisfaction at sample index [at] (default 0).
+    @raise Invalid_argument on an empty trace. *)
+
+val robustness : ?at:int -> trace_view -> t -> float
+(** Quantitative robustness degree (max-min signed margin); positive
+    implies satisfaction at the sampled resolution. *)

@@ -1,0 +1,148 @@
+(* Probability estimation for SMC: frequentist fixed-sample estimation
+   with a Chernoff–Okamoto sample-size bound, and Bayesian estimation
+   with a Beta posterior and credible interval.
+
+   The incomplete beta function needed for the credible interval is
+   computed with the Lentz continued-fraction evaluation. *)
+
+(* ---- Special functions ---- *)
+
+(* log Γ via the Lanczos approximation (g = 7, n = 9 coefficients). *)
+let rec log_gamma x =
+  let coeffs =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  if x < 0.5 then
+    (* reflection formula: Γ(x)Γ(1-x) = π / sin(πx) *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref coeffs.(0) in
+    for i = 1 to 8 do
+      a := !a +. (coeffs.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. Float.log (2.0 *. Float.pi)) +. ((x +. 0.5) *. Float.log t) -. t +. Float.log !a
+  end
+
+(* Regularized incomplete beta I_x(a, b) via continued fraction. *)
+let rec betai a b x =
+  if x < 0.0 || x > 1.0 then invalid_arg "Estimate.betai: x outside [0,1]"
+  else if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else
+    let bt =
+      Float.exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. Float.log x)
+        +. (b *. Float.log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then bt *. betacf a b x /. a
+    else 1.0 -. (bt *. betacf b a (1.0 -. x) /. b)
+
+and betacf a b x =
+  let max_iter = 200 and eps = 3e-12 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let finished = ref false in
+  while (not !finished) && !m <= max_iter do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps then finished := true;
+    incr m
+  done;
+  !h
+
+(* ---- Frequentist estimation ---- *)
+
+(* Chernoff–Okamoto: n >= ln(2/alpha) / (2 eps^2) samples guarantee
+   P(|p_hat - p| > eps) <= alpha. *)
+let chernoff_sample_size ~eps ~alpha =
+  if eps <= 0.0 || eps >= 1.0 then invalid_arg "Estimate: eps outside (0,1)";
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Estimate: alpha outside (0,1)";
+  int_of_float (Float.ceil (Float.log (2.0 /. alpha) /. (2.0 *. eps *. eps)))
+
+type estimate = {
+  p_hat : float;
+  n : int;
+  successes : int;
+  ci_low : float;
+  ci_high : float;
+  confidence : float;
+}
+
+let pp_estimate ppf e =
+  Fmt.pf ppf "p ≈ %.4f (n=%d, %g%% interval [%.4f, %.4f])" e.p_hat e.n
+    (100.0 *. e.confidence) e.ci_low e.ci_high
+
+(* Monte-Carlo estimate with the Chernoff-driven sample size. *)
+let monte_carlo ~eps ~alpha sample =
+  let n = chernoff_sample_size ~eps ~alpha in
+  let successes = ref 0 in
+  for i = 0 to n - 1 do
+    if sample i then incr successes
+  done;
+  let p_hat = float_of_int !successes /. float_of_int n in
+  {
+    p_hat;
+    n;
+    successes = !successes;
+    ci_low = Float.max 0.0 (p_hat -. eps);
+    ci_high = Float.min 1.0 (p_hat +. eps);
+    confidence = 1.0 -. alpha;
+  }
+
+(* ---- Bayesian estimation ----
+
+   Beta(a0 + successes, b0 + failures) posterior; the credible interval is
+   found by bisection on the posterior CDF (the regularized incomplete
+   beta function). *)
+
+let beta_quantile ~a ~b q =
+  let rec bisect lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      if betai a b mid < q then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+  in
+  bisect 0.0 1.0 60
+
+let bayesian ?(a0 = 1.0) ?(b0 = 1.0) ?(confidence = 0.95) ~n sample =
+  if n <= 0 then invalid_arg "Estimate.bayesian: n must be positive";
+  let successes = ref 0 in
+  for i = 0 to n - 1 do
+    if sample i then incr successes
+  done;
+  let a = a0 +. float_of_int !successes in
+  let b = b0 +. float_of_int (n - !successes) in
+  let tail = 0.5 *. (1.0 -. confidence) in
+  {
+    p_hat = a /. (a +. b);
+    n;
+    successes = !successes;
+    ci_low = beta_quantile ~a ~b tail;
+    ci_high = beta_quantile ~a ~b (1.0 -. tail);
+    confidence;
+  }

@@ -1,0 +1,43 @@
+(** Probability estimation for SMC: frequentist fixed-sample estimation
+    with the Chernoff–Okamoto bound, and Bayesian Beta-posterior
+    estimation with credible intervals. *)
+
+(** {1 Special functions} (exposed for testing) *)
+
+val log_gamma : float -> float
+(** Lanczos approximation with reflection. *)
+
+val betai : float -> float -> float -> float
+(** Regularized incomplete beta function I_x(a, b), by continued
+    fraction.  @raise Invalid_argument when x ∉ [0, 1]. *)
+
+val beta_quantile : a:float -> b:float -> float -> float
+(** Quantile of the Beta(a, b) distribution, by bisection on {!betai}. *)
+
+(** {1 Frequentist} *)
+
+val chernoff_sample_size : eps:float -> alpha:float -> int
+(** Smallest n with P(|p̂ − p| > eps) ≤ alpha: ⌈ln(2/α) / (2ε²)⌉.
+    @raise Invalid_argument on out-of-range arguments. *)
+
+type estimate = {
+  p_hat : float;
+  n : int;
+  successes : int;
+  ci_low : float;
+  ci_high : float;
+  confidence : float;
+}
+
+val monte_carlo : eps:float -> alpha:float -> (int -> bool) -> estimate
+(** Fixed-sample estimate at the Chernoff-driven sample size; the
+    interval is [p̂ ± eps] clipped to [0, 1]. *)
+
+(** {1 Bayesian} *)
+
+val bayesian :
+  ?a0:float -> ?b0:float -> ?confidence:float -> n:int -> (int -> bool) -> estimate
+(** Beta(a0, b0) prior (uniform by default), equal-tailed credible
+    interval from the posterior. *)
+
+val pp_estimate : estimate Fmt.t

@@ -1,0 +1,44 @@
+(** End-to-end statistical model checking of ODE / hybrid models with
+    probabilistic initial states and parameters (the Fig.-2 SMC branch).
+
+    Each sample draws an initial state and parameters from the declared
+    distributions, simulates, and evaluates the BLTL property; the
+    Bernoulli stream feeds an SPRT test or an estimation procedure. *)
+
+type model =
+  | Ode_model of Ode.System.t
+  | Hybrid_model of Hybrid.Automaton.t
+
+type problem = {
+  model : model;
+  init_dist : Sampler.spec;
+  param_dist : Sampler.spec;
+  property : Bltl.t;
+  t_end : float;
+  max_jumps : int;
+}
+
+val problem :
+  ?max_jumps:int ->
+  model:model ->
+  init_dist:Sampler.spec ->
+  param_dist:Sampler.spec ->
+  property:Bltl.t ->
+  t_end:float ->
+  unit ->
+  problem
+(** @raise Invalid_argument on a non-positive horizon. *)
+
+val sample_once : Random.State.t -> problem -> bool
+val sample_robustness : Random.State.t -> problem -> float
+
+val test : ?seed:int -> ?config:Sprt.config -> problem -> Sprt.result
+(** SPRT for P(property) ≥ θ. *)
+
+val estimate : ?seed:int -> ?eps:float -> ?alpha:float -> problem -> Estimate.estimate
+val estimate_bayesian :
+  ?seed:int -> ?n:int -> ?confidence:float -> problem -> Estimate.estimate
+
+val mean_robustness : ?seed:int -> ?n:int -> problem -> float
+(** Average robustness degree — the objective SMC-based calibration
+    maximizes. *)

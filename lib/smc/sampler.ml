@@ -1,0 +1,56 @@
+(* Random sampling of initial states and parameters.
+
+   The SMC calibration setting of the paper works with *probabilistic
+   initial states*: each sample draws initial values / parameters from
+   declared distributions, simulates, and checks the BLTL property.
+   All randomness flows through an explicit [Random.State.t] so runs are
+   reproducible. *)
+
+type dist =
+  | Constant of float
+  | Uniform of float * float  (** [lo, hi] *)
+  | Normal of float * float  (** mean, std dev *)
+  | Lognormal of float * float  (** mean, std dev of the underlying normal *)
+  | Truncated of dist * float * float  (** rejection-truncated to [lo, hi] *)
+
+type spec = (string * dist) list
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform (a, b) -> 0.5 *. (a +. b)
+  | Normal (m, _) -> m
+  | Lognormal (m, s) -> Float.exp (m +. (0.5 *. s *. s))
+  | Truncated (d, _, _) -> mean d (* approximation; exact value not needed *)
+
+(* Box-Muller; one value per call keeps the state usage simple. *)
+let gaussian rng =
+  let rec nonzero () =
+    let u = Random.State.float rng 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = Random.State.float rng 1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let rec draw rng = function
+  | Constant c -> c
+  | Uniform (a, b) ->
+      if b < a then invalid_arg "Sampler: uniform with hi < lo"
+      else a +. Random.State.float rng (b -. a)
+  | Normal (m, s) -> m +. (s *. gaussian rng)
+  | Lognormal (m, s) -> Float.exp (m +. (s *. gaussian rng))
+  | Truncated (d, lo, hi) ->
+      if hi < lo then invalid_arg "Sampler: truncation with hi < lo"
+      else
+        let rec try_ n =
+          if n = 0 then Float.max lo (Float.min hi (draw rng d))
+          else
+            let x = draw rng d in
+            if lo <= x && x <= hi then x else try_ (n - 1)
+        in
+        try_ 1000
+
+let sample rng (spec : spec) = List.map (fun (x, d) -> (x, draw rng d)) spec
+
+(* Split a spec into the part naming system entities vs the rest. *)
+let partition names (env : (string * float) list) =
+  List.partition (fun (x, _) -> List.mem x names) env

@@ -1,0 +1,28 @@
+(** Random sampling of initial states and parameters for SMC.
+
+    All randomness flows through an explicit [Random.State.t], so runs
+    are reproducible. *)
+
+type dist =
+  | Constant of float
+  | Uniform of float * float
+  | Normal of float * float  (** mean, standard deviation *)
+  | Lognormal of float * float  (** parameters of the underlying normal *)
+  | Truncated of dist * float * float  (** rejection-truncated to [lo, hi] *)
+
+type spec = (string * dist) list
+
+val mean : dist -> float
+(** Analytic mean ([Truncated] approximated by its base). *)
+
+val gaussian : Random.State.t -> float
+(** Standard normal draw (Box–Muller). *)
+
+val draw : Random.State.t -> dist -> float
+(** @raise Invalid_argument on inverted bounds. *)
+
+val sample : Random.State.t -> spec -> (string * float) list
+
+val partition :
+  string list -> (string * float) list -> (string * float) list * (string * float) list
+(** Split an environment into (named, rest). *)

@@ -1,0 +1,68 @@
+(* Wald's sequential probability ratio test.
+
+   Decides between H0: p >= theta + delta (property probably holds) and
+   H1: p <= theta - delta, with type-I/II error bounds alpha and beta.
+   Samples are consumed one at a time from a generator until the
+   log-likelihood ratio leaves the (log B, log A) corridor. *)
+
+type config = {
+  theta : float;  (** probability threshold being tested *)
+  delta_ind : float;  (** half-width of the indifference region *)
+  alpha : float;  (** bound on the probability of falsely accepting H0 *)
+  beta : float;  (** bound on the probability of falsely accepting H1 *)
+  max_samples : int;
+}
+
+let default_config =
+  { theta = 0.9; delta_ind = 0.05; alpha = 0.01; beta = 0.01; max_samples = 100_000 }
+
+type verdict =
+  | Accept  (** H0 accepted: P(φ) >= theta - delta with the stated confidence *)
+  | Reject  (** H1 accepted: P(φ) < theta + delta *)
+  | Inconclusive  (** sample budget exhausted *)
+
+type result = {
+  verdict : verdict;
+  samples_used : int;
+  successes : int;
+  llr : float;  (** final log-likelihood ratio *)
+}
+
+let pp_verdict ppf v =
+  Fmt.string ppf
+    (match v with
+    | Accept -> "accept (property holds with high probability)"
+    | Reject -> "reject"
+    | Inconclusive -> "inconclusive")
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a after %d samples (%d successes, llr=%.3f)" pp_verdict r.verdict
+    r.samples_used r.successes r.llr
+
+let validate cfg =
+  if cfg.theta -. cfg.delta_ind <= 0.0 || cfg.theta +. cfg.delta_ind >= 1.0 then
+    invalid_arg "Sprt: indifference region leaves (0,1)";
+  if cfg.alpha <= 0.0 || cfg.alpha >= 1.0 || cfg.beta <= 0.0 || cfg.beta >= 1.0 then
+    invalid_arg "Sprt: error bounds must be in (0,1)"
+
+(* [run cfg sample] where [sample i] produces the i-th Bernoulli outcome. *)
+let run ?(config = default_config) sample =
+  validate config;
+  let p0 = config.theta +. config.delta_ind in
+  let p1 = config.theta -. config.delta_ind in
+  let log_a = Float.log ((1.0 -. config.beta) /. config.alpha) in
+  let log_b = Float.log (config.beta /. (1.0 -. config.alpha)) in
+  let l_succ = Float.log (p1 /. p0) in
+  let l_fail = Float.log ((1.0 -. p1) /. (1.0 -. p0)) in
+  let rec go i succ llr =
+    if llr >= log_a then { verdict = Reject; samples_used = i; successes = succ; llr }
+    else if llr <= log_b then
+      { verdict = Accept; samples_used = i; successes = succ; llr }
+    else if i >= config.max_samples then
+      { verdict = Inconclusive; samples_used = i; successes = succ; llr }
+    else
+      let ok = sample i in
+      let llr = llr +. if ok then l_succ else l_fail in
+      go (i + 1) (if ok then succ + 1 else succ) llr
+  in
+  go 0 0 0.0

@@ -1,0 +1,36 @@
+(** Wald's sequential probability ratio test.
+
+    Decides between H0: p ≥ θ + δ ("the property holds with probability at
+    least θ") and H1: p ≤ θ − δ, with error bounds α and β, consuming
+    Bernoulli samples one at a time until the log-likelihood ratio leaves
+    the Wald corridor. *)
+
+type config = {
+  theta : float;  (** probability threshold *)
+  delta_ind : float;  (** half-width of the indifference region *)
+  alpha : float;
+  beta : float;
+  max_samples : int;
+}
+
+val default_config : config
+
+type verdict =
+  | Accept  (** H0: the property holds with the stated confidence *)
+  | Reject
+  | Inconclusive  (** sample budget exhausted *)
+
+type result = {
+  verdict : verdict;
+  samples_used : int;
+  successes : int;
+  llr : float;
+}
+
+val run : ?config:config -> (int -> bool) -> result
+(** [run cfg sample] where [sample i] is the i-th Bernoulli outcome.
+    @raise Invalid_argument when the indifference region leaves (0,1) or
+    the error bounds do. *)
+
+val pp_verdict : verdict Fmt.t
+val pp_result : result Fmt.t

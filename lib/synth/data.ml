@@ -1,0 +1,69 @@
+(* Time-series observations for model calibration.
+
+   Observations are bands: at time [time] the variable [var] was measured
+   as [value] with absolute tolerance [tolerance] — the acceptance band of
+   BioPSy-style guaranteed synthesis.  Experimental noise is absorbed by
+   the band, so "the model fits the data" becomes "the trajectory passes
+   through every band", a purely set-theoretic statement interval methods
+   can decide. *)
+
+type point = {
+  time : float;
+  var : string;
+  value : float;
+  tolerance : float;  (** half-width of the acceptance band *)
+}
+
+type t = point list
+
+let point ~time ~var ~value ~tolerance =
+  if tolerance < 0.0 then invalid_arg "Data.point: negative tolerance";
+  if time < 0.0 then invalid_arg "Data.point: negative time";
+  { time; var; value; tolerance }
+
+let band p = Interval.Ia.make (p.value -. p.tolerance) (p.value +. p.tolerance)
+
+let horizon (d : t) = List.fold_left (fun acc p -> Float.max acc p.time) 0.0 d
+
+let vars (d : t) = List.sort_uniq String.compare (List.map (fun p -> p.var) d)
+
+(* Does a numeric trace pass through every band?  (Point check used for
+   witnesses and tests; the guaranteed check lives in {!Biopsy}.) *)
+let consistent_with_trace (d : t) trace =
+  List.for_all
+    (fun p ->
+      let v = Ode.Integrate.value_at trace p.var p.time in
+      Float.abs (v -. p.value) <= p.tolerance)
+    d
+
+(* Sum of squared residuals of a trace against the data (for point fits). *)
+let sse (d : t) trace =
+  List.fold_left
+    (fun acc p ->
+      let r = Ode.Integrate.value_at trace p.var p.time -. p.value in
+      acc +. (r *. r))
+    0.0 d
+
+(* Generate synthetic data from a ground-truth simulation: sample [n]
+   evenly spaced times per observed variable, perturb with uniform noise
+   bounded by [noise], and set the tolerance to [tolerance].  The PRNG
+   state is supplied by the caller for reproducibility. *)
+let synthetic ~rng ~sys ~params ~init ~t_end ~observed ~n ~noise ~tolerance =
+  if n < 1 then invalid_arg "Data.synthetic: n must be >= 1";
+  let trace =
+    Ode.Integrate.simulate ~method_:(Ode.Integrate.Rk4 (t_end /. 2000.0)) ~params ~init
+      ~t_end sys
+  in
+  List.concat_map
+    (fun var ->
+      List.init n (fun i ->
+          let time = t_end *. float_of_int (i + 1) /. float_of_int n in
+          let truth = Ode.Integrate.value_at trace var time in
+          let eps = (Random.State.float rng 2.0 -. 1.0) *. noise in
+          { time; var; value = truth +. eps; tolerance }))
+    observed
+
+let pp_point ppf p =
+  Fmt.pf ppf "%s(%g) = %g ± %g" p.var p.time p.value p.tolerance
+
+let pp ppf (d : t) = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_point) d

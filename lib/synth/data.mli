@@ -1,0 +1,48 @@
+(** Time-series observations for model calibration.
+
+    Observations are acceptance bands: at [time] the variable [var] was
+    measured as [value ± tolerance].  "The model fits the data" becomes
+    "the trajectory passes through every band" — a set-theoretic statement
+    interval methods can decide with guarantees. *)
+
+type point = {
+  time : float;
+  var : string;
+  value : float;
+  tolerance : float;  (** half-width of the acceptance band *)
+}
+
+type t = point list
+
+val point : time:float -> var:string -> value:float -> tolerance:float -> point
+(** @raise Invalid_argument on a negative time or tolerance. *)
+
+val band : point -> Interval.Ia.t
+val horizon : t -> float
+(** Latest observation time. *)
+
+val vars : t -> string list
+
+val consistent_with_trace : t -> Ode.Integrate.trace -> bool
+(** Point check: does the simulated trace pass through every band? *)
+
+val sse : t -> Ode.Integrate.trace -> float
+(** Sum of squared residuals (for point fits). *)
+
+val synthetic :
+  rng:Random.State.t ->
+  sys:Ode.System.t ->
+  params:(string * float) list ->
+  init:(string * float) list ->
+  t_end:float ->
+  observed:string list ->
+  n:int ->
+  noise:float ->
+  tolerance:float ->
+  t
+(** Generate data from a ground-truth simulation: [n] evenly spaced
+    samples per observed variable, uniform noise bounded by [noise],
+    bands of half-width [tolerance].  Reproducible via [rng]. *)
+
+val pp_point : point Fmt.t
+val pp : t Fmt.t

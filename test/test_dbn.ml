@@ -1,0 +1,156 @@
+(* Tests for the DBN abstraction (the paper's proposed probabilistic
+   extension): the factored abstraction must agree with direct Monte
+   Carlo within grid resolution. *)
+
+module G = Dbn.Grid
+module M = Dbn.Model
+
+let decay = Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ]
+
+(* ---- Grid ---- *)
+
+let test_grid_basics () =
+  let a = G.axis ~var:"x" ~lo:0.0 ~hi:1.0 ~cells:10 in
+  Alcotest.(check int) "locate interior" 3 (G.locate a 0.35);
+  Alcotest.(check int) "locate clamps low" 0 (G.locate a (-5.0));
+  Alcotest.(check int) "locate clamps high" 9 (G.locate a 5.0);
+  Alcotest.(check int) "boundary cell" 5 (G.locate a 0.5);
+  let i = G.cell_interval a 3 in
+  Alcotest.(check bool) "cell interval" true
+    (Float.abs (Interval.Ia.lo i -. 0.3) < 1e-12
+    && Float.abs (Interval.Ia.hi i -. 0.4) < 1e-12);
+  Alcotest.(check (float 1e-12)) "cell mid" 0.35 (G.cell_mid a 3)
+
+let test_grid_validation () =
+  Alcotest.check_raises "no cells" (Invalid_argument "Grid.axis: need at least one cell")
+    (fun () -> ignore (G.axis ~var:"x" ~lo:0.0 ~hi:1.0 ~cells:0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Grid.axis: empty range")
+    (fun () -> ignore (G.axis ~var:"x" ~lo:1.0 ~hi:1.0 ~cells:4));
+  Alcotest.check_raises "duplicate var" (Invalid_argument "Grid.create: duplicate variable")
+    (fun () ->
+      ignore
+        (G.create
+           [ G.axis ~var:"x" ~lo:0.0 ~hi:1.0 ~cells:2;
+             G.axis ~var:"x" ~lo:0.0 ~hi:2.0 ~cells:2 ]))
+
+let test_grid_cells_where () =
+  let g = G.create [ G.axis ~var:"x" ~lo:0.0 ~hi:1.0 ~cells:10 ] in
+  let cells = G.cells_where g "x" (fun mid -> mid <= 0.5) in
+  Alcotest.(check (list int)) "lower half" [ 0; 1; 2; 3; 4 ] cells
+
+(* ---- DBN on exponential decay ---- *)
+
+let decay_grid = G.create [ G.axis ~var:"x" ~lo:0.0 ~hi:1.5 ~cells:15 ]
+
+let decay_dbn ?(samples = 1500) () =
+  M.learn
+    ~config:{ M.default_learn with M.samples }
+    ~grid:decay_grid ~slices:10 ~horizon:2.0
+    ~init_dist:[ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ]
+    ~param_dist:[] decay
+
+let test_dbn_structure () =
+  let m = decay_dbn ~samples:200 () in
+  Alcotest.(check int) "slices" 10 (M.slice_count m);
+  Alcotest.(check (float 1e-12)) "dt" 0.2 (M.dt m)
+
+let test_dbn_matches_monte_carlo () =
+  let m = decay_dbn () in
+  let init_belief =
+    M.belief_of_dist m [ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ]
+  in
+  (* P(x <= 0.5 at t = 1): x(1) = x0 e^-1 ∈ [0.294, 0.442] — always. *)
+  let p1 = M.probability m ~init_belief ~var:"x" ~time:1.0 (fun x -> x <= 0.5) in
+  Alcotest.(check bool) (Printf.sprintf "p1 = %.3f near 1" p1) true (p1 > 0.85);
+  (* P(x <= 0.5 at t = 0.4): x(0.4) ∈ [0.536, 0.804] — never. *)
+  let p2 = M.probability m ~init_belief ~var:"x" ~time:0.4 (fun x -> x <= 0.5) in
+  Alcotest.(check bool) (Printf.sprintf "p2 = %.3f near 0" p2) true (p2 < 0.15);
+  (* intermediate time: compare against direct Monte Carlo *)
+  let t_mid = 0.8 in
+  let mc =
+    let rng = Random.State.make [| 77 |] in
+    let hits = ref 0 and n = 4000 in
+    for _ = 1 to n do
+      let x0 = 0.8 +. Random.State.float rng 0.4 in
+      if x0 *. Float.exp (-.t_mid) <= 0.5 then incr hits
+    done;
+    float_of_int !hits /. float_of_int n
+  in
+  let pd = M.probability m ~init_belief ~var:"x" ~time:t_mid (fun x -> x <= 0.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "DBN %.3f vs MC %.3f" pd mc)
+    true
+    (Float.abs (pd -. mc) < 0.15)
+
+let test_dbn_marginals_are_distributions () =
+  let m = decay_dbn ~samples:400 () in
+  let beliefs = M.propagate m ~init_belief:(M.uniform_belief m) in
+  List.iter
+    (fun belief ->
+      let marg = Dbn.Model.SMap.find "x" belief in
+      let total = Array.fold_left ( +. ) 0.0 marg in
+      Alcotest.(check (float 1e-6)) "marginal sums to 1" 1.0 total;
+      Array.iter (fun p -> Alcotest.(check bool) "probability in [0,1]" true (0.0 <= p && p <= 1.0)) marg)
+    beliefs
+
+(* ---- Two-variable system: factored structure ---- *)
+
+let cascade =
+  Ode.System.of_strings ~vars:[ "a"; "b" ] ~params:[]
+    ~rhs:[ ("a", "-a"); ("b", "a - b") ]
+
+let test_dbn_factored_parents () =
+  let grid =
+    G.create
+      [ G.axis ~var:"a" ~lo:0.0 ~hi:1.2 ~cells:8;
+        G.axis ~var:"b" ~lo:0.0 ~hi:1.2 ~cells:8 ]
+  in
+  let m =
+    M.learn
+      ~config:{ M.default_learn with M.samples = 800 }
+      ~grid ~slices:8 ~horizon:2.0
+      ~init_dist:[ ("a", Smc.Sampler.Uniform (0.9, 1.1)); ("b", Smc.Sampler.Constant 0.0) ]
+      ~param_dist:[] cascade
+  in
+  (* b starts at 0, rises (driven by a), then decays: its probability of
+     exceeding 0.25 should be higher at t=1 than at t=0.25. *)
+  let init_belief =
+    M.belief_of_dist m
+      [ ("a", Smc.Sampler.Uniform (0.9, 1.1)); ("b", Smc.Sampler.Constant 0.0) ]
+  in
+  let p_early = M.probability m ~init_belief ~var:"b" ~time:0.25 (fun b -> b >= 0.25) in
+  let p_mid = M.probability m ~init_belief ~var:"b" ~time:1.0 (fun b -> b >= 0.25) in
+  Alcotest.(check bool)
+    (Printf.sprintf "b rises: %.3f -> %.3f" p_early p_mid)
+    true (p_mid > p_early +. 0.3)
+
+let test_dbn_validation () =
+  Alcotest.check_raises "bad slices" (Invalid_argument "Dbn.learn: need at least one slice")
+    (fun () ->
+      ignore
+        (M.learn ~grid:decay_grid ~slices:0 ~horizon:1.0 ~init_dist:[] ~param_dist:[]
+           decay));
+  Alcotest.check_raises "grid misses var"
+    (Invalid_argument "Dbn.learn: grid misses state variable \"a\"") (fun () ->
+      ignore
+        (M.learn ~grid:decay_grid ~slices:2 ~horizon:1.0 ~init_dist:[] ~param_dist:[]
+           cascade))
+
+let () =
+  Alcotest.run "dbn"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "basics" `Quick test_grid_basics;
+          Alcotest.test_case "validation" `Quick test_grid_validation;
+          Alcotest.test_case "cells where" `Quick test_grid_cells_where;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "structure" `Quick test_dbn_structure;
+          Alcotest.test_case "matches monte carlo" `Quick test_dbn_matches_monte_carlo;
+          Alcotest.test_case "marginals normalized" `Quick test_dbn_marginals_are_distributions;
+          Alcotest.test_case "factored cascade" `Quick test_dbn_factored_parents;
+          Alcotest.test_case "validation" `Quick test_dbn_validation;
+        ] );
+    ]

@@ -1,0 +1,389 @@
+(* Tests for the L_RF term and formula layer. *)
+
+module T = Expr.Term
+module F = Expr.Formula
+module P = Expr.Parse
+module I = Interval.Ia
+module Box = Interval.Box
+
+let env2 x y = [ ("x", x); ("y", y) ]
+
+(* ---- Term unit tests ---- *)
+
+let test_eval_basic () =
+  let t = P.term "x^2 + 2*x*y - y/3" in
+  let expected = (2.0 ** 2.0) +. (2.0 *. 2.0 *. 5.0) -. (5.0 /. 3.0) in
+  Alcotest.(check (float 1e-12)) "polynomial" expected (T.eval_env (env2 2.0 5.0) t)
+
+let test_eval_functions () =
+  let t = P.term "exp(x) + log(y) + sqrt(x*y) + sin(x) * cos(y)" in
+  let x = 0.7 and y = 2.3 in
+  let expected =
+    Float.exp x +. Float.log y +. Float.sqrt (x *. y) +. (Float.sin x *. Float.cos y)
+  in
+  Alcotest.(check (float 1e-12)) "functions" expected (T.eval_env (env2 x y) t)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "x + 0 = x" true (T.equal (T.add (T.var "x") T.zero) (T.var "x"));
+  Alcotest.(check bool) "x * 1 = x" true (T.equal (T.mul (T.var "x") T.one) (T.var "x"));
+  Alcotest.(check bool) "x * 0 = 0" true (T.equal (T.mul (T.var "x") T.zero) T.zero);
+  Alcotest.(check bool) "const fold" true (T.equal (T.add (T.const 2.0) (T.const 3.0)) (T.const 5.0));
+  Alcotest.(check bool) "neg neg" true (T.equal (T.neg (T.neg (T.var "x"))) (T.var "x"));
+  Alcotest.(check bool) "pow 1" true (T.equal (T.pow (T.var "x") 1) (T.var "x"));
+  Alcotest.(check bool) "pow 0" true (T.equal (T.pow (T.var "x") 0) T.one)
+
+let test_free_vars () =
+  let t = P.term "x * sin(y) + z^2 - x" in
+  Alcotest.(check (list string)) "vars" [ "x"; "y"; "z" ] (T.free_var_list t);
+  Alcotest.(check bool) "mentions" true (T.mentions "y" t);
+  Alcotest.(check bool) "no mention" false (T.mentions "w" t)
+
+let test_subst_rename () =
+  let t = P.term "x + y" in
+  let t' = T.subst [ ("x", P.term "2*z") ] t in
+  Alcotest.(check (float 1e-12)) "subst" 7.0 (T.eval_env [ ("z", 2.0); ("y", 3.0) ] t');
+  let r = T.rename [ ("x", "x0") ] t in
+  Alcotest.(check (list string)) "renamed" [ "x0"; "y" ] (T.free_var_list r)
+
+let test_deriv () =
+  let t = P.term "x^3 + 2*x" in
+  let d = T.deriv "x" t in
+  Alcotest.(check (float 1e-9)) "d(x^3+2x)" (3.0 *. 4.0 +. 2.0)
+    (T.eval_env [ ("x", 2.0) ] d);
+  let s = T.deriv "x" (P.term "sin(x^2)") in
+  let x = 0.9 in
+  Alcotest.(check (float 1e-9)) "chain rule" (2.0 *. x *. Float.cos (x *. x))
+    (T.eval_env [ ("x", x) ] s);
+  let q = T.deriv "x" (P.term "exp(x)/x") in
+  let x = 1.7 in
+  Alcotest.(check (float 1e-9)) "quotient rule"
+    ((Float.exp x *. x -. Float.exp x) /. (x *. x))
+    (T.eval_env [ ("x", x) ] q)
+
+let test_lie_derivative () =
+  (* V = x^2 + y^2 along the rotation field (dx = -y, dy = x) is constant:
+     its Lie derivative must simplify to a term that evaluates to 0. *)
+  let v = P.term "x^2 + y^2" in
+  let field = [ ("x", P.term "-y"); ("y", P.term "x") ] in
+  let lie = T.lie_derivative field v in
+  Alcotest.(check (float 1e-12)) "rotation invariant" 0.0
+    (T.eval_env (env2 1.3 (-0.4)) lie)
+
+let test_compile () =
+  let t = P.term "x^2 * sin(y) + exp(x - y)" in
+  let f = T.compile ~vars:[ "x"; "y" ] t in
+  let x = 1.1 and y = 0.3 in
+  Alcotest.(check (float 1e-12)) "compiled = interpreted"
+    (T.eval_env (env2 x y) t)
+    (f [| x; y |]);
+  Alcotest.check_raises "unbound at compile time"
+    (Invalid_argument "Term.compile: unbound variable \"z\"") (fun () ->
+      ignore (T.compile ~vars:[ "x" ] (P.term "z") : float array -> float))
+
+let test_pp_parse_roundtrip () =
+  let cases =
+    [ "x + y * z"; "(x + y) * z"; "x - (y - z)"; "x^2 - -y"; "exp(x * sin(y))";
+      "min(x, max(y, z))"; "x / (y / z)"; "abs(x) + tanh(y)" ]
+  in
+  List.iter
+    (fun s ->
+      let t = P.term s in
+      let t2 = P.term (T.to_string t) in
+      let env = [ ("x", 1.7); ("y", -0.6); ("z", 2.9) ] in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "roundtrip %S" s)
+        (T.eval_env env t) (T.eval_env env t2))
+    cases
+
+let test_parse_errors () =
+  Alcotest.(check bool) "dangling op" true (P.term_opt "x +" = None);
+  Alcotest.(check bool) "bad char" true (P.term_opt "x # y" = None);
+  Alcotest.(check bool) "noninteger exponent" true (P.term_opt "x^2.5" = None);
+  Alcotest.(check bool) "unknown function" true (P.term_opt "sinh(x)" = None);
+  Alcotest.(check bool) "unclosed paren" true (P.term_opt "(x + y" = None)
+
+(* ---- Formula unit tests ---- *)
+
+let test_formula_holds () =
+  let f = P.formula "x^2 + y^2 <= 1 and x > 0" in
+  Alcotest.(check bool) "inside" true (F.holds_env (env2 0.5 0.5) f);
+  Alcotest.(check bool) "outside circle" false (F.holds_env (env2 0.9 0.9) f);
+  Alcotest.(check bool) "wrong sign" false (F.holds_env (env2 (-0.5) 0.0) f);
+  let g = P.formula "x > 1 or y > 1" in
+  Alcotest.(check bool) "or left" true (F.holds_env (env2 2.0 0.0) g);
+  Alcotest.(check bool) "or right" true (F.holds_env (env2 0.0 2.0) g);
+  Alcotest.(check bool) "or neither" false (F.holds_env (env2 0.0 0.0) g)
+
+let test_formula_neg () =
+  let f = P.formula "x > 0 and y >= 1" in
+  let nf = F.neg f in
+  let check env =
+    Alcotest.(check bool)
+      (Printf.sprintf "negation flips at %s"
+         (String.concat "," (List.map (fun (_, v) -> string_of_float v) env)))
+      (not (F.holds_env env f))
+      (F.holds_env env nf)
+  in
+  (* Points off the boundary, where strictness does not matter. *)
+  List.iter check [ env2 1.0 2.0; env2 (-1.0) 2.0; env2 1.0 0.5; env2 (-1.0) 0.5 ]
+
+let test_delta_weaken () =
+  let f = P.formula "x >= 1" in
+  let fw = F.delta_weaken 0.5 f in
+  Alcotest.(check bool) "0.6 satisfies weakened" true (F.holds_env [ ("x", 0.6) ] fw);
+  Alcotest.(check bool) "0.6 violates original" false (F.holds_env [ ("x", 0.6) ] f);
+  Alcotest.(check bool) "0.4 violates weakened" false (F.holds_env [ ("x", 0.4) ] fw)
+
+let test_eval_cert () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let box_in = Box.of_list [ ("x", I.make 0.0 0.1); ("y", I.make 0.0 0.1) ] in
+  let box_out = Box.of_list [ ("x", I.make 2.0 3.0); ("y", I.make 0.0 1.0) ] in
+  let box_cross = Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ] in
+  Alcotest.(check bool) "certain" true (F.eval_cert box_in f = F.Certain);
+  Alcotest.(check bool) "impossible" true (F.eval_cert box_out f = F.Impossible);
+  Alcotest.(check bool) "unknown" true (F.eval_cert box_cross f = F.Unknown)
+
+let test_sat_possible () =
+  let f = P.formula "x >= 1" in
+  let box = Box.of_list [ ("x", I.make 0.0 0.5) ] in
+  Alcotest.(check bool) "refuted without delta" false (F.sat_possible ~delta:0.0 box f);
+  Alcotest.(check bool) "possible with big delta" true (F.sat_possible ~delta:0.6 box f)
+
+let test_robustness () =
+  let f = P.formula "x >= 1 and x <= 3" in
+  Alcotest.(check (float 1e-12)) "interior" 1.0
+    (F.robustness (fun _ -> 2.0) f);
+  Alcotest.(check bool) "violation negative" true (F.robustness (fun _ -> 0.0) f < 0.0)
+
+let test_dnf () =
+  let f = P.formula "(x > 0 or y > 0) and (x < 1 or y < 1)" in
+  let branches = F.dnf f in
+  Alcotest.(check int) "4 branches" 4 (List.length branches);
+  (* DNF must be equivalent to the original at sample points. *)
+  let as_formula =
+    F.or_ (List.map (fun conj -> F.and_ (List.map (fun a -> F.Atom a) conj)) branches)
+  in
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dnf equiv at (%g, %g)" x y)
+        (F.holds_env (env2 x y) f)
+        (F.holds_env (env2 x y) as_formula))
+    [ (0.5, 0.5); (-1.0, 2.0); (2.0, -1.0); (2.0, 2.0); (-1.0, -1.0) ]
+
+let test_formula_parse () =
+  let f = P.formula "not (x > 1 and y > 1)" in
+  Alcotest.(check bool) "demorgan" true (F.holds_env (env2 0.0 5.0) f);
+  let g = P.formula "x = 2" in
+  Alcotest.(check bool) "eq holds" true (F.holds_env [ ("x", 2.0) ] g);
+  Alcotest.(check bool) "eq fails" false (F.holds_env [ ("x", 2.1) ] g);
+  let h = P.formula "true and x > 0" in
+  Alcotest.(check bool) "true unit" true (F.holds_env [ ("x", 1.0) ] h)
+
+(* ---- Property tests ---- *)
+
+(* Random term generator over variables x, y. *)
+let term_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof [ return (T.var "x"); return (T.var "y"); map T.const (float_range (-3.0) 3.0) ]
+  in
+  let rec go n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (3, map2 T.add (go (n - 1)) (go (n - 1)));
+          (3, map2 T.sub (go (n - 1)) (go (n - 1)));
+          (3, map2 T.mul (go (n - 1)) (go (n - 1)));
+          (1, map T.sin (go (n - 1)));
+          (1, map T.cos (go (n - 1)));
+          (1, map (fun t -> T.pow t 2) (go (n - 1)));
+          (1, map T.exp (map (fun t -> T.mul (T.const 0.1) t) (go (n - 1))));
+        ]
+  in
+  go 4
+
+let arb_term_point =
+  let gen =
+    QCheck.Gen.(
+      term_gen >>= fun t ->
+      float_range (-2.0) 2.0 >>= fun x ->
+      float_range (-2.0) 2.0 >>= fun y -> return (t, x, y))
+  in
+  QCheck.make
+    ~print:(fun (t, x, y) -> Printf.sprintf "%s at (%g, %g)" (T.to_string t) x y)
+    gen
+
+let prop_interval_containment =
+  QCheck.Test.make ~count:400 ~name:"interval eval contains point eval" arb_term_point
+    (fun (t, x, y) ->
+      let box =
+        Box.of_list
+          [ ("x", I.make (x -. 0.5) (x +. 0.5)); ("y", I.make (y -. 0.5) (y +. 0.5)) ]
+      in
+      let v = T.eval_env (env2 x y) t in
+      Float.is_nan v || I.mem v (T.eval_interval box t))
+
+let prop_deriv_finite_difference =
+  QCheck.Test.make ~count:300 ~name:"symbolic derivative matches finite difference"
+    arb_term_point (fun (t, x, y) ->
+      let d = T.deriv "x" t in
+      let h = 1e-6 in
+      let f z = T.eval_env (env2 z y) t in
+      let fd = (f (x +. h) -. f (x -. h)) /. (2.0 *. h) in
+      let sym = T.eval_env (env2 x y) d in
+      (not (Float.is_finite fd)) || (not (Float.is_finite sym))
+      || Float.abs (fd -. sym) <= 1e-3 *. (1.0 +. Float.abs sym +. Float.abs fd))
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"print-parse roundtrip preserves value"
+    arb_term_point (fun (t, x, y) ->
+      match P.term_opt (T.to_string t) with
+      | None -> false
+      | Some t2 ->
+          let v1 = T.eval_env (env2 x y) t and v2 = T.eval_env (env2 x y) t2 in
+          (Float.is_nan v1 && Float.is_nan v2)
+          || v1 = v2
+          || Float.abs (v1 -. v2) <= 1e-12 *. (1.0 +. Float.abs v1))
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~count:300 ~name:"simplify preserves value" arb_term_point
+    (fun (t, x, y) ->
+      let v1 = T.eval_env (env2 x y) t in
+      let v2 = T.eval_env (env2 x y) (T.simplify t) in
+      (Float.is_nan v1 && Float.is_nan v2)
+      || v1 = v2
+      || Float.abs (v1 -. v2) <= 1e-9 *. (1.0 +. Float.abs v1))
+
+let prop_compile_matches_eval =
+  QCheck.Test.make ~count:300 ~name:"compiled closure matches interpreter"
+    arb_term_point (fun (t, x, y) ->
+      let f = T.compile ~vars:[ "x"; "y" ] t in
+      let v1 = T.eval_env (env2 x y) t and v2 = f [| x; y |] in
+      (Float.is_nan v1 && Float.is_nan v2) || Float.abs (v1 -. v2) <= 1e-9 *. (1.0 +. Float.abs v1))
+
+(* Random shallow formulas over x, y. *)
+let formula_gen =
+  let open QCheck.Gen in
+  let atom =
+    term_gen >>= fun t ->
+    oneofl [ F.Gt; F.Ge ] >>= fun rel -> return (F.Atom { F.term = t; rel })
+  in
+  let rec go n =
+    if n <= 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 (fun a b -> F.and_ [ a; b ]) (go (n - 1)) (go (n - 1)));
+          (2, map2 (fun a b -> F.or_ [ a; b ]) (go (n - 1)) (go (n - 1)));
+          (1, map F.neg (go (n - 1)));
+        ]
+  in
+  go 3
+
+let arb_formula_point =
+  let gen =
+    QCheck.Gen.(
+      formula_gen >>= fun f ->
+      float_range (-2.0) 2.0 >>= fun x ->
+      float_range (-2.0) 2.0 >>= fun y -> return (f, x, y))
+  in
+  QCheck.make
+    ~print:(fun (f, x, y) -> Printf.sprintf "%s at (%g, %g)" (F.to_string f) x y)
+    gen
+
+let prop_neg_involution =
+  QCheck.Test.make ~count:300 ~name:"double negation preserves truth off-boundary"
+    arb_formula_point (fun (f, x, y) ->
+      let env = env2 x y in
+      (* the NNF negation swaps strict/non-strict, so only compare when no
+         atom sits exactly on its boundary *)
+      let on_boundary =
+        List.exists (fun (a : F.atom) -> T.eval_env env a.F.term = 0.0) (F.atoms f)
+      in
+      on_boundary || F.holds_env env (F.neg (F.neg f)) = F.holds_env env f)
+
+let prop_neg_flips =
+  QCheck.Test.make ~count:300 ~name:"negation flips truth off-boundary"
+    arb_formula_point (fun (f, x, y) ->
+      let env = env2 x y in
+      let on_boundary =
+        List.exists (fun (a : F.atom) -> T.eval_env env a.F.term = 0.0) (F.atoms f)
+      in
+      on_boundary || F.holds_env env (F.neg f) = not (F.holds_env env f))
+
+let prop_delta_monotone =
+  QCheck.Test.make ~count:300 ~name:"delta-weakening is monotone" arb_formula_point
+    (fun (f, x, y) ->
+      let env = env2 x y in
+      let lookup v = List.assoc v env in
+      (* satisfaction at delta 0.01 implies satisfaction at delta 0.1 *)
+      (not (F.holds_delta ~delta:0.01 lookup f)) || F.holds_delta ~delta:0.1 lookup f)
+
+let prop_robustness_sign =
+  QCheck.Test.make ~count:300 ~name:"robustness sign agrees with satisfaction"
+    arb_formula_point (fun (f, x, y) ->
+      let env = env2 x y in
+      let r = F.robustness (fun v -> List.assoc v env) f in
+      if Float.is_nan r then true
+      else if r > 1e-9 then F.holds_env env f
+      else if r < -1e-9 then not (F.holds_env env f)
+      else true)
+
+let prop_cert_sound =
+  QCheck.Test.make ~count:200 ~name:"interval certainty verdicts are pointwise sound"
+    arb_formula_point (fun (f, x, y) ->
+      let box =
+        Box.of_list
+          [ ("x", I.make (x -. 0.3) (x +. 0.3)); ("y", I.make (y -. 0.3) (y +. 0.3)) ]
+      in
+      match F.eval_cert box f with
+      | F.Certain -> F.holds_env (env2 x y) f
+      | F.Impossible -> not (F.holds_env (env2 x y) f)
+      | F.Unknown -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_interval_containment;
+      prop_deriv_finite_difference;
+      prop_parse_print_roundtrip;
+      prop_simplify_preserves;
+      prop_compile_matches_eval;
+      prop_neg_involution;
+      prop_neg_flips;
+      prop_delta_monotone;
+      prop_robustness_sign;
+      prop_cert_sound;
+    ]
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "eval basic" `Quick test_eval_basic;
+          Alcotest.test_case "eval functions" `Quick test_eval_functions;
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "subst and rename" `Quick test_subst_rename;
+          Alcotest.test_case "derivatives" `Quick test_deriv;
+          Alcotest.test_case "lie derivative" `Quick test_lie_derivative;
+          Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "holds" `Quick test_formula_holds;
+          Alcotest.test_case "negation" `Quick test_formula_neg;
+          Alcotest.test_case "delta weakening" `Quick test_delta_weaken;
+          Alcotest.test_case "interval certainty" `Quick test_eval_cert;
+          Alcotest.test_case "sat possible" `Quick test_sat_possible;
+          Alcotest.test_case "robustness" `Quick test_robustness;
+          Alcotest.test_case "dnf" `Quick test_dnf;
+          Alcotest.test_case "formula parsing" `Quick test_formula_parse;
+        ] );
+      ("properties", qcheck_tests);
+    ]

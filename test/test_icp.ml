@@ -1,0 +1,389 @@
+(* Tests for the ICP δ-decision solver. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module T = Expr.Term
+module F = Expr.Formula
+module P = Expr.Parse
+module C = Icp.Contractor
+module S = Icp.Solver
+
+let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
+
+let cfg = { S.default_config with max_boxes = 100_000 }
+
+(* ---- Contractor unit tests ---- *)
+
+let test_revise_linear () =
+  (* x + y = 10 with x ∈ [0,4], y ∈ [0,4] is infeasible. *)
+  let b = box [ ("x", 0.0, 4.0); ("y", 0.0, 4.0) ] in
+  let r = C.revise ~term:(P.term "x + y") ~target:(I.of_float 10.0) b in
+  Alcotest.(check bool) "infeasible sum" true (r = None);
+  (* x + y = 6 contracts x to [2,4]. *)
+  let r2 = C.revise ~term:(P.term "x + y") ~target:(I.of_float 6.0) b in
+  match r2 with
+  | None -> Alcotest.fail "feasible constraint reported infeasible"
+  | Some b' ->
+      let x = Box.find "x" b' in
+      Alcotest.(check bool) "x lo raised" true (I.lo x >= 1.99);
+      Alcotest.(check bool) "x hi kept" true (I.hi x <= 4.01)
+
+let test_revise_square () =
+  let b = box [ ("x", 0.0, 10.0) ] in
+  match C.revise ~term:(P.term "x^2") ~target:(I.make 4.0 9.0) b with
+  | None -> Alcotest.fail "x^2 in [4,9] feasible"
+  | Some b' ->
+      let x = Box.find "x" b' in
+      Alcotest.(check bool) "lo ~2" true (I.lo x >= 1.99 && I.lo x <= 2.01);
+      Alcotest.(check bool) "hi ~3" true (I.hi x >= 2.99 && I.hi x <= 3.01)
+
+let test_revise_square_negative_branch () =
+  let b = box [ ("x", -10.0, 0.0) ] in
+  match C.revise ~term:(P.term "x^2") ~target:(I.make 4.0 9.0) b with
+  | None -> Alcotest.fail "negative branch feasible"
+  | Some b' ->
+      let x = Box.find "x" b' in
+      Alcotest.(check bool) "negative branch [-3,-2]" true
+        (I.lo x >= -3.01 && I.hi x <= -1.99)
+
+let test_revise_exp () =
+  let b = box [ ("x", -10.0, 10.0) ] in
+  match C.revise ~term:(P.term "exp(x)") ~target:(I.make 1.0 (Float.exp 2.0)) b with
+  | None -> Alcotest.fail "exp feasible"
+  | Some b' ->
+      let x = Box.find "x" b' in
+      Alcotest.(check bool) "x in ~[0,2]" true (I.lo x >= -0.01 && I.hi x <= 2.01)
+
+let test_revise_multiple_occurrences () =
+  (* x * x - x = 0 on [0.5, 10]: solution x = 1; contraction must keep 1. *)
+  let b = box [ ("x", 0.5, 10.0) ] in
+  match C.revise ~term:(P.term "x*x - x") ~target:(I.of_float 0.0) b with
+  | None -> Alcotest.fail "root exists"
+  | Some b' -> Alcotest.(check bool) "keeps x=1" true (I.mem 1.0 (Box.find "x" b'))
+
+let test_fixpoint () =
+  (* x = y, x + y = 4, both in [0, 10]: fixpoint should close in on x=y=2. *)
+  let cs =
+    [ { C.term = P.term "x - y"; target = I.of_float 0.0 };
+      { C.term = P.term "x + y"; target = I.of_float 4.0 } ]
+  in
+  match C.fixpoint ~max_rounds:50 cs (box [ ("x", 0.0, 10.0); ("y", 0.0, 10.0) ]) with
+  | None -> Alcotest.fail "system feasible"
+  | Some b ->
+      (* HC4's fixpoint for this dependent pair is x ∈ [0,4] (interval
+         arithmetic cannot see through the x/y correlation further). *)
+      Alcotest.(check bool) "x narrowed" true (I.mem 2.0 (Box.find "x" b));
+      Alcotest.(check bool) "x within [0,4]" true
+        (I.subset (Box.find "x" b) (I.make (-0.01) 4.01))
+
+let test_fixpoint_infeasible () =
+  let cs =
+    [ { C.term = P.term "x"; target = I.make 5.0 10.0 };
+      { C.term = P.term "x"; target = I.make 0.0 1.0 } ]
+  in
+  Alcotest.(check bool) "contradictory" true
+    (C.fixpoint cs (box [ ("x", -100.0, 100.0) ]) = None)
+
+(* ---- Solver unit tests ---- *)
+
+let expect_delta_sat name r =
+  match r with
+  | S.Delta_sat w -> w
+  | S.Unsat -> Alcotest.failf "%s: expected delta-sat, got unsat" name
+  | S.Unknown why -> Alcotest.failf "%s: expected delta-sat, got unknown (%s)" name why
+
+let expect_unsat name r =
+  match r with
+  | S.Unsat -> ()
+  | S.Delta_sat _ -> Alcotest.failf "%s: expected unsat, got delta-sat" name
+  | S.Unknown why -> Alcotest.failf "%s: expected unsat, got unknown (%s)" name why
+
+let test_decide_sqrt2 () =
+  let f = P.formula "x^2 = 2" in
+  let w = expect_delta_sat "sqrt2" (S.decide ~config:cfg f (box [ ("x", 0.0, 2.0) ])) in
+  let x = List.assoc "x" w.point in
+  Alcotest.(check bool) "witness near sqrt 2" true (Float.abs (x -. Float.sqrt 2.0) < 0.05)
+
+let test_decide_unsat_interval () =
+  let f = P.formula "x > 1 and x < 0" in
+  expect_unsat "contradiction" (S.decide ~config:cfg f (box [ ("x", -10.0, 10.0) ]))
+
+let test_decide_unsat_geometry () =
+  (* circle of radius 1 cannot meet the line x + y = 3 *)
+  let f = P.formula "x^2 + y^2 <= 1 and x + y >= 3" in
+  expect_unsat "circle/line"
+    (S.decide ~config:cfg f (box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ]))
+
+let test_decide_sin () =
+  let f = P.formula "sin(x) = 1/2" in
+  let w =
+    expect_delta_sat "sin" (S.decide ~config:cfg f (box [ ("x", 0.0, 1.5707) ]))
+  in
+  let x = List.assoc "x" w.point in
+  Alcotest.(check bool) "x near pi/6" true (Float.abs (x -. (Float.pi /. 6.0)) < 0.05)
+
+let test_decide_disjunction () =
+  let f = P.formula "(x <= -5 and x >= -6) or x^2 = 9" in
+  let w =
+    expect_delta_sat "disjunction" (S.decide ~config:cfg f (box [ ("x", 0.0, 10.0) ]))
+  in
+  let x = List.assoc "x" w.point in
+  (* only the second branch intersects the box *)
+  Alcotest.(check bool) "witness near 3" true (Float.abs (x -. 3.0) < 0.05)
+
+let test_decide_multivariate () =
+  (* Rosenbrock-style equation system has a solution at (1, 1). *)
+  let f = P.formula "(1 - x)^2 + 100 * (y - x^2)^2 <= 0.0001" in
+  let w =
+    expect_delta_sat "rosenbrock"
+      (S.decide ~config:{ cfg with epsilon = 1e-3 } f
+         (box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ]))
+  in
+  Alcotest.(check bool) "x near 1" true (Float.abs (List.assoc "x" w.point -. 1.0) < 0.1);
+  Alcotest.(check bool) "y near 1" true (Float.abs (List.assoc "y" w.point -. 1.0) < 0.1)
+
+let test_decide_delta_effect () =
+  (* x >= 1 on [0, 0.999]: unsat for tiny δ, δ-sat for δ > 0.001 with the
+     one-sided semantics of Theorem 1. *)
+  let f = P.formula "x >= 1" in
+  let b = box [ ("x", 0.0, 0.999) ] in
+  expect_unsat "tight delta" (S.decide ~config:{ cfg with delta = 1e-6 } f b);
+  let _ = expect_delta_sat "loose delta" (S.decide ~config:{ cfg with delta = 0.01 } f b) in
+  ()
+
+let test_decide_trivial () =
+  let b = box [ ("x", 0.0, 1.0) ] in
+  let _ = expect_delta_sat "true" (S.decide ~config:cfg F.tt b) in
+  expect_unsat "false" (S.decide ~config:cfg F.ff b)
+
+let test_decide_budget () =
+  (* A hard feasibility problem with an absurdly small budget reports
+     Unknown rather than guessing. *)
+  let f = P.formula "sin(10*x) * cos(10*y) = 0.734001" in
+  let r =
+    S.decide
+      ~config:{ cfg with max_boxes = 3; epsilon = 1e-12; delta = 1e-9 }
+      f
+      (box [ ("x", 0.0, 10.0); ("y", 0.0, 10.0) ])
+  in
+  match r with
+  | S.Unknown _ -> ()
+  | S.Unsat -> Alcotest.fail "budget 3 cannot prove unsat"
+  | S.Delta_sat w ->
+      (* If it did find a witness that fast it must be certified. *)
+      Alcotest.(check bool) "certified" true w.certified
+
+let test_stats () =
+  let f = P.formula "x^2 + y^2 = 1" in
+  let _, stats =
+    S.decide_with_stats ~config:cfg f (box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ])
+  in
+  Alcotest.(check bool) "processed boxes" true (stats.S.boxes_processed > 0)
+
+let test_ablation_no_contraction () =
+  (* Bisection-only search must agree with contraction-enabled search. *)
+  let f = P.formula "x^2 = 2" in
+  let b = box [ ("x", 0.0, 2.0) ] in
+  let w1 = expect_delta_sat "with" (S.decide ~config:cfg f b) in
+  let w2 =
+    expect_delta_sat "without"
+      (S.decide ~config:{ cfg with use_contraction = false } f b)
+  in
+  Alcotest.(check bool) "same root" true
+    (Float.abs (List.assoc "x" w1.point -. List.assoc "x" w2.point) < 0.1)
+
+(* ---- Paving tests ---- *)
+
+let test_pave_circle () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let b = box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] in
+  let p = S.pave ~config:{ cfg with epsilon = 0.05 } f b in
+  Alcotest.(check bool) "has sat boxes" true (p.S.sat <> []);
+  Alcotest.(check bool) "has unsat boxes" true (p.S.unsat <> []);
+  (* All sat boxes satisfy the formula at their midpoint; unsat fail. *)
+  List.iter
+    (fun bx ->
+      Alcotest.(check bool) "sat box midpoint" true (F.holds_env (Box.mid_env bx) f))
+    p.S.sat;
+  List.iter
+    (fun bx ->
+      Alcotest.(check bool) "unsat box midpoint" false (F.holds_env (Box.mid_env bx) f))
+    p.S.unsat;
+  let vs, vu, vund = S.paving_volumes ~over:[ "x"; "y" ] p in
+  let total = vs +. vu +. vund in
+  Alcotest.(check bool) "volumes sum to box volume" true (Float.abs (total -. 4.0) < 0.05);
+  (* sat volume under-approximates the disc area pi, and sat+undecided
+     over-approximates it. *)
+  Alcotest.(check bool) "sat <= pi" true (vs <= Float.pi +. 0.05);
+  Alcotest.(check bool) "sat+und >= pi" true (vs +. vund >= Float.pi -. 0.05)
+
+let test_pave_all_sat () =
+  let f = P.formula "x >= -10" in
+  let p = S.pave ~config:cfg f (box [ ("x", 0.0, 1.0) ]) in
+  Alcotest.(check int) "one sat box" 1 (List.length p.S.sat);
+  Alcotest.(check int) "no unsat" 0 (List.length p.S.unsat)
+
+(* ---- ∃∀ CEGIS ---- *)
+
+let test_eforall_scaling () =
+  (* ∃c ∈ [0,2] ∀x ∈ [-1,1]: c·x² ≥ 0.5·x² — any c ≥ 0.5 works. *)
+  let phi = P.formula "c * x^2 >= 0.5 * x^2" in
+  match
+    Icp.Eforall.solve
+      ~exists_box:(box [ ("c", 0.0, 2.0) ])
+      ~forall_box:(box [ ("x", -1.0, 1.0) ])
+      phi
+  with
+  | Icp.Eforall.Proved { witness; _ } ->
+      Alcotest.(check bool) "c >= 0.5" true (List.assoc "c" witness >= 0.45)
+  | r -> Alcotest.failf "expected proved, got %s" (Fmt.str "%a" Icp.Eforall.pp_result r)
+
+let test_eforall_no_witness () =
+  (* ∃a ∈ [-1,1] ∀x ∈ [-1,1]: (x - a)² ≥ 0.1 — impossible: take x = a. *)
+  let phi = P.formula "(x - a)^2 >= 0.1" in
+  match
+    Icp.Eforall.solve
+      ~exists_box:(box [ ("a", -1.0, 1.0) ])
+      ~forall_box:(box [ ("x", -1.0, 1.0) ])
+      phi
+  with
+  | Icp.Eforall.Proved _ -> Alcotest.fail "no witness exists"
+  | Icp.Eforall.No_witness _ | Icp.Eforall.Budget_exhausted _ -> ()
+
+let test_eforall_offset () =
+  (* ∃b ∈ [0,5] ∀x ∈ [-1,1]: b - x² >= 1, i.e. b >= 2. *)
+  let phi = P.formula "b - x^2 >= 1" in
+  match
+    Icp.Eforall.solve
+      ~exists_box:(box [ ("b", 0.0, 5.0) ])
+      ~forall_box:(box [ ("x", -1.0, 1.0) ])
+      phi
+  with
+  | Icp.Eforall.Proved { witness; _ } ->
+      Alcotest.(check bool) "b >= 2" true (List.assoc "b" witness >= 1.95)
+  | r -> Alcotest.failf "expected proved, got %s" (Fmt.str "%a" Icp.Eforall.pp_result r)
+
+let test_eforall_unbound_var () =
+  Alcotest.check_raises "unbound" (Invalid_argument "Eforall.solve: unbound variable \"z\"")
+    (fun () ->
+      ignore
+        (Icp.Eforall.solve
+           ~exists_box:(box [ ("a", 0.0, 1.0) ])
+           ~forall_box:(box [ ("x", 0.0, 1.0) ])
+           (P.formula "a + x + z >= 0")))
+
+(* ---- Property tests ---- *)
+
+(* Soundness of Unsat: if the solver says unsat, dense sampling must not
+   find a satisfying point. *)
+let prop_unsat_sound =
+  let gen =
+    QCheck.Gen.(
+      float_range (-3.0) 3.0 >>= fun c ->
+      float_range 0.2 2.0 >>= fun r -> return (c, r))
+  in
+  QCheck.Test.make ~count:60 ~name:"unsat verdicts are sound"
+    (QCheck.make ~print:(fun (c, r) -> Printf.sprintf "c=%g r=%g" c r) gen)
+    (fun (c, r) ->
+      let f =
+        F.and_
+          [ P.formula (Printf.sprintf "x^2 + y^2 <= %.17g" (r *. r));
+            P.formula (Printf.sprintf "x + y >= %.17g" c) ]
+      in
+      let b = box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ] in
+      match S.decide ~config:{ cfg with max_boxes = 20_000 } f b with
+      | S.Unsat ->
+          (* exhaustive-ish grid check *)
+          let ok = ref true in
+          for i = 0 to 40 do
+            for j = 0 to 40 do
+              let x = -2.0 +. (4.0 *. float_of_int i /. 40.0) in
+              let y = -2.0 +. (4.0 *. float_of_int j /. 40.0) in
+              if F.holds_env [ ("x", x); ("y", y) ] f then ok := false
+            done
+          done;
+          !ok
+      | S.Delta_sat w ->
+          (* a certified witness must satisfy the weakened formula *)
+          (not w.certified)
+          || F.holds_delta ~delta:cfg.S.delta
+               (fun v -> List.assoc v w.point)
+               f
+      | S.Unknown _ -> true)
+
+let prop_certified_witness_valid =
+  let gen = QCheck.Gen.float_range (-1.0) 1.5 in
+  QCheck.Test.make ~count:60 ~name:"certified witnesses satisfy the weakened formula"
+    (QCheck.make ~print:string_of_float gen)
+    (fun a ->
+      let f = P.formula (Printf.sprintf "sin(x) = %.17g" a) in
+      let b = box [ ("x", -10.0, 10.0) ] in
+      match S.decide ~config:cfg f b with
+      | S.Delta_sat w when w.certified ->
+          F.holds_delta ~delta:cfg.S.delta (fun v -> List.assoc v w.point) f
+      | S.Delta_sat _ -> true
+      | S.Unsat -> Float.abs a > 1.0 -. 1e-9 (* |sin| <= 1 *)
+      | S.Unknown _ -> true)
+
+let prop_revise_never_loses_solutions =
+  let gen =
+    QCheck.Gen.(
+      float_range (-2.0) 2.0 >>= fun x ->
+      float_range (-2.0) 2.0 >>= fun y -> return (x, y))
+  in
+  QCheck.Test.make ~count:200 ~name:"HC4 revise never removes solutions"
+    (QCheck.make ~print:(fun (x, y) -> Printf.sprintf "(%g, %g)" x y) gen)
+    (fun (x, y) ->
+      (* Constraint satisfied exactly at the sampled point. *)
+      let v = (x *. x) +. (y *. Float.sin x) in
+      let term = P.term "x*x + y*sin(x)" in
+      let b = box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ] in
+      match C.revise ~term ~target:(I.inflate 1e-9 (I.of_float v)) b with
+      | None -> false (* the point satisfies it, pruning everything is wrong *)
+      | Some b' -> Box.contains_env [ ("x", x); ("y", y) ] b')
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_unsat_sound; prop_certified_witness_valid; prop_revise_never_loses_solutions ]
+
+let () =
+  Alcotest.run "icp"
+    [
+      ( "contractor",
+        [
+          Alcotest.test_case "revise linear" `Quick test_revise_linear;
+          Alcotest.test_case "revise square" `Quick test_revise_square;
+          Alcotest.test_case "revise square negative" `Quick test_revise_square_negative_branch;
+          Alcotest.test_case "revise exp" `Quick test_revise_exp;
+          Alcotest.test_case "multiple occurrences" `Quick test_revise_multiple_occurrences;
+          Alcotest.test_case "fixpoint" `Quick test_fixpoint;
+          Alcotest.test_case "fixpoint infeasible" `Quick test_fixpoint_infeasible;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "sqrt 2" `Quick test_decide_sqrt2;
+          Alcotest.test_case "interval contradiction" `Quick test_decide_unsat_interval;
+          Alcotest.test_case "geometric unsat" `Quick test_decide_unsat_geometry;
+          Alcotest.test_case "sin equation" `Quick test_decide_sin;
+          Alcotest.test_case "disjunction" `Quick test_decide_disjunction;
+          Alcotest.test_case "multivariate" `Quick test_decide_multivariate;
+          Alcotest.test_case "delta effect" `Quick test_decide_delta_effect;
+          Alcotest.test_case "trivial formulas" `Quick test_decide_trivial;
+          Alcotest.test_case "budget exhaustion" `Quick test_decide_budget;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "ablation: no contraction" `Quick test_ablation_no_contraction;
+        ] );
+      ( "paving",
+        [
+          Alcotest.test_case "circle" `Quick test_pave_circle;
+          Alcotest.test_case "all sat" `Quick test_pave_all_sat;
+        ] );
+      ( "eforall",
+        [
+          Alcotest.test_case "scaling" `Quick test_eforall_scaling;
+          Alcotest.test_case "no witness" `Quick test_eforall_no_witness;
+          Alcotest.test_case "offset" `Quick test_eforall_offset;
+          Alcotest.test_case "unbound variable" `Quick test_eforall_unbound_var;
+        ] );
+      ("properties", qcheck_tests);
+    ]

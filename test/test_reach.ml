@@ -1,0 +1,304 @@
+(* Tests for bounded reachability (dReach-equivalent) and parameter
+   synthesis for reachability. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+module A = Hybrid.Automaton
+module E = Reach.Encoding
+module C = Reach.Checker
+
+(* Naive substring search, sufficient for checking rendered encodings. *)
+module Astring_like = struct
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    m = 0 || go 0
+end
+
+let pt x = I.of_float x
+
+let decay_automaton =
+  (* x' = -x from x0 = 1, no parameters. *)
+  A.of_system
+    ~init:(Box.of_list [ ("x", pt 1.0) ])
+    (Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ])
+
+let decay_k_automaton =
+  A.of_system
+    ~init:(Box.of_list [ ("x", pt 1.0) ])
+    (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ])
+
+(* Two modes: in "up" x grows at rate 1; jumps to "down" when x crosses the
+   parameter theta; in "down" x decays at rate 1 after a reset to 0. *)
+let switch_automaton =
+  A.create ~vars:[ "x" ] ~params:[ "theta" ]
+    ~modes:
+      [ A.mode ~name:"up" ~flow:[ ("x", P.term "1") ] ();
+        A.mode ~name:"down" ~flow:[ ("x", P.term "-1") ] () ]
+    ~jumps:
+      [ A.jump ~source:"up" ~target:"down" ~guard:(P.formula "x >= theta")
+          ~reset:[ ("x", P.term "0") ] () ]
+    ~init_mode:"up"
+    ~init:(Box.of_list [ ("x", pt 0.0) ])
+
+let goal ?(modes = []) pred = { E.goal_modes = modes; predicate = P.formula pred }
+
+let expect_delta_sat name r =
+  match r with
+  | C.Delta_sat w -> w
+  | C.Unsat _ -> Alcotest.failf "%s: expected delta-sat, got unsat" name
+  | C.Unknown why -> Alcotest.failf "%s: expected delta-sat, got unknown (%s)" name why
+
+let expect_unsat name r =
+  match r with
+  | C.Unsat _ -> ()
+  | C.Delta_sat w ->
+      Alcotest.failf "%s: expected unsat, got delta-sat (%s)" name
+        (Fmt.str "%a" C.pp_result (C.Delta_sat w))
+  | C.Unknown why -> Alcotest.failf "%s: expected unsat, got unknown (%s)" name why
+
+(* ---- Encoding ---- *)
+
+let test_encoding_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : E.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "negative k" (fun () ->
+      E.create ~goal:(goal "x <= 0") ~k:(-1) ~time_bound:1.0 decay_automaton);
+  expect_invalid "bad time bound" (fun () ->
+      E.create ~goal:(goal "x <= 0") ~k:0 ~time_bound:0.0 decay_automaton);
+  expect_invalid "unknown goal mode" (fun () ->
+      E.create ~goal:(goal ~modes:[ "ghost" ] "x <= 0") ~k:0 ~time_bound:1.0
+        decay_automaton);
+  expect_invalid "missing param box" (fun () ->
+      E.create ~goal:(goal "x <= 0") ~k:0 ~time_bound:1.0 decay_k_automaton)
+
+let test_candidate_paths () =
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.5) ])
+      ~goal:(goal ~modes:[ "down" ] "x <= 0") ~k:2 ~time_bound:3.0 switch_automaton
+  in
+  let paths = E.candidate_paths pb in
+  Alcotest.(check bool) "up->down present" true (List.mem [ "up"; "down" ] paths);
+  Alcotest.(check bool) "no trivial path (wrong mode)" true
+    (not (List.mem [ "up" ] paths))
+
+let test_render () =
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.5) ])
+      ~goal:(goal ~modes:[ "down" ] "x <= 0 - 1/2") ~k:2 ~time_bound:3.0
+      switch_automaton
+  in
+  let s = E.render pb in
+  Alcotest.(check bool) "mentions goal" true
+    (Astring_like.contains s "goal");
+  Alcotest.(check bool) "mentions flow of up" true (Astring_like.contains s "flow_up");
+  Alcotest.(check bool) "mentions jump" true (Astring_like.contains s "jump_up_down")
+
+(* ---- Reachability without parameters ---- *)
+
+let test_reach_decay_sat () =
+  let pb =
+    E.create ~goal:(goal "x <= 1/2") ~k:0 ~time_bound:1.0 decay_automaton
+  in
+  let w = expect_delta_sat "decay to 0.5" (C.check pb) in
+  Alcotest.(check bool) "certified" true w.C.certified;
+  Alcotest.(check (float 0.02)) "time ~ ln 2" (Float.log 2.0) w.C.reach_time
+
+let test_reach_decay_unsat () =
+  (* e^{-0.5} ≈ 0.6065: x cannot fall to 0.5 within 0.5 time units. *)
+  let pb =
+    E.create ~goal:(goal "x <= 1/2") ~k:0 ~time_bound:0.5 decay_automaton
+  in
+  expect_unsat "decay cannot reach 0.5 by t=0.5" (C.check pb)
+
+let test_reach_goal_mode_filter () =
+  (* Goal mode that is not reachable in k jumps: no candidate path. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.0) ])
+      ~goal:(goal ~modes:[ "down" ] "x <= 1") ~k:0 ~time_bound:1.0 switch_automaton
+  in
+  expect_unsat "down unreachable with k=0" (C.check pb)
+
+(* ---- Reachability with parameter synthesis ---- *)
+
+let test_reach_parameterized_sat () =
+  (* Reach x <= 0.3 by time 1: needs e^{-k} <= 0.3, i.e. k >= 1.204. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("k", I.make 0.1 3.0) ])
+      ~goal:(goal "x <= 0.3") ~k:0 ~time_bound:1.0 decay_k_automaton
+  in
+  let w = expect_delta_sat "parameterized decay" (C.check pb) in
+  Alcotest.(check bool) "certified" true w.C.certified;
+  let k = List.assoc "k" w.C.params in
+  Alcotest.(check bool) "witness k >= 1.1" true (k >= 1.1)
+
+let test_reach_parameterized_unsat () =
+  (* k <= 0.5 can only bring x down to e^{-0.5} ≈ 0.6065 > 0.55. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("k", I.make 0.1 0.5) ])
+      ~goal:(goal "x <= 0.55") ~k:0 ~time_bound:1.0 decay_k_automaton
+  in
+  expect_unsat "k too small" (C.check pb)
+
+let test_reach_two_modes () =
+  (* Any theta in [0.5, 1.5] allows reaching x <= -0.5 in "down" within
+     the time bound: path up -> down. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.5) ])
+      ~goal:(goal ~modes:[ "down" ] "x <= -1/2") ~k:1 ~time_bound:3.0 switch_automaton
+  in
+  let w = expect_delta_sat "two-mode reach" (C.check pb) in
+  Alcotest.(check (list string)) "path" [ "up"; "down" ] w.C.path;
+  Alcotest.(check bool) "certified" true w.C.certified
+
+let test_reach_two_modes_unsat () =
+  (* In "down", x starts at 0 after reset and decreases at rate 1; it can
+     never be >= 1 again. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.5) ])
+      ~goal:(goal ~modes:[ "down" ] "x >= 1") ~k:1 ~time_bound:2.0 switch_automaton
+  in
+  expect_unsat "down never re-reaches 1" (C.check pb)
+
+let test_synthesize_threshold () =
+  (* Partition k ∈ [0.1, 3.0] for goal x <= 0.3 by t=1: the boundary is at
+     k* = -ln 0.3 ≈ 1.204.  Feasible boxes must lie (mostly) right of it,
+     infeasible ones left. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("k", I.make 0.1 3.0) ])
+      ~goal:(goal "x <= 0.3") ~k:0 ~time_bound:1.0 decay_k_automaton
+  in
+  let config = { C.default_config with epsilon = 0.05 } in
+  let s = C.synthesize ~config pb in
+  Alcotest.(check bool) "has feasible" true (s.C.feasible <> []);
+  Alcotest.(check bool) "has infeasible" true (s.C.infeasible <> []);
+  let kstar = -.Float.log 0.3 in
+  List.iter
+    (fun (b, _) ->
+      Alcotest.(check bool) "feasible boxes right of k*" true
+        (I.hi (Box.find "k" b) >= kstar -. 0.2))
+    s.C.feasible;
+  List.iter
+    (fun (b, rigorous) ->
+      Alcotest.(check bool) "infeasible proof is rigorous" true rigorous;
+      Alcotest.(check bool) "infeasible boxes left of k*" true
+        (I.lo (Box.find "k" b) <= kstar +. 0.2))
+    s.C.infeasible
+
+let test_witness_replays () =
+  (* Simulating the automaton at the synthesized parameters must actually
+     achieve the goal: end-to-end consistency. *)
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("k", I.make 0.1 3.0) ])
+      ~goal:(goal "x <= 0.3") ~k:0 ~time_bound:1.0 decay_k_automaton
+  in
+  let w = expect_delta_sat "synthesis" (C.check pb) in
+  let tr =
+    Ode.Integrate.simulate ~params:w.C.params ~init:[ ("x", 1.0) ] ~t_end:1.0
+      (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ])
+  in
+  Alcotest.(check bool) "goal achieved on replay" true
+    ((Ode.Integrate.final_state tr).(0) <= 0.3 +. 0.01)
+
+(* ---- drh export ---- *)
+
+let test_drh_export () =
+  let pb =
+    E.create
+      ~param_box:(Box.of_list [ ("theta", I.make 0.5 1.5) ])
+      ~goal:(goal ~modes:[ "down" ] "x <= 0 - 1/2") ~k:2 ~time_bound:3.0
+      switch_automaton
+  in
+  let s = Reach.Drh.of_problem pb in
+  let has sub = Astring_like.contains s sub in
+  Alcotest.(check bool) "declares x" true (has "] x;");
+  Alcotest.(check bool) "declares theta with its box" true (has "[0.5, 1.5] theta;");
+  Alcotest.(check bool) "declares time" true (has "[0, 3] time;");
+  Alcotest.(check bool) "has mode 1" true (has "{ mode 1;");
+  Alcotest.(check bool) "has mode 2" true (has "{ mode 2;");
+  Alcotest.(check bool) "flow syntax" true (has "d/dt[x] =");
+  Alcotest.(check bool) "parameter is constant" true (has "d/dt[theta] = 0;");
+  Alcotest.(check bool) "jump arrow" true (has "==> @2");
+  Alcotest.(check bool) "reset assigns prime" true (has "(x' = 0)");
+  Alcotest.(check bool) "init line" true (has "init: @1");
+  Alcotest.(check bool) "goal line" true (has "goal: @2")
+
+let test_drh_formula_syntax () =
+  let f = P.formula "x >= 1 and (y > 2 or x <= 0)" in
+  let s = Reach.Drh.formula_to_drh f in
+  Alcotest.(check bool) "and rendered" true (Astring_like.contains s "(and ");
+  Alcotest.(check bool) "or rendered" true (Astring_like.contains s "(or ");
+  Alcotest.(check bool) "atoms vs zero" true (Astring_like.contains s ">= 0)")
+
+(* ---- Property: certified witnesses replay ---- *)
+
+let prop_witness_replays =
+  let gen =
+    QCheck.Gen.(
+      float_range 0.1 0.6 >>= fun goal_level ->
+      float_range 0.5 2.0 >>= fun k_hi -> return (goal_level, k_hi))
+  in
+  QCheck.Test.make ~count:25 ~name:"certified reach witnesses replay by simulation"
+    (QCheck.make ~print:(fun (g, k) -> Printf.sprintf "goal=%g khi=%g" g k) gen)
+    (fun (goal_level, k_hi) ->
+      let pb =
+        E.create
+          ~param_box:(Box.of_list [ ("k", I.make 0.1 (0.1 +. k_hi)) ])
+          ~goal:(goal (Printf.sprintf "x <= %.17g" goal_level))
+          ~k:0 ~time_bound:1.5 decay_k_automaton
+      in
+      match C.check pb with
+      | C.Delta_sat w when w.C.certified ->
+          let tr =
+            Ode.Integrate.simulate ~params:w.C.params ~init:w.C.init ~t_end:1.5
+              (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ]
+                 ~rhs:[ ("x", "-k*x") ])
+          in
+          (* the witness must achieve the goal somewhere on the horizon *)
+          Array.exists (fun st -> st.(0) <= goal_level +. 0.01) tr.Ode.Integrate.states
+      | C.Delta_sat _ -> true
+      | C.Unsat _ ->
+          (* unsat only acceptable when even the strongest k misses it *)
+          Float.exp (-.(0.1 +. k_hi) *. 1.5) > goal_level -. 0.01
+      | C.Unknown _ -> true)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_witness_replays ]
+
+let () =
+  Alcotest.run "reach"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "validation" `Quick test_encoding_validation;
+          Alcotest.test_case "candidate paths" `Quick test_candidate_paths;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "drh export" `Quick test_drh_export;
+          Alcotest.test_case "drh formula syntax" `Quick test_drh_formula_syntax;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "decay sat" `Quick test_reach_decay_sat;
+          Alcotest.test_case "decay unsat" `Quick test_reach_decay_unsat;
+          Alcotest.test_case "goal mode filter" `Quick test_reach_goal_mode_filter;
+          Alcotest.test_case "parameterized sat" `Quick test_reach_parameterized_sat;
+          Alcotest.test_case "parameterized unsat" `Quick test_reach_parameterized_unsat;
+          Alcotest.test_case "two modes sat" `Quick test_reach_two_modes;
+          Alcotest.test_case "two modes unsat" `Quick test_reach_two_modes_unsat;
+          Alcotest.test_case "synthesize threshold" `Slow test_synthesize_threshold;
+          Alcotest.test_case "witness replays" `Quick test_witness_replays;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the statistical model checking branch: BLTL monitoring,
+   sampling, SPRT, estimation, and the end-to-end runner. *)
+
+module L = Smc.Bltl
+module Sa = Smc.Sampler
+module Sp = Smc.Sprt
+module Es = Smc.Estimate
+module R = Smc.Runner
+
+let decay = Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ]
+
+let decay_trace ?(x0 = 1.0) ?(t_end = 2.0) () =
+  Ode.Integrate.simulate ~method_:(Ode.Integrate.Rk4 0.01) ~params:[]
+    ~init:[ ("x", x0) ] ~t_end decay
+
+(* ---- BLTL semantics ---- *)
+
+let test_bltl_prop () =
+  let view = L.of_trace (decay_trace ()) in
+  Alcotest.(check bool) "x>0.9 initially" true (L.holds view (L.prop "x > 0.9"));
+  Alcotest.(check bool) "x<0.9 fails initially" false (L.holds view (L.prop "x < 0.9"))
+
+let test_bltl_finally () =
+  let view = L.of_trace (decay_trace ()) in
+  Alcotest.(check bool) "F[1] x <= 0.5" true
+    (L.holds view (L.Finally (1.0, L.prop "x <= 0.5")));
+  Alcotest.(check bool) "F[0.5] x <= 0.5 fails (ln 2 > 0.5)" false
+    (L.holds view (L.Finally (0.5, L.prop "x <= 0.5")));
+  Alcotest.(check bool) "F[2] x <= 0.2" true
+    (L.holds view (L.Finally (2.0, L.prop "x <= 0.2")))
+
+let test_bltl_globally () =
+  let view = L.of_trace (decay_trace ()) in
+  Alcotest.(check bool) "G[2] x > 0" true (L.holds view (L.Globally (2.0, L.prop "x > 0")));
+  Alcotest.(check bool) "G[1] x >= 0.5 fails" false
+    (L.holds view (L.Globally (1.0, L.prop "x >= 0.5")));
+  Alcotest.(check bool) "G[0.5] x >= 0.5" true
+    (L.holds view (L.Globally (0.5, L.prop "x >= 0.5")))
+
+let test_bltl_until () =
+  let view = L.of_trace (decay_trace ()) in
+  (* x stays above 0.4 until it dips below 0.5 (which happens at ln 2) *)
+  Alcotest.(check bool) "until holds" true
+    (L.holds view (L.Until (1.0, L.prop "x >= 0.4", L.prop "x <= 0.5")));
+  (* bound too small: the release event is not reached *)
+  Alcotest.(check bool) "until bound too small" false
+    (L.holds view (L.Until (0.3, L.prop "x >= 0.4", L.prop "x <= 0.5")))
+
+let test_bltl_boolean () =
+  let view = L.of_trace (decay_trace ()) in
+  let f = L.And (L.prop "x > 0.9", L.Not (L.prop "x > 2")) in
+  Alcotest.(check bool) "and/not" true (L.holds view f);
+  Alcotest.(check bool) "implies" true
+    (L.holds view (L.Implies (L.prop "x > 2", L.prop "x < 0")));
+  Alcotest.(check bool) "or" true
+    (L.holds view (L.Or (L.prop "x > 2", L.prop "x > 0.5")))
+
+let test_bltl_next () =
+  let view = L.of_trace (decay_trace ()) in
+  (* one RK4 step of 0.01: x decreases *)
+  Alcotest.(check bool) "next sees a smaller x" true
+    (L.holds view (L.Next (L.prop "x < 1")))
+
+let test_bltl_horizon () =
+  Alcotest.(check (float 1e-12)) "nested horizon" 3.0
+    (L.horizon (L.Finally (1.0, L.Globally (2.0, L.prop "x > 0"))));
+  Alcotest.(check (float 1e-12)) "until horizon" 2.5
+    (L.horizon (L.Until (0.5, L.prop "x > 0", L.Globally (2.0, L.prop "x > 0"))))
+
+let test_bltl_robustness () =
+  let view = L.of_trace (decay_trace ()) in
+  let r = L.robustness view (L.Globally (1.0, L.prop "x > 0.1")) in
+  (* min over [0,1] of x - 0.1 = e^-1 - 0.1 ≈ 0.268 *)
+  Alcotest.(check bool) "robustness value" true (Float.abs (r -. (Float.exp (-1.0) -. 0.1)) < 0.01);
+  let neg = L.robustness view (L.Globally (1.0, L.prop "x > 0.5")) in
+  Alcotest.(check bool) "violated has negative robustness" true (neg < 0.0);
+  (* Not flips the sign *)
+  Alcotest.(check (float 1e-9)) "negation flips" (-.r)
+    (L.robustness view (L.Not (L.Globally (1.0, L.prop "x > 0.1"))))
+
+let test_bltl_trajectory_view () =
+  (* two-mode trajectory: the view must stitch global time correctly *)
+  let h =
+    Hybrid.Automaton.create ~vars:[ "x" ] ~params:[]
+      ~modes:
+        [ Hybrid.Automaton.mode ~name:"up" ~flow:[ ("x", Expr.Parse.term "1") ] ();
+          Hybrid.Automaton.mode ~name:"down" ~flow:[ ("x", Expr.Parse.term "-1") ] () ]
+      ~jumps:
+        [ Hybrid.Automaton.jump ~source:"up" ~target:"down"
+            ~guard:(Expr.Parse.formula "x >= 1") () ]
+      ~init_mode:"up"
+      ~init:(Interval.Box.of_list [ ("x", Interval.Ia.of_float 0.0) ])
+  in
+  let traj = Hybrid.Simulate.simulate ~params:[] ~init:[] ~t_end:2.0 h in
+  let view = L.of_trajectory traj in
+  Alcotest.(check bool) "peak reached" true
+    (L.holds view (L.Finally (1.5, L.prop "x >= 0.99")));
+  Alcotest.(check bool) "eventually back down" true
+    (L.holds view (L.Finally (2.0, L.prop "x <= 0.2")));
+  Alcotest.(check bool) "never above 1.1" false
+    (L.holds view (L.Finally (2.0, L.prop "x >= 1.1")))
+
+(* ---- Sampler ---- *)
+
+let test_sampler_deterministic () =
+  let spec = [ ("a", Sa.Uniform (0.0, 1.0)); ("b", Sa.Normal (0.0, 1.0)) ] in
+  let s1 = Sa.sample (Random.State.make [| 3 |]) spec in
+  let s2 = Sa.sample (Random.State.make [| 3 |]) spec in
+  Alcotest.(check (float 0.0)) "same a" (List.assoc "a" s1) (List.assoc "a" s2);
+  Alcotest.(check (float 0.0)) "same b" (List.assoc "b" s1) (List.assoc "b" s2)
+
+let test_sampler_bounds () =
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 200 do
+    let u = Sa.draw rng (Sa.Uniform (2.0, 3.0)) in
+    Alcotest.(check bool) "uniform in range" true (2.0 <= u && u <= 3.0);
+    let t = Sa.draw rng (Sa.Truncated (Sa.Normal (0.0, 5.0), -1.0, 1.0)) in
+    Alcotest.(check bool) "truncated in range" true (-1.0 <= t && t <= 1.0);
+    let l = Sa.draw rng (Sa.Lognormal (0.0, 0.5)) in
+    Alcotest.(check bool) "lognormal positive" true (l > 0.0)
+  done;
+  Alcotest.(check (float 0.0)) "constant" 7.5 (Sa.draw rng (Sa.Constant 7.5))
+
+let test_sampler_moments () =
+  let rng = Random.State.make [| 9 |] in
+  let n = 20_000 in
+  let mean d =
+    let s = ref 0.0 in
+    for _ = 1 to n do
+      s := !s +. Sa.draw rng d
+    done;
+    !s /. float_of_int n
+  in
+  Alcotest.(check (float 0.05)) "normal mean" 2.0 (mean (Sa.Normal (2.0, 1.0)));
+  Alcotest.(check (float 0.05)) "uniform mean" 0.5 (mean (Sa.Uniform (0.0, 1.0)))
+
+(* ---- SPRT ---- *)
+
+let bernoulli_stream p seed =
+  let rng = Random.State.make [| seed |] in
+  fun _ -> Random.State.float rng 1.0 < p
+
+let test_sprt_accepts_high_p () =
+  let r = Sp.run ~config:{ Sp.default_config with theta = 0.8 } (bernoulli_stream 0.95 1) in
+  Alcotest.(check bool) "accept" true (r.Sp.verdict = Sp.Accept);
+  Alcotest.(check bool) "used few samples" true (r.Sp.samples_used < 1000)
+
+let test_sprt_rejects_low_p () =
+  let r = Sp.run ~config:{ Sp.default_config with theta = 0.8 } (bernoulli_stream 0.4 2) in
+  Alcotest.(check bool) "reject" true (r.Sp.verdict = Sp.Reject)
+
+let test_sprt_inconclusive_budget () =
+  let config = { Sp.default_config with theta = 0.5; delta_ind = 0.01; max_samples = 5 } in
+  let r = Sp.run ~config (bernoulli_stream 0.5 3) in
+  Alcotest.(check bool) "inconclusive" true (r.Sp.verdict = Sp.Inconclusive)
+
+let test_sprt_validation () =
+  Alcotest.check_raises "bad indifference"
+    (Invalid_argument "Sprt: indifference region leaves (0,1)") (fun () ->
+      ignore
+        (Sp.run
+           ~config:{ Sp.default_config with theta = 0.99; delta_ind = 0.05 }
+           (bernoulli_stream 0.5 4)))
+
+(* ---- Estimation ---- *)
+
+let test_chernoff_bound () =
+  let n = Es.chernoff_sample_size ~eps:0.05 ~alpha:0.05 in
+  (* ln(40)/(2*0.0025) ≈ 737.8 *)
+  Alcotest.(check int) "chernoff size" 738 n;
+  Alcotest.check_raises "bad eps" (Invalid_argument "Estimate: eps outside (0,1)")
+    (fun () -> ignore (Es.chernoff_sample_size ~eps:0.0 ~alpha:0.05))
+
+let test_monte_carlo_estimate () =
+  let e = Es.monte_carlo ~eps:0.05 ~alpha:0.01 (bernoulli_stream 0.7 5) in
+  Alcotest.(check bool) "estimate near 0.7" true (Float.abs (e.Es.p_hat -. 0.7) < 0.05);
+  Alcotest.(check bool) "interval brackets" true (e.Es.ci_low <= 0.7 && 0.7 <= e.Es.ci_high)
+
+let test_betai_uniform () =
+  (* Beta(1,1) is uniform: I_x(1,1) = x *)
+  List.iter
+    (fun x -> Alcotest.(check (float 1e-9)) "uniform cdf" x (Es.betai 1.0 1.0 x))
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ];
+  (* Beta(2,2) median is 0.5 *)
+  Alcotest.(check (float 1e-9)) "beta(2,2) cdf at median" 0.5 (Es.betai 2.0 2.0 0.5);
+  (* symmetry: I_x(a,b) = 1 - I_{1-x}(b,a) *)
+  Alcotest.(check (float 1e-9)) "symmetry" (1.0 -. Es.betai 5.0 3.0 0.7)
+    (Es.betai 3.0 5.0 0.3)
+
+let test_beta_quantile () =
+  Alcotest.(check (float 1e-6)) "median of beta(2,2)" 0.5
+    (Es.beta_quantile ~a:2.0 ~b:2.0 0.5);
+  Alcotest.(check (float 1e-6)) "median of uniform" 0.5
+    (Es.beta_quantile ~a:1.0 ~b:1.0 0.5);
+  let q1 = Es.beta_quantile ~a:10.0 ~b:2.0 0.05 in
+  Alcotest.(check bool) "skewed quantile high" true (q1 > 0.5)
+
+let test_bayesian_estimate () =
+  let e = Es.bayesian ~confidence:0.95 ~n:2000 (bernoulli_stream 0.3 6) in
+  Alcotest.(check bool) "posterior mean near 0.3" true (Float.abs (e.Es.p_hat -. 0.3) < 0.05);
+  Alcotest.(check bool) "credible interval brackets" true
+    (e.Es.ci_low <= 0.3 && 0.3 <= e.Es.ci_high);
+  Alcotest.(check bool) "interval narrow" true (e.Es.ci_high -. e.Es.ci_low < 0.1)
+
+(* ---- Runner ---- *)
+
+let decay_problem property =
+  R.problem ~model:(R.Ode_model decay)
+    ~init_dist:[ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ]
+    ~param_dist:[] ~property ~t_end:2.0 ()
+
+let test_runner_sure_property () =
+  (* From any x0 in [0.8, 1.2], x reaches 0.5 within 2 time units. *)
+  let prob = decay_problem (L.Finally (2.0, L.prop "x <= 0.5")) in
+  let e = R.estimate ~eps:0.1 ~alpha:0.05 prob in
+  Alcotest.(check (float 1e-9)) "probability 1" 1.0 e.Es.p_hat;
+  let t = R.test ~config:{ Sp.default_config with theta = 0.9 } prob in
+  Alcotest.(check bool) "sprt accepts" true (t.Sp.verdict = Sp.Accept)
+
+let test_runner_impossible_property () =
+  let prob = decay_problem (L.Finally (2.0, L.prop "x >= 2")) in
+  let e = R.estimate ~eps:0.1 ~alpha:0.05 prob in
+  Alcotest.(check (float 1e-9)) "probability 0" 0.0 e.Es.p_hat
+
+let test_runner_threshold_property () =
+  (* x(1) = x0 e^-1: x0 > 0.5 e ≈ 1.359 never happens; x(0.5) <= 0.65
+     happens iff x0 <= 0.65 e^0.5 ≈ 1.0716, i.e. for ~68% of U(0.8,1.2). *)
+  let prob = decay_problem (L.Finally (0.5, L.prop "x <= 0.65")) in
+  let e = R.estimate ~seed:17 ~eps:0.05 ~alpha:0.05 prob in
+  Alcotest.(check bool)
+    (Printf.sprintf "p_hat = %.3f near 0.68" e.Es.p_hat)
+    true
+    (Float.abs (e.Es.p_hat -. 0.679) < 0.08)
+
+let test_runner_reproducible () =
+  let prob = decay_problem (L.Finally (0.5, L.prop "x <= 0.65")) in
+  let a = R.estimate ~seed:23 ~eps:0.1 ~alpha:0.1 prob in
+  let b = R.estimate ~seed:23 ~eps:0.1 ~alpha:0.1 prob in
+  Alcotest.(check (float 0.0)) "same estimate" a.Es.p_hat b.Es.p_hat
+
+let test_runner_robustness () =
+  let prob = decay_problem (L.Globally (1.0, L.prop "x > 0.1")) in
+  let r = R.mean_robustness ~n:50 prob in
+  Alcotest.(check bool) "positive robustness" true (r > 0.0);
+  let prob2 = decay_problem (L.Globally (1.0, L.prop "x > 0.9")) in
+  let r2 = R.mean_robustness ~n:50 prob2 in
+  Alcotest.(check bool) "negative robustness" true (r2 < 0.0)
+
+let test_runner_hybrid_model () =
+  let h =
+    Hybrid.Automaton.of_system
+      ~init:(Interval.Box.of_list [ ("x", Interval.Ia.of_float 1.0) ])
+      decay
+  in
+  let prob =
+    R.problem ~model:(R.Hybrid_model h)
+      ~init_dist:[ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ]
+      ~param_dist:[]
+      ~property:(L.Finally (2.0, L.prop "x <= 0.5"))
+      ~t_end:2.0 ()
+  in
+  let e = R.estimate ~eps:0.1 ~alpha:0.1 prob in
+  Alcotest.(check (float 1e-9)) "hybrid probability 1" 1.0 e.Es.p_hat
+
+let () =
+  Alcotest.run "smc"
+    [
+      ( "bltl",
+        [
+          Alcotest.test_case "prop" `Quick test_bltl_prop;
+          Alcotest.test_case "finally" `Quick test_bltl_finally;
+          Alcotest.test_case "globally" `Quick test_bltl_globally;
+          Alcotest.test_case "until" `Quick test_bltl_until;
+          Alcotest.test_case "boolean" `Quick test_bltl_boolean;
+          Alcotest.test_case "next" `Quick test_bltl_next;
+          Alcotest.test_case "horizon" `Quick test_bltl_horizon;
+          Alcotest.test_case "robustness" `Quick test_bltl_robustness;
+          Alcotest.test_case "trajectory view" `Quick test_bltl_trajectory_view;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sampler_deterministic;
+          Alcotest.test_case "bounds" `Quick test_sampler_bounds;
+          Alcotest.test_case "moments" `Quick test_sampler_moments;
+        ] );
+      ( "sprt",
+        [
+          Alcotest.test_case "accepts high p" `Quick test_sprt_accepts_high_p;
+          Alcotest.test_case "rejects low p" `Quick test_sprt_rejects_low_p;
+          Alcotest.test_case "inconclusive on budget" `Quick test_sprt_inconclusive_budget;
+          Alcotest.test_case "validation" `Quick test_sprt_validation;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "chernoff bound" `Quick test_chernoff_bound;
+          Alcotest.test_case "monte carlo" `Quick test_monte_carlo_estimate;
+          Alcotest.test_case "incomplete beta" `Quick test_betai_uniform;
+          Alcotest.test_case "beta quantile" `Quick test_beta_quantile;
+          Alcotest.test_case "bayesian" `Quick test_bayesian_estimate;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sure property" `Quick test_runner_sure_property;
+          Alcotest.test_case "impossible property" `Quick test_runner_impossible_property;
+          Alcotest.test_case "threshold property" `Quick test_runner_threshold_property;
+          Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
+          Alcotest.test_case "mean robustness" `Quick test_runner_robustness;
+          Alcotest.test_case "hybrid model" `Quick test_runner_hybrid_model;
+        ] );
+    ]
