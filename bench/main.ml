@@ -478,6 +478,131 @@ let a4 () =
       Report.table ~header:[ "samples"; "verdict"; "time" ] rows ]
 
 (* ------------------------------------------------------------------ *)
+(* P1: multicore scaling sweep (jobs = 1, 2, 4, 8)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each kernel is run once per jobs value; sequential (jobs = 1) is the
+   baseline for the speedup column.  Results also land in BENCH_icp.json
+   (machine-readable: ns/op and speedup per kernel and jobs value, plus
+   the detected core count — speedups are bounded by the latter). *)
+
+let jobs_sweep = [ 1; 2; 4; 8 ]
+
+let p1 () =
+  section "P1  Multicore scaling: decide / pave / SMC across worker domains";
+  let tangency = Expr.Parse.formula "x^2 + y^2 = 1 and x*y = 1/2" in
+  let tangency_box =
+    Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ]
+  in
+  let ring =
+    Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2"
+  in
+  let ring_box =
+    Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ]
+  in
+  let smc_prob =
+    Smc.Runner.problem
+      ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
+      ~init_dist:
+        [ ("p53", Smc.Sampler.Uniform (0.02, 0.08));
+          ("mdm2", Smc.Sampler.Uniform (0.02, 0.08)) ]
+      ~param_dist:[ ("damage", Smc.Sampler.Uniform (0.5, 1.5)) ]
+      ~property:(Smc.Bltl.Finally (30.0, Smc.Bltl.prop "p53 >= 0.3"))
+      ~t_end:30.0 ()
+  in
+  (* Per run: a one-line summary (verdict / leaf counts / estimate) so
+     agreement across jobs values is visible, and the wall time. *)
+  let decide_kernel jobs =
+    let config =
+      { Icp.Solver.default_config with delta = 1e-4; epsilon = 1e-5; jobs }
+    in
+    let (r, stats), dt =
+      timed (fun () -> Icp.Solver.decide_with_stats ~config tangency tangency_box)
+    in
+    ( Fmt.str "%s, %d boxes, %d certs"
+        (match r with
+        | Icp.Solver.Delta_sat _ -> "delta-sat"
+        | Icp.Solver.Unsat -> "unsat"
+        | Icp.Solver.Unknown _ -> "unknown")
+        stats.Icp.Solver.boxes_processed stats.Icp.Solver.certifications,
+      dt )
+  in
+  let pave_kernel jobs =
+    let config = { Icp.Solver.default_config with epsilon = 0.02; jobs } in
+    let (p, stats), dt =
+      timed (fun () -> Icp.Solver.pave_with_stats ~config ring ring_box)
+    in
+    ( Fmt.str "%d/%d/%d leaves, %d boxes, %d splits"
+        (List.length p.Icp.Solver.sat)
+        (List.length p.Icp.Solver.unsat)
+        (List.length p.Icp.Solver.undecided)
+        stats.Icp.Solver.boxes_processed stats.Icp.Solver.splits,
+      dt )
+  in
+  let smc_kernel jobs =
+    let e, dt =
+      timed (fun () -> Smc.Runner.estimate ~jobs ~eps:0.1 ~alpha:0.05 smc_prob)
+    in
+    (Fmt.str "p=%.3f, n=%d" e.Smc.Estimate.p_hat e.Smc.Estimate.n, dt)
+  in
+  let kernels =
+    [ ("icp-decide-tangency", decide_kernel);
+      ("icp-pave-ring", pave_kernel);
+      ("smc-estimate-p53", smc_kernel) ]
+  in
+  let measured =
+    List.map
+      (fun (name, kernel) ->
+        (name, List.map (fun jobs -> (jobs, kernel jobs)) jobs_sweep))
+      kernels
+  in
+  let rows =
+    List.concat_map
+      (fun (name, runs) ->
+        let base =
+          match runs with (_, (_, dt)) :: _ -> dt | [] -> nan
+        in
+        List.map
+          (fun (jobs, (summary, dt)) ->
+            [ name; string_of_int jobs; Fmt.str "%.3fs" dt;
+              Fmt.str "%.2fx" (base /. dt); summary ])
+          runs)
+      measured
+  in
+  Report.print
+    [ Report.text "detected cores: %d (speedups are bounded by this)"
+        (Domain.recommended_domain_count ());
+      Report.table
+        ~header:[ "kernel"; "jobs"; "wall"; "speedup"; "result" ]
+        rows ];
+  (* machine-readable dump *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"cores\": %d,\n  \"default_jobs\": %d,\n  \"kernels\": [\n"
+       (Domain.recommended_domain_count ())
+       (Parallel.Pool.default_jobs ()));
+  List.iteri
+    (fun i (name, runs) ->
+      let base = match runs with (_, (_, dt)) :: _ -> dt | [] -> nan in
+      Buffer.add_string buf (Printf.sprintf "    {\"name\": %S, \"runs\": [" name);
+      List.iteri
+        (fun j (jobs, (_, dt)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{\"jobs\": %d, \"wall_s\": %.6f, \"ns_per_op\": %.0f, \"speedup\": %.3f}"
+               (if j = 0 then "" else ", ")
+               jobs dt (dt *. 1e9) (base /. dt)))
+        runs;
+      Buffer.add_string buf
+        (Printf.sprintf "]}%s\n" (if i = List.length measured - 1 then "" else ",")))
+    measured;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_icp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.print [ Report.text "wrote BENCH_icp.json" ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel kernel timing                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -651,4 +776,5 @@ let () =
   a2 ();
   a3 ();
   a4 ();
+  p1 ();
   run_bechamel ()

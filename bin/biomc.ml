@@ -147,6 +147,16 @@ let simulate_cmd =
         (const simulate $ logs_term $ model_arg $ t_end_arg $ param_arg $ samples_arg
        $ csv_arg))
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel solving / sampling (default: detected \
+     core count, capped at 8); 1 forces the sequential code path."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* ---- reach ---- *)
 
 let goal_arg =
@@ -177,7 +187,7 @@ let box_arg =
   in
   Arg.(value & opt_all box_conv [] & info [ "box" ] ~docv:"KEY=LO:HI" ~doc)
 
-let reach () (name, entry) t_end params goal goal_modes k boxes =
+let reach () (name, entry) t_end params goal goal_modes k boxes jobs =
   let time_bound = Option.value ~default:entry.default_t_end t_end in
   let h = entry.automaton () in
   let h = if params = [] then h else Hybrid.Automaton.bind_params params h in
@@ -190,12 +200,14 @@ let reach () (name, entry) t_end params goal goal_modes k boxes =
           ~goal:{ Reach.Encoding.goal_modes; predicate }
           ~k ~time_bound h
       in
-      let result = Reach.Checker.check pb in
+      let config = { Reach.Checker.default_config with jobs } in
+      let result = Reach.Checker.check ~config pb in
       Report.print
         [ Report.heading (Printf.sprintf "Bounded reachability: %s" name);
           Report.kv
             [ ("goal", goal); ("k", string_of_int k);
               ("time bound", Fmt.str "%g" time_bound);
+              ("jobs", string_of_int jobs);
               ("candidate paths", string_of_int (List.length (Reach.Encoding.candidate_paths pb))) ];
           Report.text "verdict: %s" (Fmt.str "%a" Reach.Checker.pp_result result) ];
       Ok ()
@@ -209,7 +221,7 @@ let reach_cmd =
     Term.(
       term_result
         (const reach $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
-       $ goal_modes_arg $ k_arg $ box_arg))
+       $ goal_modes_arg $ k_arg $ box_arg $ jobs_arg))
 
 (* ---- robustness ---- *)
 
@@ -311,7 +323,7 @@ let stability_cmd =
 
 (* ---- smc ---- *)
 
-let smc () n =
+let smc () n jobs =
   let prob =
     Smc.Runner.problem
       ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
@@ -322,9 +334,10 @@ let smc () n =
       ~property:(Smc.Bltl.Finally (30.0, Smc.Bltl.prop "p53 >= 0.3"))
       ~t_end:30.0 ()
   in
-  let e = Smc.Runner.estimate_bayesian ~n prob in
+  let e = Smc.Runner.estimate_bayesian ~jobs ~n prob in
   Report.print
     [ Report.heading "SMC: p53 pulse probability under high damage";
+      Report.text "(%d sampling domain(s))" jobs;
       Report.text "%s" (Fmt.str "%a" Smc.Estimate.pp_estimate e) ];
   Ok ()
 
@@ -333,11 +346,11 @@ let smc_cmd =
     Arg.(value & opt int 300 & info [ "n" ] ~docv:"N" ~doc:"Sample count.")
   in
   let info = Cmd.info "smc" ~doc:"Statistical model checking demo (p53 module)." in
-  Cmd.v info Term.(term_result (const smc $ logs_term $ n_arg))
+  Cmd.v info Term.(term_result (const smc $ logs_term $ n_arg $ jobs_arg))
 
 (* ---- solve ---- *)
 
-let solve () formula boxes delta =
+let solve () formula boxes delta jobs =
   match Expr.Parse.formula_opt formula with
   | None -> Error (`Msg (Printf.sprintf "cannot parse %S" formula))
   | Some f ->
@@ -351,12 +364,13 @@ let solve () formula boxes delta =
             (Printf.sprintf "missing --box for variable(s): %s"
                (String.concat ", " missing)))
       else begin
-        let config = { Icp.Solver.default_config with delta } in
+        let config = { Icp.Solver.default_config with delta; jobs } in
         let result, stats = Icp.Solver.decide_with_stats ~config f box in
         Report.print
           [ Report.heading "delta-decision";
             Report.kv
               [ ("formula", formula); ("delta", Fmt.str "%g" delta);
+                ("jobs", string_of_int jobs);
                 ("boxes", string_of_int stats.Icp.Solver.boxes_processed) ];
             Report.text "verdict: %s" (Fmt.str "%a" Icp.Solver.pp_result result) ];
         Ok ()
@@ -374,7 +388,9 @@ let solve_cmd =
   in
   let info = Cmd.info "solve" ~doc:"Decide an L_RF formula over given variable boxes." in
   Cmd.v info
-    Term.(term_result (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg))
+    Term.(
+      term_result
+        (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg $ jobs_arg))
 
 (* ---- export (.drh) ---- *)
 

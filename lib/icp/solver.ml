@@ -11,7 +11,18 @@
    A δ-sat verdict is preferentially certified by an explicit point
    witness of φ^δ (midpoint/corner sampling); when certification at a
    sub-ε box fails, the one-sided-error answer licensed by δ-decidability
-   is returned with the box as the witness region. *)
+   is returned with the box as the witness region.
+
+   Multicore: boxes on the branch-and-prune frontier are independent, so
+   with [config.jobs > 1] worker domains pull boxes from a shared
+   work-sharing frontier (Parallel.Pool.Frontier).  The first δ-sat
+   witness cancels the remaining work via the frontier's stop flag;
+   an unsat verdict still requires full frontier exhaustion, so the
+   one-sided soundness guarantee is untouched.  DNF branches run as a
+   portfolio (first δ-sat wins).  Each worker keeps a private [stats]
+   record; they are merged when the search returns, so observability is
+   the same as in the sequential path.  [jobs = 1] takes the original
+   sequential code path exactly. *)
 
 module I = Interval.Ia
 module Box = Interval.Box
@@ -25,20 +36,33 @@ type config = {
   max_boxes : int;  (** branch-and-prune work budget *)
   contractor_rounds : int;  (** HC4 fixpoint rounds per box *)
   use_contraction : bool;  (** disable to get bisection-only search (ablation) *)
+  jobs : int;  (** worker domains for the search; 1 = sequential path *)
 }
 
 let default_config =
   { delta = 1e-3; epsilon = 1e-4; max_boxes = 200_000; contractor_rounds = 10;
-    use_contraction = true }
+    use_contraction = true; jobs = 1 }
 
 type stats = {
   mutable boxes_processed : int;
   mutable splits : int;
   mutable prunings : int;
   mutable max_depth : int;
+  mutable certifications : int;  (** candidate witness points probed *)
 }
 
-let fresh_stats () = { boxes_processed = 0; splits = 0; prunings = 0; max_depth = 0 }
+let fresh_stats () =
+  { boxes_processed = 0; splits = 0; prunings = 0; max_depth = 0;
+    certifications = 0 }
+
+(* Accumulate worker-local stats into [acc] (parallel searches merge the
+   per-domain records when they join). *)
+let merge_stats acc s =
+  acc.boxes_processed <- acc.boxes_processed + s.boxes_processed;
+  acc.splits <- acc.splits + s.splits;
+  acc.prunings <- acc.prunings + s.prunings;
+  acc.max_depth <- Stdlib.max acc.max_depth s.max_depth;
+  acc.certifications <- acc.certifications + s.certifications
 
 type witness = {
   point : (string * float) list;  (** a point satisfying φ^δ, when certified *)
@@ -60,97 +84,217 @@ let pp_result ppf = function
         w.point
   | Unknown why -> Fmt.pf ppf "unknown (%s)" why
 
-(* Candidate witness points of a box: midpoint plus corners (capped). *)
+(* Candidate witness points of a box: the midpoint plus a bounded sample
+   of corners.  Full corner enumeration is 2^n points, which at n = 10
+   meant up to 1024 certification probes per box; we now cap the corner
+   sample at [max_corner_samples], enumerating exhaustively only while
+   that stays exact. *)
+let max_corner_samples = 32
+
+(* Deterministic corner selector: bit [d] of sampled corner [j]. *)
+let corner_bit j d =
+  let h = (j * 73856093) lxor (d * 19349663) in
+  let h = h lxor (h lsr 13) in
+  let h = h * 1274126177 in
+  (h lsr 7) land 1 = 1
+
 let candidate_points box =
   let bindings = Box.to_list box in
   let mid = List.map (fun (x, i) -> (x, I.mid i)) bindings in
-  let n = List.length bindings in
-  if n > 10 then [ mid ]
-  else
-    let corners =
-      List.fold_left
-        (fun acc (x, i) ->
-          if I.is_singleton i then List.map (fun pt -> (x, I.lo i) :: pt) acc
-          else
-            List.concat_map
-              (fun pt -> [ (x, I.lo i) :: pt; (x, I.hi i) :: pt ])
-              acc)
-        [ [] ] bindings
-    in
-    mid :: corners
+  let toggled = List.filter (fun (_, i) -> not (I.is_singleton i)) bindings in
+  let n = List.length toggled in
+  let corner bit =
+    (* [bit d] picks hi (true) or lo (false) for the d-th wide dimension *)
+    let d = ref (-1) in
+    List.map
+      (fun (x, i) ->
+        if I.is_singleton i then (x, I.lo i)
+        else begin
+          incr d;
+          (x, if bit !d then I.hi i else I.lo i)
+        end)
+      bindings
+  in
+  let corners =
+    if n = 0 then []
+    else if n <= 5 then
+      (* exhaustive: 2^n <= max_corner_samples *)
+      List.init (1 lsl n) (fun c -> corner (fun d -> (c lsr d) land 1 = 1))
+    else
+      (* bounded sample: the two extreme corners plus hashed patterns *)
+      corner (fun _ -> false)
+      :: corner (fun _ -> true)
+      :: List.init (max_corner_samples - 2) (fun j -> corner (corner_bit (j + 2)))
+  in
+  mid :: corners
 
 let lookup_of env x =
   match List.assoc_opt x env with
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Solver: unbound variable %S in witness" x)
 
-let certify ~delta formula box =
+let certify ~delta stats formula box =
   let try_point pt =
+    stats.certifications <- stats.certifications + 1;
     if Expr.Formula.holds_delta ~delta (lookup_of pt) formula then Some pt else None
   in
   List.find_map try_point (candidate_points box)
 
-(* Decide one DNF branch (a conjunction of atoms) on [box]. *)
-let decide_conjunction cfg stats formula atoms box =
+(* ---- The per-box step shared by the sequential and parallel loops ---- *)
+
+type box_outcome =
+  | Pruned
+  | Found of result  (** a δ-sat verdict, certified or sub-ε one-sided *)
+  | Split_into of Box.t * Box.t
+
+let process_box cfg stats contract formula b =
+  match contract b with
+  | None ->
+      stats.prunings <- stats.prunings + 1;
+      Pruned
+  | Some b' ->
+      if Box.is_empty b' then begin
+        stats.prunings <- stats.prunings + 1;
+        Pruned
+      end
+      else if not (Expr.Formula.sat_possible ~delta:cfg.delta b' formula) then begin
+        stats.prunings <- stats.prunings + 1;
+        Pruned
+      end
+      else begin
+        match certify ~delta:cfg.delta stats formula b' with
+        | Some pt -> Found (Delta_sat { point = pt; box = b'; certified = true })
+        | None -> (
+            match Box.split ~min_width:cfg.epsilon b' with
+            | Some (left, right) -> Split_into (left, right)
+            | None ->
+                (* Sub-ε box on which φ^δ cannot be refuted: the
+                   one-sided δ-sat answer. *)
+                Found
+                  (Delta_sat
+                     { point = Box.mid_env b'; box = b'; certified = false }))
+      end
+
+let conjunction_contractor cfg atoms =
   let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
-  let contract b =
+  fun b ->
     if not cfg.use_contraction then Some b
     else Contractor.fixpoint ~max_rounds:cfg.contractor_rounds constraints b
+
+(* Decide one DNF branch (a conjunction of atoms) on [box], sequentially.
+   [spend] consumes one unit of the (possibly shared) box budget and
+   reports whether any budget remains; [cancelled] is polled once per box
+   so a portfolio winner on another domain stops this search promptly. *)
+let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
+    atoms box =
+  let contract = conjunction_contractor cfg atoms in
+  let rec loop = function
+    | [] -> Unsat
+    | (b, depth) :: rest ->
+        if cancelled () then Unknown "cancelled"
+        else begin
+          stats.boxes_processed <- stats.boxes_processed + 1;
+          if depth > stats.max_depth then stats.max_depth <- depth;
+          if not (spend ()) then Unknown "box budget exhausted"
+          else
+            match process_box cfg stats contract formula b with
+            | Pruned -> loop rest
+            | Found r -> r
+            | Split_into (l, r) ->
+                stats.splits <- stats.splits + 1;
+                loop ((l, depth + 1) :: (r, depth + 1) :: rest)
+        end
   in
-  (* Depth-first over a stack of boxes. *)
-  let stack = ref [ (box, 0) ] in
-  let verdict = ref None in
-  (try
-     while !verdict = None do
-       match !stack with
-       | [] -> verdict := Some Unsat
-       | (b, depth) :: rest ->
-           stack := rest;
-           stats.boxes_processed <- stats.boxes_processed + 1;
-           if depth > stats.max_depth then stats.max_depth <- depth;
-           if stats.boxes_processed > cfg.max_boxes then
-             verdict := Some (Unknown "box budget exhausted")
-           else begin
-             match contract b with
-             | None -> stats.prunings <- stats.prunings + 1
-             | Some b' ->
-                 if Box.is_empty b' then stats.prunings <- stats.prunings + 1
-                 else if
-                   not (Expr.Formula.sat_possible ~delta:cfg.delta b' formula)
-                 then stats.prunings <- stats.prunings + 1
-                 else begin
-                   match certify ~delta:cfg.delta formula b' with
-                   | Some pt ->
-                       verdict :=
-                         Some (Delta_sat { point = pt; box = b'; certified = true })
-                   | None -> (
-                       match Box.split ~min_width:cfg.epsilon b' with
-                       | Some (left, right) ->
-                           stats.splits <- stats.splits + 1;
-                           stack := (left, depth + 1) :: (right, depth + 1) :: !stack
-                       | None ->
-                           (* Sub-ε box on which φ^δ cannot be refuted:
-                              the one-sided δ-sat answer. *)
-                           verdict :=
-                             Some
-                               (Delta_sat
-                                  { point = Box.mid_env b'; box = b'; certified = false }))
-                 end
-           end
-     done
-   with Stack_overflow -> verdict := Some (Unknown "stack overflow"));
-  match !verdict with Some v -> v | None -> Unknown "internal"
+  loop [ (box, 0) ]
+
+(* ---- Parallel search machinery ---- *)
+
+(* Verdict cell shared by the worker domains.  Only δ-sat and Unknown are
+   ever recorded (Unsat is the default on frontier exhaustion); a δ-sat
+   may overwrite a pending Unknown — it is the more informative, still
+   correct answer — but never the other way around. *)
+let make_verdict_cell () = Atomic.make None
+
+let rec record_verdict cell r =
+  let cur = Atomic.get cell in
+  let should =
+    match (cur, r) with
+    | None, _ -> true
+    | Some (Unknown _), Delta_sat _ -> true
+    | Some _, _ -> false
+  in
+  if should && not (Atomic.compare_and_set cell cur (Some r)) then
+    record_verdict cell r
+
+(* Parallel branch-and-prune over one conjunction: [jobs] worker domains
+   pull (box, depth) items from a shared frontier.  Any domain finding a
+   δ-sat witness stops the frontier; unsat requires exhaustion. *)
+let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box =
+  let contract = conjunction_contractor cfg atoms in
+  let cell = make_verdict_cell () in
+  let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
+      let stats = worker_stats.(w) in
+      stats.boxes_processed <- stats.boxes_processed + 1;
+      if depth > stats.max_depth then stats.max_depth <- depth;
+      if not (spend ()) then begin
+        record_verdict cell (Unknown "box budget exhausted");
+        Parallel.Pool.Frontier.stop fr
+      end
+      else
+        match process_box cfg stats contract formula b with
+        | Pruned -> ()
+        | Found r ->
+            record_verdict cell r;
+            Parallel.Pool.Frontier.stop fr
+        | Split_into (l, r) ->
+            stats.splits <- stats.splits + 1;
+            (* push right first so the left half is taken next (LIFO) *)
+            Parallel.Pool.Frontier.push fr (r, depth + 1);
+            Parallel.Pool.Frontier.push fr (l, depth + 1));
+  match Atomic.get cell with Some v -> v | None -> Unsat
+
+(* Portfolio over DNF branches: each branch is searched (sequentially)
+   by whichever domain picks it up; the first δ-sat cancels the rest
+   (the ABC-style first-conclusive-result pattern).  Unsat still needs
+   every branch refuted. *)
+let decide_branches_portfolio ~jobs ~spend cfg worker_stats branches box =
+  let sat = make_verdict_cell () in
+  let pending_unknown = Atomic.make None in
+  let fr = Parallel.Pool.Frontier.create branches in
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w fr atoms ->
+      let stats = worker_stats.(w) in
+      let cancelled () = Option.is_some (Atomic.get sat) in
+      let conj =
+        Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
+      in
+      match decide_conjunction ~cancelled ~spend cfg stats conj atoms box with
+      | Unsat -> ()
+      | Delta_sat _ as r ->
+          record_verdict sat r;
+          Parallel.Pool.Frontier.stop fr
+      | Unknown "cancelled" -> ()
+      | Unknown why -> Atomic.set pending_unknown (Some why));
+  match Atomic.get sat with
+  | Some v -> v
+  | None -> (
+      match Atomic.get pending_unknown with
+      | Some why -> Unknown why
+      | None -> Unsat)
 
 (* ---- Public entry points ---- *)
 
 let decide_with_stats ?(config = default_config) formula box =
   let stats = fresh_stats () in
+  let jobs = Stdlib.max 1 config.jobs in
   let result =
     match formula with
     | Expr.Formula.True ->
         Delta_sat { point = Box.mid_env box; box; certified = true }
     | Expr.Formula.False -> Unsat
-    | _ ->
+    | _ when jobs = 1 ->
+        (* Sequential path: shared budget = the single stats record. *)
+        let spend () = stats.boxes_processed <= config.max_boxes in
         let branches = Expr.Formula.dnf formula in
         Log.debug (fun m -> m "decide: %d DNF branch(es)" (List.length branches));
         (* Try branches in order; an Unknown branch only matters if no
@@ -162,12 +306,36 @@ let decide_with_stats ?(config = default_config) formula box =
               let conj =
                 Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
               in
-              match decide_conjunction config stats conj atoms box with
+              match decide_conjunction ~spend config stats conj atoms box with
               | Unsat -> run pending_unknown rest
               | Delta_sat w -> Delta_sat w
               | Unknown why -> run (Some why) rest)
         in
         run None branches
+    | _ ->
+        (* Parallel path: the box budget is shared across all domains and
+           all DNF branches through one atomic counter, mirroring the
+           cumulative budget of the sequential search. *)
+        let counter = Atomic.make 0 in
+        let spend () = Atomic.fetch_and_add counter 1 < config.max_boxes in
+        let worker_stats = Array.init jobs (fun _ -> fresh_stats ()) in
+        let branches = Expr.Formula.dnf formula in
+        Log.debug (fun m ->
+            m "decide: %d DNF branch(es), %d domain(s)" (List.length branches) jobs);
+        let r =
+          match branches with
+          | [ atoms ] ->
+              let conj =
+                Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
+              in
+              decide_conjunction_parallel ~jobs ~spend config worker_stats
+                conj atoms box
+          | _ ->
+              decide_branches_portfolio ~jobs ~spend config worker_stats branches
+                box
+        in
+        Array.iter (merge_stats stats) worker_stats;
+        r
   in
   (result, stats)
 
@@ -194,37 +362,101 @@ let pp_paving ppf p =
   Fmt.pf ppf "paving: %d sat, %d unsat, %d undecided boxes"
     (List.length p.sat) (List.length p.unsat) (List.length p.undecided)
 
-let pave ?(config = default_config) formula box =
+(* Classify one paving box.  Classification is deterministic, so the
+   sequential and parallel pavings contain the same leaf boxes (only the
+   list order differs) as long as the budget is not exhausted. *)
+type pave_outcome =
+  | Pave_sat
+  | Pave_unsat
+  | Pave_split of Box.t * Box.t
+  | Pave_undecided
+
+let pave_step cfg constraints formula b =
+  match Expr.Formula.eval_cert b formula with
+  | Expr.Formula.Certain -> Pave_sat
+  | Expr.Formula.Impossible -> Pave_unsat
+  | Expr.Formula.Unknown ->
+      (* Contraction accelerates carving of the unsat region, but the
+         removed shell must be recorded as unsat, not dropped: split
+         the difference approximately by checking each component.  To
+         stay simple and exact we only use contraction as an
+         infeasibility test here. *)
+      let infeasible =
+        cfg.use_contraction
+        && Option.is_none (Contractor.fixpoint ~max_rounds:2 constraints b)
+      in
+      if infeasible then Pave_unsat
+      else (
+        match Box.split ~min_width:cfg.epsilon b with
+        | Some (l, r) -> Pave_split (l, r)
+        | None -> Pave_undecided)
+
+let pave_with_stats ?(config = default_config) formula box =
   let atoms = Expr.Formula.atoms formula in
   let constraints = List.map (Contractor.of_atom ~delta:0.0) atoms in
-  let sat = ref [] and unsat = ref [] and undecided = ref [] in
-  let budget = ref config.max_boxes in
-  let rec go b =
-    if Box.is_empty b then ()
-    else if !budget <= 0 then undecided := b :: !undecided
-    else begin
-      decr budget;
-      match Expr.Formula.eval_cert b formula with
-      | Expr.Formula.Certain -> sat := b :: !sat
-      | Expr.Formula.Impossible -> unsat := b :: !unsat
-      | Expr.Formula.Unknown -> (
-          (* Contraction accelerates carving of the unsat region, but the
-             removed shell must be recorded as unsat, not dropped: split
-             the difference approximately by checking each component.  To
-             stay simple and exact we only use contraction as an
-             infeasibility test here. *)
-          let infeasible =
-            config.use_contraction
-            && Contractor.fixpoint ~max_rounds:2 constraints b = None
-          in
-          if infeasible then unsat := b :: !unsat
-          else
-            match Box.split ~min_width:config.epsilon b with
-            | Some (l, r) ->
-                go l;
-                go r
-            | None -> undecided := b :: !undecided)
-    end
-  in
-  go box;
-  { sat = !sat; unsat = !unsat; undecided = !undecided }
+  let jobs = Stdlib.max 1 config.jobs in
+  let stats = fresh_stats () in
+  if jobs = 1 then begin
+    let sat = ref [] and unsat = ref [] and undecided = ref [] in
+    let budget = ref config.max_boxes in
+    let rec go (b, depth) =
+      if Box.is_empty b then ()
+      else if !budget <= 0 then undecided := b :: !undecided
+      else begin
+        decr budget;
+        stats.boxes_processed <- stats.boxes_processed + 1;
+        if depth > stats.max_depth then stats.max_depth <- depth;
+        match pave_step config constraints formula b with
+        | Pave_sat -> sat := b :: !sat
+        | Pave_unsat ->
+            stats.prunings <- stats.prunings + 1;
+            unsat := b :: !unsat
+        | Pave_split (l, r) ->
+            stats.splits <- stats.splits + 1;
+            go (l, depth + 1);
+            go (r, depth + 1)
+        | Pave_undecided -> undecided := b :: !undecided
+      end
+    in
+    go (box, 0);
+    ({ sat = !sat; unsat = !unsat; undecided = !undecided }, stats)
+  end
+  else begin
+    (* Parallel paving: worker domains pull boxes from the shared
+       frontier and collect classified leaves in per-domain lists, merged
+       (with their stats) at the end. *)
+    let budget = Atomic.make config.max_boxes in
+    let worker_stats = Array.init jobs (fun _ -> fresh_stats ()) in
+    let acc = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
+    let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
+        let st = worker_stats.(w) in
+        let sat, unsat, undecided = acc.(w) in
+        if Box.is_empty b then ()
+        else if Atomic.fetch_and_add budget (-1) <= 0 then
+          undecided := b :: !undecided
+        else begin
+          st.boxes_processed <- st.boxes_processed + 1;
+          if depth > st.max_depth then st.max_depth <- depth;
+          match pave_step config constraints formula b with
+          | Pave_sat -> sat := b :: !sat
+          | Pave_unsat ->
+              st.prunings <- st.prunings + 1;
+              unsat := b :: !unsat
+          | Pave_split (l, r) ->
+              st.splits <- st.splits + 1;
+              Parallel.Pool.Frontier.push fr (r, depth + 1);
+              Parallel.Pool.Frontier.push fr (l, depth + 1)
+          | Pave_undecided -> undecided := b :: !undecided
+        end);
+    Array.iter (merge_stats stats) worker_stats;
+    let collect pick =
+      Array.fold_left (fun l a -> !(pick a) @ l) [] acc
+    in
+    ( { sat = collect (fun (s, _, _) -> s);
+        unsat = collect (fun (_, u, _) -> u);
+        undecided = collect (fun (_, _, d) -> d) },
+      stats )
+  end
+
+let pave ?config formula box = fst (pave_with_stats ?config formula box)

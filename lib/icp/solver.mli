@@ -9,14 +9,22 @@
       [w.certified] the witness point was explicitly checked to satisfy
       φ^δ; otherwise the verdict is the one-sided interval answer that
       δ-decidability licenses on a sub-ε box;
-    - [Unknown] — the work budget ran out first. *)
+    - [Unknown] — the work budget ran out first.
+
+    With [config.jobs > 1] the branch-and-prune frontier is drained by
+    that many worker domains (boxes are independent); the first δ-sat
+    witness cancels the rest, unsat requires frontier exhaustion, and
+    DNF branches run as a portfolio.  Verdict {e kinds} agree with the
+    sequential search ([jobs = 1], the original code path); the only
+    nondeterminism is {e which} δ-sat witness wins a portfolio race. *)
 
 type config = {
   delta : float;  (** perturbation bound δ of the δ-decision problem *)
   epsilon : float;  (** boxes thinner than this are no longer split *)
-  max_boxes : int;  (** branch-and-prune work budget *)
+  max_boxes : int;  (** branch-and-prune work budget (shared across domains) *)
   contractor_rounds : int;  (** HC4 fixpoint rounds per box *)
   use_contraction : bool;  (** disable for bisection-only search (ablation) *)
+  jobs : int;  (** worker domains for the search; 1 = sequential path *)
 }
 
 val default_config : config
@@ -26,7 +34,13 @@ type stats = {
   mutable splits : int;
   mutable prunings : int;
   mutable max_depth : int;
+  mutable certifications : int;  (** candidate witness points probed *)
 }
+
+val fresh_stats : unit -> stats
+
+val merge_stats : stats -> stats -> unit
+(** [merge_stats acc s] accumulates [s] into [acc] (max over depths). *)
 
 type witness = {
   point : (string * float) list;
@@ -58,6 +72,13 @@ type paving = {
 }
 
 val pave : ?config:config -> Expr.Formula.t -> Interval.Box.t -> paving
+
+val pave_with_stats :
+  ?config:config -> Expr.Formula.t -> Interval.Box.t -> paving * stats
+(** Like {!pave}, also reporting boxes processed, prunings, splits and
+    depth.  With [config.jobs > 1] the paving frontier is drained in
+    parallel; the leaf boxes are the same as the sequential paving
+    whenever the budget is not exhausted (only list order differs). *)
 
 val paving_volumes : over:string list -> paving -> float * float * float
 (** Total (sat, unsat, undecided) volumes over the named dimensions. *)

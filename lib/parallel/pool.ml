@@ -1,0 +1,172 @@
+(* Fixed-size domain pool with a work-sharing frontier.
+
+   The branch-and-prune analyses of this framework are embarrassingly
+   parallel: boxes on the solver stack are independent, as are DNF
+   branches, paving subtrees, candidate mode paths and SMC trace samples.
+   This module provides the three coordination shapes they need on
+   OCaml 5 domains, with no dependency beyond the stdlib:
+
+   - {!run}: fork/join over a fixed set of workers (worker 0 runs on the
+     calling domain, so [jobs = 1] spawns nothing);
+   - {!Frontier}: a shared LIFO work queue drained by [jobs] workers,
+     with item-granular cancellation — the pattern behind parallel
+     [decide], [pave] and parameter synthesis;
+   - {!parallel_for_chunks}: static contiguous chunking of an index
+     range — the pattern behind SMC sampling, where worker [w] owns its
+     deterministic slice and its own PRNG stream.
+
+   Every shared-state structure here is a plain Mutex/Condition monitor;
+   throughput is dominated by interval arithmetic inside the work items,
+   so queue contention is negligible at the pool sizes we target. *)
+
+let src = Logs.Src.create "parallel.pool" ~doc:"domain pool"
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Cap the default well below huge machines: branch-and-prune frontiers
+   rarely keep more than a handful of domains saturated, and the GC's
+   minor-heap traffic grows with every extra domain. *)
+let default_jobs () = Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+let validate_jobs jobs =
+  if jobs < 1 then invalid_arg "Parallel.Pool: jobs must be >= 1"
+
+(* ---- Fork/join ---- *)
+
+(* [run ~jobs worker] evaluates [worker w] for w = 0..jobs-1, worker 0 on
+   the calling domain, and returns the results in worker order.  Every
+   spawned domain is joined even when a worker raises; the first
+   exception (in worker order) is re-raised after the join. *)
+let run ~jobs worker =
+  validate_jobs jobs;
+  if jobs = 1 then [| worker 0 |]
+  else begin
+    let wrap w () = try Ok (worker w) with e -> Error e in
+    let doms = Array.init (jobs - 1) (fun i -> Domain.spawn (wrap (i + 1))) in
+    let r0 = wrap 0 () in
+    let rest = Array.map Domain.join doms in
+    let all = Array.append [| r0 |] rest in
+    Array.iter (function Error e -> raise e | Ok _ -> ()) all;
+    Array.map (function Ok v -> v | Error _ -> assert false) all
+  end
+
+(* ---- Work-sharing frontier ---- *)
+
+module Frontier = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    wake : Condition.t;  (* new item, cancellation, or drain *)
+    mutable queue : 'a list;  (* LIFO: keeps the search depth-first-ish *)
+    mutable active : int;  (* workers currently processing an item *)
+    mutable stopped : bool;
+  }
+
+  let create init =
+    { mutex = Mutex.create (); wake = Condition.create (); queue = init;
+      active = 0; stopped = false }
+
+  let push t x =
+    Mutex.lock t.mutex;
+    if not t.stopped then begin
+      t.queue <- x :: t.queue;
+      Condition.signal t.wake
+    end;
+    Mutex.unlock t.mutex
+
+  let stop t =
+    Mutex.lock t.mutex;
+    t.stopped <- true;
+    t.queue <- [];
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+
+  let stopped t = t.stopped
+
+  (* Blocking take: [None] once the frontier is drained (empty queue and
+     no active worker that could still push) or stopped. *)
+  let take t =
+    Mutex.lock t.mutex;
+    let rec go () =
+      if t.stopped then None
+      else
+        match t.queue with
+        | x :: rest ->
+            t.queue <- rest;
+            t.active <- t.active + 1;
+            Some x
+        | [] ->
+            if t.active = 0 then None
+            else begin
+              Condition.wait t.wake t.mutex;
+              go ()
+            end
+    in
+    let r = go () in
+    (* On drain/stop, wake the remaining sleepers so they can exit. *)
+    if Option.is_none r then Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    r
+
+  let finish_item t =
+    Mutex.lock t.mutex;
+    t.active <- t.active - 1;
+    if t.active = 0 && t.queue = [] then Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+
+  (* Drain the frontier with [jobs] workers.  [process w t item] may
+     [push] follow-up items and may [stop] the whole frontier (first
+     conclusive result wins).  Exceptions cancel the frontier, and the
+     first one is re-raised after all domains joined. *)
+  let drain ~jobs t process =
+    validate_jobs jobs;
+    let worker w =
+      let rec loop () =
+        match take t with
+        | None -> ()
+        | Some item ->
+            (match process w t item with
+            | () -> finish_item t
+            | exception e ->
+                finish_item t;
+                stop t;
+                raise e);
+            loop ()
+      in
+      loop ()
+    in
+    ignore (run ~jobs worker)
+end
+
+(* ---- Static chunked index ranges ---- *)
+
+(* The [w]-th of [jobs] contiguous chunks of [0, n): deterministic
+   assignment, so per-worker PRNG streams reproduce run to run. *)
+let chunk ~jobs ~n w =
+  let lo = w * n / jobs and hi = (w + 1) * n / jobs in
+  (lo, hi)
+
+(* [parallel_for_chunks ~jobs n f] calls [f w lo hi] per worker with its
+   contiguous slice [lo, hi) of [0, n) and returns per-worker results in
+   worker order.  With [jobs = 1] it degenerates to [f 0 0 n] inline. *)
+let parallel_for_chunks ~jobs n f =
+  validate_jobs jobs;
+  let jobs = Stdlib.max 1 (Stdlib.min jobs (Stdlib.max 1 n)) in
+  run ~jobs (fun w ->
+      let lo, hi = chunk ~jobs ~n w in
+      f w lo hi)
+
+(* ---- Portfolio: first conclusive answer wins ---- *)
+
+(* [first_conclusive ~jobs tasks] runs the thunks concurrently; each
+   receives a [cancelled] probe it should poll and a [conclude] callback.
+   The first task calling [conclude v] cancels the rest; the return value
+   is that [v], or [None] when every task finished without concluding. *)
+let first_conclusive ~jobs tasks =
+  validate_jobs jobs;
+  let cell = Atomic.make None in
+  let cancelled () = Option.is_some (Atomic.get cell) in
+  let conclude v = ignore (Atomic.compare_and_set cell None (Some v)) in
+  let t = Frontier.create (List.map (fun task -> task) tasks) in
+  Frontier.drain ~jobs t (fun _w fr task ->
+      task ~cancelled ~conclude;
+      if cancelled () then Frontier.stop fr);
+  Atomic.get cell

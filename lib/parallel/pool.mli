@@ -1,0 +1,57 @@
+(** Fixed-size domain pool with a work-sharing frontier (OCaml 5
+    domains, stdlib only).
+
+    Three coordination shapes cover every parallel analysis in the
+    framework: fork/join over a fixed worker set ({!run}), a shared
+    cancellable work queue ({!Frontier}) for branch-and-prune loops, and
+    static contiguous chunking ({!parallel_for_chunks}) for SMC sampling
+    with reproducible per-worker PRNG streams.
+
+    Everywhere, [jobs = 1] means "no domains spawned, run inline": the
+    sequential code path is always a special case. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1, 8]. *)
+
+val run : jobs:int -> (int -> 'a) -> 'a array
+(** [run ~jobs worker] evaluates [worker w] for [w = 0 .. jobs-1]
+    (worker 0 on the calling domain) and returns results in worker
+    order.  All spawned domains are joined even on exceptions; the first
+    worker exception is re-raised afterwards.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+module Frontier : sig
+  type 'a t
+
+  val create : 'a list -> 'a t
+  val push : 'a t -> 'a -> unit
+  (** No-op after {!stop}. *)
+
+  val stop : 'a t -> unit
+  (** Cancel: discard queued items and wake all workers. *)
+
+  val stopped : 'a t -> bool
+
+  val drain : jobs:int -> 'a t -> (int -> 'a t -> 'a -> unit) -> unit
+  (** [drain ~jobs t process] drains [t] with [jobs] workers; [process w
+      t item] may {!push} follow-up items and {!stop} the frontier (first
+      conclusive result wins).  Returns when the queue is empty and all
+      workers idle, or after {!stop}. *)
+end
+
+val chunk : jobs:int -> n:int -> int -> (int * int)
+(** [chunk ~jobs ~n w] is the [w]-th contiguous slice [lo, hi) of
+    [0, n); slices partition the range deterministically. *)
+
+val parallel_for_chunks : jobs:int -> int -> (int -> int -> int -> 'a) -> 'a array
+(** [parallel_for_chunks ~jobs n f] runs [f w lo hi] per worker on its
+    {!chunk}; [jobs] is clamped to [n] so no worker gets an empty slice
+    unless [n = 0]. *)
+
+val first_conclusive :
+  jobs:int ->
+  (cancelled:(unit -> bool) -> conclude:('a -> unit) -> unit) list ->
+  'a option
+(** Portfolio execution: run the tasks concurrently; the first task that
+    calls [conclude v] cancels the rest (they observe [cancelled ()]),
+    and that [v] is returned.  [None] when no task concluded. *)

@@ -48,6 +48,7 @@ type config = {
   tube_quality_width : float;
       (** a validated tube wider than this is considered degenerate and is
           replaced by the ensemble bracket *)
+  jobs : int;  (** worker domains for path / paving parallelism; 1 = sequential *)
 }
 
 let default_config =
@@ -62,6 +63,7 @@ let default_config =
     fallback_margin = 0.05;
     certify_samples = 8;
     tube_quality_width = 1.0;
+    jobs = 1;
   }
 
 type witness = {
@@ -494,7 +496,15 @@ let decide_path cfg pb path =
 (* ---- Public API ---- *)
 
 (* Decide the bounded reachability problem: try every candidate mode path
-   (shortest first — therapy identification wants minimal drug counts). *)
+   (shortest first — therapy identification wants minimal drug counts).
+
+   With [config.jobs > 1] the candidate paths are decided by a pool of
+   worker domains.  The verdict is merged in path order afterwards, so it
+   is *identical* to the sequential one (the lowest-indexed δ-sat path
+   wins, preserving the minimal-jump preference): parallelism here only
+   changes which paths are decided concurrently.  A δ-sat at index i
+   cancels work on paths with larger indices — exactly the paths the
+   sequential scan would never have reached. *)
 let check ?(config = default_config) (pb : Encoding.t) =
   let paths =
     List.sort
@@ -502,17 +512,53 @@ let check ?(config = default_config) (pb : Encoding.t) =
       (Encoding.candidate_paths pb)
   in
   Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
-  let rec go unknown rigorous = function
-    | [] -> (
-        match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
-    | path :: rest -> (
-        Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
-        match decide_path config pb path with
-        | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
-        | Delta_sat w -> Delta_sat w
-        | Unknown why -> go (Some why) rigorous rest)
-  in
-  go None true paths
+  let jobs = Stdlib.max 1 config.jobs in
+  if jobs = 1 || List.length paths <= 1 then begin
+    let rec go unknown rigorous = function
+      | [] -> (
+          match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
+      | path :: rest -> (
+          Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
+          match decide_path config pb path with
+          | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
+          | Delta_sat w -> Delta_sat w
+          | Unknown why -> go (Some why) rigorous rest)
+    in
+    go None true paths
+  end
+  else begin
+    let paths = Array.of_list paths in
+    let n = Array.length paths in
+    let results = Array.make n None in
+    let winner = Atomic.make Stdlib.max_int in
+    let fr = Parallel.Pool.Frontier.create (List.init n Fun.id) in
+    Parallel.Pool.Frontier.drain ~jobs fr (fun _w _fr i ->
+        (* skip paths the sequential scan would never reach *)
+        if i <= Atomic.get winner then begin
+          let r = decide_path config pb paths.(i) in
+          results.(i) <- Some r;
+          match r with
+          | Delta_sat _ ->
+              let rec lower () =
+                let cur = Atomic.get winner in
+                if i < cur && not (Atomic.compare_and_set winner cur i) then
+                  lower ()
+              in
+              lower ()
+          | _ -> ()
+        end);
+    let rec merge i unknown rigorous =
+      if i >= n then
+        match unknown with Some why -> Unknown why | None -> Unsat { rigorous }
+      else
+        match results.(i) with
+        | Some (Delta_sat w) -> Delta_sat w
+        | Some (Unsat { rigorous = r }) -> merge (i + 1) unknown (rigorous && r)
+        | Some (Unknown why) -> merge (i + 1) (Some why) rigorous
+        | None -> merge (i + 1) unknown rigorous (* cancelled past the winner *)
+    in
+    merge 0 None true
+  end
 
 (* Universal feasibility on jump-free paths (see the synthesis notes). *)
 let path_surely_reaches cfg (pb : Encoding.t) path ~params_box ~init_box =
@@ -550,14 +596,20 @@ type synthesis = {
   undecided : (Box.t * witness option) list;
 }
 
+(* Classification of one search box, shared by the sequential recursion
+   and the parallel frontier (it is a pure function of the box). *)
+type synth_outcome =
+  | Synth_feasible of witness
+  | Synth_infeasible of bool  (* rigorous *)
+  | Synth_split of Box.t * Box.t
+  | Synth_undecided of witness option
+
 let synthesize ?(config = default_config) (pb : Encoding.t) =
   let paths =
     List.sort
       (fun a b -> compare (List.length a) (List.length b))
       (Encoding.candidate_paths pb)
   in
-  let feasible = ref [] and infeasible = ref [] and undecided = ref [] in
-  let budget = ref config.max_param_boxes in
   let certify_box sbox =
     List.find_map
       (fun path ->
@@ -566,45 +618,87 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
         | _ -> None)
       paths
   in
-  let rec go sbox =
-    if !budget <= 0 then undecided := (sbox, None) :: !undecided
-    else begin
-      decr budget;
-      let params_box, init_box = interpret_box pb sbox in
-      let verdicts =
-        List.map (fun path -> path_feasible config pb path ~params_box ~init_box) paths
+  let classify sbox =
+    let params_box, init_box = interpret_box pb sbox in
+    let verdicts =
+      List.map (fun path -> path_feasible config pb path ~params_box ~init_box) paths
+    in
+    if List.for_all (function `Infeasible _ -> true | `Maybe -> false) verdicts
+    then
+      Synth_infeasible
+        (List.for_all (function `Infeasible r -> r | `Maybe -> false) verdicts)
+    else if
+      List.exists
+        (fun path -> path_surely_reaches config pb path ~params_box ~init_box)
+        paths
+    then
+      let w =
+        match certify_box sbox with
+        | Some w -> w
+        | None ->
+            { path = List.hd paths; params = Box.mid_env params_box;
+              init = Box.mid_env init_box; reach_time = nan; certified = false;
+              param_box = sbox }
       in
-      if List.for_all (function `Infeasible _ -> true | `Maybe -> false) verdicts
-      then
-        let rigorous =
-          List.for_all (function `Infeasible r -> r | `Maybe -> false) verdicts
-        in
-        infeasible := (sbox, rigorous) :: !infeasible
-      else if
-        List.exists
-          (fun path -> path_surely_reaches config pb path ~params_box ~init_box)
-          paths
-      then begin
-        let w =
-          match certify_box sbox with
-          | Some w -> w
-          | None ->
-              { path = List.hd paths; params = Box.mid_env params_box;
-                init = Box.mid_env init_box; reach_time = nan; certified = false;
-                param_box = sbox }
-        in
-        feasible := (sbox, w) :: !feasible
-      end
-      else
-        match Box.split ~min_width:config.epsilon sbox with
-        | Some (l, r) ->
+      Synth_feasible w
+    else
+      match Box.split ~min_width:config.epsilon sbox with
+      | Some (l, r) -> Synth_split (l, r)
+      | None -> Synth_undecided (certify_box sbox)
+  in
+  let jobs = Stdlib.max 1 config.jobs in
+  if jobs = 1 then begin
+    let feasible = ref [] and infeasible = ref [] and undecided = ref [] in
+    let budget = ref config.max_param_boxes in
+    let rec go sbox =
+      if !budget <= 0 then undecided := (sbox, None) :: !undecided
+      else begin
+        decr budget;
+        match classify sbox with
+        | Synth_feasible w -> feasible := (sbox, w) :: !feasible
+        | Synth_infeasible rigorous ->
+            infeasible := (sbox, rigorous) :: !infeasible
+        | Synth_split (l, r) ->
             go l;
             go r
-        | None -> undecided := (sbox, certify_box sbox) :: !undecided
-    end
-  in
-  go (searchable_box pb);
-  { feasible = !feasible; infeasible = !infeasible; undecided = !undecided }
+        | Synth_undecided w -> undecided := (sbox, w) :: !undecided
+      end
+    in
+    go (searchable_box pb);
+    { feasible = !feasible; infeasible = !infeasible; undecided = !undecided }
+  end
+  else begin
+    (* Worker domains share the paving frontier and a global atomic box
+       budget; each keeps private result lists, concatenated at the end.
+       The leaf *set* matches the sequential paving (classification is a
+       pure function of the box) whenever the budget is not hit; only the
+       list order may differ. *)
+    let spent = Atomic.make 0 in
+    let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
+    let fr = Parallel.Pool.Frontier.create [ searchable_box pb ] in
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w fr sbox ->
+        let feasible, infeasible, undecided = accs.(w) in
+        if Atomic.fetch_and_add spent 1 >= config.max_param_boxes then
+          undecided := (sbox, None) :: !undecided
+        else
+          match classify sbox with
+          | Synth_feasible wit -> feasible := (sbox, wit) :: !feasible
+          | Synth_infeasible rigorous ->
+              infeasible := (sbox, rigorous) :: !infeasible
+          | Synth_split (l, r) ->
+              Parallel.Pool.Frontier.push fr l;
+              Parallel.Pool.Frontier.push fr r
+          | Synth_undecided wit -> undecided := (sbox, wit) :: !undecided);
+    Array.fold_left
+      (fun acc (f, i, u) ->
+        {
+          feasible = !f @ acc.feasible;
+          infeasible = !i @ acc.infeasible;
+          undecided = !u @ acc.undecided;
+        })
+      { feasible = []; infeasible = []; undecided = [] }
+      accs
+  end
 
 let pp_synthesis ppf s =
   Fmt.pf ppf "synthesis: %d feasible, %d infeasible, %d undecided boxes"

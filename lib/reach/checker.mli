@@ -29,6 +29,8 @@ type config = {
   certify_samples : int;  (** certification points besides the midpoint *)
   tube_quality_width : float;
       (** a validated tube wider than this is replaced by the bracket *)
+  jobs : int;
+      (** worker domains for path / paving parallelism; 1 = sequential *)
 }
 
 val default_config : config
@@ -51,7 +53,10 @@ val pp_result : result Fmt.t
 
 val check : ?config:config -> Encoding.t -> result
 (** Decide the bounded reachability problem; candidate paths are explored
-    shortest-first (therapy identification wants minimal drug counts). *)
+    shortest-first (therapy identification wants minimal drug counts).
+    With [config.jobs > 1] the paths are decided by a pool of worker
+    domains and the verdict merged in path order, so it is identical to
+    the sequential one. *)
 
 (** {1 Parameter synthesis for reachability (Definition 13)} *)
 
@@ -65,6 +70,10 @@ type synthesis = {
 }
 
 val synthesize : ?config:config -> Encoding.t -> synthesis
+(** With [config.jobs > 1], worker domains share the paving frontier and
+    an atomic global box budget; the leaf set matches the sequential
+    paving when the budget is not exhausted (only list order differs). *)
+
 val pp_synthesis : synthesis Fmt.t
 
 (** {1 Building blocks} (exposed for the workflow layer and tests) *)

@@ -97,6 +97,19 @@ let pp_estimate ppf e =
   Fmt.pf ppf "p ≈ %.4f (n=%d, %g%% interval [%.4f, %.4f])" e.p_hat e.n
     (100.0 *. e.confidence) e.ci_low e.ci_high
 
+(* Estimate record from pre-tallied counts: parallel SMC runs tally
+   successes per domain and combine them here. *)
+let monte_carlo_of_counts ~eps ~alpha ~n ~successes =
+  let p_hat = float_of_int successes /. float_of_int n in
+  {
+    p_hat;
+    n;
+    successes;
+    ci_low = Float.max 0.0 (p_hat -. eps);
+    ci_high = Float.min 1.0 (p_hat +. eps);
+    confidence = 1.0 -. alpha;
+  }
+
 (* Monte-Carlo estimate with the Chernoff-driven sample size. *)
 let monte_carlo ~eps ~alpha sample =
   let n = chernoff_sample_size ~eps ~alpha in
@@ -104,15 +117,7 @@ let monte_carlo ~eps ~alpha sample =
   for i = 0 to n - 1 do
     if sample i then incr successes
   done;
-  let p_hat = float_of_int !successes /. float_of_int n in
-  {
-    p_hat;
-    n;
-    successes = !successes;
-    ci_low = Float.max 0.0 (p_hat -. eps);
-    ci_high = Float.min 1.0 (p_hat +. eps);
-    confidence = 1.0 -. alpha;
-  }
+  monte_carlo_of_counts ~eps ~alpha ~n ~successes:!successes
 
 (* ---- Bayesian estimation ----
 
@@ -129,20 +134,25 @@ let beta_quantile ~a ~b q =
   in
   bisect 0.0 1.0 60
 
-let bayesian ?(a0 = 1.0) ?(b0 = 1.0) ?(confidence = 0.95) ~n sample =
+let bayesian_of_counts ?(a0 = 1.0) ?(b0 = 1.0) ?(confidence = 0.95) ~n ~successes
+    () =
+  if n <= 0 then invalid_arg "Estimate.bayesian: n must be positive";
+  let a = a0 +. float_of_int successes in
+  let b = b0 +. float_of_int (n - successes) in
+  let tail = 0.5 *. (1.0 -. confidence) in
+  {
+    p_hat = a /. (a +. b);
+    n;
+    successes;
+    ci_low = beta_quantile ~a ~b tail;
+    ci_high = beta_quantile ~a ~b (1.0 -. tail);
+    confidence;
+  }
+
+let bayesian ?a0 ?b0 ?confidence ~n sample =
   if n <= 0 then invalid_arg "Estimate.bayesian: n must be positive";
   let successes = ref 0 in
   for i = 0 to n - 1 do
     if sample i then incr successes
   done;
-  let a = a0 +. float_of_int !successes in
-  let b = b0 +. float_of_int (n - !successes) in
-  let tail = 0.5 *. (1.0 -. confidence) in
-  {
-    p_hat = a /. (a +. b);
-    n;
-    successes = !successes;
-    ci_low = beta_quantile ~a ~b tail;
-    ci_high = beta_quantile ~a ~b (1.0 -. tail);
-    confidence;
-  }
+  bayesian_of_counts ?a0 ?b0 ?confidence ~n ~successes:!successes ()

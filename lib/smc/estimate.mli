@@ -33,11 +33,27 @@ val monte_carlo : eps:float -> alpha:float -> (int -> bool) -> estimate
 (** Fixed-sample estimate at the Chernoff-driven sample size; the
     interval is [p̂ ± eps] clipped to [0, 1]. *)
 
+val monte_carlo_of_counts :
+  eps:float -> alpha:float -> n:int -> successes:int -> estimate
+(** The {!monte_carlo} estimate from pre-tallied counts (parallel SMC
+    tallies successes per domain and combines them here). *)
+
 (** {1 Bayesian} *)
 
 val bayesian :
   ?a0:float -> ?b0:float -> ?confidence:float -> n:int -> (int -> bool) -> estimate
 (** Beta(a0, b0) prior (uniform by default), equal-tailed credible
     interval from the posterior. *)
+
+val bayesian_of_counts :
+  ?a0:float ->
+  ?b0:float ->
+  ?confidence:float ->
+  n:int ->
+  successes:int ->
+  unit ->
+  estimate
+(** The {!bayesian} estimate from pre-tallied counts.
+    @raise Invalid_argument when [n <= 0]. *)
 
 val pp_estimate : estimate Fmt.t

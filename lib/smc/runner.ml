@@ -61,29 +61,112 @@ let sample_robustness rng prob =
       in
       Bltl.robustness (Bltl.of_trajectory ~params traj) prob.property
 
-(* Hypothesis test: is P(property) >= theta? *)
-let test ?(seed = 42) ?config prob =
-  let rng = Random.State.make [| seed |] in
-  Sprt.run ?config (fun _ -> sample_once rng prob)
+(* ---- Parallel sampling ----
+
+   Trace samples are independent, so with [jobs > 1] they fan out over
+   worker domains.  Worker [w] owns the contiguous slice [w*n/jobs,
+   (w+1)*n/jobs) of the sample indices and its own PRNG stream split
+   from the root seed as [Random.State.make [| seed; w |]]; the
+   assignment is static, so an estimate at a fixed (seed, jobs) pair is
+   bit-identical across runs.  Estimates at different [jobs] values
+   consume different streams and may differ within the statistical
+   error bounds — that is the documented trade-off.  [jobs = 1] takes
+   the original sequential code path (stream [| seed |]). *)
+
+let worker_rng ~seed w = Random.State.make [| seed; w |]
+
+(* Per-domain tally of [f rng] over a static slice of [n] samples;
+   returns the summed tallies combined with [add] from [zero]. *)
+let fan_out ~seed ~jobs ~n ~zero ~add f =
+  let parts =
+    Parallel.Pool.parallel_for_chunks ~jobs n (fun w lo hi ->
+        let rng = worker_rng ~seed w in
+        let acc = ref zero in
+        for _ = lo to hi - 1 do
+          acc := add !acc (f rng)
+        done;
+        !acc)
+  in
+  Array.fold_left add zero parts
+
+let count_successes ~seed ~jobs ~n prob =
+  fan_out ~seed ~jobs ~n ~zero:0
+    ~add:( + )
+    (fun rng -> if sample_once rng prob then 1 else 0)
+
+(* Hypothesis test: is P(property) >= theta?  With [jobs > 1] outcomes
+   are precomputed in speculative batches (each worker extends its own
+   stream by a fixed batch slice) and fed to the SPRT in global index
+   order — the verdict is deterministic at a fixed (seed, jobs); samples
+   drawn past the decision point are discarded. *)
+let test ?(seed = 42) ?(jobs = 1) ?config prob =
+  if jobs <= 1 then begin
+    let rng = Random.State.make [| seed |] in
+    Sprt.run ?config (fun _ -> sample_once rng prob)
+  end
+  else begin
+    let jobs = Stdlib.max 1 jobs in
+    let per_worker = 32 in
+    let rngs = Array.init jobs (fun w -> worker_rng ~seed w) in
+    let buffer = ref [||] (* outcomes so far, in global order *) in
+    let extend () =
+      (* batch b: worker w computes outcomes for its next slice; global
+         order interleaves the slices round-robin by worker. *)
+      let batch =
+        Parallel.Pool.run ~jobs (fun w ->
+            Array.init per_worker (fun _ -> sample_once rngs.(w) prob))
+      in
+      let woven =
+        Array.init (jobs * per_worker) (fun i -> batch.(i mod jobs).(i / jobs))
+      in
+      buffer := Array.append !buffer woven
+    in
+    Sprt.run ?config (fun i ->
+        while i >= Array.length !buffer do
+          extend ()
+        done;
+        !buffer.(i))
+  end
 
 (* Probability estimation with Chernoff sample size. *)
-let estimate ?(seed = 42) ?(eps = 0.05) ?(alpha = 0.05) prob =
-  let rng = Random.State.make [| seed |] in
-  Estimate.monte_carlo ~eps ~alpha (fun _ -> sample_once rng prob)
+let estimate ?(seed = 42) ?(jobs = 1) ?(eps = 0.05) ?(alpha = 0.05) prob =
+  if jobs <= 1 then begin
+    let rng = Random.State.make [| seed |] in
+    Estimate.monte_carlo ~eps ~alpha (fun _ -> sample_once rng prob)
+  end
+  else begin
+    let n = Estimate.chernoff_sample_size ~eps ~alpha in
+    let successes = count_successes ~seed ~jobs ~n prob in
+    Estimate.monte_carlo_of_counts ~eps ~alpha ~n ~successes
+  end
 
 (* Bayesian estimation with fixed sample count. *)
-let estimate_bayesian ?(seed = 42) ?(n = 500) ?confidence prob =
-  let rng = Random.State.make [| seed |] in
-  Estimate.bayesian ?confidence ~n (fun _ -> sample_once rng prob)
+let estimate_bayesian ?(seed = 42) ?(jobs = 1) ?(n = 500) ?confidence prob =
+  if jobs <= 1 then begin
+    let rng = Random.State.make [| seed |] in
+    Estimate.bayesian ?confidence ~n (fun _ -> sample_once rng prob)
+  end
+  else begin
+    let successes = count_successes ~seed ~jobs ~n prob in
+    Estimate.bayesian_of_counts ?confidence ~n ~successes ()
+  end
 
 (* Average robustness over [n] samples — the objective SMC-based
    parameter search maximizes when calibrating against behaviour
    constraints. *)
-let mean_robustness ?(seed = 42) ?(n = 100) prob =
-  let rng = Random.State.make [| seed |] in
-  let total = ref 0.0 in
-  for _ = 1 to n do
-    let r = sample_robustness rng prob in
-    total := !total +. Float.max (-1e6) (Float.min 1e6 r)
-  done;
-  !total /. float_of_int n
+let mean_robustness ?(seed = 42) ?(jobs = 1) ?(n = 100) prob =
+  let clamp r = Float.max (-1e6) (Float.min 1e6 r) in
+  if jobs <= 1 then begin
+    let rng = Random.State.make [| seed |] in
+    let total = ref 0.0 in
+    for _ = 1 to n do
+      total := !total +. clamp (sample_robustness rng prob)
+    done;
+    !total /. float_of_int n
+  end
+  else
+    let total =
+      fan_out ~seed ~jobs ~n ~zero:0.0 ~add:( +. ) (fun rng ->
+          clamp (sample_robustness rng prob))
+    in
+    total /. float_of_int n

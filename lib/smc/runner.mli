@@ -32,13 +32,28 @@ val problem :
 val sample_once : Random.State.t -> problem -> bool
 val sample_robustness : Random.State.t -> problem -> float
 
-val test : ?seed:int -> ?config:Sprt.config -> problem -> Sprt.result
-(** SPRT for P(property) ≥ θ. *)
+(** {1 Parallelism and reproducibility}
 
-val estimate : ?seed:int -> ?eps:float -> ?alpha:float -> problem -> Estimate.estimate
+    All entry points accept [?jobs] (default 1): trace samples are
+    independent, so they fan out across that many worker domains.
+    Worker [w] owns a static contiguous slice of the sample indices and
+    its own PRNG stream [Random.State.make [| seed; w |]] split from the
+    root seed, so results at a fixed (seed, jobs) pair are bit-identical
+    across runs.  Different [jobs] values consume different streams and
+    may differ within the statistical error bounds.  [jobs = 1] is the
+    original sequential path (stream [| seed |]). *)
+
+val test : ?seed:int -> ?jobs:int -> ?config:Sprt.config -> problem -> Sprt.result
+(** SPRT for P(property) ≥ θ.  With [jobs > 1], outcomes are drawn in
+    speculative parallel batches and consumed in global index order;
+    draws past the decision point are discarded. *)
+
+val estimate :
+  ?seed:int -> ?jobs:int -> ?eps:float -> ?alpha:float -> problem -> Estimate.estimate
+
 val estimate_bayesian :
-  ?seed:int -> ?n:int -> ?confidence:float -> problem -> Estimate.estimate
+  ?seed:int -> ?jobs:int -> ?n:int -> ?confidence:float -> problem -> Estimate.estimate
 
-val mean_robustness : ?seed:int -> ?n:int -> problem -> float
+val mean_robustness : ?seed:int -> ?jobs:int -> ?n:int -> problem -> float
 (** Average robustness degree — the objective SMC-based calibration
     maximizes. *)

@@ -24,10 +24,12 @@ type config = {
   epsilon : float;  (** minimum parameter-box width *)
   max_boxes : int;
   enclosure : Ode.Enclosure.config;
+  jobs : int;  (** worker domains paving in parallel; 1 = sequential *)
 }
 
 let default_config =
-  { epsilon = 1e-2; max_boxes = 5_000; enclosure = Ode.Enclosure.default_config }
+  { epsilon = 1e-2; max_boxes = 5_000; enclosure = Ode.Enclosure.default_config;
+    jobs = 1 }
 
 type problem = {
   sys : Ode.System.t;
@@ -97,35 +99,78 @@ let pp_result ppf r =
     (List.length r.undecided) r.boxes_explored
 
 let synthesize ?(config = default_config) prob =
-  let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
-  let explored = ref 0 in
-  let budget = ref config.max_boxes in
-  let rec go pbox =
-    if !budget <= 0 then undecided := pbox :: !undecided
+  let jobs = Stdlib.max 1 config.jobs in
+  let result =
+    if jobs = 1 then begin
+      let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
+      let explored = ref 0 in
+      let budget = ref config.max_boxes in
+      let rec go pbox =
+        if !budget <= 0 then undecided := pbox :: !undecided
+        else begin
+          decr budget;
+          incr explored;
+          match classify config prob pbox with
+          | All_fit -> consistent := pbox :: !consistent
+          | None_fit -> inconsistent := pbox :: !inconsistent
+          | Split_ -> (
+              match Box.split ~min_width:config.epsilon pbox with
+              | Some (l, r) ->
+                  go l;
+                  go r
+              | None -> undecided := pbox :: !undecided)
+        end
+      in
+      go prob.param_box;
+      {
+        consistent = !consistent;
+        inconsistent = !inconsistent;
+        undecided = !undecided;
+        boxes_explored = !explored;
+      }
+    end
     else begin
-      decr budget;
-      incr explored;
-      match classify config prob pbox with
-      | All_fit -> consistent := pbox :: !consistent
-      | None_fit -> inconsistent := pbox :: !inconsistent
-      | Split_ -> (
-          match Box.split ~min_width:config.epsilon pbox with
-          | Some (l, r) ->
-              go l;
-              go r
-          | None -> undecided := pbox :: !undecided)
+      (* Worker domains share the paving frontier and an atomic global
+         budget; [classify] is a pure function of the box, so the leaf
+         set matches the sequential paving when the budget is not hit
+         (only list order may differ). *)
+      let spent = Atomic.make 0 in
+      let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
+      let fr = Parallel.Pool.Frontier.create [ prob.param_box ] in
+      Parallel.Pool.Frontier.drain ~jobs fr (fun w fr pbox ->
+          let consistent, inconsistent, undecided = accs.(w) in
+          if Atomic.fetch_and_add spent 1 >= config.max_boxes then
+            undecided := pbox :: !undecided
+          else
+            match classify config prob pbox with
+            | All_fit -> consistent := pbox :: !consistent
+            | None_fit -> inconsistent := pbox :: !inconsistent
+            | Split_ -> (
+                match Box.split ~min_width:config.epsilon pbox with
+                | Some (l, r) ->
+                    Parallel.Pool.Frontier.push fr l;
+                    Parallel.Pool.Frontier.push fr r
+                | None -> undecided := pbox :: !undecided));
+      let explored = Stdlib.min (Atomic.get spent) config.max_boxes in
+      Array.fold_left
+        (fun acc (c, i, u) ->
+          {
+            acc with
+            consistent = !c @ acc.consistent;
+            inconsistent = !i @ acc.inconsistent;
+            undecided = !u @ acc.undecided;
+          })
+        { consistent = []; inconsistent = []; undecided = [];
+          boxes_explored = explored }
+        accs
     end
   in
-  go prob.param_box;
   Log.info (fun m ->
-      m "synthesis finished after %d boxes (%d/%d/%d)" !explored
-        (List.length !consistent) (List.length !inconsistent) (List.length !undecided));
-  {
-    consistent = !consistent;
-    inconsistent = !inconsistent;
-    undecided = !undecided;
-    boxes_explored = !explored;
-  }
+      m "synthesis finished after %d boxes (%d/%d/%d)" result.boxes_explored
+        (List.length result.consistent)
+        (List.length result.inconsistent)
+        (List.length result.undecided));
+  result
 
 (* The model is falsified when no parameter box survives. *)
 let falsified r = r.consistent = [] && r.undecided = []

@@ -13,6 +13,7 @@ type config = {
   epsilon : float;  (** minimum parameter-box width *)
   max_boxes : int;
   enclosure : Ode.Enclosure.config;
+  jobs : int;  (** worker domains paving in parallel; 1 = sequential *)
 }
 
 val default_config : config
@@ -36,6 +37,10 @@ type result = {
 }
 
 val synthesize : ?config:config -> problem -> result
+(** With [config.jobs > 1], worker domains share the paving frontier and
+    an atomic global box budget; the classification of each box is a pure
+    function of the box, so the leaf set matches the sequential paving
+    when the budget is not exhausted (only list order may differ). *)
 
 val falsified : result -> bool
 (** No parameter box survived: the model cannot explain the data. *)

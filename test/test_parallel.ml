@@ -1,0 +1,385 @@
+(* Tests for the multicore layer: the domain pool itself, and agreement
+   between the sequential (jobs = 1) and parallel code paths of the
+   δ-decision solver, the paver, the reachability checker, and SMC.
+
+   Agreement is on verdict *kinds* (and, where the parallel search is
+   deterministic, on exact leaf sets): which δ-sat witness wins a
+   portfolio race is documented nondeterminism. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+module S = Icp.Solver
+module E = Reach.Encoding
+module C = Reach.Checker
+
+let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
+let jobs_sweep = [ 1; 2; 4 ]
+
+(* ---- Pool primitives ---- *)
+
+let test_run_worker_order () =
+  let r = Parallel.Pool.run ~jobs:4 (fun w -> w * w) in
+  Alcotest.(check (list int)) "results in worker order" [ 0; 1; 4; 9 ]
+    (Array.to_list r)
+
+let test_run_propagates_exception () =
+  match Parallel.Pool.run ~jobs:3 (fun w -> if w = 1 then failwith "boom" else w) with
+  | exception Failure msg -> Alcotest.(check string) "worker exn" "boom" msg
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+
+let test_chunks_partition () =
+  let n = 17 and jobs = 4 in
+  let seen = Array.make n 0 in
+  for w = 0 to jobs - 1 do
+    let lo, hi = Parallel.Pool.chunk ~jobs ~n w in
+    for i = lo to hi - 1 do
+      seen.(i) <- seen.(i) + 1
+    done
+  done;
+  Alcotest.(check bool) "every index covered exactly once" true
+    (Array.for_all (fun c -> c = 1) seen)
+
+let test_frontier_drains_all () =
+  (* Count down from each seed; every decrement must be processed. *)
+  let total = Atomic.make 0 in
+  let fr = Parallel.Pool.Frontier.create [ 5; 3; 7 ] in
+  Parallel.Pool.Frontier.drain ~jobs:4 fr (fun _w fr n ->
+      Atomic.incr total;
+      if n > 0 then Parallel.Pool.Frontier.push fr (n - 1));
+  Alcotest.(check int) "5+1 + 3+1 + 7+1 items" 18 (Atomic.get total)
+
+let test_frontier_stop_discards () =
+  let processed = Atomic.make 0 in
+  let fr = Parallel.Pool.Frontier.create (List.init 100 Fun.id) in
+  Parallel.Pool.Frontier.drain ~jobs:2 fr (fun _w fr _n ->
+      if Atomic.fetch_and_add processed 1 = 0 then
+        Parallel.Pool.Frontier.stop fr);
+  Alcotest.(check bool) "stop cuts the queue short"
+    true
+    (Atomic.get processed < 100)
+
+let test_first_conclusive () =
+  let r =
+    Parallel.Pool.first_conclusive ~jobs:2
+      [ (fun ~cancelled:_ ~conclude:_ -> ());
+        (fun ~cancelled:_ ~conclude -> conclude 42) ]
+  in
+  Alcotest.(check (option int)) "the concluding task wins" (Some 42) r;
+  let none =
+    Parallel.Pool.first_conclusive ~jobs:2
+      [ (fun ~cancelled:_ ~conclude:_ -> ()); (fun ~cancelled:_ ~conclude:_ -> ()) ]
+  in
+  Alcotest.(check (option int)) "no conclusion -> None" None none
+
+(* ---- decide: parallel vs sequential verdict kinds ---- *)
+
+let verdict_kind = function
+  | S.Delta_sat _ -> "delta-sat"
+  | S.Unsat -> "unsat"
+  | S.Unknown _ -> "unknown"
+
+let check_decide_agrees name formula bx =
+  let f = P.formula formula in
+  let expected =
+    verdict_kind (S.decide ~config:{ S.default_config with jobs = 1 } f bx)
+  in
+  List.iter
+    (fun jobs ->
+      let got =
+        verdict_kind (S.decide ~config:{ S.default_config with jobs } f bx)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s at jobs=%d" name jobs)
+        expected got)
+    jobs_sweep
+
+let test_decide_sqrt2 () =
+  check_decide_agrees "sqrt2" "x^2 = 2" (box [ ("x", 0.0, 2.0) ])
+
+let test_decide_geom_unsat () =
+  check_decide_agrees "geom-unsat" "x^2 + y^2 <= 1 and x + y >= 3"
+    (box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ])
+
+let test_decide_sin () =
+  check_decide_agrees "sin" "sin(x) = 1/2" (box [ ("x", 0.0, 3.0) ])
+
+let test_decide_disjunction_portfolio () =
+  (* First disjunct infeasible in the box, second δ-sat: the portfolio
+     must still find the satisfiable branch. *)
+  check_decide_agrees "disjunction"
+    "(x <= 0 - 5 and x >= 0 - 6) or x^2 = 9"
+    (box [ ("x", 0.0, 10.0) ])
+
+let test_decide_witness_valid () =
+  (* Whatever witness the parallel race returns must lie in the box. *)
+  let f = P.formula "x^2 = 2" in
+  let bx = box [ ("x", 0.0, 2.0) ] in
+  List.iter
+    (fun jobs ->
+      match S.decide ~config:{ S.default_config with jobs } f bx with
+      | S.Delta_sat w ->
+          let x = List.assoc "x" w.S.point in
+          Alcotest.(check bool)
+            (Printf.sprintf "witness in box at jobs=%d" jobs)
+            true
+            (x >= 0.0 && x <= 2.0 && Float.abs ((x *. x) -. 2.0) <= 0.1)
+      | r ->
+          Alcotest.failf "expected delta-sat at jobs=%d, got %s" jobs
+            (verdict_kind r))
+    jobs_sweep
+
+(* ---- pave: identical leaf sets ---- *)
+
+let sort_boxes over bs =
+  List.sort compare
+    (List.map
+       (fun b ->
+         List.map
+           (fun v ->
+             let i = Box.find v b in
+             (v, I.lo i, I.hi i))
+           over)
+       bs)
+
+let test_pave_deterministic () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let bx = box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] in
+  let over = [ "x"; "y" ] in
+  let config jobs = { S.default_config with epsilon = 0.05; jobs } in
+  let base = S.pave ~config:(config 1) f bx in
+  List.iter
+    (fun jobs ->
+      let p = S.pave ~config:(config jobs) f bx in
+      List.iter
+        (fun (label, proj) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s leaves equal at jobs=%d" label jobs)
+            true
+            (sort_boxes over (proj base) = sort_boxes over (proj p)))
+        [ ("sat", fun (p : S.paving) -> p.S.sat);
+          ("unsat", fun p -> p.S.unsat);
+          ("undecided", fun p -> p.S.undecided) ])
+    jobs_sweep
+
+let test_pave_stats_reported () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let bx = box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] in
+  List.iter
+    (fun jobs ->
+      let config = { S.default_config with epsilon = 0.1; jobs } in
+      let p, stats = S.pave_with_stats ~config f bx in
+      let leaves =
+        List.length p.S.sat + List.length p.S.unsat + List.length p.S.undecided
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "boxes_processed >= leaves at jobs=%d" jobs)
+        true
+        (stats.S.boxes_processed >= leaves && stats.S.splits > 0))
+    jobs_sweep
+
+(* ---- cancellation: a huge budget must not delay an easy δ-sat ---- *)
+
+let test_cancellation_prompt () =
+  let f = P.formula "x^2 + y^2 = 1" in
+  let bx = box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ] in
+  List.iter
+    (fun jobs ->
+      let config =
+        { S.default_config with max_boxes = 10_000_000; jobs }
+      in
+      let r, stats = S.decide_with_stats ~config f bx in
+      Alcotest.(check string)
+        (Printf.sprintf "delta-sat at jobs=%d" jobs)
+        "delta-sat" (verdict_kind r);
+      (* The δ-sat flag must stop the frontier long before the budget. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cancelled early at jobs=%d (processed %d)" jobs
+           stats.S.boxes_processed)
+        true
+        (stats.S.boxes_processed < 100_000))
+    jobs_sweep
+
+(* ---- reach: parallel path decision agrees ---- *)
+
+let decay_problem ~lo ~hi ~goal =
+  let a =
+    Hybrid.Automaton.of_system
+      ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+      (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ])
+  in
+  E.create
+    ~param_box:(Box.of_list [ ("k", I.make lo hi) ])
+    ~goal:{ E.goal_modes = []; predicate = P.formula goal }
+    ~k:0 ~time_bound:1.0 a
+
+let reach_kind = function
+  | C.Delta_sat _ -> "delta-sat"
+  | C.Unsat _ -> "unsat"
+  | C.Unknown _ -> "unknown"
+
+let check_reach_agrees name pb =
+  let expected =
+    reach_kind (C.check ~config:{ C.default_config with jobs = 1 } pb)
+  in
+  List.iter
+    (fun jobs ->
+      let got = reach_kind (C.check ~config:{ C.default_config with jobs } pb) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s at jobs=%d" name jobs)
+        expected got)
+    jobs_sweep
+
+let test_reach_sat_agrees () =
+  check_reach_agrees "decay reaches 0.3"
+    (decay_problem ~lo:0.1 ~hi:3.0 ~goal:"x <= 0.3")
+
+let test_reach_unsat_agrees () =
+  check_reach_agrees "slow decay cannot reach 0.55"
+    (decay_problem ~lo:0.1 ~hi:0.5 ~goal:"x <= 0.55")
+
+(* ---- biopsy: identical leaf sets ---- *)
+
+let test_biopsy_deterministic () =
+  let sys =
+    Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ]
+  in
+  let data =
+    [ Synth.Data.point ~time:0.5 ~var:"x" ~value:(Float.exp (-0.5)) ~tolerance:0.08;
+      Synth.Data.point ~time:1.0 ~var:"x" ~value:(Float.exp (-1.0)) ~tolerance:0.08 ]
+  in
+  let prob =
+    Synth.Biopsy.problem ~sys
+      ~param_box:(Box.of_list [ ("k", I.make 0.2 3.0) ])
+      ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+      ~data
+  in
+  let over = [ "k" ] in
+  let run jobs =
+    Synth.Biopsy.synthesize
+      ~config:{ Synth.Biopsy.default_config with epsilon = 0.05; jobs }
+      prob
+  in
+  let base = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check int)
+        (Printf.sprintf "boxes_explored at jobs=%d" jobs)
+        base.Synth.Biopsy.boxes_explored r.Synth.Biopsy.boxes_explored;
+      List.iter
+        (fun (label, proj) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s leaves equal at jobs=%d" label jobs)
+            true
+            (sort_boxes over (proj base) = sort_boxes over (proj r)))
+        [ ("consistent", fun (r : Synth.Biopsy.result) -> r.Synth.Biopsy.consistent);
+          ("inconsistent", fun r -> r.Synth.Biopsy.inconsistent);
+          ("undecided", fun r -> r.Synth.Biopsy.undecided) ])
+    jobs_sweep
+
+(* ---- SMC: reproducible at a fixed (seed, jobs) ---- *)
+
+let smc_problem () =
+  let sys =
+    Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ]
+  in
+  Smc.Runner.problem
+    ~model:(Smc.Runner.Ode_model sys)
+    ~init_dist:[ ("x", Smc.Sampler.Uniform (0.8, 1.2)) ]
+    ~param_dist:[ ("k", Smc.Sampler.Uniform (0.5, 1.5)) ]
+    ~property:(Smc.Bltl.Finally (2.0, Smc.Bltl.prop "x <= 0.5"))
+    ~t_end:2.0 ()
+
+let test_smc_reproducible () =
+  let prob = smc_problem () in
+  List.iter
+    (fun jobs ->
+      let e1 = Smc.Runner.estimate ~seed:7 ~jobs ~eps:0.1 ~alpha:0.05 prob in
+      let e2 = Smc.Runner.estimate ~seed:7 ~jobs ~eps:0.1 ~alpha:0.05 prob in
+      Alcotest.(check int)
+        (Printf.sprintf "same successes at jobs=%d" jobs)
+        e1.Smc.Estimate.successes e2.Smc.Estimate.successes;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "same p_hat at jobs=%d" jobs)
+        e1.Smc.Estimate.p_hat e2.Smc.Estimate.p_hat)
+    jobs_sweep
+
+let test_smc_jobs_statistically_close () =
+  (* Different jobs values consume different PRNG streams; the estimates
+     must still agree within the Chernoff error bound (eps + slack). *)
+  let prob = smc_problem () in
+  let base = Smc.Runner.estimate ~seed:7 ~jobs:1 ~eps:0.05 ~alpha:0.05 prob in
+  List.iter
+    (fun jobs ->
+      let e = Smc.Runner.estimate ~seed:7 ~jobs ~eps:0.05 ~alpha:0.05 prob in
+      Alcotest.(check bool)
+        (Printf.sprintf "within 2*eps at jobs=%d" jobs)
+        true
+        (Float.abs (e.Smc.Estimate.p_hat -. base.Smc.Estimate.p_hat) <= 0.1))
+    [ 2; 4 ]
+
+let test_smc_sprt_deterministic () =
+  let prob = smc_problem () in
+  let kind = function
+    | Smc.Sprt.Accept -> "accept"
+    | Smc.Sprt.Reject -> "reject"
+    | Smc.Sprt.Inconclusive -> "inconclusive"
+  in
+  List.iter
+    (fun jobs ->
+      let r1 = Smc.Runner.test ~seed:11 ~jobs prob in
+      let r2 = Smc.Runner.test ~seed:11 ~jobs prob in
+      Alcotest.(check string)
+        (Printf.sprintf "same verdict at jobs=%d" jobs)
+        (kind r1.Smc.Sprt.verdict) (kind r2.Smc.Sprt.verdict);
+      Alcotest.(check int)
+        (Printf.sprintf "same sample count at jobs=%d" jobs)
+        r1.Smc.Sprt.samples_used r2.Smc.Sprt.samples_used)
+    jobs_sweep
+
+let test_smc_mean_robustness_reproducible () =
+  let prob = smc_problem () in
+  List.iter
+    (fun jobs ->
+      let a = Smc.Runner.mean_robustness ~seed:3 ~jobs ~n:50 prob in
+      let b = Smc.Runner.mean_robustness ~seed:3 ~jobs ~n:50 prob in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "same mean at jobs=%d" jobs)
+        a b)
+    jobs_sweep
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "run worker order" `Quick test_run_worker_order;
+          Alcotest.test_case "run exception" `Quick test_run_propagates_exception;
+          Alcotest.test_case "chunks partition" `Quick test_chunks_partition;
+          Alcotest.test_case "frontier drains" `Quick test_frontier_drains_all;
+          Alcotest.test_case "frontier stop" `Quick test_frontier_stop_discards;
+          Alcotest.test_case "first conclusive" `Quick test_first_conclusive ] );
+      ( "decide",
+        [ Alcotest.test_case "sqrt2" `Quick test_decide_sqrt2;
+          Alcotest.test_case "geometric unsat" `Quick test_decide_geom_unsat;
+          Alcotest.test_case "sin" `Quick test_decide_sin;
+          Alcotest.test_case "disjunction portfolio" `Quick
+            test_decide_disjunction_portfolio;
+          Alcotest.test_case "witness valid" `Quick test_decide_witness_valid;
+          Alcotest.test_case "cancellation prompt" `Quick test_cancellation_prompt ] );
+      ( "pave",
+        [ Alcotest.test_case "deterministic leaves" `Quick test_pave_deterministic;
+          Alcotest.test_case "stats reported" `Quick test_pave_stats_reported ] );
+      ( "reach",
+        [ Alcotest.test_case "delta-sat agrees" `Quick test_reach_sat_agrees;
+          Alcotest.test_case "unsat agrees" `Quick test_reach_unsat_agrees ] );
+      ( "biopsy",
+        [ Alcotest.test_case "deterministic paving" `Quick
+            test_biopsy_deterministic ] );
+      ( "smc",
+        [ Alcotest.test_case "estimate reproducible" `Quick test_smc_reproducible;
+          Alcotest.test_case "jobs statistically close" `Quick
+            test_smc_jobs_statistically_close;
+          Alcotest.test_case "sprt deterministic" `Quick
+            test_smc_sprt_deterministic;
+          Alcotest.test_case "mean robustness reproducible" `Quick
+            test_smc_mean_robustness_reproducible ] ) ]
