@@ -1,0 +1,659 @@
+(* Flat SSA tapes compiled from terms.
+
+   Compilation walks each term bottom-up, hash-consing every node on
+   (opcode, operand slots): structurally identical subterms — across all
+   roots of the tape — occupy a single slot, and slots are emitted in
+   topological order (operands always precede their users).  The result
+   is an instruction array that float/interval evaluation executes as a
+   plain loop over scratch arrays, and that the HC4 backward pass walks
+   by slot index.  No names, no tree nodes, no allocation in the steady
+   state. *)
+
+module I = Interval.Ia
+
+type op =
+  | OVar of int  (* input position *)
+  | OConst of float
+  | OAdd of int * int
+  | OSub of int * int
+  | OMul of int * int
+  | ODiv of int * int
+  | ONeg of int
+  | OPow of int * int  (* operand slot, integer exponent *)
+  | OExp of int
+  | OLog of int
+  | OSqrt of int
+  | OSin of int
+  | OCos of int
+  | OTan of int
+  | OAtan of int
+  | OTanh of int
+  | OAbs of int
+  | OMin of int * int
+  | OMax of int * int
+
+type t = {
+  inputs : string array;
+  ops : op array;  (* slots in topological order *)
+  roots : int array;  (* root slot of each compiled term *)
+  var_slots : (int * int) array;  (* (slot, input position) of every OVar *)
+  const_los : float array;  (* per-slot constant bounds (nan elsewhere):
+                               let the forward pass reset OConst slots
+                               without allocating *)
+  const_his : float array;
+  interior_shared : int;  (* CSE hits on non-leaf slots *)
+  scratch_key : scratch Domain.DLS.key;
+}
+
+(* Interval slot values live in parallel unboxed lo/hi arrays, so the
+   steady state allocates nothing; [Ia.t] records are materialized only
+   at the API boundary and for the rarer operations (division, powers,
+   transcendentals) that fall back to the record kernels.  [req] is the
+   requirement cell of the backward pass: an all-float record, so its
+   fields are stored flat and passing a requirement costs two unboxed
+   stores instead of two boxed float arguments. *)
+and scratch = {
+  fvals : float array;
+  ilos : float array;
+  ihis : float array;
+  req : reqcell;
+}
+
+and reqcell = { mutable rlo : float; mutable rhi : float }
+
+(* ---- Enable/disable switch ---- *)
+
+let override : bool option Atomic.t = Atomic.make None
+
+let enabled () =
+  match Atomic.get override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "BIOMC_NO_TAPE" with
+      | Some ("1" | "true" | "yes") -> false
+      | _ -> true)
+
+let set_enabled b = Atomic.set override (Some b)
+let clear_enabled_override () = Atomic.set override None
+
+(* ---- Compilation ---- *)
+
+let compile ~vars terms =
+  let inputs = Array.of_list vars in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) inputs;
+  let rev_ops = ref [] and count = ref 0 in
+  let cse : (op, int) Hashtbl.t = Hashtbl.create 64 in
+  let interior = ref 0 in
+  let emit ~leaf op =
+    match Hashtbl.find_opt cse op with
+    | Some s ->
+        if not leaf then incr interior;
+        s
+    | None ->
+        let s = !count in
+        incr count;
+        rev_ops := op :: !rev_ops;
+        Hashtbl.add cse op s;
+        s
+  in
+  let rec go (t : Term.t) =
+    match t with
+    | Var x -> (
+        match Hashtbl.find_opt index x with
+        | Some i -> emit ~leaf:true (OVar i)
+        | None ->
+            invalid_arg (Printf.sprintf "Tape.compile: unbound variable %S" x))
+    | Const c -> emit ~leaf:true (OConst c)
+    | Add (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (OAdd (sa, sb))
+    | Sub (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (OSub (sa, sb))
+    | Mul (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (OMul (sa, sb))
+    | Div (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (ODiv (sa, sb))
+    | Neg a -> emit ~leaf:false (ONeg (go a))
+    | Pow (a, k) -> emit ~leaf:false (OPow (go a, k))
+    | Exp a -> emit ~leaf:false (OExp (go a))
+    | Log a -> emit ~leaf:false (OLog (go a))
+    | Sqrt a -> emit ~leaf:false (OSqrt (go a))
+    | Sin a -> emit ~leaf:false (OSin (go a))
+    | Cos a -> emit ~leaf:false (OCos (go a))
+    | Tan a -> emit ~leaf:false (OTan (go a))
+    | Atan a -> emit ~leaf:false (OAtan (go a))
+    | Tanh a -> emit ~leaf:false (OTanh (go a))
+    | Abs a -> emit ~leaf:false (OAbs (go a))
+    | Min (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (OMin (sa, sb))
+    | Max (a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit ~leaf:false (OMax (sa, sb))
+  in
+  let roots = Array.of_list (List.map go terms) in
+  let ops = Array.of_list (List.rev !rev_ops) in
+  let var_slots =
+    let acc = ref [] in
+    Array.iteri
+      (fun s op -> match op with OVar i -> acc := (s, i) :: !acc | _ -> ())
+      ops;
+    Array.of_list (List.rev !acc)
+  in
+  let n = Array.length ops in
+  let const_of f =
+    Array.map (function OConst c -> f (I.of_float c) | _ -> nan) ops
+  in
+  let const_los = const_of I.lo and const_his = const_of I.hi in
+  let scratch_key =
+    Domain.DLS.new_key (fun () ->
+        { fvals = Array.make n 0.0;
+          ilos = Array.make n neg_infinity;
+          ihis = Array.make n infinity;
+          req = { rlo = neg_infinity; rhi = infinity } })
+  in
+  { inputs; ops; roots; var_slots; const_los; const_his;
+    interior_shared = !interior; scratch_key }
+
+let num_inputs tp = Array.length tp.inputs
+let num_slots tp = Array.length tp.ops
+let num_roots tp = Array.length tp.roots
+let interior_sharing tp = tp.interior_shared
+
+let scratch tp =
+  let n = Array.length tp.ops in
+  { fvals = Array.make n 0.0;
+    ilos = Array.make n neg_infinity;
+    ihis = Array.make n infinity;
+    req = { rlo = neg_infinity; rhi = infinity } }
+
+let dls_scratch tp = Domain.DLS.get tp.scratch_key
+
+(* ---- Float evaluation (Term.compile semantics, incl. pow fast paths) ---- *)
+
+let forward_floats tp sc (inputs : float array) =
+  let v = sc.fvals in
+  let ops = tp.ops in
+  for s = 0 to Array.length ops - 1 do
+    let r =
+      match Array.unsafe_get ops s with
+      | OVar i -> Array.unsafe_get inputs i
+      | OConst c -> c
+      | OAdd (a, b) -> Array.unsafe_get v a +. Array.unsafe_get v b
+      | OSub (a, b) -> Array.unsafe_get v a -. Array.unsafe_get v b
+      | OMul (a, b) -> Array.unsafe_get v a *. Array.unsafe_get v b
+      | ODiv (a, b) -> Array.unsafe_get v a /. Array.unsafe_get v b
+      | ONeg a -> -.Array.unsafe_get v a
+      | OPow (a, 2) ->
+          let x = Array.unsafe_get v a in
+          x *. x
+      | OPow (a, 3) ->
+          let x = Array.unsafe_get v a in
+          x *. x *. x
+      | OPow (a, k) -> Float.pow (Array.unsafe_get v a) (float_of_int k)
+      | OExp a -> Float.exp (Array.unsafe_get v a)
+      | OLog a -> Float.log (Array.unsafe_get v a)
+      | OSqrt a -> Float.sqrt (Array.unsafe_get v a)
+      | OSin a -> Float.sin (Array.unsafe_get v a)
+      | OCos a -> Float.cos (Array.unsafe_get v a)
+      | OTan a -> Float.tan (Array.unsafe_get v a)
+      | OAtan a -> Float.atan (Array.unsafe_get v a)
+      | OTanh a -> Float.tanh (Array.unsafe_get v a)
+      | OAbs a -> Float.abs (Array.unsafe_get v a)
+      | OMin (a, b) -> Float.min (Array.unsafe_get v a) (Array.unsafe_get v b)
+      | OMax (a, b) -> Float.max (Array.unsafe_get v a) (Array.unsafe_get v b)
+    in
+    Array.unsafe_set v s r
+  done
+
+let eval_floats_into tp sc ~inputs ~out =
+  forward_floats tp sc inputs;
+  for k = 0 to Array.length tp.roots - 1 do
+    out.(k) <- sc.fvals.(tp.roots.(k))
+  done
+
+let eval_float tp sc inputs =
+  forward_floats tp sc inputs;
+  sc.fvals.(tp.roots.(0))
+
+(* ---- Interval forward pass (Term.eval_interval semantics) ----
+
+   Slot bounds live in the unboxed [ilos]/[ihis] arrays.  The hot ring
+   operations (add, sub, neg, mul, sqr, min, max, abs) are transcribed
+   from {!Ia} so that nonempty results are bit-identical to the record
+   kernels; division, general powers and transcendentals materialize
+   records and call {!Ia} directly.  Invariant: a slot is empty iff its
+   lo bound is NaN, and then both bounds are NaN — every write collapses
+   any NaN to the (nan, nan) pair.  [Ia] may instead carry a half-NaN
+   record (e.g. from inf - inf); both encodings are empty under
+   [Ia.is_empty], so observable behaviour agrees. *)
+
+module R = Interval.Round
+
+(* Product of two bounds with the interval convention 0 * inf = 0
+   (mirrors Ia.prod). *)
+let[@inline] prod x y = if x = 0.0 || y = 0.0 then 0.0 else x *. y
+
+(* Naive float min/max for operands already checked non-NaN.  Unlike
+   [Stdlib.Float.min]/[max] these are same-module (hence inlined, no
+   boxing through a call) and may pick the other sign of a zero; the
+   results stay numerically equal to the record kernels', and no
+   downstream operation branches on the sign of a zero bound. *)
+let[@inline] fmin (a : float) (b : float) = if a < b then a else b
+let[@inline] fmax (a : float) (b : float) = if a > b then a else b
+
+(* Materialize slot [i] of the scratch as an interval record. *)
+let[@inline] slot_itv sc i =
+  I.make_unordered (Array.unsafe_get sc.ilos i) (Array.unsafe_get sc.ihis i)
+
+(* Store an interval record into a slot, collapsing any NaN bound to the
+   empty (nan, nan) pair.  Only the fallback ops go through this. *)
+let set_slot_itv sc s r =
+  let l = r.I.lo and h = r.I.hi in
+  if l <> l || h <> h then begin
+    Array.unsafe_set sc.ilos s nan;
+    Array.unsafe_set sc.ihis s nan
+  end
+  else begin
+    Array.unsafe_set sc.ilos s l;
+    Array.unsafe_set sc.ihis s h
+  end
+
+let forward_intervals tp sc (inputs : I.t array) =
+  (* Written with direct array accesses in every arm: accessor closures
+     here would box every float crossing the call, and this loop is the
+     single hottest piece of the contractor. *)
+  let lo = sc.ilos and hi = sc.ihis in
+  let ops = tp.ops in
+  for s = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops s with
+    | OVar i ->
+        let x = Array.unsafe_get inputs i in
+        let l = x.I.lo and h = x.I.hi in
+        if l <> l || h <> h then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          Array.unsafe_set lo s l;
+          Array.unsafe_set hi s h
+        end
+    | OConst _ ->
+        Array.unsafe_set lo s (Array.unsafe_get tp.const_los s);
+        Array.unsafe_set hi s (Array.unsafe_get tp.const_his s)
+    | OAdd (a, b) ->
+        (* NaN operands propagate through the sums into the guard. *)
+        let l = R.next_after (Array.unsafe_get lo a +. Array.unsafe_get lo b) neg_infinity
+        and h = R.next_after (Array.unsafe_get hi a +. Array.unsafe_get hi b) infinity in
+        if l <> l || h <> h then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          Array.unsafe_set lo s l;
+          Array.unsafe_set hi s h
+        end
+    | OSub (a, b) ->
+        let l = R.next_after (Array.unsafe_get lo a -. Array.unsafe_get hi b) neg_infinity
+        and h = R.next_after (Array.unsafe_get hi a -. Array.unsafe_get lo b) infinity in
+        if l <> l || h <> h then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          Array.unsafe_set lo s l;
+          Array.unsafe_set hi s h
+        end
+    | OMul (a, b) ->
+        (* Operand check up front: [prod] maps 0-operands to 0, which
+           would mask an empty side (empty × [0,0] must stay empty). *)
+        let al = Array.unsafe_get lo a and bl = Array.unsafe_get lo b in
+        if al <> al || bl <> bl then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          let ah = Array.unsafe_get hi a and bh = Array.unsafe_get hi b in
+          let p1 = prod al bl
+          and p2 = prod al bh
+          and p3 = prod ah bl
+          and p4 = prod ah bh in
+          Array.unsafe_set lo s
+            (R.next_after (fmin (fmin p1 p2) (fmin p3 p4)) neg_infinity);
+          Array.unsafe_set hi s
+            (R.next_after (fmax (fmax p1 p2) (fmax p3 p4)) infinity)
+        end
+    | ONeg a ->
+        Array.unsafe_set lo s (-.Array.unsafe_get hi a);
+        Array.unsafe_set hi s (-.Array.unsafe_get lo a)
+    | OPow (a, 2) ->
+        (* Ia.sqr transcribed: tight via mignitude/magnitude. *)
+        let al = Array.unsafe_get lo a in
+        if al <> al then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          let ah = Array.unsafe_get hi a in
+          let l = Float.abs al and h = Float.abs ah in
+          let m = if al <= 0.0 && 0.0 <= ah then 0.0 else fmin l h in
+          let g = fmax l h in
+          Array.unsafe_set lo s (if m = 0.0 then 0.0 else R.next_after (m *. m) neg_infinity);
+          Array.unsafe_set hi s (R.next_after (g *. g) infinity)
+        end
+    | OPow (a, k) -> set_slot_itv sc s (I.pow_int (slot_itv sc a) k)
+    | ODiv (a, b) ->
+        (* Ia.div = mul a (inv b), both transcribed.  [cl, ch] is the
+           reciprocal of the divisor; each bound is computed by its own
+           conditional so no tuple is allocated. *)
+        let al = Array.unsafe_get lo a and bl = Array.unsafe_get lo b in
+        if al <> al || bl <> bl then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          let bh = Array.unsafe_get hi b in
+          if bl = 0.0 && bh = 0.0 then begin
+            (* Zero-singleton divisor: empty reciprocal (Ia.inv). *)
+            Array.unsafe_set lo s nan;
+            Array.unsafe_set hi s nan
+          end
+          else begin
+            let cl =
+              if bl < 0.0 && bh > 0.0 then neg_infinity
+              else if bl = 0.0 then R.next_after (1.0 /. bh) neg_infinity
+              else if bh = 0.0 then neg_infinity
+              else
+                R.next_after (fmin (1.0 /. bh) (1.0 /. bl)) neg_infinity
+            and ch =
+              if bl < 0.0 && bh > 0.0 then infinity
+              else if bl = 0.0 then infinity
+              else if bh = 0.0 then R.next_after (1.0 /. bl) infinity
+              else R.next_after (fmax (1.0 /. bh) (1.0 /. bl)) infinity
+            in
+            let ah = Array.unsafe_get hi a in
+            let p1 = prod al cl
+            and p2 = prod al ch
+            and p3 = prod ah cl
+            and p4 = prod ah ch in
+            Array.unsafe_set lo s
+              (R.next_after (fmin (fmin p1 p2) (fmin p3 p4)) neg_infinity);
+            Array.unsafe_set hi s
+              (R.next_after (fmax (fmax p1 p2) (fmax p3 p4)) infinity)
+          end
+        end
+    | OExp a -> set_slot_itv sc s (I.exp (slot_itv sc a))
+    | OLog a -> set_slot_itv sc s (I.log (slot_itv sc a))
+    | OSqrt a -> set_slot_itv sc s (I.sqrt (slot_itv sc a))
+    | OSin a -> set_slot_itv sc s (I.sin (slot_itv sc a))
+    | OCos a -> set_slot_itv sc s (I.cos (slot_itv sc a))
+    | OTan a -> set_slot_itv sc s (I.tan (slot_itv sc a))
+    | OAtan a -> set_slot_itv sc s (I.atan (slot_itv sc a))
+    | OTanh a -> set_slot_itv sc s (I.tanh (slot_itv sc a))
+    | OAbs a ->
+        let al = Array.unsafe_get lo a in
+        if al <> al then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          let ah = Array.unsafe_get hi a in
+          let l = Float.abs al and h = Float.abs ah in
+          let m = if al <= 0.0 && 0.0 <= ah then 0.0 else fmin l h in
+          Array.unsafe_set lo s m;
+          Array.unsafe_set hi s (fmax l h)
+        end
+    | OMin (a, b) ->
+        let al = Array.unsafe_get lo a and bl = Array.unsafe_get lo b in
+        if al <> al || bl <> bl then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          Array.unsafe_set lo s (fmin al bl);
+          Array.unsafe_set hi s
+            (fmin (Array.unsafe_get hi a) (Array.unsafe_get hi b))
+        end
+    | OMax (a, b) ->
+        let al = Array.unsafe_get lo a and bl = Array.unsafe_get lo b in
+        if al <> al || bl <> bl then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan
+        end
+        else begin
+          Array.unsafe_set lo s (fmax al bl);
+          Array.unsafe_set hi s
+            (fmax (Array.unsafe_get hi a) (Array.unsafe_get hi b))
+        end
+  done
+
+let eval_interval_into tp sc ~inputs ~out =
+  forward_intervals tp sc inputs;
+  for k = 0 to Array.length tp.roots - 1 do
+    out.(k) <- slot_itv sc tp.roots.(k)
+  done
+
+let eval_interval tp sc inputs =
+  forward_intervals tp sc inputs;
+  slot_itv sc tp.roots.(0)
+
+(* ---- Preimage helpers shared with the tree-walking contractor ---- *)
+
+(* Preimage of [r] under x ↦ x^k intersected with [x].  Even powers have
+   two branches (intersected with [x] separately, then hulled — hulling
+   first would fill the gap and lose the contraction); negative powers
+   reduce to the positive case through the reciprocal: over the reals,
+   x^(-m) ∈ r implies x^m ∈ 1/r. *)
+let rec pow_preimage x r k =
+  if k = 0 then if I.mem 1.0 r then x else I.empty
+  else if k < 0 then pow_preimage x (I.inv r) (-k)
+  else if k mod 2 = 1 then I.inter x (I.root r k)
+  else
+    let pos = I.root r k in
+    if I.is_empty pos then I.empty
+    else I.hull (I.inter x (I.neg pos)) (I.inter x pos)
+
+(* Preimage of [r] under abs intersected with [x]. *)
+let abs_preimage x r =
+  let rp = I.inter r (I.make 0.0 infinity) in
+  if I.is_empty rp then I.empty
+  else I.hull (I.inter x (I.neg rp)) (I.inter x rp)
+
+(* Preimage of [v] under tan intersected with [x], contracting only when
+   [x] provably sits inside one monotone branch (kπ-π/2, kπ+π/2).  The
+   branch bounds use an outward-rounded enclosure of π, so the strict
+   comparisons are sound despite π being irrational. *)
+let tan_preimage x v =
+  if not (I.is_bounded x) then x
+  else
+    let pi_enc = I.of_literal Float.pi in
+    let k = Float.round (I.mid x /. Float.pi) in
+    let shift = I.mul_float pi_enc k in
+    let half_pi = I.mul_float pi_enc 0.5 in
+    let branch_lo = I.sub shift half_pi in
+    let branch_hi = I.add shift half_pi in
+    if I.lo x > I.hi branch_lo && I.hi x < I.lo branch_hi then
+      I.inter x (I.add (I.atan v) shift)
+    else x
+
+(* ---- HC4 backward pass ---- *)
+
+exception Infeasible
+
+(* [require] intersects a slot's forward value with the requirement left
+   in the scratch's [req] cell and, on change, propagates down.  The
+   cell is consumed on entry, so recursive pushes may freely overwrite
+   it.  Callers store the requirement bounds with two unboxed float
+   writes instead of passing them as (boxed) arguments.  Input (OVar)
+   slots simply accumulate: with all occurrences of a variable CSE'd
+   into one slot, the running float max/min is exactly the [reqs] table
+   of the tree-walking HC4.  A NaN requirement bound means the
+   requirement is empty (Ia half-NaN records included), and an empty
+   intersection is infeasible. *)
+let rec require tp sc s =
+  let rlo = sc.req.rlo and rhi = sc.req.rhi in
+  let vlo = Array.unsafe_get sc.ilos s and vhi = Array.unsafe_get sc.ihis s in
+  if vlo <> vlo || rlo <> rlo || rhi <> rhi then raise Infeasible;
+  let l = fmax vlo rlo and h = fmin vhi rhi in
+  if l > h then raise Infeasible;
+  if not (l = vlo && h = vhi) then begin
+    Array.unsafe_set sc.ilos s l;
+    Array.unsafe_set sc.ihis s h;
+    push tp sc s
+  end
+
+and require_itv tp sc s r =
+  sc.req.rlo <- r.I.lo;
+  sc.req.rhi <- r.I.hi;
+  require tp sc s
+
+and push tp sc s =
+  (* The slot was just tightened by [require], so it is nonempty; its
+     operands are nonempty too (every forward op propagates empty).
+     Direct array accesses throughout: this is the hot path and local
+     accessor closures would allocate on every call. *)
+  let ilos = sc.ilos and ihis = sc.ihis in
+  let vlo = Array.unsafe_get ilos s and vhi = Array.unsafe_get ihis s in
+  match tp.ops.(s) with
+  | OVar _ -> ()
+  | OConst c ->
+      if c <> c || not (vlo <= c && c <= vhi) then raise Infeasible
+  | OAdd (a, b) ->
+      (* a ∈ v - b, then b ∈ v - a with a's freshly tightened bounds. *)
+      let req = sc.req in
+      req.rlo <- R.next_after (vlo -. Array.unsafe_get ihis b) neg_infinity;
+      req.rhi <- R.next_after (vhi -. Array.unsafe_get ilos b) infinity;
+      require tp sc a;
+      req.rlo <- R.next_after (vlo -. Array.unsafe_get ihis a) neg_infinity;
+      req.rhi <- R.next_after (vhi -. Array.unsafe_get ilos a) infinity;
+      require tp sc b
+  | OSub (a, b) ->
+      let req = sc.req in
+      req.rlo <- R.next_after (vlo +. Array.unsafe_get ilos b) neg_infinity;
+      req.rhi <- R.next_after (vhi +. Array.unsafe_get ihis b) infinity;
+      require tp sc a;
+      req.rlo <- R.next_after (Array.unsafe_get ilos a -. vhi) neg_infinity;
+      req.rhi <- R.next_after (Array.unsafe_get ihis a -. vlo) infinity;
+      require tp sc b
+  | OMul (a, b) ->
+      let bl = Array.unsafe_get ilos b and bh = Array.unsafe_get ihis b in
+      if bl <> bl || not (bl <= 0.0 && 0.0 <= bh) then
+        require_itv tp sc a (I.div (I.make_unordered vlo vhi) (slot_itv sc b));
+      let al = Array.unsafe_get ilos a and ah = Array.unsafe_get ihis a in
+      if al <> al || not (al <= 0.0 && 0.0 <= ah) then
+        require_itv tp sc b (I.div (I.make_unordered vlo vhi) (slot_itv sc a))
+  | ODiv (a, b) ->
+      require_itv tp sc a (I.mul (I.make_unordered vlo vhi) (slot_itv sc b));
+      if not (vlo <= 0.0 && 0.0 <= vhi) then
+        require_itv tp sc b (I.div (slot_itv sc a) (I.make_unordered vlo vhi))
+  | ONeg a ->
+      sc.req.rlo <- -.vhi;
+      sc.req.rhi <- -.vlo;
+      require tp sc a
+  | OPow (a, k) ->
+      let pre = pow_preimage (slot_itv sc a) (I.make_unordered vlo vhi) k in
+      if I.is_empty pre then raise Infeasible;
+      require_itv tp sc a pre
+  | OExp a ->
+      (* exp x ∈ v ⇒ v must meet (0, ∞) and x ∈ log v *)
+      let vp = I.inter (I.make_unordered vlo vhi) (I.make 0.0 infinity) in
+      if I.is_empty vp then raise Infeasible;
+      require_itv tp sc a (I.log vp)
+  | OLog a -> require_itv tp sc a (I.exp (I.make_unordered vlo vhi))
+  | OSqrt a ->
+      let vp = I.inter (I.make_unordered vlo vhi) (I.make 0.0 infinity) in
+      if I.is_empty vp then raise Infeasible;
+      require_itv tp sc a (I.sqr vp)
+  | OSin _ | OCos _ ->
+      (* Multivalued inverse: only prune when the range is impossible. *)
+      if vlo > 1.0 || vhi < -1.0 then raise Infeasible
+  | OTan a ->
+      let pre = tan_preimage (slot_itv sc a) (I.make_unordered vlo vhi) in
+      if I.is_empty pre then raise Infeasible;
+      require_itv tp sc a pre
+  | OAtan a ->
+      let dom = I.make (-1.5707963267948966) 1.5707963267948966 in
+      let vc = I.inter (I.make_unordered vlo vhi) dom in
+      if I.is_empty vc then raise Infeasible;
+      require_itv tp sc a (I.tan vc)
+  | OTanh a ->
+      let vc = I.inter (I.make_unordered vlo vhi) (I.make (-1.0) 1.0) in
+      if I.is_empty vc then raise Infeasible;
+      require_itv tp sc a (I.atanh vc)
+  | OAbs a ->
+      let pre = abs_preimage (slot_itv sc a) (I.make_unordered vlo vhi) in
+      if I.is_empty pre then raise Infeasible;
+      require_itv tp sc a pre
+  | OMin (a, b) ->
+      (* min(a,b) ∈ v ⇒ a ≥ v.lo and b ≥ v.lo; if the other side lies
+         strictly above v, this side must realize the upper bound. *)
+      let req = sc.req in
+      req.rlo <- fmax (Array.unsafe_get ilos a) vlo;
+      req.rhi <- Array.unsafe_get ihis a;
+      require tp sc a;
+      req.rlo <- fmax (Array.unsafe_get ilos b) vlo;
+      req.rhi <- Array.unsafe_get ihis b;
+      require tp sc b;
+      if Array.unsafe_get ilos b > vhi then begin
+        req.rlo <- fmax (Array.unsafe_get ilos a) vlo;
+        req.rhi <- fmin (Array.unsafe_get ihis a) vhi;
+        require tp sc a
+      end;
+      if Array.unsafe_get ilos a > vhi then begin
+        req.rlo <- fmax (Array.unsafe_get ilos b) vlo;
+        req.rhi <- fmin (Array.unsafe_get ihis b) vhi;
+        require tp sc b
+      end
+  | OMax (a, b) ->
+      let req = sc.req in
+      req.rlo <- Array.unsafe_get ilos a;
+      req.rhi <- fmin (Array.unsafe_get ihis a) vhi;
+      require tp sc a;
+      req.rlo <- Array.unsafe_get ilos b;
+      req.rhi <- fmin (Array.unsafe_get ihis b) vhi;
+      require tp sc b;
+      if Array.unsafe_get ihis b < vlo then begin
+        req.rlo <- fmax (Array.unsafe_get ilos a) vlo;
+        req.rhi <- fmin (Array.unsafe_get ihis a) vhi;
+        require tp sc a
+      end;
+      if Array.unsafe_get ihis a < vlo then begin
+        req.rlo <- fmax (Array.unsafe_get ilos b) vlo;
+        req.rhi <- fmin (Array.unsafe_get ihis b) vhi;
+        require tp sc b
+      end
+
+let hc4_revise tp sc ?mask ~target dom =
+  forward_intervals tp sc dom;
+  sc.req.rlo <- target.I.lo;
+  sc.req.rhi <- target.I.hi;
+  match require tp sc tp.roots.(0) with
+  | () ->
+      (* Explicit loop rather than Array.iter with a capturing closure:
+         the closure would be allocated on every revise call. *)
+      let vs = tp.var_slots in
+      for k = 0 to Array.length vs - 1 do
+        let s, i = Array.unsafe_get vs k in
+        let keep = match mask with None -> true | Some m -> m.(i) in
+        if keep then begin
+          (* Only allocate a fresh interval when the bounds moved —
+             most variables are untouched by a given constraint. *)
+          let l = Array.unsafe_get sc.ilos s
+          and h = Array.unsafe_get sc.ihis s in
+          let old = dom.(i) in
+          if not (old.I.lo = l && old.I.hi = h) then
+            dom.(i) <- I.make_unordered l h
+        end
+      done;
+      true
+  | exception Infeasible -> false

@@ -1,0 +1,120 @@
+(** Flat SSA tapes: terms compiled once into instruction arrays.
+
+    A tape is the straight-line form of one or more {!Term.t}s over a fixed
+    input ordering: every subterm becomes a slot holding an instruction
+    whose operands are slot indices, variables are resolved to input
+    positions at compile time, and hash-consing (CSE) makes structurally
+    identical subterms share a single slot.  Evaluation — float, interval,
+    and the HC4 forward–backward contraction — then runs as a loop over the
+    instruction array against reusable scratch buffers: no tree rebuilding,
+    no string-keyed lookups, and no per-node allocation in the hot path.
+
+    Tapes are immutable after compilation and safe to share across
+    domains; all mutable state lives in {!scratch} buffers.  Use
+    {!dls_scratch} for a per-domain buffer when a tape-backed closure is
+    handed to worker domains. *)
+
+module I = Interval.Ia
+
+type t
+(** A compiled tape (possibly multi-root: one root per compiled term). *)
+
+val enabled : unit -> bool
+(** Whether tape-backed kernels should be used.  True by default; the
+    environment variable [BIOMC_NO_TAPE=1] (or [true]/[yes]) switches the
+    hot paths back to the tree-walking implementations.  {!set_enabled}
+    overrides the environment. *)
+
+val set_enabled : bool -> unit
+(** Override {!enabled} (used by benchmarks and differential tests to pin
+    one implementation). *)
+
+val clear_enabled_override : unit -> unit
+(** Return {!enabled} to the environment-variable default. *)
+
+(** {1 Compilation} *)
+
+val compile : vars:string list -> Term.t list -> t
+(** [compile ~vars terms] flattens [terms] into one shared-slot tape whose
+    [i]-th input is the [i]-th element of [vars].
+    @raise Invalid_argument if a term mentions a variable not in [vars]. *)
+
+val num_inputs : t -> int
+val num_slots : t -> int
+val num_roots : t -> int
+
+val interior_sharing : t -> int
+(** Number of CSE hits on non-leaf slots.  When [0], the tape's HC4
+    backward pass is exactly the tree-walking HC4 on the same term; with
+    interior sharing the tape contraction can only be tighter (still
+    sound).  Differential tests key their equality assertions on this. *)
+
+(** {1 Scratch buffers} *)
+
+type scratch
+(** Mutable per-evaluation workspace sized for one tape.  A scratch value
+    must not be used from two domains at once. *)
+
+val scratch : t -> scratch
+(** A fresh scratch for the tape. *)
+
+val dls_scratch : t -> scratch
+(** The calling domain's cached scratch for this tape (allocated on first
+    use per domain, via [Domain.DLS]). *)
+
+(** {1 Float evaluation}
+
+    Semantics match {!Term.compile} closures instruction for instruction
+    (including the [x*x] fast paths for squares and cubes). *)
+
+val eval_floats_into : t -> scratch -> inputs:float array -> out:float array -> unit
+(** Evaluate every root; [out.(k)] receives root [k].  Allocation-free. *)
+
+val eval_float : t -> scratch -> float array -> float
+(** Root 0 of a single-root tape. *)
+
+(** {1 Interval evaluation}
+
+    Sound enclosures identical to {!Term.eval_interval}: the forward pass
+    applies the same {!Interval.Ia} operation at every slot, so the result
+    is bit-equal to the tree walk (interval operations are
+    deterministic). *)
+
+val eval_interval_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
+val eval_interval : t -> scratch -> I.t array -> I.t
+
+(** {1 HC4 forward–backward contraction} *)
+
+val hc4_revise :
+  t -> scratch -> ?mask:bool array -> target:I.t -> I.t array -> bool
+(** [hc4_revise tape sc ~target dom] runs the forward pass of root 0 over
+    the input box [dom] (an interval per input), intersects the root with
+    [target], and propagates the requirements back down to the inputs.
+    Contracted input intervals are written back into [dom] — only at
+    positions where [mask] is true, when given — and the function returns
+    [false] iff the constraint [root ∈ target] is infeasible on [dom] (in
+    which case [dom] is meaningless and should be discarded).
+
+    Matches the tree-walking [Icp.Contractor.revise] exactly when
+    {!interior_sharing} is [0]; shared interior slots accumulate
+    requirements from all their occurrences and can contract strictly
+    more (never less — soundness is preserved either way). *)
+
+(** {1 Preimage helpers}
+
+    Shared by the tape backward pass and the tree-walking
+    [Icp.Contractor]; exposed so the two stay in lockstep. *)
+
+val pow_preimage : I.t -> I.t -> int -> I.t
+(** Preimage of [r] under [x ↦ x^k], intersected with [x].  Handles even
+    powers' two branches and negative exponents via the reciprocal
+    relation [x^(-m) ∈ r ⟺ x^m ∈ 1/r]. *)
+
+val abs_preimage : I.t -> I.t -> I.t
+(** Preimage of [r] under [abs], intersected with [x]. *)
+
+val tan_preimage : I.t -> I.t -> I.t
+(** [tan_preimage x v]: when [x] lies strictly inside a single monotone
+    branch [(kπ-π/2, kπ+π/2)] of [tan], the preimage [atan v + kπ]
+    intersected with [x]; otherwise [x] unchanged (multi-branch preimages
+    are not contracted). *)

@@ -88,27 +88,11 @@ let rec forward box (n : ann) : I.t =
   n.value <- v;
   v
 
-(* Preimage of [r] under x ↦ x^k intersected with [x] (handles even
-   powers' two branches). *)
-let pow_preimage x r k =
-  if k mod 2 = 1 || k < 0 then
-    (* Odd powers are monotone bijections; negative powers fall back to a
-       division-based relation handled conservatively via root of inverse. *)
-    if k > 0 then I.inter x (I.root r k) else x
-  else
-    let pos = I.root r k in
-    if I.is_empty pos then I.empty
-    else
-      (* Intersect each preimage branch with [x] separately, then hull:
-         hulling first would fill the gap between the branches and lose
-         the contraction. *)
-      I.hull (I.inter x (I.neg pos)) (I.inter x pos)
-
-(* Preimage of [r] under abs intersected with [x]. *)
-let abs_preimage x r =
-  let rp = I.inter r (I.make 0.0 infinity) in
-  if I.is_empty rp then I.empty
-  else I.hull (I.inter x (I.neg rp)) (I.inter x rp)
+(* Preimage helpers shared with the tape backward pass (Expr.Tape), so the
+   tree-walking oracle and the compiled kernels contract identically. *)
+let pow_preimage = Expr.Tape.pow_preimage
+let abs_preimage = Expr.Tape.abs_preimage
+let tan_preimage = Expr.Tape.tan_preimage
 
 (* Backward pass: [require n r] intersects node [n] with requirement [r]
    and propagates to children; variable requirements accumulate in
@@ -161,7 +145,12 @@ let backward reqs root target =
         (* Multivalued inverse: only prune when the range is impossible. *)
         if I.is_empty (I.inter v (I.make (-1.0) 1.0)) then raise Empty;
         ignore a
-    | ATan a -> ignore a
+    | ATan a ->
+        (* Contract through the branch of tan containing the argument,
+           when that branch is unambiguous. *)
+        let pre = tan_preimage a.value v in
+        if I.is_empty pre then raise Empty;
+        require a pre
     | AAtan a ->
         let dom = I.make (-1.5707963267948966) 1.5707963267948966 in
         let vc = I.inter v dom in
@@ -260,3 +249,125 @@ let fixpoint ?(tol = 0.01) ?(max_rounds = 20) constraints box =
         else loop box' (round + 1)
   in
   loop box 0
+
+(* ---- Tape-compiled constraint systems ----
+
+   One single-root tape per constraint, all sharing one input ordering
+   (the sorted union of the free variables), so a whole fixpoint runs on
+   a single interval array: the box is converted once per query, the
+   revise rounds mutate the array in place, and the contracted box is
+   rebuilt only on success.  The tree-walking [fixpoint] above is kept as
+   the differential-testing oracle (and the BIOMC_NO_TAPE escape hatch). *)
+
+(* Per-domain reusable fixpoint workspace: allocated once per (compiled
+   system, domain) pair instead of on every query box. *)
+type workspace = {
+  dom : I.t array;
+  present : bool array;
+  w_old : float array;
+  scratches : Expr.Tape.scratch array;
+}
+
+type compiled = {
+  cvars : string array;  (* input ordering shared by all tapes *)
+  ctapes : (Expr.Tape.t * I.t) array;  (* (tape, target) per constraint *)
+  ws_key : workspace Domain.DLS.key;
+}
+
+let compile constraints =
+  let vars =
+    List.sort_uniq String.compare
+      (List.concat_map (fun c -> Expr.Term.free_var_list c.term) constraints)
+  in
+  let ctapes =
+    Array.of_list
+      (List.map (fun c -> (Expr.Tape.compile ~vars [ c.term ], c.target)) constraints)
+  in
+  let n = List.length vars in
+  let ws_key =
+    Domain.DLS.new_key (fun () ->
+        { dom = Array.make n I.entire;
+          present = Array.make n false;
+          w_old = Array.make n 0.0;
+          scratches =
+            Array.map (fun (tp, _) -> Expr.Tape.dls_scratch tp) ctapes })
+  in
+  { cvars = Array.of_list vars; ctapes; ws_key }
+
+let fixpoint_compiled ?(tol = 0.01) ?(max_rounds = 20) cs box =
+  let n = Array.length cs.cvars in
+  let ws = Domain.DLS.get cs.ws_key in
+  let dom = ws.dom and present = ws.present in
+  let w_old = ws.w_old and scratches = ws.scratches in
+  (* Variables absent from the box behave like the tree path: they read
+     as entire and their contractions are dropped (never written back),
+     so each revise sees them fresh.  The workspace is reused, so both
+     arrays are refilled for every variable. *)
+  for i = 0 to n - 1 do
+    match Box.find_opt cs.cvars.(i) box with
+    | Some itv ->
+        dom.(i) <- itv;
+        present.(i) <- true
+    | None ->
+        dom.(i) <- I.entire;
+        present.(i) <- false
+  done;
+  let revise_all () =
+    let ok = ref true in
+    let k = ref 0 in
+    let m = Array.length cs.ctapes in
+    while !ok && !k < m do
+      let tp, target = cs.ctapes.(!k) in
+      ok := Expr.Tape.hc4_revise tp scratches.(!k) ~mask:present ~target dom;
+      incr k
+    done;
+    !ok
+  in
+  (* Widths below are I.width transcribed inline (same formula, same
+     ulp widening): the cross-module call would box its float result on
+     every bound of every round. *)
+  let rec loop round =
+    for i = 0 to n - 1 do
+      let itv = dom.(i) in
+      let l = itv.I.lo and h = itv.I.hi in
+      w_old.(i) <-
+        (if l <> l || h <> h then 0.0
+         else Interval.Round.next_after (h -. l) infinity)
+    done;
+    if not (revise_all ()) then None
+    else begin
+      let shrank = ref false in
+      for i = 0 to n - 1 do
+        if present.(i) then begin
+          let wo = w_old.(i) in
+          let itv = dom.(i) in
+          let l = itv.I.lo and h = itv.I.hi in
+          let wn =
+            if l <> l || h <> h then 0.0
+            else Interval.Round.next_after (h -. l) infinity
+          in
+          if wo > 0.0 && (wo -. wn) /. wo > tol then shrank := true
+          else if wo = infinity && wn < infinity then shrank := true
+        end
+      done;
+      if round >= max_rounds || not !shrank then begin
+        let b = ref box in
+        for i = 0 to n - 1 do
+          if present.(i) then b := Box.set cs.cvars.(i) dom.(i) !b
+        done;
+        Some !b
+      end
+      else loop (round + 1)
+    end
+  in
+  loop 0
+
+(* Compile-once fixpoint closure: tape-backed when tapes are enabled,
+   tree-walking otherwise.  The closure is safe to share across worker
+   domains (tapes are immutable; scratch is per-domain via Domain.DLS). *)
+let contractor ?tol ?max_rounds constraints =
+  if Expr.Tape.enabled () then begin
+    let cs = compile constraints in
+    fun box -> fixpoint_compiled ?tol ?max_rounds cs box
+  end
+  else fun box -> fixpoint ?tol ?max_rounds constraints box

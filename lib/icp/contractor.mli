@@ -33,3 +33,29 @@ val fixpoint :
 (** Round-robin contraction with all constraints until no component
     shrinks by more than [tol] (relative) or [max_rounds] is reached.
     [None] on infeasibility. *)
+
+(** {1 Tape-compiled constraint systems}
+
+    Compile the constraints once per query and run the HC4 fixpoint on a
+    flat interval array — no tree rebuilding or string lookups per box.
+    Results agree with {!fixpoint} (identically when the compiled tapes
+    have no interior sharing; possibly tighter, never looser, when
+    structurally shared subterms let requirements accumulate). *)
+
+type compiled
+
+val compile : constr list -> compiled
+
+val fixpoint_compiled :
+  ?tol:float -> ?max_rounds:int -> compiled -> Interval.Box.t -> Interval.Box.t option
+
+val contractor :
+  ?tol:float ->
+  ?max_rounds:int ->
+  constr list ->
+  Interval.Box.t ->
+  Interval.Box.t option
+(** [contractor constraints] compiles once and returns the fixpoint as a
+    closure — tape-backed unless tapes are disabled ([BIOMC_NO_TAPE=1]).
+    The closure may be shared across worker domains: tapes are immutable
+    and scratch buffers are per-domain. *)

@@ -176,10 +176,12 @@ let process_box cfg stats contract formula b =
       end
 
 let conjunction_contractor cfg atoms =
-  let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
-  fun b ->
-    if not cfg.use_contraction then Some b
-    else Contractor.fixpoint ~max_rounds:cfg.contractor_rounds constraints b
+  if not cfg.use_contraction then fun b -> Some b
+  else
+    (* Compile once per query (tape-backed unless BIOMC_NO_TAPE=1); the
+       closure is shared by all boxes of the search, across domains. *)
+    let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
+    Contractor.contractor ~max_rounds:cfg.contractor_rounds constraints
 
 (* Decide one DNF branch (a conjunction of atoms) on [box], sequentially.
    [spend] consumes one unit of the (possibly shared) box budget and
@@ -371,7 +373,7 @@ type pave_outcome =
   | Pave_split of Box.t * Box.t
   | Pave_undecided
 
-let pave_step cfg constraints formula b =
+let pave_step cfg contract formula b =
   match Expr.Formula.eval_cert b formula with
   | Expr.Formula.Certain -> Pave_sat
   | Expr.Formula.Impossible -> Pave_unsat
@@ -381,10 +383,7 @@ let pave_step cfg constraints formula b =
          the difference approximately by checking each component.  To
          stay simple and exact we only use contraction as an
          infeasibility test here. *)
-      let infeasible =
-        cfg.use_contraction
-        && Option.is_none (Contractor.fixpoint ~max_rounds:2 constraints b)
-      in
+      let infeasible = cfg.use_contraction && Option.is_none (contract b) in
       if infeasible then Pave_unsat
       else (
         match Box.split ~min_width:cfg.epsilon b with
@@ -394,6 +393,12 @@ let pave_step cfg constraints formula b =
 let pave_with_stats ?(config = default_config) formula box =
   let atoms = Expr.Formula.atoms formula in
   let constraints = List.map (Contractor.of_atom ~delta:0.0) atoms in
+  (* Compiled once for the whole paving; used only as an infeasibility
+     test, so the atom conjunction over-approximation is sound here. *)
+  let contract =
+    if config.use_contraction then Contractor.contractor ~max_rounds:2 constraints
+    else fun b -> Some b
+  in
   let jobs = Stdlib.max 1 config.jobs in
   let stats = fresh_stats () in
   if jobs = 1 then begin
@@ -406,7 +411,7 @@ let pave_with_stats ?(config = default_config) formula box =
         decr budget;
         stats.boxes_processed <- stats.boxes_processed + 1;
         if depth > stats.max_depth then stats.max_depth <- depth;
-        match pave_step config constraints formula b with
+        match pave_step config contract formula b with
         | Pave_sat -> sat := b :: !sat
         | Pave_unsat ->
             stats.prunings <- stats.prunings + 1;
@@ -438,7 +443,7 @@ let pave_with_stats ?(config = default_config) formula box =
         else begin
           st.boxes_processed <- st.boxes_processed + 1;
           if depth > st.max_depth then st.max_depth <- depth;
-          match pave_step config constraints formula b with
+          match pave_step config contract formula b with
           | Pave_sat -> sat := b :: !sat
           | Pave_unsat ->
               st.prunings <- st.prunings + 1;

@@ -97,13 +97,21 @@ let split i =
 
 let neg i = if is_empty i then empty else { lo = -.i.hi; hi = -.i.lo }
 
+(* The ring operations below widen with [Round.next_after] applied
+   directly: the external call is unboxed, where the [lo1]/[hi1]
+   wrappers would box every bound (see {!Round}). *)
+
 let add a b =
   if is_empty a || is_empty b then empty
-  else { lo = Round.lo1 (a.lo +. b.lo); hi = Round.hi1 (a.hi +. b.hi) }
+  else
+    { lo = Round.next_after (a.lo +. b.lo) neg_infinity;
+      hi = Round.next_after (a.hi +. b.hi) infinity }
 
 let sub a b =
   if is_empty a || is_empty b then empty
-  else { lo = Round.lo1 (a.lo -. b.hi); hi = Round.hi1 (a.hi -. b.lo) }
+  else
+    { lo = Round.next_after (a.lo -. b.hi) neg_infinity;
+      hi = Round.next_after (a.hi -. b.lo) infinity }
 
 let add_float a x = add a (of_float x)
 let sub_float a x = sub a (of_float x)
@@ -118,8 +126,8 @@ let mul a b =
     and p2 = prod a.lo b.hi
     and p3 = prod a.hi b.lo
     and p4 = prod a.hi b.hi in
-    { lo = Round.lo1 (Float.min (Float.min p1 p2) (Float.min p3 p4));
-      hi = Round.hi1 (Float.max (Float.max p1 p2) (Float.max p3 p4)) }
+    { lo = Round.next_after (Float.min (Float.min p1 p2) (Float.min p3 p4)) neg_infinity;
+      hi = Round.next_after (Float.max (Float.max p1 p2) (Float.max p3 p4)) infinity }
 
 let mul_float a x = mul a (of_float x)
 
@@ -128,8 +136,8 @@ let sqr i =
   else
     let l = Float.abs i.lo and h = Float.abs i.hi in
     let m = mig i and g = Float.max l h in
-    let lo = if m = 0.0 then 0.0 else Round.lo1 (m *. m) in
-    { lo; hi = Round.hi1 (g *. g) }
+    let lo = if m = 0.0 then 0.0 else Round.next_after (m *. m) neg_infinity in
+    { lo; hi = Round.next_after (g *. g) infinity }
 
 (* Reciprocal.  If the interval straddles zero the result is the whole
    line (a connected over-approximation of the two unbounded branches);
@@ -138,11 +146,14 @@ let inv i =
   if is_empty i then empty
   else if i.lo = 0.0 && i.hi = 0.0 then empty
   else if i.lo < 0.0 && i.hi > 0.0 then entire
-  else if i.lo = 0.0 then { lo = Round.lo1 (1.0 /. i.hi); hi = infinity }
-  else if i.hi = 0.0 then { lo = neg_infinity; hi = Round.hi1 (1.0 /. i.lo) }
+  else if i.lo = 0.0 then
+    { lo = Round.next_after (1.0 /. i.hi) neg_infinity; hi = infinity }
+  else if i.hi = 0.0 then
+    { lo = neg_infinity; hi = Round.next_after (1.0 /. i.lo) infinity }
   else
     let a = 1.0 /. i.hi and b = 1.0 /. i.lo in
-    { lo = Round.lo1 (Float.min a b); hi = Round.hi1 (Float.max a b) }
+    { lo = Round.next_after (Float.min a b) neg_infinity;
+      hi = Round.next_after (Float.max a b) infinity }
 
 let div a b = if is_empty a || is_empty b then empty else mul a (inv b)
 
@@ -152,6 +163,7 @@ let rec pow_int i n =
   else if n = 0 then one
   else if n < 0 then inv (pow_int i (-n))
   else if n = 1 then i
+  else if n = 2 then sqr i (* one correctly rounded multiply beats libm pow *)
   else if n mod 2 = 0 then
     let m = mig i and g = mag i in
     let p x = Float.pow x (float_of_int n) in

@@ -8,15 +8,20 @@
    enclosure.  Transcendental functions from libm are faithfully rounded at
    best, so we step two ulps outward for them. *)
 
-let next_up x =
-  if Float.is_nan x then nan
-  else if x = infinity then infinity
-  else Float.succ x
+(* Redeclared here so it is part of this module's interface: a direct
+   application of an external compiles to an unboxed C call, whereas
+   calling the wrappers below from another compilation unit boxes both
+   argument and result (no cross-module inlining without flambda).
+   Hot interval kernels widen with [next_after x neg_infinity] /
+   [next_after x infinity] directly. *)
+external next_after : float -> float -> float
+  = "caml_nextafter_float" "caml_nextafter"
+[@@unboxed] [@@noalloc]
 
-let next_down x =
-  if Float.is_nan x then nan
-  else if x = neg_infinity then neg_infinity
-  else Float.pred x
+(* [next_after] already realizes the wanted limit behaviour: nan maps to
+   nan and the infinities are fixed points of stepping outward. *)
+let next_up x = next_after x infinity
+let next_down x = next_after x neg_infinity
 
 (* One-ulp widening: sound for correctly rounded operations. *)
 let lo1 x = next_down x

@@ -6,6 +6,16 @@
     computed value), two ulps for libm transcendentals (faithfully
     rounded at best). *)
 
+external next_after : float -> float -> float
+  = "caml_nextafter_float" "caml_nextafter"
+[@@unboxed] [@@noalloc]
+(** Raw [nextafter], re-exported so that a full application compiles to
+    a direct unboxed C call.  Hot kernels widen with
+    [next_after x neg_infinity] / [next_after x infinity] instead of
+    the wrappers below, which box both argument and result when called
+    across module boundaries (no cross-module inlining without
+    flambda). *)
+
 val next_up : float -> float
 val next_down : float -> float
 

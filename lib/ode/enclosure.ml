@@ -119,28 +119,170 @@ let flow_step cfg sys second params t0 h x0 =
       if Box.is_empty at_end then None
       else Some ({ t_lo = t0; t_hi = t0 +. h; enclosure = b; at_end }, at_end)
 
-(* Integrate from [init] (a box over state variables) for [t_end] time
-   units with parameters in [params] (a box over parameter names). *)
-let flow ?(config = default_config) ?(t0 = 0.0) ~params ~init ~t_end sys =
-  let second = if config.order = Taylor_2 then second_derivative sys else [] in
+(* ---- Tape-compiled flow path ----
+
+   The Picard iteration dominates the cost of [flow]: per iteration, per
+   step, the tree path rebuilds a Box (state ∪ params ∪ t) and tree-walks
+   every right-hand side with string-keyed lookups.  The compiled path
+   flattens both the field and the Taylor-2 remainder terms into tapes
+   over [vars @ params @ [t]] once, and runs every evaluation as a loop
+   over interval arrays.  The arithmetic per component is identical
+   operation for operation, so the resulting tube is exactly the tree
+   path's tube (interval operations are deterministic); the tree path
+   remains as the differential-testing oracle and BIOMC_NO_TAPE path. *)
+
+type prepared = {
+  p_sys : System.t;
+  rhs_tape : Expr.Tape.t;  (* field; one root per state variable *)
+  second_tape : Expr.Tape.t;  (* Taylor-2 terms, same input ordering *)
+}
+
+let prepare sys =
+  let inputs = System.vars sys @ System.params sys @ [ System.time_var ] in
+  {
+    p_sys = sys;
+    rhs_tape = System.rhs_tape sys;
+    second_tape =
+      Expr.Tape.compile ~vars:inputs (List.map snd (second_derivative sys));
+  }
+
+let flow_tape cfg prep ~params ~init ~t_end t0 =
+  let sys = prep.p_sys in
+  let vars = Array.of_list (System.vars sys) in
+  let n = Array.length vars in
+  let np = List.length (System.params sys) in
+  let inp = Array.make (n + np + 1) I.entire in
+  List.iteri
+    (fun j p -> inp.(n + j) <- Box.find p params)
+    (System.params sys);
+  let sc_rhs = Expr.Tape.scratch prep.rhs_tape in
+  let sc_snd = Expr.Tape.scratch prep.second_tape in
+  let eval_field tape sc time (x : I.t array) (out : I.t array) =
+    Array.blit x 0 inp 0 n;
+    inp.(n + np) <- time;
+    Expr.Tape.eval_interval_into tape sc ~inputs:inp ~out
+  in
+  let fbuf = Array.make n I.empty in
+  let box_of (x : I.t array) =
+    Box.of_list (Array.to_list (Array.mapi (fun i v -> (vars.(i), v)) x))
+  in
+  let arr_of box = Array.map (fun v -> Box.find v box) vars in
+  let width_of (x : I.t array) =
+    Array.fold_left (fun acc i -> Float.max acc (I.width i)) 0.0 x
+  in
+  (* One validated step on interval arrays; mirrors [flow_step]. *)
+  let step_tape t0 h (x0 : I.t array) =
+    let time_whole = I.make t0 (t0 +. h) in
+    let h_itv = I.make 0.0 h in
+    let rec picard b k =
+      if k > cfg.max_picard then None
+      else begin
+        eval_field prep.rhs_tape sc_rhs time_whole b fbuf;
+        let next = Array.init n (fun i -> I.add x0.(i) (I.mul h_itv fbuf.(i))) in
+        let subset = ref true in
+        for i = 0 to n - 1 do
+          if not (I.subset next.(i) b.(i)) then subset := false
+        done;
+        if !subset then Some b
+        else
+          let widened =
+            Array.init n (fun i ->
+                let hl = I.hull b.(i) next.(i) in
+                I.inflate (cfg.inflation *. (I.width hl +. 1e-12)) hl)
+          in
+          picard widened (k + 1)
+      end
+    in
+    let seed =
+      eval_field prep.rhs_tape sc_rhs time_whole x0 fbuf;
+      Array.init n (fun i ->
+          let next = I.add x0.(i) (I.mul h_itv fbuf.(i)) in
+          I.hull x0.(i)
+            (I.inflate (cfg.inflation *. (I.width next +. 1e-9)) next))
+    in
+    match picard seed 0 with
+    | None -> None
+    | Some b ->
+        let at_end =
+          match cfg.order with
+          | Euler_1 ->
+              eval_field prep.rhs_tape sc_rhs time_whole b fbuf;
+              Array.init n (fun i -> I.add x0.(i) (I.mul (I.of_float h) fbuf.(i)))
+          | Taylor_2 ->
+              let f_x0 = Array.make n I.empty in
+              eval_field prep.rhs_tape sc_rhs (I.of_float t0) x0 f_x0;
+              eval_field prep.second_tape sc_snd time_whole b fbuf;
+              let hh = I.make 0.0 (0.5 *. h *. h) in
+              Array.init n (fun i ->
+                  let first = I.add x0.(i) (I.mul (I.of_float h) f_x0.(i)) in
+                  let taylor = I.add first (I.mul hh fbuf.(i)) in
+                  (* The endpoint also lies in the a-priori enclosure. *)
+                  I.inter taylor b.(i))
+        in
+        if Array.exists I.is_empty at_end then None else Some (b, at_end)
+  in
   let rec go t x h steps =
     if t >= t_end -. 1e-12 then
-      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = true }
-    else if Box.width x > config.max_width then begin
-      Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (Box.width x));
-      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = false }
+      { vars = System.vars sys; steps = List.rev steps; final = box_of x;
+        t_end = t; complete = true }
+    else if width_of x > cfg.max_width then begin
+      Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (width_of x));
+      { vars = System.vars sys; steps = List.rev steps; final = box_of x;
+        t_end = t; complete = false }
     end
     else
       let h = Float.min h (t_end -. t) in
-      match flow_step config sys second params t h x with
-      | Some (step, x') -> go step.t_hi x' config.h (step :: steps)
+      match step_tape t h x with
+      | Some (b, x') ->
+          let step =
+            { t_lo = t; t_hi = t +. h; enclosure = box_of b; at_end = box_of x' }
+          in
+          go step.t_hi x' cfg.h (step :: steps)
       | None ->
-          if h <= config.h_min then
-            { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
-              complete = false }
+          if h <= cfg.h_min then
+            { vars = System.vars sys; steps = List.rev steps; final = box_of x;
+              t_end = t; complete = false }
           else go t x (h /. 2.0) steps
   in
-  go t0 init config.h []
+  go t0 (arr_of init) cfg.h []
+
+(* Integrate from [init] (a box over state variables) for [t_end] time
+   units with parameters in [params] (a box over parameter names).
+   [prepared] skips the per-call tape compilation; build it once per
+   problem when calling [flow] many times on the same system. *)
+let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
+    sys =
+  if Expr.Tape.enabled () then
+    let prep =
+      match prepared with
+      | Some p -> p
+      | None ->
+          (* One-time symbolic + tape compilation: negligible against the
+             thousands of Picard evaluations of a typical flow. *)
+          prepare sys
+    in
+    flow_tape config prep ~params ~init ~t_end t0
+  else begin
+    let second = if config.order = Taylor_2 then second_derivative sys else [] in
+    let rec go t x h steps =
+      if t >= t_end -. 1e-12 then
+        { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = true }
+      else if Box.width x > config.max_width then begin
+        Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (Box.width x));
+        { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = false }
+      end
+      else
+        let h = Float.min h (t_end -. t) in
+        match flow_step config sys second params t h x with
+        | Some (step, x') -> go step.t_hi x' config.h (step :: steps)
+        | None ->
+            if h <= config.h_min then
+              { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
+                complete = false }
+            else go t x (h /. 2.0) steps
+    in
+    go t0 init config.h []
+  end
 
 (* Hull of the tube over its whole time span. *)
 let tube_hull tube =

@@ -39,8 +39,18 @@ type tube = {
   complete : bool;  (** [false] when integration aborted early *)
 }
 
+type prepared
+(** Tape-compiled form of a system's field and Taylor-2 remainder terms
+    (inputs [vars @ params @ [t]]).  Immutable and shareable across
+    domains; each {!flow} call allocates its own scratch. *)
+
+val prepare : System.t -> prepared
+(** Compile once; pass to {!flow} via [?prepared] when integrating the
+    same system many times (paving, per-mode flows). *)
+
 val flow :
   ?config:config ->
+  ?prepared:prepared ->
   ?t0:float ->
   params:Interval.Box.t ->
   init:Interval.Box.t ->
@@ -48,7 +58,10 @@ val flow :
   System.t ->
   tube
 (** Guaranteed enclosure of every trajectory starting in [init] under any
-    parameter value in [params]. *)
+    parameter value in [params].  Runs on flat interval tapes by default
+    (bit-identical tube to the tree-walking path, which [BIOMC_NO_TAPE=1]
+    restores); [?prepared] (from {!prepare} on the same system) skips the
+    per-call compilation. *)
 
 val tube_hull : tube -> Interval.Box.t
 val state_at : tube -> float -> Interval.Box.t option

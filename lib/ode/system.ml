@@ -13,6 +13,11 @@ type t = {
   vars : string list;  (* state variables, in storage order *)
   params : string list;  (* free parameters, in storage order *)
   rhs : (string * Expr.Term.t) list;  (* one entry per state variable *)
+  mutable rhs_tape : Expr.Tape.t option;
+      (* cached flat tape of the field over vars @ params @ [t]; built on
+         first compile and reused by every later one (e.g. one compile
+         per SMC sample).  Writing the cache twice from racing domains is
+         benign: both tapes are equivalent and immutable. *)
 }
 
 let vars s = s.vars
@@ -58,7 +63,7 @@ let create ~vars ~params ~rhs =
     rhs;
   (* Order equations by variable order. *)
   let rhs = List.map (fun v -> (v, List.assoc v rhs)) vars in
-  { vars; params; rhs }
+  { vars; params; rhs; rhs_tape = None }
 
 (* Parse a system from (var, rhs-string) pairs. *)
 let of_strings ~vars ~params ~rhs =
@@ -72,28 +77,64 @@ let bind_params env s =
     vars = s.vars;
     params = remaining;
     rhs = List.map (fun (v, t) -> (v, Expr.Term.subst bindings t)) s.rhs;
+    rhs_tape = None;
   }
+
+(* The field's flat tape over vars @ params @ [t], compiled on demand. *)
+let rhs_tape s =
+  match s.rhs_tape with
+  | Some tp -> tp
+  | None ->
+      let tp =
+        Expr.Tape.compile
+          ~vars:(s.vars @ s.params @ [ time_var ])
+          (List.map snd s.rhs)
+      in
+      s.rhs_tape <- Some tp;
+      tp
 
 (* Compile the vector field into a fast closure.  The returned function
    computes the derivative array for a given time and state; parameters
-   are fixed at compile time. *)
+   are fixed at compile time.
+
+   Tape path: the system's cached tape makes repeated compiles (one per
+   SMC sample) a parameter-array fill instead of a substitution plus a
+   closure-tree build.  The returned closure owns its scratch and input
+   buffers, so it must not be called from two domains at once — callers
+   compile per worker, as before. *)
 let compile ?(param_env = []) s =
   List.iter
     (fun p ->
       if not (List.mem_assoc p param_env) then
         invalid_arg (Printf.sprintf "System.compile: parameter %S not bound" p))
     s.params;
-  let bound = bind_params param_env s in
-  let order = bound.vars @ [ time_var ] in
-  let compiled =
-    Array.of_list (List.map (fun (_, t) -> Expr.Term.compile ~vars:order t) bound.rhs)
-  in
-  let n = Array.length compiled in
-  fun t state ->
-    let arr = Array.make (n + 1) 0.0 in
-    Array.blit state 0 arr 0 n;
-    arr.(n) <- t;
-    Array.map (fun f -> f arr) compiled
+  if Expr.Tape.enabled () then begin
+    let tp = rhs_tape s in
+    let n = List.length s.vars and np = List.length s.params in
+    let inp = Array.make (n + np + 1) 0.0 in
+    List.iteri (fun j p -> inp.(n + j) <- List.assoc p param_env) s.params;
+    let sc = Expr.Tape.scratch tp in
+    fun t state ->
+      Array.blit state 0 inp 0 n;
+      inp.(n + np) <- t;
+      let out = Array.make n 0.0 in
+      Expr.Tape.eval_floats_into tp sc ~inputs:inp ~out;
+      out
+  end
+  else begin
+    let bound = bind_params param_env s in
+    let order = bound.vars @ [ time_var ] in
+    let compiled =
+      Array.of_list
+        (List.map (fun (_, t) -> Expr.Term.compile ~vars:order t) bound.rhs)
+    in
+    let n = Array.length compiled in
+    fun t state ->
+      let arr = Array.make (n + 1) 0.0 in
+      Array.blit state 0 arr 0 n;
+      arr.(n) <- t;
+      Array.map (fun f -> f arr) compiled
+  end
 
 (* Interval evaluation of the vector field over a box binding state
    variables, parameters, and (optionally) time. *)

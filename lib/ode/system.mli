@@ -32,9 +32,17 @@ val of_strings :
 val bind_params : (string * float) list -> t -> t
 (** Substitute values for (a subset of) the parameters. *)
 
+val rhs_tape : t -> Expr.Tape.t
+(** The field compiled to a flat tape over [vars @ params @ [time_var]]
+    (one root per state variable), built on first use and cached on the
+    system. *)
+
 val compile : ?param_env:(string * float) list -> t -> float -> float array -> float array
 (** [compile ~param_env sys] is the vector field as a fast closure
-    [t -> state -> derivative]; all parameters must be bound.
+    [t -> state -> derivative]; all parameters must be bound.  The
+    closure owns internal scratch buffers: share it freely within one
+    domain, but compile per worker domain (as a fresh tree-walking
+    closure would also require).
     @raise Invalid_argument on an unbound parameter. *)
 
 val eval_interval :

@@ -195,10 +195,10 @@ let bracket_of_traces cfg t_end traces =
 (* Compute an enclosure of the flow of [sys] from [init_box] under
    [params_box] over [0, t_end]; validated when possible, bracketed
    otherwise.  [None] when even the ensemble produced nothing. *)
-let flow_enclosure cfg pb_sys ~params_box ~init_box ~t_end =
+let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
   let tube =
-    Ode.Enclosure.flow ~config:cfg.enclosure ~params:params_box ~init:init_box ~t_end
-      pb_sys
+    Ode.Enclosure.flow ~config:cfg.enclosure ~prepared ~params:params_box
+      ~init:init_box ~t_end pb_sys
   in
   let init_width = Box.width init_box in
   let tube_usable =
@@ -251,28 +251,78 @@ let apply_reset_box automaton params_box (j : Hybrid.Automaton.jump) state_box =
    fixpoint propagation — per DNF branch, hulled.  [None] when every
    branch is infeasible.  This is the ICP step that keeps jump-state
    hulls tight (e.g. restricting post-guard states to the guard surface
-   and the target mode's invariant). *)
-let contract_states formula ~params_box state_box =
-  if formula = F.True then Some state_box
+   and the target mode's invariant).
+
+   [prepare_contract] compiles the formula's per-branch contractors once
+   (tape-backed by default) and returns a closure applied per box; the
+   closures are immutable after construction and safe to call from
+   concurrent worker domains. *)
+let prepare_contract formula =
+  if formula = F.True then fun ~params_box:_ state_box -> Some state_box
   else
-    let full =
-      Box.set Ode.System.time_var I.entire
-        (List.fold_left (fun b (k, v) -> Box.set k v b) state_box (Box.to_list params_box))
-    in
-    let branches = F.dnf formula in
-    let contracted =
-      List.filter_map
+    let branch_contractors =
+      List.map
         (fun atoms ->
-          let constraints = List.map (Icp.Contractor.of_atom ~delta:0.0) atoms in
-          Icp.Contractor.fixpoint ~max_rounds:5 constraints full)
-        branches
+          Icp.Contractor.contractor ~max_rounds:5
+            (List.map (Icp.Contractor.of_atom ~delta:0.0) atoms))
+        (F.dnf formula)
     in
-    match contracted with
-    | [] -> None
-    | b :: rest ->
-        let hull = List.fold_left Box.hull b rest in
-        (* read back only the state components *)
-        Some (Box.map Fun.id (Box.fold (fun v _ acc -> Box.set v (Box.find v hull) acc) state_box Box.empty_map))
+    fun ~params_box state_box ->
+      let full =
+        Box.set Ode.System.time_var I.entire
+          (List.fold_left (fun b (k, v) -> Box.set k v b) state_box
+             (Box.to_list params_box))
+      in
+      let contracted = List.filter_map (fun c -> c full) branch_contractors in
+      match contracted with
+      | [] -> None
+      | b :: rest ->
+          let hull = List.fold_left Box.hull b rest in
+          (* read back only the state components *)
+          Some
+            (Box.fold
+               (fun v _ acc -> Box.set v (Box.find v hull) acc)
+               state_box Box.empty_map)
+
+(* ---- Per-problem prepared kernels ----
+
+   One compilation of every mode's flow tapes and every jump's contractors,
+   built up front (single-domain) by [prepare_pb] and then only read —
+   including from the parallel path / paving workers. *)
+
+type prep = {
+  flow_prep : (string, Ode.Enclosure.prepared) Hashtbl.t;  (* mode name *)
+  guard_contract :
+    (string * string, params_box:Box.t -> Box.t -> Box.t option) Hashtbl.t;
+      (* (source, target) ↦ contractor for guard ∧ source invariant *)
+  inv_contract : (string, params_box:Box.t -> Box.t -> Box.t option) Hashtbl.t;
+      (* mode name ↦ contractor for the mode invariant *)
+}
+
+let prepare_pb (pb : Encoding.t) =
+  let automaton = pb.Encoding.automaton in
+  let flow_prep = Hashtbl.create 8 in
+  let guard_contract = Hashtbl.create 8 in
+  let inv_contract = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Hybrid.Automaton.mode) ->
+      Hashtbl.replace flow_prep m.mode_name
+        (Ode.Enclosure.prepare (Hybrid.Automaton.mode_system automaton m.mode_name));
+      Hashtbl.replace inv_contract m.mode_name (prepare_contract m.invariant))
+    (Hybrid.Automaton.modes automaton);
+  List.iter
+    (fun (j : Hybrid.Automaton.jump) ->
+      let key = (j.source, j.target) in
+      (* first jump per (source, target) wins, matching the List.find in
+         [path_feasible] *)
+      if not (Hashtbl.mem guard_contract key) then
+        let source_inv =
+          (Hybrid.Automaton.find_mode automaton j.source).invariant
+        in
+        Hashtbl.replace guard_contract key
+          (prepare_contract (F.and_ [ j.guard; source_inv ])))
+    (Hybrid.Automaton.jumps automaton);
+  { flow_prep; guard_contract; inv_contract }
 
 (* Drop tube steps past the point where the mode invariant is *certainly*
    violated: every trajectory has left the mode by then, so later windows
@@ -317,15 +367,16 @@ let states_satisfying steps ~params_box formula =
   | b :: rest -> Some (List.fold_left Box.hull b rest)
 
 (* `Infeasible of rigor | `Maybe *)
-let path_feasible cfg (pb : Encoding.t) path ~params_box ~init_box =
+let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
   let automaton = pb.Encoding.automaton in
   let rec walk state_box rigorous = function
     | [] -> `Infeasible true
     | [ last ] -> (
         let sys = Hybrid.Automaton.mode_system automaton last in
         match
-          flow_enclosure cfg sys ~params_box ~init_box:state_box
-            ~t_end:pb.Encoding.time_bound
+          flow_enclosure cfg sys
+            ~prepared:(Hashtbl.find prep.flow_prep last)
+            ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound
         with
         | None -> `Maybe
         | Some enc -> (
@@ -338,8 +389,9 @@ let path_feasible cfg (pb : Encoding.t) path ~params_box ~init_box =
     | q :: (q' :: _ as rest) -> (
         let sys = Hybrid.Automaton.mode_system automaton q in
         match
-          flow_enclosure cfg sys ~params_box ~init_box:state_box
-            ~t_end:pb.Encoding.time_bound
+          flow_enclosure cfg sys
+            ~prepared:(Hashtbl.find prep.flow_prep q)
+            ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound
         with
         | None -> `Maybe
         | Some enc -> (
@@ -350,24 +402,26 @@ let path_feasible cfg (pb : Encoding.t) path ~params_box ~init_box =
                 (Hybrid.Automaton.jumps_from automaton q)
             in
             let source_inv = (Hybrid.Automaton.find_mode automaton q).invariant in
-            let target_inv = (Hybrid.Automaton.find_mode automaton q').invariant in
             let steps = truncate_at_invariant source_inv ~params_box enc.steps in
             match states_satisfying steps ~params_box jump.guard with
             | None -> `Infeasible rigorous
             | Some guard_states -> (
                 (* ICP-tighten: jump states satisfy the guard and the
                    source invariant; post-reset states satisfy the target
-                   invariant. *)
+                   invariant.  The contractors were compiled once by
+                   [prepare_pb]. *)
                 match
-                  contract_states (F.and_ [ jump.guard; source_inv ]) ~params_box
-                    guard_states
+                  (Hashtbl.find prep.guard_contract (q, q'))
+                    ~params_box guard_states
                 with
                 | None -> `Infeasible rigorous
                 | Some tightened -> (
                     let next = apply_reset_box automaton params_box jump tightened in
                     if Box.is_empty next then `Infeasible rigorous
                     else
-                      match contract_states target_inv ~params_box next with
+                      match
+                        (Hashtbl.find prep.inv_contract q') ~params_box next
+                      with
                       | None -> `Infeasible rigorous
                       | Some next -> walk next rigorous rest))))
   in
@@ -463,7 +517,7 @@ let certify cfg pb path sbox =
 
 (* ---- Per-path branch and prune over the search box ---- *)
 
-let decide_path cfg pb path =
+let decide_path cfg pb prep path =
   let budget = ref cfg.max_param_boxes in
   let rigorous_all = ref true in
   let rec search sbox =
@@ -471,7 +525,7 @@ let decide_path cfg pb path =
     else begin
       decr budget;
       let params_box, init_box = interpret_box pb sbox in
-      match path_feasible cfg pb path ~params_box ~init_box with
+      match path_feasible cfg pb prep path ~params_box ~init_box with
       | `Infeasible rigorous ->
           if not rigorous then rigorous_all := false;
           Unsat { rigorous }
@@ -512,6 +566,7 @@ let check ?(config = default_config) (pb : Encoding.t) =
       (Encoding.candidate_paths pb)
   in
   Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
+  let prep = prepare_pb pb in
   let jobs = Stdlib.max 1 config.jobs in
   if jobs = 1 || List.length paths <= 1 then begin
     let rec go unknown rigorous = function
@@ -519,7 +574,7 @@ let check ?(config = default_config) (pb : Encoding.t) =
           match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
       | path :: rest -> (
           Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
-          match decide_path config pb path with
+          match decide_path config pb prep path with
           | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
           | Delta_sat w -> Delta_sat w
           | Unknown why -> go (Some why) rigorous rest)
@@ -535,7 +590,7 @@ let check ?(config = default_config) (pb : Encoding.t) =
     Parallel.Pool.Frontier.drain ~jobs fr (fun _w _fr i ->
         (* skip paths the sequential scan would never reach *)
         if i <= Atomic.get winner then begin
-          let r = decide_path config pb paths.(i) in
+          let r = decide_path config pb prep paths.(i) in
           results.(i) <- Some r;
           match r with
           | Delta_sat _ ->
@@ -561,14 +616,15 @@ let check ?(config = default_config) (pb : Encoding.t) =
   end
 
 (* Universal feasibility on jump-free paths (see the synthesis notes). *)
-let path_surely_reaches cfg (pb : Encoding.t) path ~params_box ~init_box =
+let path_surely_reaches cfg (pb : Encoding.t) prep path ~params_box ~init_box =
   match path with
   | [ only ] ->
       let automaton = pb.Encoding.automaton in
       let sys = Hybrid.Automaton.mode_system automaton only in
       let tube =
-        Ode.Enclosure.flow ~config:cfg.enclosure ~params:params_box ~init:init_box
-          ~t_end:pb.Encoding.time_bound sys
+        Ode.Enclosure.flow ~config:cfg.enclosure
+          ~prepared:(Hashtbl.find prep.flow_prep only)
+          ~params:params_box ~init:init_box ~t_end:pb.Encoding.time_bound sys
       in
       tube.Ode.Enclosure.complete
       && List.exists
@@ -618,10 +674,13 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
         | _ -> None)
       paths
   in
+  let prep = prepare_pb pb in
   let classify sbox =
     let params_box, init_box = interpret_box pb sbox in
     let verdicts =
-      List.map (fun path -> path_feasible config pb path ~params_box ~init_box) paths
+      List.map
+        (fun path -> path_feasible config pb prep path ~params_box ~init_box)
+        paths
     in
     if List.for_all (function `Infeasible _ -> true | `Maybe -> false) verdicts
     then
@@ -629,7 +688,7 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
         (List.for_all (function `Infeasible r -> r | `Maybe -> false) verdicts)
     else if
       List.exists
-        (fun path -> path_surely_reaches config pb path ~params_box ~init_box)
+        (fun path -> path_surely_reaches config pb prep path ~params_box ~init_box)
         paths
     then
       let w =

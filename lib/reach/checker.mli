@@ -86,20 +86,32 @@ type segment_enclosure = { steps : Ode.Enclosure.step list; rigorous : bool }
 val flow_enclosure :
   config ->
   Ode.System.t ->
+  prepared:Ode.Enclosure.prepared ->
   params_box:Box.t ->
   init_box:Box.t ->
   t_end:float ->
   segment_enclosure option
 
-val contract_states :
+val prepare_contract :
   Expr.Formula.t -> params_box:Box.t -> Interval.Box.t -> Interval.Box.t option
+(** Compile a formula's per-DNF-branch HC4 contractors once; the returned
+    closure contracts a state box (hulled over branches, [None] when every
+    branch is infeasible) and is safe to share across worker domains. *)
 
 val states_satisfying :
   Ode.Enclosure.step list -> params_box:Box.t -> Expr.Formula.t -> Interval.Box.t option
 
+type prep
+(** Per-problem compiled kernels: every mode's flow tapes and every
+    jump's guard/invariant contractors.  Built once by {!prepare_pb}
+    (single-domain), then only read — including from worker domains. *)
+
+val prepare_pb : Encoding.t -> prep
+
 val path_feasible :
   config ->
   Encoding.t ->
+  prep ->
   string list ->
   params_box:Box.t ->
   init_box:Box.t ->

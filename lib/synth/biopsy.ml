@@ -59,11 +59,11 @@ let problem ~sys ~param_box ~init ~data =
 type verdict = All_fit | None_fit | Split_
 
 (* Classify one parameter box against the data using a validated tube. *)
-let classify cfg prob pbox =
+let classify cfg prob prepared pbox =
   let t_end = Data.horizon prob.data in
   let tube =
-    Ode.Enclosure.flow ~config:cfg.enclosure ~params:pbox ~init:prob.init ~t_end
-      prob.sys
+    Ode.Enclosure.flow ~config:cfg.enclosure ~prepared ~params:pbox
+      ~init:prob.init ~t_end prob.sys
   in
   if not tube.Ode.Enclosure.complete then Split_
   else begin
@@ -100,6 +100,7 @@ let pp_result ppf r =
 
 let synthesize ?(config = default_config) prob =
   let jobs = Stdlib.max 1 config.jobs in
+  let prepared = Ode.Enclosure.prepare prob.sys in
   let result =
     if jobs = 1 then begin
       let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
@@ -110,7 +111,7 @@ let synthesize ?(config = default_config) prob =
         else begin
           decr budget;
           incr explored;
-          match classify config prob pbox with
+          match classify config prob prepared pbox with
           | All_fit -> consistent := pbox :: !consistent
           | None_fit -> inconsistent := pbox :: !inconsistent
           | Split_ -> (
@@ -142,7 +143,7 @@ let synthesize ?(config = default_config) prob =
           if Atomic.fetch_and_add spent 1 >= config.max_boxes then
             undecided := pbox :: !undecided
           else
-            match classify config prob pbox with
+            match classify config prob prepared pbox with
             | All_fit -> consistent := pbox :: !consistent
             | None_fit -> inconsistent := pbox :: !inconsistent
             | Split_ -> (
