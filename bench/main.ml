@@ -741,6 +741,318 @@ let t1 () =
   Report.print [ Report.text "wrote BENCH_tape.json" ]
 
 (* ------------------------------------------------------------------ *)
+(* C1: subsumption caches off vs on (jobs = 1)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each kernel runs the same workload twice: once with every cache
+   disabled ([Cache.Off] — exactly the BIOMC_NO_CACHE=1 code path) and
+   once with the default exact-hit policy, clearing all caches before
+   each timed run so both start cold.  The results are checked to be
+   byte-identical (exact replays are identity-preserving), so the
+   speedup column is pure memoization gain.  Results land in
+   BENCH_cache.json, together with the SMC allocation before/after row
+   (satellite: the in-place RKF45 loop vs the old allocating steppers).
+
+   Passed [~quick:true] (the CI smoke job), the workloads shrink. *)
+
+let c1 ?(quick = false) () =
+  section
+    (if quick then "C1  Subsumption caches off vs on (jobs = 1, quick)"
+     else "C1  Subsumption caches off vs on (jobs = 1)");
+  (* Each policy is timed over a few rounds, caches cleared before each
+     so every round starts cold, keeping the per-round minimum (the
+     container clock is noisy; see T1). *)
+  let measure name ~canon ~note run =
+    let rounds = if quick then 2 else 3 in
+    let time_policy p =
+      Cache.set_policy p;
+      Fun.protect ~finally:Cache.clear_policy_override (fun () ->
+          let best = ref infinity and result = ref None in
+          for _ = 1 to rounds do
+            Cache.clear ();
+            let r, dt = timed run in
+            if dt < !best then best := dt;
+            result := Some r
+          done;
+          (Option.get !result, !best))
+    in
+    let r_off, t_off = time_policy Cache.Off in
+    let r_on, t_on = time_policy Cache.Exact in
+    if canon r_off <> canon r_on then
+      failwith
+        (Printf.sprintf "C1 %s: cached result differs from the uncached run"
+           name);
+    (name, t_off, t_on, note)
+  in
+  let canon_boxes boxes =
+    String.concat ";" (List.sort compare (List.map Box.to_string boxes))
+  in
+  (* Primary kernel: the E7 calibration refinement sweep.  Each finer
+     epsilon re-pavess the parameter box; the paving tree at epsilon is a
+     depth-pruned prefix of the tree at epsilon/2, so with caching every
+     previously classified box is an exact hit and only the new frontier
+     pays for validated tubes. *)
+  let biopsy_kernel () =
+    let sys =
+      Ode.System.of_strings ~vars:[ "x"; "y" ] ~params:[ "a" ]
+        ~rhs:[ ("x", "a*x - x*y"); ("y", "x*y - y") ]
+    in
+    let tr =
+      Ode.Integrate.simulate ~params:[ ("a", 1.0) ]
+        ~init:[ ("x", 1.0); ("y", 0.5) ]
+        ~t_end:1.5 sys
+    in
+    let data =
+      List.concat_map
+        (fun t ->
+          List.map
+            (fun v ->
+              Synth.Data.point ~time:t ~var:v
+                ~value:(Ode.Integrate.value_at tr v t)
+                ~tolerance:0.25)
+            [ "x"; "y" ])
+        [ 0.5; 1.0; 1.5 ]
+    in
+    let prob =
+      Synth.Biopsy.problem ~sys
+        ~param_box:(Box.of_list [ ("a", I.make 0.5 1.5) ])
+        ~init:(Box.of_list [ ("x", I.of_float 1.0); ("y", I.of_float 0.5) ])
+        ~data
+    in
+    let epsilons = if quick then [ 0.1; 0.05; 0.02 ] else [ 0.1; 0.05; 0.02; 0.01 ] in
+    let run () =
+      List.map
+        (fun eps ->
+          Synth.Biopsy.synthesize
+            ~config:{ Synth.Biopsy.default_config with epsilon = eps }
+            prob)
+        epsilons
+    in
+    let canon rs =
+      String.concat "\n"
+        (List.map
+           (fun (r : Synth.Biopsy.result) ->
+             Printf.sprintf "%s|%s|%s|%d"
+               (canon_boxes r.Synth.Biopsy.consistent)
+               (canon_boxes r.Synth.Biopsy.inconsistent)
+               (canon_boxes r.Synth.Biopsy.undecided)
+               r.Synth.Biopsy.boxes_explored)
+           rs)
+    in
+    measure "biopsy-refinement-sweep" ~canon
+      ~note:
+        (Fmt.str "eps %s, identical pavings"
+           (String.concat ">" (List.map (Fmt.str "%g") epsilons)))
+      run
+  in
+  (* Reach re-verification: the same bounded-reachability query checked
+     twice (tool-restart replay) and then a second goal over the same
+     automaton — flow-tube segments are goal-independent, so both later
+     checks hit the segment cache. *)
+  let reach_kernel () =
+    let a =
+      Hybrid.Automaton.of_system
+        ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+        (Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ])
+    in
+    let pb pred =
+      E.create
+        ~param_box:(Box.of_list [ ("k", I.make 0.1 3.0) ])
+        ~goal:{ E.goal_modes = []; predicate = Expr.Parse.formula pred }
+        ~k:0 ~time_bound:1.0 a
+    in
+    let run () =
+      let r1 = C.check (pb "x <= 0.3") in
+      let r2 = C.check (pb "x <= 0.3") in
+      let r3 = C.check (pb "x <= 0.5") in
+      Fmt.str "%a / %a / %a" C.pp_result r1 C.pp_result r2 C.pp_result r3
+    in
+    measure "reach-shared-segments" ~canon:Fun.id
+      ~note:"goal1, goal1 again, goal2; identical verdicts" run
+  in
+  (* Solver verdict stores: repeated delta-decision and repeated paving
+     of the same instance — refuted boxes and unsat paving leaves are
+     replayed from the store on the second pass. *)
+  let solver_kernel () =
+    (* Enzyme-kinetics equilibrium (the hc4-fixpoint shape of T1): four
+       coupled constraints make each HC4 fixpoint iterate, so a replayed
+       refutation saves real contraction work. *)
+    let enzyme =
+      Expr.Parse.formula
+        "e + cx = 1 and s + cx + p = 2 and 2*s*e = cx and cx / (s + 1/2) = p"
+    in
+    let tbox =
+      Box.of_list
+        [ ("s", I.make 0.0 2.0); ("p", I.make 0.0 2.0);
+          ("e", I.make 0.0 1.0); ("cx", I.make 0.0 1.0) ]
+    in
+    let ring = Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
+    let rbox =
+      Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ]
+    in
+    let dcfg =
+      { Icp.Solver.default_config with
+        delta = (if quick then 1e-3 else 1e-4);
+        epsilon = (if quick then 1e-4 else 1e-5) }
+    in
+    let pcfg =
+      { Icp.Solver.default_config with epsilon = (if quick then 0.1 else 0.05) }
+    in
+    let verdict = function
+      | Icp.Solver.Delta_sat w -> "delta-sat " ^ Box.to_string w.Icp.Solver.box
+      | Icp.Solver.Unsat -> "unsat"
+      | Icp.Solver.Unknown _ -> "unknown"
+    in
+    let pav (p : Icp.Solver.paving) =
+      Printf.sprintf "%s|%s|%s"
+        (canon_boxes p.Icp.Solver.sat)
+        (canon_boxes p.Icp.Solver.unsat)
+        (canon_boxes p.Icp.Solver.undecided)
+    in
+    let decide_row =
+      measure "decide-repeat" ~canon:Fun.id
+        ~note:"enzyme equilibrium x2; identical verdicts"
+        (fun () ->
+          let d1 = Icp.Solver.decide ~config:dcfg enzyme tbox in
+          let d2 = Icp.Solver.decide ~config:dcfg enzyme tbox in
+          verdict d1 ^ "\n" ^ verdict d2)
+    in
+    (* The pave row is the store's worst case on purpose: ring
+       contraction is sub-microsecond per box, so the replay saves about
+       what the cold inserts cost — near break-even, reported as-is. *)
+    let pave_row =
+      measure "pave-repeat" ~canon:Fun.id
+        ~note:"ring x2; identical pavings"
+        (fun () ->
+          let p1 = Icp.Solver.pave ~config:pcfg ring rbox in
+          let p2 = Icp.Solver.pave ~config:pcfg ring rbox in
+          pav p1 ^ "\n" ^ pav p2)
+    in
+    [ decide_row; pave_row ]
+  in
+  let kernels = [ biopsy_kernel (); reach_kernel () ] @ solver_kernel () in
+  Report.print
+    [ Report.table
+        ~header:[ "kernel"; "cache off"; "cache on"; "speedup"; "check" ]
+        (List.map
+           (fun (name, t_off, t_on, note) ->
+             [ name; Fmt.str "%.3fs" t_off; Fmt.str "%.3fs" t_on;
+               Fmt.str "%.2fx" (t_off /. t_on); note ])
+           kernels);
+      Report.text "cache-on rounds under the default exact policy: %s"
+        (Cache.summary ()) ];
+  (* SMC allocation satellite: the pre-optimization RKF45 driver (the
+     public allocating [rkf45_step] per step, fresh arrays throughout)
+     against the in-place [simulate] loop, on the same p53 trajectory
+     every SMC sample executes.  The arithmetic is unchanged, so the
+     traces must agree bit for bit. *)
+  let smc_alloc =
+    let sys = Biomodels.Classics.p53_mdm2 in
+    let params = [ ("damage", 1.0) ] in
+    let init = [ ("p53", 0.05); ("mdm2", 0.05) ] in
+    let t_end = 30.0 in
+    let rtol, atol, h0, h_max =
+      match Ode.Integrate.default_rkf45 with
+      | Ode.Integrate.Rkf45 { rtol; atol; h0; h_max } -> (rtol, atol, h0, h_max)
+      | _ -> assert false
+    in
+    let before () =
+      let f = Ode.System.compile ~param_env:params sys in
+      let y0 =
+        Array.of_list
+          (List.map (fun v -> List.assoc v init) (Ode.System.vars sys))
+      in
+      let n = Array.length y0 in
+      let times = ref [ 0.0 ] and states = ref [ y0 ] in
+      let t = ref 0.0 and y = ref y0 and h = ref h0 in
+      let continue_ = ref true in
+      let safety = 0.9 and h_min = 1e-12 in
+      let accept tacc ynew =
+        t := tacc;
+        y := ynew;
+        times := tacc :: !times;
+        states := ynew :: !states
+      in
+      while !continue_ && !t < t_end -. 1e-15 do
+        let hstep = Float.min !h (t_end -. !t) in
+        let yc = !y in
+        let y4, y5 = Ode.Integrate.rkf45_step f !t yc hstep in
+        let err = ref 0.0 in
+        for i = 0 to n - 1 do
+          let sc =
+            atol +. (rtol *. Float.max (Float.abs yc.(i)) (Float.abs y4.(i)))
+          in
+          let e = Float.abs (y5.(i) -. y4.(i)) /. sc in
+          if e > !err then err := e
+        done;
+        if Float.is_nan !err then begin
+          if hstep <= h_min *. 2.0 then continue_ := false
+          else h := hstep /. 10.0
+        end
+        else if !err <= 1.0 then begin
+          accept (!t +. hstep) y5;
+          let grow = safety *. Float.pow (1.0 /. Float.max !err 1e-10) 0.2 in
+          h := Float.min h_max (hstep *. Float.min 4.0 grow)
+        end
+        else begin
+          let shrink = safety *. Float.pow (1.0 /. !err) 0.25 in
+          h := Float.max (h_min *. 2.0) (hstep *. Float.max 0.1 shrink);
+          if !h <= h_min *. 4.0 then accept (!t +. hstep) y4
+        end
+      done;
+      (Array.of_list (List.rev !times), Array.of_list (List.rev !states))
+    in
+    let after () =
+      let tr = Ode.Integrate.simulate ~params ~init ~t_end sys in
+      (tr.Ode.Integrate.times, tr.Ode.Integrate.states)
+    in
+    let tb, sb = before () and ta, sa = after () in
+    if not (tb = ta && sb = sa) then
+      failwith "C1 smc-alloc: in-place trace differs from the allocating one";
+    let reps = if quick then 3 else 8 in
+    let rounds = if quick then 2 else 4 in
+    let best f =
+      let best = ref infinity in
+      for _ = 1 to rounds do
+        let _, dt = timed (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+        let ns = dt /. float_of_int reps *. 1e9 in
+        if ns < !best then best := ns
+      done;
+      !best
+    in
+    let ns_before = best before and ns_after = best after in
+    Report.print
+      [ Report.table
+          ~header:[ "smc float path"; "ns/trajectory"; "speedup"; "check" ]
+          [ [ "allocating steppers (before)"; Fmt.str "%.0f" ns_before; "1.00x";
+              "bit-identical traces" ];
+            [ "in-place loop (after)"; Fmt.str "%.0f" ns_after;
+              Fmt.str "%.2fx" (ns_before /. ns_after); "" ] ] ];
+    (ns_before, ns_after)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"jobs\": 1,\n  \"policy_on\": \"exact\",\n  \"quick\": %b,\n  \"kernels\": [\n"
+       quick);
+  List.iteri
+    (fun i (name, t_off, t_on, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"cache_off_s\": %.6f, \"cache_on_s\": %.6f, \"speedup\": %.3f, \"identical\": true}%s\n"
+           name t_off t_on (t_off /. t_on)
+           (if i = List.length kernels - 1 then "" else ",")))
+    kernels;
+  let ns_before, ns_after = smc_alloc in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n  \"smc_alloc\": {\"before_ns_per_trajectory\": %.0f, \"after_ns_per_trajectory\": %.0f, \"speedup\": %.3f, \"identical\": true}\n}\n"
+       ns_before ns_after (ns_before /. ns_after));
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.print [ Report.text "wrote BENCH_cache.json" ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel kernel timing                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -895,25 +1207,44 @@ let run_bechamel () =
   in
   Report.print [ Report.table ~header:[ "kernel"; "time/run" ] rows ]
 
+(* CLI: `--quick` runs the cache section in its reduced configuration
+   (the CI smoke job: fast, still writes BENCH_cache.json);
+   `--only e7,c1` runs the named sections.  No flags = everything. *)
+
 let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let only =
+    let rec go = function
+      | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go argv
+  in
+  let sections =
+    [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+      ("e7", e7); ("e8", e8); ("e9", e9); ("s1", s1); ("a1", a1); ("a2", a2);
+      ("a3", a3); ("a4", a4); ("p1", p1); ("t1", t1);
+      ("c1", fun () -> c1 ~quick ()); ("bechamel", run_bechamel) ]
+  in
+  let chosen =
+    match only with
+    | Some names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n sections) then
+              failwith
+                (Printf.sprintf "unknown section %S (have: %s)" n
+                   (String.concat ", " (List.map fst sections))))
+          names;
+        List.filter (fun (n, _) -> List.mem n names) sections
+    | None ->
+        if quick then List.filter (fun (n, _) -> n = "c1") sections
+        else sections
+  in
   Report.print
     [ Report.heading "biomc benchmark harness";
       Report.text
         "Part 1 reproduces each experiment's table/series; Part 2 times kernels." ];
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  s1 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  a4 ();
-  p1 ();
-  t1 ();
-  run_bechamel ()
+  List.iter (fun (_, f) -> f ()) chosen

@@ -8,7 +8,8 @@
      biomc therapy    — treatment-scheme synthesis (TBI / prostate)
      biomc stability  — Lyapunov certificate synthesis
      biomc smc        — statistical model checking of the p53 module
-     biomc solve      — decide an L_RF formula with the δ-decision core *)
+     biomc solve      — decide an L_RF formula with the δ-decision core
+     biomc synth      — guaranteed parameter synthesis (BioPSy) *)
 
 module I = Interval.Ia
 module Box = Interval.Box
@@ -157,6 +158,20 @@ let jobs_arg =
     & opt int (Parallel.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let no_cache_arg =
+  let doc =
+    "Disable the subsumption caches (flowpipes, HC4 fixpoints, refuted \
+     boxes); equivalent to BIOMC_NO_CACHE=1."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_cache_policy no_cache =
+  if no_cache then Cache.set_policy Cache.Off
+
+(* One-line hits/misses/warm-starts summary, appended to reports of the
+   cache-assisted analyses. *)
+let cache_line () = Report.text "%s" (Cache.summary ())
+
 (* ---- reach ---- *)
 
 let goal_arg =
@@ -187,7 +202,8 @@ let box_arg =
   in
   Arg.(value & opt_all box_conv [] & info [ "box" ] ~docv:"KEY=LO:HI" ~doc)
 
-let reach () (name, entry) t_end params goal goal_modes k boxes jobs =
+let reach () (name, entry) t_end params goal goal_modes k boxes jobs no_cache =
+  apply_cache_policy no_cache;
   let time_bound = Option.value ~default:entry.default_t_end t_end in
   let h = entry.automaton () in
   let h = if params = [] then h else Hybrid.Automaton.bind_params params h in
@@ -209,7 +225,8 @@ let reach () (name, entry) t_end params goal goal_modes k boxes jobs =
               ("time bound", Fmt.str "%g" time_bound);
               ("jobs", string_of_int jobs);
               ("candidate paths", string_of_int (List.length (Reach.Encoding.candidate_paths pb))) ];
-          Report.text "verdict: %s" (Fmt.str "%a" Reach.Checker.pp_result result) ];
+          Report.text "verdict: %s" (Fmt.str "%a" Reach.Checker.pp_result result);
+          cache_line () ];
       Ok ()
 
 let reach_cmd =
@@ -221,7 +238,7 @@ let reach_cmd =
     Term.(
       term_result
         (const reach $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
-       $ goal_modes_arg $ k_arg $ box_arg $ jobs_arg))
+       $ goal_modes_arg $ k_arg $ box_arg $ jobs_arg $ no_cache_arg))
 
 (* ---- robustness ---- *)
 
@@ -350,7 +367,8 @@ let smc_cmd =
 
 (* ---- solve ---- *)
 
-let solve () formula boxes delta jobs =
+let solve () formula boxes delta jobs no_cache =
+  apply_cache_policy no_cache;
   match Expr.Parse.formula_opt formula with
   | None -> Error (`Msg (Printf.sprintf "cannot parse %S" formula))
   | Some f ->
@@ -372,7 +390,8 @@ let solve () formula boxes delta jobs =
               [ ("formula", formula); ("delta", Fmt.str "%g" delta);
                 ("jobs", string_of_int jobs);
                 ("boxes", string_of_int stats.Icp.Solver.boxes_processed) ];
-            Report.text "verdict: %s" (Fmt.str "%a" Icp.Solver.pp_result result) ];
+            Report.text "verdict: %s" (Fmt.str "%a" Icp.Solver.pp_result result);
+            cache_line () ];
         Ok ()
       end
 
@@ -390,7 +409,142 @@ let solve_cmd =
   Cmd.v info
     Term.(
       term_result
-        (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg $ jobs_arg))
+        (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg $ jobs_arg
+       $ no_cache_arg))
+
+(* ---- synth ---- *)
+
+(* Parametric single-mode systems suitable for BioPSy-style synthesis. *)
+let synth_systems =
+  [ ("lotka-volterra", Biomodels.Classics.lotka_volterra);
+    ("lotka-volterra-full", Biomodels.Classics.lotka_volterra_full);
+    ("p53", Biomodels.Classics.p53_mdm2);
+    ("sir", Biomodels.Classics.sir) ]
+
+let synth () name boxes true_params inits points tolerance noise epsilon t_end
+    jobs no_cache =
+  apply_cache_policy no_cache;
+  match List.assoc_opt name synth_systems with
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown system %S (try: %s)" name
+             (String.concat ", " (List.map fst synth_systems))))
+  | Some sys ->
+      let sys_params = Ode.System.params sys in
+      let missing_box =
+        List.filter (fun p -> not (List.mem_assoc p boxes)) sys_params
+      in
+      if missing_box <> [] then
+        Error
+          (`Msg
+            (Printf.sprintf "missing --box for parameter(s): %s"
+               (String.concat ", " missing_box)))
+      else begin
+        let param_box = Box.of_list boxes in
+        (* Ground truth for the synthetic data: --param overrides, box
+           midpoints otherwise. *)
+        let truth =
+          List.map
+            (fun p ->
+              match List.assoc_opt p true_params with
+              | Some v -> (p, v)
+              | None -> (p, I.mid (Box.find p param_box)))
+            sys_params
+        in
+        let init_env =
+          List.map
+            (fun v ->
+              match List.assoc_opt v inits with
+              | Some x -> (v, x)
+              | None -> (v, 0.1))
+            (Ode.System.vars sys)
+        in
+        let data =
+          Synth.Data.synthetic
+            ~rng:(Random.State.make [| 20200426 |])
+            ~sys ~params:truth ~init:init_env ~t_end
+            ~observed:(Ode.System.vars sys) ~n:points ~noise ~tolerance
+        in
+        let init_box =
+          Box.of_list (List.map (fun (v, x) -> (v, I.of_float x)) init_env)
+        in
+        let prob = Synth.Biopsy.problem ~sys ~param_box ~init:init_box ~data in
+        let config = { Synth.Biopsy.default_config with epsilon; jobs } in
+        let r = Synth.Biopsy.synthesize ~config prob in
+        let vc, vi, vu = Synth.Biopsy.volumes prob r in
+        Report.print
+          [ Report.heading (Printf.sprintf "Parameter synthesis: %s" name);
+            Report.kv
+              [ ("parameters", String.concat ", " sys_params);
+                ("ground truth",
+                 String.concat ", "
+                   (List.map (fun (p, v) -> Printf.sprintf "%s=%g" p v) truth));
+                ("data points", string_of_int (List.length data));
+                ("epsilon", Fmt.str "%g" epsilon);
+                ("jobs", string_of_int jobs) ];
+            Report.text "%s" (Fmt.str "%a" Synth.Biopsy.pp_result r);
+            Report.text "volumes: consistent %.4g, inconsistent %.4g, undecided %.4g"
+              vc vi vu;
+            (if Synth.Biopsy.falsified r then
+               Report.text "model FALSIFIED: no parameter fits the data"
+             else Report.text "model admits consistent parameters");
+            cache_line () ];
+        Ok ()
+      end
+
+let synth_cmd =
+  let sys_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SYSTEM"
+          ~doc:"One of the built-in autonomous systems (see `biomc models`).")
+  in
+  let init_arg =
+    let doc = "Initial state component, e.g. --init x=0.2 (repeatable; default 0.1)." in
+    let kv_conv =
+      let parse s =
+        match String.index_opt s '=' with
+        | Some i -> (
+            let k = String.sub s 0 i
+            and v = String.sub s (i + 1) (String.length s - i - 1) in
+            match float_of_string_opt v with
+            | Some f -> Ok (k, f)
+            | None -> Error (`Msg (Printf.sprintf "invalid value in %S" s)))
+        | None -> Error (`Msg (Printf.sprintf "expected key=value, got %S" s))
+      in
+      Arg.conv (parse, fun ppf (k, v) -> Fmt.pf ppf "%s=%g" k v)
+    in
+    Arg.(value & opt_all kv_conv [] & info [ "init" ] ~docv:"VAR=VAL" ~doc)
+  in
+  let points_arg =
+    Arg.(value & opt int 8 & info [ "points" ] ~docv:"N" ~doc:"Samples per observed variable.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0.2 & info [ "tolerance" ] ~docv:"T" ~doc:"Half-width of acceptance bands.")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.0 & info [ "noise" ] ~docv:"W" ~doc:"Uniform noise bound on the data.")
+  in
+  let epsilon_arg =
+    Arg.(value & opt float 1e-2 & info [ "epsilon" ] ~docv:"E" ~doc:"Minimum parameter-box width.")
+  in
+  let t_end_synth_arg =
+    Arg.(value & opt float 10.0 & info [ "t-end" ] ~docv:"TIME" ~doc:"Data horizon.")
+  in
+  let info =
+    Cmd.info "synth"
+      ~doc:
+        "Guaranteed parameter synthesis (BioPSy): pave a parameter box into \
+         consistent / inconsistent / undecided regions against synthetic data."
+  in
+  Cmd.v info
+    Term.(
+      term_result
+        (const synth $ logs_term $ sys_arg $ box_arg $ param_arg $ init_arg
+       $ points_arg $ tolerance_arg $ noise_arg $ epsilon_arg $ t_end_synth_arg
+       $ jobs_arg $ no_cache_arg))
 
 (* ---- export (.drh) ---- *)
 
@@ -443,7 +597,15 @@ let list_models () =
         ~header:[ "name"; "variables" ]
         (List.map
            (fun (n, s) -> [ n; String.concat ", " (Ode.System.vars s) ])
-           classic_systems) ];
+           classic_systems);
+      Report.heading "Built-in parametric systems (for `synth`)";
+      Report.table
+        ~header:[ "name"; "variables"; "parameters" ]
+        (List.map
+           (fun (n, s) ->
+             [ n; String.concat ", " (Ode.System.vars s);
+               String.concat ", " (Ode.System.params s) ])
+           synth_systems) ];
   Ok ()
 
 let list_cmd =
@@ -457,6 +619,6 @@ let main_cmd =
   let info = Cmd.info "biomc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ simulate_cmd; reach_cmd; robustness_cmd; therapy_cmd; stability_cmd;
-      smc_cmd; solve_cmd; export_cmd; list_cmd ]
+      smc_cmd; solve_cmd; synth_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

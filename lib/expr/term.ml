@@ -131,6 +131,63 @@ let free_vars t = free_vars_acc SSet.empty t
 let free_var_list t = SSet.elements (free_vars t)
 let mentions x t = SSet.mem x (free_vars t)
 
+(* Canonical, injective serialization for use as a memoization key.
+   Floats are rendered with %h (hex, exact), so syntactically different
+   constants never collide the way a rounded decimal rendering would. *)
+let fingerprint_acc buf t =
+  let rec go t =
+    let unary tag c =
+      Buffer.add_char buf tag;
+      Buffer.add_char buf '(';
+      go c;
+      Buffer.add_char buf ')'
+    in
+    let binary tag a b =
+      Buffer.add_char buf tag;
+      Buffer.add_char buf '(';
+      go a;
+      Buffer.add_char buf ',';
+      go b;
+      Buffer.add_char buf ')'
+    in
+    match t with
+    | Var x ->
+        Buffer.add_char buf 'v';
+        Buffer.add_string buf x;
+        Buffer.add_char buf ';'
+    | Const c ->
+        Buffer.add_char buf 'c';
+        Buffer.add_string buf (Printf.sprintf "%h;" c)
+    | Add (a, b) -> binary '+' a b
+    | Sub (a, b) -> binary '-' a b
+    | Mul (a, b) -> binary '*' a b
+    | Div (a, b) -> binary '/' a b
+    | Min (a, b) -> binary 'm' a b
+    | Max (a, b) -> binary 'M' a b
+    | Neg a -> unary 'n' a
+    | Pow (a, k) ->
+        Buffer.add_char buf '^';
+        Buffer.add_string buf (string_of_int k);
+        Buffer.add_char buf '(';
+        go a;
+        Buffer.add_char buf ')'
+    | Exp a -> unary 'e' a
+    | Log a -> unary 'l' a
+    | Sqrt a -> unary 'q' a
+    | Sin a -> unary 's' a
+    | Cos a -> unary 'o' a
+    | Tan a -> unary 't' a
+    | Atan a -> unary 'a' a
+    | Tanh a -> unary 'h' a
+    | Abs a -> unary 'b' a
+  in
+  go t
+
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  fingerprint_acc buf t;
+  Buffer.contents buf
+
 (* ---- Mapping and substitution ---- *)
 
 let rec map_vars f = function

@@ -91,6 +91,14 @@ val mentions : string -> t -> bool
 val equal : t -> t -> bool
 (** Structural equality. *)
 
+val fingerprint : t -> string
+(** Canonical injective serialization (floats rendered exactly with %h):
+    two terms share a fingerprint iff they are structurally equal.  Used
+    as a collision-safe memoization key by the subsumption caches. *)
+
+val fingerprint_acc : Buffer.t -> t -> unit
+(** {!fingerprint} into an existing buffer (for composite keys). *)
+
 (** {1 Transformation} *)
 
 val map_vars : (string -> t) -> t -> t

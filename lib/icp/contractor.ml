@@ -362,12 +362,60 @@ let fixpoint_compiled ?(tol = 0.01) ?(max_rounds = 20) cs box =
   in
   loop 0
 
+(* Collision-safe fingerprint of a constraint system (terms with exact
+   float rendering, targets with %h bounds): structurally identical
+   systems — e.g. the same formula decided twice, or the same atoms
+   compiled by a sibling query — share one cache group. *)
+let fingerprint constraints =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      Expr.Term.fingerprint_acc buf c.term;
+      Buffer.add_string buf (Printf.sprintf "@%h,%h;" (I.lo c.target) (I.hi c.target)))
+    constraints;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* HC4 fixpoint cache: group = (constraint fingerprint, tol, max_rounds,
+   evaluation path); value = the contraction result (None = refuted).
+   Exact hits replay the deterministic fixpoint bit-for-bit.  Under the
+   Warm policy a contained query may reuse a cached refutation (a box
+   with no solution has no solution in any sub-box) or seed the fixpoint
+   with query ∩ cached-result (sound: all solutions of the query lie in
+   both). *)
+let hc4_cache : Box.t option Cache.t = Cache.create ~group_capacity:1024 "hc4"
+
 (* Compile-once fixpoint closure: tape-backed when tapes are enabled,
    tree-walking otherwise.  The closure is safe to share across worker
-   domains (tapes are immutable; scratch is per-domain via Domain.DLS). *)
+   domains (tapes are immutable; scratch is per-domain via Domain.DLS;
+   the cache shards are mutex-guarded). *)
 let contractor ?tol ?max_rounds constraints =
-  if Expr.Tape.enabled () then begin
-    let cs = compile constraints in
-    fun box -> fixpoint_compiled ?tol ?max_rounds cs box
+  let base =
+    if Expr.Tape.enabled () then begin
+      let cs = compile constraints in
+      fun box -> fixpoint_compiled ?tol ?max_rounds cs box
+    end
+    else fun box -> fixpoint ?tol ?max_rounds constraints box
+  in
+  if not (Cache.enabled ()) then base
+  else begin
+    let group =
+      Printf.sprintf "hc4|%s|%s|%s|%b" (fingerprint constraints)
+        (match tol with None -> "-" | Some t -> Printf.sprintf "%h" t)
+        (match max_rounds with None -> "-" | Some r -> string_of_int r)
+        (Expr.Tape.enabled ())
+    in
+    fun box ->
+      match Cache.find hc4_cache ~group box with
+      | Cache.Hit r -> r
+      | Cache.Subsumed (_, None) -> None
+      | Cache.Subsumed (_, Some parent) ->
+          let seeded = Box.inter box parent in
+          let r = if Box.is_empty seeded then None else base seeded in
+          Cache.note_warm_start hc4_cache ~saved_iterations:0;
+          Cache.add hc4_cache ~group box r;
+          r
+      | Cache.Miss ->
+          let r = base box in
+          Cache.add hc4_cache ~group box r;
+          r
   end
-  else fun box -> fixpoint ?tol ?max_rounds constraints box

@@ -19,6 +19,11 @@ val of_atom : ?delta:float -> Expr.Formula.atom -> constr
 
 val pp_constr : constr Fmt.t
 
+val fingerprint : constr list -> string
+(** Collision-safe digest of a constraint system (exact float rendering):
+    equal fingerprints imply structurally identical constraints.  Keys
+    the HC4 fixpoint cache and the solver's refuted-box store. *)
+
 val revise :
   term:Expr.Term.t -> target:Interval.Ia.t -> Interval.Box.t -> Interval.Box.t option
 (** One HC4-revise step.  [None] means the constraint is infeasible on the

@@ -147,17 +147,56 @@ type box_outcome =
   | Found of result  (** a δ-sat verdict, certified or sub-ε one-sided *)
   | Split_into of Box.t * Box.t
 
-let process_box cfg stats contract formula b =
+(* Verdict store of refuted (pruned) boxes, shared across queries and
+   worker domains.  A pruning is a proof that no point of the box
+   satisfies the conjunction, so an exact hit replays it for free and —
+   under the Warm policy — a hit on a containing box refutes every
+   sub-box (interval monotonicity).  δ-sat verdicts are never stored:
+   only refutations are monotone. *)
+let refuted_cache : unit Cache.t = Cache.create "icp-refuted"
+
+let refuted_group cfg atoms =
+  if not (Cache.enabled ()) then None
+  else
+    let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
+    Some
+      (Printf.sprintf "prune|%s|%h|%d|%b|%b"
+         (Contractor.fingerprint constraints)
+         cfg.delta cfg.contractor_rounds cfg.use_contraction
+         (Expr.Tape.enabled ()))
+
+let process_box cfg stats ?refuted contract formula b =
+  let known_refuted =
+    match refuted with
+    | None -> false
+    | Some group -> (
+        match Cache.find refuted_cache ~group b with
+        | Cache.Hit () | Cache.Subsumed (_, ()) -> true
+        | Cache.Miss -> false)
+  in
+  let record_refuted () =
+    match refuted with
+    | None -> ()
+    | Some group -> Cache.add refuted_cache ~group b ()
+  in
+  if known_refuted then begin
+    stats.prunings <- stats.prunings + 1;
+    Pruned
+  end
+  else
   match contract b with
   | None ->
+      record_refuted ();
       stats.prunings <- stats.prunings + 1;
       Pruned
   | Some b' ->
       if Box.is_empty b' then begin
+        record_refuted ();
         stats.prunings <- stats.prunings + 1;
         Pruned
       end
       else if not (Expr.Formula.sat_possible ~delta:cfg.delta b' formula) then begin
+        record_refuted ();
         stats.prunings <- stats.prunings + 1;
         Pruned
       end
@@ -190,6 +229,7 @@ let conjunction_contractor cfg atoms =
 let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
     atoms box =
   let contract = conjunction_contractor cfg atoms in
+  let refuted = refuted_group cfg atoms in
   let rec loop = function
     | [] -> Unsat
     | (b, depth) :: rest ->
@@ -199,7 +239,7 @@ let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
           if depth > stats.max_depth then stats.max_depth <- depth;
           if not (spend ()) then Unknown "box budget exhausted"
           else
-            match process_box cfg stats contract formula b with
+            match process_box cfg stats ?refuted contract formula b with
             | Pruned -> loop rest
             | Found r -> r
             | Split_into (l, r) ->
@@ -233,6 +273,7 @@ let rec record_verdict cell r =
    δ-sat witness stops the frontier; unsat requires exhaustion. *)
 let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box =
   let contract = conjunction_contractor cfg atoms in
+  let refuted = refuted_group cfg atoms in
   let cell = make_verdict_cell () in
   let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
   Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
@@ -244,7 +285,7 @@ let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box 
         Parallel.Pool.Frontier.stop fr
       end
       else
-        match process_box cfg stats contract formula b with
+        match process_box cfg stats ?refuted contract formula b with
         | Pruned -> ()
         | Found r ->
             record_verdict cell r;
@@ -373,10 +414,41 @@ type pave_outcome =
   | Pave_split of Box.t * Box.t
   | Pave_undecided
 
-let pave_step cfg contract formula b =
+(* Unsat verdicts in a paving are monotone ("no point of the box
+   satisfies the formula"), so they are shared through the same store as
+   decide-side prunings, under a formula-keyed group.  Certain/sat
+   verdicts are NOT monotone in the useful direction for reuse across
+   different boxes and are never stored. *)
+let pave_group cfg formula =
+  if not (Cache.enabled ()) then None
+  else
+    Some
+      (Printf.sprintf "pave|%s|%b|%b"
+         (Digest.to_hex (Digest.string (Expr.Formula.fingerprint formula)))
+         cfg.use_contraction
+         (Expr.Tape.enabled ()))
+
+let pave_step cfg ?refuted contract formula b =
+  let known_unsat =
+    match refuted with
+    | None -> false
+    | Some group -> (
+        match Cache.find refuted_cache ~group b with
+        | Cache.Hit () | Cache.Subsumed (_, ()) -> true
+        | Cache.Miss -> false)
+  in
+  let record_unsat () =
+    match refuted with
+    | None -> ()
+    | Some group -> Cache.add refuted_cache ~group b ()
+  in
+  if known_unsat then Pave_unsat
+  else
   match Expr.Formula.eval_cert b formula with
   | Expr.Formula.Certain -> Pave_sat
-  | Expr.Formula.Impossible -> Pave_unsat
+  | Expr.Formula.Impossible ->
+      record_unsat ();
+      Pave_unsat
   | Expr.Formula.Unknown ->
       (* Contraction accelerates carving of the unsat region, but the
          removed shell must be recorded as unsat, not dropped: split
@@ -384,7 +456,10 @@ let pave_step cfg contract formula b =
          stay simple and exact we only use contraction as an
          infeasibility test here. *)
       let infeasible = cfg.use_contraction && Option.is_none (contract b) in
-      if infeasible then Pave_unsat
+      if infeasible then begin
+        record_unsat ();
+        Pave_unsat
+      end
       else (
         match Box.split ~min_width:cfg.epsilon b with
         | Some (l, r) -> Pave_split (l, r)
@@ -399,6 +474,7 @@ let pave_with_stats ?(config = default_config) formula box =
     if config.use_contraction then Contractor.contractor ~max_rounds:2 constraints
     else fun b -> Some b
   in
+  let refuted = pave_group config formula in
   let jobs = Stdlib.max 1 config.jobs in
   let stats = fresh_stats () in
   if jobs = 1 then begin
@@ -411,7 +487,7 @@ let pave_with_stats ?(config = default_config) formula box =
         decr budget;
         stats.boxes_processed <- stats.boxes_processed + 1;
         if depth > stats.max_depth then stats.max_depth <- depth;
-        match pave_step config contract formula b with
+        match pave_step config ?refuted contract formula b with
         | Pave_sat -> sat := b :: !sat
         | Pave_unsat ->
             stats.prunings <- stats.prunings + 1;
@@ -443,7 +519,7 @@ let pave_with_stats ?(config = default_config) formula box =
         else begin
           st.boxes_processed <- st.boxes_processed + 1;
           if depth > st.max_depth then st.max_depth <- depth;
-          match pave_step config contract formula b with
+          match pave_step config ?refuted contract formula b with
           | Pave_sat -> sat := b :: !sat
           | Pave_unsat ->
               st.prunings <- st.prunings + 1;

@@ -43,6 +43,11 @@ let inter (a : t) (b : t) : t =
 let hull (a : t) (b : t) : t =
   SMap.union (fun _ i j -> Some (Ia.hull i j)) a b
 
+(* Disjoint union of two boxes over different variable sets (e.g. the
+   parameter box joined with the initial-state box, forming one cache
+   key).  Left-biased on a shared variable. *)
+let join (a : t) (b : t) : t = SMap.union (fun _ i _ -> Some i) a b
+
 let width (b : t) =
   SMap.fold (fun _ i acc -> Float.max acc (Ia.width i)) b 0.0
 

@@ -34,6 +34,11 @@ val subset : t -> t -> bool
 val inter : t -> t -> t
 val hull : t -> t -> t
 
+val join : t -> t -> t
+(** Disjoint union over different variable sets (left-biased when a
+    variable is bound in both): [join params init] is the combined box
+    used as a flowpipe-cache key. *)
+
 (** {1 Geometry} *)
 
 val width : t -> float

@@ -34,6 +34,14 @@ let default_config =
   { order = Taylor_2; h = 0.05; h_min = 1e-5; inflation = 0.05; max_picard = 30;
     max_width = 1e4 }
 
+(* Exact fingerprint of a config (%h floats), part of every flowpipe
+   cache key: entries computed under different step/inflation settings
+   must never be confused. *)
+let config_fingerprint cfg =
+  Printf.sprintf "%s|%h|%h|%h|%d|%h"
+    (match cfg.order with Euler_1 -> "e1" | Taylor_2 -> "t2")
+    cfg.h cfg.h_min cfg.inflation cfg.max_picard cfg.max_width
+
 type step = {
   t_lo : float;
   t_hi : float;
@@ -72,8 +80,10 @@ let box_add_scaled state scale deriv =
     (fun b (v, d) -> Box.update v (fun x -> I.add x (I.mul scale d)) b)
     state deriv
 
-(* One validated step; [None] when no a-priori enclosure was found. *)
-let flow_step cfg sys second params t0 h x0 =
+(* One validated step; [None] when no a-priori enclosure was found.
+   [iters] accumulates Picard iterations (for cache warm-start
+   accounting). *)
+let flow_step cfg sys second params t0 h x0 iters =
   let time_whole = I.make t0 (t0 +. h) in
   let h_itv = I.make 0.0 h in
   let field = System.rhs sys in
@@ -81,6 +91,7 @@ let flow_step cfg sys second params t0 h x0 =
   let rec picard b k =
     if k > cfg.max_picard then None
     else
+      let () = incr iters in
       let f_b = eval_field field params time_whole b in
       let next = box_add_scaled x0 h_itv f_b in
       if Box.subset next b then Some b
@@ -146,7 +157,7 @@ let prepare sys =
       Expr.Tape.compile ~vars:inputs (List.map snd (second_derivative sys));
   }
 
-let flow_tape cfg prep ~params ~init ~t_end t0 =
+let flow_tape ?(warm = []) cfg prep ~params ~init ~t_end ~iters t0 =
   let sys = prep.p_sys in
   let vars = Array.of_list (System.vars sys) in
   let n = Array.length vars in
@@ -170,13 +181,18 @@ let flow_tape cfg prep ~params ~init ~t_end t0 =
   let width_of (x : I.t array) =
     Array.fold_left (fun acc i -> Float.max acc (I.width i)) 0.0 x
   in
-  (* One validated step on interval arrays; mirrors [flow_step]. *)
-  let step_tape t0 h (x0 : I.t array) =
+  (* One validated step on interval arrays; mirrors [flow_step].  [seed]
+     overrides the Euler-based a-priori candidate — used to warm-start
+     Picard from a cached parent enclosure.  Rigor is untouched: whatever
+     the candidate, the step succeeds only once the Picard containment
+     x0 + [0,h]·f(B) ⊆ B is verified. *)
+  let step_tape ?seed t0 h (x0 : I.t array) =
     let time_whole = I.make t0 (t0 +. h) in
     let h_itv = I.make 0.0 h in
     let rec picard b k =
       if k > cfg.max_picard then None
       else begin
+        incr iters;
         eval_field prep.rhs_tape sc_rhs time_whole b fbuf;
         let next = Array.init n (fun i -> I.add x0.(i) (I.mul h_itv fbuf.(i))) in
         let subset = ref true in
@@ -194,11 +210,14 @@ let flow_tape cfg prep ~params ~init ~t_end t0 =
       end
     in
     let seed =
-      eval_field prep.rhs_tape sc_rhs time_whole x0 fbuf;
-      Array.init n (fun i ->
-          let next = I.add x0.(i) (I.mul h_itv fbuf.(i)) in
-          I.hull x0.(i)
-            (I.inflate (cfg.inflation *. (I.width next +. 1e-9)) next))
+      match seed with
+      | Some b -> b
+      | None ->
+          eval_field prep.rhs_tape sc_rhs time_whole x0 fbuf;
+          Array.init n (fun i ->
+              let next = I.add x0.(i) (I.mul h_itv fbuf.(i)) in
+              I.hull x0.(i)
+                (I.inflate (cfg.inflation *. (I.width next +. 1e-9)) next))
     in
     match picard seed 0 with
     | None -> None
@@ -221,7 +240,18 @@ let flow_tape cfg prep ~params ~init ~t_end t0 =
         in
         if Array.exists I.is_empty at_end then None else Some (b, at_end)
   in
-  let rec go t x h steps =
+  (* [warm]: remaining steps of a cached parent tube (query boxes ⊆ the
+     cached ones).  When the cached grid lines up with the current time,
+     the parent's step enclosure seeds Picard; by inclusion isotonicity
+     the very first containment check then succeeds, so a warm step costs
+     one iteration instead of a cold inflation loop.  A failed
+     containment (or a grid mismatch after step-halving) just drops back
+     to the cold path — soundness never depends on the cache. *)
+  let rec drop_passed t = function
+    | (w : step) :: rest when w.t_hi <= t +. 1e-12 -> drop_passed t rest
+    | warm -> warm
+  in
+  let rec go t x h steps warm =
     if t >= t_end -. 1e-12 then
       { vars = System.vars sys; steps = List.rev steps; final = box_of x;
         t_end = t; complete = true }
@@ -231,57 +261,115 @@ let flow_tape cfg prep ~params ~init ~t_end t0 =
         t_end = t; complete = false }
     end
     else
+      match drop_passed t warm with
+      | (w : step) :: wrest
+        when Float.abs (w.t_lo -. t) <= 1e-12 && w.t_hi <= t_end +. 1e-12 -> (
+          let hw = w.t_hi -. t in
+          match step_tape ~seed:(arr_of w.enclosure) t hw x with
+          | Some (b, x') ->
+              let step =
+                { t_lo = t; t_hi = t +. hw; enclosure = box_of b;
+                  at_end = box_of x' }
+              in
+              go step.t_hi x' cfg.h (step :: steps) wrest
+          | None -> go t x h steps [])
+      | warm -> (
+          let h = Float.min h (t_end -. t) in
+          match step_tape t h x with
+          | Some (b, x') ->
+              let step =
+                { t_lo = t; t_hi = t +. h; enclosure = box_of b;
+                  at_end = box_of x' }
+              in
+              go step.t_hi x' cfg.h (step :: steps) warm
+          | None ->
+              if h <= cfg.h_min then
+                { vars = System.vars sys; steps = List.rev steps;
+                  final = box_of x; t_end = t; complete = false }
+              else go t x (h /. 2.0) steps warm)
+  in
+  go t0 (arr_of init) cfg.h [] warm
+
+let flow_tree config sys ~params ~init ~t_end ~iters t0 =
+  let second = if config.order = Taylor_2 then second_derivative sys else [] in
+  let rec go t x h steps =
+    if t >= t_end -. 1e-12 then
+      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = true }
+    else if Box.width x > config.max_width then begin
+      Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (Box.width x));
+      { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = false }
+    end
+    else
       let h = Float.min h (t_end -. t) in
-      match step_tape t h x with
-      | Some (b, x') ->
-          let step =
-            { t_lo = t; t_hi = t +. h; enclosure = box_of b; at_end = box_of x' }
-          in
-          go step.t_hi x' cfg.h (step :: steps)
+      match flow_step config sys second params t h x iters with
+      | Some (step, x') -> go step.t_hi x' config.h (step :: steps)
       | None ->
-          if h <= cfg.h_min then
-            { vars = System.vars sys; steps = List.rev steps; final = box_of x;
-              t_end = t; complete = false }
+          if h <= config.h_min then
+            { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
+              complete = false }
           else go t x (h /. 2.0) steps
   in
-  go t0 (arr_of init) cfg.h []
+  go t0 init config.h []
+
+(* Flowpipe cache.  Group key = (system digest, config fingerprint,
+   evaluation path, t0, t_end); entry key = params ⊎ init as one box;
+   value = (tube, Picard iterations spent).  The tape and tree paths
+   produce bit-identical tubes, but they stay in separate groups so the
+   tree path remains a genuinely independent oracle for differential
+   tests even with caching on. *)
+let tube_cache : (tube * int) Cache.t =
+  Cache.create ~group_capacity:4096 "flow"
 
 (* Integrate from [init] (a box over state variables) for [t_end] time
    units with parameters in [params] (a box over parameter names).
    [prepared] skips the per-call tape compilation; build it once per
-   problem when calling [flow] many times on the same system. *)
+   problem when calling [flow] many times on the same system.
+
+   Caching: an exact (Box.equal) hit returns the cached tube — identical
+   to recomputation, since integration is deterministic.  Under the Warm
+   policy, a query contained in a cached box warm-starts Picard from the
+   cached step enclosures (sound: the containment check still runs per
+   step; wider: the a-priori enclosures are the parent's). *)
 let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
     sys =
-  if Expr.Tape.enabled () then
-    let prep =
-      match prepared with
-      | Some p -> p
-      | None ->
-          (* One-time symbolic + tape compilation: negligible against the
-             thousands of Picard evaluations of a typical flow. *)
-          prepare sys
+  let run ?warm () =
+    let iters = ref 0 in
+    let tube =
+      if Expr.Tape.enabled () then
+        let prep =
+          match prepared with
+          | Some p -> p
+          | None ->
+              (* One-time symbolic + tape compilation: negligible against
+                 the thousands of Picard evaluations of a typical flow. *)
+              prepare sys
+        in
+        flow_tape ?warm config prep ~params ~init ~t_end ~iters t0
+      else flow_tree config sys ~params ~init ~t_end ~iters t0
     in
-    flow_tape config prep ~params ~init ~t_end t0
+    (tube, !iters)
+  in
+  if not (Cache.enabled ()) then fst (run ())
   else begin
-    let second = if config.order = Taylor_2 then second_derivative sys else [] in
-    let rec go t x h steps =
-      if t >= t_end -. 1e-12 then
-        { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = true }
-      else if Box.width x > config.max_width then begin
-        Log.debug (fun m -> m "enclosure blow-up at t=%g (width %g)" t (Box.width x));
-        { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t; complete = false }
-      end
-      else
-        let h = Float.min h (t_end -. t) in
-        match flow_step config sys second params t h x with
-        | Some (step, x') -> go step.t_hi x' config.h (step :: steps)
-        | None ->
-            if h <= config.h_min then
-              { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
-                complete = false }
-            else go t x (h /. 2.0) steps
+    let group =
+      Printf.sprintf "flow|%s|%s|%b|%h|%h" (System.digest sys)
+        (config_fingerprint config)
+        (Expr.Tape.enabled ())
+        t0 t_end
     in
-    go t0 init config.h []
+    let key = Box.join params init in
+    match Cache.find tube_cache ~group key with
+    | Cache.Hit (tube, _) -> tube
+    | Cache.Subsumed (_, (ctube, citers))
+      when Expr.Tape.enabled () && ctube.complete ->
+        let tube, iters = run ~warm:ctube.steps () in
+        Cache.note_warm_start tube_cache ~saved_iterations:(citers - iters);
+        Cache.add tube_cache ~group key (tube, iters);
+        tube
+    | Cache.Subsumed _ | Cache.Miss ->
+        let tube, iters = run () in
+        Cache.add tube_cache ~group key (tube, iters);
+        tube
   end
 
 (* Hull of the tube over its whole time span. *)

@@ -24,6 +24,11 @@ type config = {
 
 val default_config : config
 
+val config_fingerprint : config -> string
+(** Exact textual fingerprint (floats rendered with %h), used as part of
+    flowpipe/verdict cache keys by this module and by callers keying
+    their own caches on an enclosure configuration. *)
+
 type step = {
   t_lo : float;
   t_hi : float;

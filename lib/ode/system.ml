@@ -18,6 +18,9 @@ type t = {
          first compile and reused by every later one (e.g. one compile
          per SMC sample).  Writing the cache twice from racing domains is
          benign: both tapes are equivalent and immutable. *)
+  mutable digest : string option;
+      (* structural digest of (vars, params, rhs), built on first use;
+         racing writes are benign for the same reason as [rhs_tape] *)
 }
 
 let vars s = s.vars
@@ -63,7 +66,7 @@ let create ~vars ~params ~rhs =
     rhs;
   (* Order equations by variable order. *)
   let rhs = List.map (fun v -> (v, List.assoc v rhs)) vars in
-  { vars; params; rhs; rhs_tape = None }
+  { vars; params; rhs; rhs_tape = None; digest = None }
 
 (* Parse a system from (var, rhs-string) pairs. *)
 let of_strings ~vars ~params ~rhs =
@@ -78,6 +81,7 @@ let bind_params env s =
     params = remaining;
     rhs = List.map (fun (v, t) -> (v, Expr.Term.subst bindings t)) s.rhs;
     rhs_tape = None;
+    digest = None;
   }
 
 (* The field's flat tape over vars @ params @ [t], compiled on demand. *)
@@ -92,6 +96,30 @@ let rhs_tape s =
       in
       s.rhs_tape <- Some tp;
       tp
+
+(* Structural digest of the system (state order, parameter order, and
+   every right-hand side with exact float rendering): equal digests imply
+   identical dynamics, so they key the flowpipe caches soundly across
+   independently constructed copies of one model. *)
+let digest s =
+  match s.digest with
+  | Some d -> d
+  | None ->
+      let buf = Buffer.create 256 in
+      List.iter (fun v -> Buffer.add_string buf v; Buffer.add_char buf ';') s.vars;
+      Buffer.add_char buf '|';
+      List.iter (fun p -> Buffer.add_string buf p; Buffer.add_char buf ';') s.params;
+      Buffer.add_char buf '|';
+      List.iter
+        (fun (v, t) ->
+          Buffer.add_string buf v;
+          Buffer.add_char buf '=';
+          Expr.Term.fingerprint_acc buf t;
+          Buffer.add_char buf ';')
+        s.rhs;
+      let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+      s.digest <- Some d;
+      d
 
 (* Compile the vector field into a fast closure.  The returned function
    computes the derivative array for a given time and state; parameters
@@ -134,6 +162,46 @@ let compile ?(param_env = []) s =
       Array.blit state 0 arr 0 n;
       arr.(n) <- t;
       Array.map (fun f -> f arr) compiled
+  end
+
+(* Like [compile], but the returned closure writes the derivative into a
+   caller-provided buffer instead of allocating a fresh array per call.
+   This is the allocation-free form the numerical steppers use: profiling
+   the SMC trajectory path showed the per-evaluation [Array.make] in
+   [compile] (4-6 field evaluations per RKF45 step, one array each) was
+   most of what kept the tape speedup flat there. *)
+let compile_into ?(param_env = []) s =
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p param_env) then
+        invalid_arg (Printf.sprintf "System.compile_into: parameter %S not bound" p))
+    s.params;
+  let n = List.length s.vars in
+  if Expr.Tape.enabled () then begin
+    let tp = rhs_tape s in
+    let np = List.length s.params in
+    let inp = Array.make (n + np + 1) 0.0 in
+    List.iteri (fun j p -> inp.(n + j) <- List.assoc p param_env) s.params;
+    let sc = Expr.Tape.scratch tp in
+    fun t state out ->
+      Array.blit state 0 inp 0 n;
+      inp.(n + np) <- t;
+      Expr.Tape.eval_floats_into tp sc ~inputs:inp ~out
+  end
+  else begin
+    let bound = bind_params param_env s in
+    let order = bound.vars @ [ time_var ] in
+    let compiled =
+      Array.of_list
+        (List.map (fun (_, t) -> Expr.Term.compile ~vars:order t) bound.rhs)
+    in
+    let arr = Array.make (n + 1) 0.0 in
+    fun t state out ->
+      Array.blit state 0 arr 0 n;
+      arr.(n) <- t;
+      for i = 0 to n - 1 do
+        out.(i) <- compiled.(i) arr
+      done
   end
 
 (* Interval evaluation of the vector field over a box binding state

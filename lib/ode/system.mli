@@ -45,6 +45,24 @@ val compile : ?param_env:(string * float) list -> t -> float -> float array -> f
     closure would also require).
     @raise Invalid_argument on an unbound parameter. *)
 
+val compile_into :
+  ?param_env:(string * float) list ->
+  t ->
+  float ->
+  float array ->
+  float array ->
+  unit
+(** [compile_into ~param_env sys] is the field as a write-into closure
+    [t -> state -> out -> unit]: like {!compile} but allocation-free per
+    evaluation (the numerical steppers' hot path).  Same sharing rules as
+    {!compile}: the closure owns scratch, compile one per domain.
+    @raise Invalid_argument on an unbound parameter. *)
+
+val digest : t -> string
+(** Structural digest of (vars, params, right-hand sides), cached on the
+    system: equal digests imply identical dynamics.  Keys the flowpipe
+    caches across independently constructed copies of a model. *)
+
 val eval_interval :
   ?time:Interval.Ia.t -> t -> Interval.Box.t -> (string * Interval.Ia.t) list
 (** Interval enclosure of the field over a box binding states and

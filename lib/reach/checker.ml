@@ -192,10 +192,40 @@ let bracket_of_traces cfg t_end traces =
   in
   List.filter_map Fun.id steps
 
+(* Segment-enclosure cache: path enumeration revisits mode flows (every
+   candidate path shares prefixes with its extensions, and synthesis
+   re-checks shrinking sub-boxes), so memoize the whole
+   validated-or-bracketed answer.  The fallback bracket is deterministic
+   (fixed sampling seed), so exact replay is identity-preserving; under
+   the Warm policy a parent box's enclosure is reused directly for
+   sub-boxes — sound because it contains every trajectory of the
+   sub-box too (and [None] means "no usable enclosure", a conservative
+   answer that stays conservative on sub-boxes). *)
+let seg_cache : segment_enclosure option Cache.t =
+  Cache.create ~group_capacity:2048 "reach-seg"
+
+let method_fingerprint = function
+  | Ode.Integrate.Euler h -> Printf.sprintf "E%h" h
+  | Ode.Integrate.Rk4 h -> Printf.sprintf "R%h" h
+  | Ode.Integrate.Rkf45 { rtol; atol; h0; h_max } ->
+      Printf.sprintf "F%h,%h,%h,%h" rtol atol h0 h_max
+  | Ode.Integrate.Implicit_euler { h; newton_iters; newton_tol } ->
+      Printf.sprintf "I%h,%d,%h" h newton_iters newton_tol
+
+let seg_group cfg pb_sys ~t_end =
+  Printf.sprintf "segenc|%s|%s|%s|%d|%d|%h|%h|%b|%h"
+    (Ode.System.digest pb_sys)
+    (Ode.Enclosure.config_fingerprint cfg.enclosure)
+    (method_fingerprint cfg.sim_method)
+    cfg.fallback_samples cfg.fallback_windows cfg.fallback_margin
+    cfg.tube_quality_width
+    (Expr.Tape.enabled ())
+    t_end
+
 (* Compute an enclosure of the flow of [sys] from [init_box] under
    [params_box] over [0, t_end]; validated when possible, bracketed
    otherwise.  [None] when even the ensemble produced nothing. *)
-let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
+let flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
   let tube =
     Ode.Enclosure.flow ~config:cfg.enclosure ~prepared ~params:params_box
       ~init:init_box ~t_end pb_sys
@@ -230,6 +260,28 @@ let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
     match bracket_of_traces cfg t_end traces with
     | [] -> None
     | steps -> Some { steps; rigorous = false }
+  end
+
+let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
+  if not (Cache.enabled ()) then
+    flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box ~t_end
+  else begin
+    let group = seg_group cfg pb_sys ~t_end in
+    let key = Box.join params_box init_box in
+    match Cache.find seg_cache ~group key with
+    | Cache.Hit seg -> seg
+    | Cache.Subsumed (_, seg) ->
+        (* Warm policy only: a containing box's enclosure (or its
+           conservative [None]) is valid for this sub-box as-is. *)
+        Cache.note_warm_start seg_cache ~saved_iterations:0;
+        seg
+    | Cache.Miss ->
+        let seg =
+          flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box
+            ~t_end
+        in
+        Cache.add seg_cache ~group key seg;
+        seg
   end
 
 (* ---- Validated path feasibility ---- *)

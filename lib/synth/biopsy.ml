@@ -58,8 +58,38 @@ let problem ~sys ~param_box ~init ~data =
 
 type verdict = All_fit | None_fit | Split_
 
+(* Verdict store for parameter-box classification.  [classify] is a pure,
+   deterministic function of (problem, config, box), so exact replays are
+   identity-preserving.  Under the Warm policy, a containing box's
+   conclusive verdict transfers to sub-boxes: All_fit and None_fit are
+   both statements about the *true* trajectories of every parameter in
+   the box (proved through the parent's validated tube, which encloses
+   the sub-box's trajectories too); only Split_ must be recomputed. *)
+let verdict_cache : verdict Cache.t = Cache.create ~group_capacity:4096 "biopsy"
+
+let problem_group cfg prob =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "biopsy|";
+  Buffer.add_string buf (Ode.System.digest prob.sys);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Ode.Enclosure.config_fingerprint cfg.enclosure);
+  Buffer.add_string buf (Printf.sprintf "|%b|" (Expr.Tape.enabled ()));
+  List.iter
+    (fun (v, itv) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s=%h,%h;" v (I.lo itv) (I.hi itv)))
+    (Box.to_list prob.init);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (p : Data.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%h:%s=%h±%h;" p.Data.time p.Data.var p.Data.value
+           p.Data.tolerance))
+    prob.data;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* Classify one parameter box against the data using a validated tube. *)
-let classify cfg prob prepared pbox =
+let classify_uncached cfg prob prepared pbox =
   let t_end = Data.horizon prob.data in
   let tube =
     Ode.Enclosure.flow ~config:cfg.enclosure ~prepared ~params:pbox
@@ -81,6 +111,22 @@ let classify cfg prob prepared pbox =
     go true prob.data
   end
 
+(* [group] is [problem_group cfg prob] when caching is on, [None] when
+   off (computed once per synthesis, not per box). *)
+let classify cfg prob prepared ?group pbox =
+  match group with
+  | None -> classify_uncached cfg prob prepared pbox
+  | Some group -> (
+      match Cache.find verdict_cache ~group pbox with
+      | Cache.Hit v -> v
+      | Cache.Subsumed (_, (All_fit | None_fit as v)) ->
+          Cache.note_warm_start verdict_cache ~saved_iterations:0;
+          v
+      | Cache.Subsumed (_, Split_) | Cache.Miss ->
+          let v = classify_uncached cfg prob prepared pbox in
+          Cache.add verdict_cache ~group pbox v;
+          v)
+
 type result = {
   consistent : Box.t list;
   inconsistent : Box.t list;
@@ -101,6 +147,9 @@ let pp_result ppf r =
 let synthesize ?(config = default_config) prob =
   let jobs = Stdlib.max 1 config.jobs in
   let prepared = Ode.Enclosure.prepare prob.sys in
+  let group =
+    if Cache.enabled () then Some (problem_group config prob) else None
+  in
   let result =
     if jobs = 1 then begin
       let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
@@ -111,7 +160,7 @@ let synthesize ?(config = default_config) prob =
         else begin
           decr budget;
           incr explored;
-          match classify config prob prepared pbox with
+          match classify config prob prepared ?group pbox with
           | All_fit -> consistent := pbox :: !consistent
           | None_fit -> inconsistent := pbox :: !inconsistent
           | Split_ -> (
@@ -143,7 +192,7 @@ let synthesize ?(config = default_config) prob =
           if Atomic.fetch_and_add spent 1 >= config.max_boxes then
             undecided := pbox :: !undecided
           else
-            match classify config prob prepared pbox with
+            match classify config prob prepared ?group pbox with
             | All_fit -> consistent := pbox :: !consistent
             | None_fit -> inconsistent := pbox :: !inconsistent
             | Split_ -> (

@@ -1,0 +1,537 @@
+(* Differential tests: cached vs uncached analyses.
+
+   The Exact policy (the default) only replays results for boxes equal
+   to a previously queried one, and every cached computation is a
+   deterministic function of its key — so decide, pave, flow and
+   synthesize must produce *identical* answers with the caches on, off,
+   and pre-populated.  The Warm policy relaxes identity to soundness
+   (subsumption reuse, warm-started enclosures), which we check against
+   ground truth instead: refutations stay refutations, enclosures still
+   contain sampled trajectories, and All_fit boxes really fit the data. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module T = Expr.Term
+module F = Expr.Formula
+module S = Icp.Solver
+module Enc = Ode.Enclosure
+module B = Synth.Biopsy
+module D = Synth.Data
+
+(* Every run below clears the caches before and after, so tests are
+   independent of execution order and of each other's populations. *)
+let with_policy p f =
+  Cache.clear ();
+  Cache.set_policy p;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear_policy_override ();
+      Cache.clear ())
+    f
+
+(* ---- random generators (deterministic seeds) ---- *)
+
+let vars = [ "x"; "y" ]
+let nvars = List.length vars
+
+let rand_leaf st =
+  if Random.State.bool st then T.var (List.nth vars (Random.State.int st nvars))
+  else T.const (Random.State.float st 4.0 -. 2.0)
+
+let rec rand_term st depth =
+  if depth = 0 then rand_leaf st
+  else
+    let sub () = rand_term st (depth - 1) in
+    match Random.State.int st 8 with
+    | 0 -> T.add (sub ()) (sub ())
+    | 1 -> T.sub (sub ()) (sub ())
+    | 2 -> T.mul (sub ()) (sub ())
+    | 3 -> T.neg (sub ())
+    | 4 -> T.pow (sub ()) (1 + Random.State.int st 3)
+    | 5 -> T.sin (sub ())
+    | 6 -> T.min_ (sub ()) (sub ())
+    | _ -> rand_leaf st
+
+let rand_formula st =
+  let atom () =
+    F.atom (if Random.State.bool st then F.Gt else F.Ge)
+      (rand_term st (1 + Random.State.int st 3))
+  in
+  match Random.State.int st 4 with
+  | 0 -> atom ()
+  | 1 -> F.and_ [ atom (); atom () ]
+  | 2 -> F.or_ [ atom (); atom () ]
+  | _ -> F.and_ [ F.or_ [ atom (); atom () ]; atom () ]
+
+let rand_box st =
+  Box.of_list
+    (List.map
+       (fun v ->
+         let a = Random.State.float st 4.0 -. 2.0 in
+         let w = Random.State.float st 2.0 in
+         (v, I.make a (a +. w)))
+       vars)
+
+(* ---- result / paving equality ---- *)
+
+let result_eq a b =
+  match (a, b) with
+  | S.Unsat, S.Unsat -> true
+  | S.Unknown x, S.Unknown y -> String.equal x y
+  | S.Delta_sat w1, S.Delta_sat w2 ->
+      w1.S.certified = w2.S.certified
+      && Box.equal w1.S.box w2.S.box
+      && List.length w1.S.point = List.length w2.S.point
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && v1 = v2)
+           w1.S.point w2.S.point
+  | _ -> false
+
+let pp_res r = Fmt.str "%a" S.pp_result r
+
+let sorted_boxes bs = List.sort compare (List.map Box.to_string bs)
+
+let paving_eq (p1 : S.paving) (p2 : S.paving) =
+  sorted_boxes p1.S.sat = sorted_boxes p2.S.sat
+  && sorted_boxes p1.S.unsat = sorted_boxes p2.S.unsat
+  && sorted_boxes p1.S.undecided = sorted_boxes p2.S.undecided
+
+(* ---- decide: cached = uncached, including a pre-populated cache ---- *)
+
+let decide_config jobs =
+  { S.default_config with epsilon = 1e-2; max_boxes = 5_000; jobs }
+
+let test_decide_differential () =
+  let st = Random.State.make [| 2026 |] in
+  for case = 1 to 400 do
+    let f = rand_formula st and b = rand_box st in
+    let config = decide_config 1 in
+    let off = with_policy Cache.Off (fun () -> S.decide ~config f b) in
+    let cold, warm =
+      with_policy Cache.Exact (fun () ->
+          (* second call answers from the populated cache *)
+          let r1 = S.decide ~config f b in
+          let r2 = S.decide ~config f b in
+          (r1, r2))
+    in
+    if not (result_eq off cold) then
+      Alcotest.failf "case %d: off=%s cached=%s on %s | %s" case (pp_res off)
+        (pp_res cold) (Fmt.str "%a" F.pp f) (Box.to_string b);
+    if not (result_eq off warm) then
+      Alcotest.failf "case %d: off=%s replay=%s on %s" case (pp_res off)
+        (pp_res warm)
+        (Fmt.str "%a" F.pp f)
+  done
+
+let test_decide_differential_parallel () =
+  let st = Random.State.make [| 2027 |] in
+  for case = 1 to 60 do
+    let f = rand_formula st and b = rand_box st in
+    let off = with_policy Cache.Off (fun () -> S.decide ~config:(decide_config 2) f b) in
+    let on = with_policy Cache.Exact (fun () -> S.decide ~config:(decide_config 2) f b) in
+    (* Parallel searches stop at the first δ-sat found, so only the
+       verdict kind is deterministic across runs. *)
+    let kind = function
+      | S.Unsat -> "unsat" | S.Delta_sat _ -> "sat" | S.Unknown _ -> "unknown"
+    in
+    if kind off <> kind on then
+      Alcotest.failf "case %d (jobs=2): off=%s cached=%s" case (pp_res off)
+        (pp_res on)
+  done
+
+(* ---- pave: identical leaf sets ---- *)
+
+let test_pave_differential () =
+  let st = Random.State.make [| 2028 |] in
+  let config = { S.default_config with epsilon = 0.25; max_boxes = 2_000 } in
+  for case = 1 to 300 do
+    let f = rand_formula st and b = rand_box st in
+    let off = with_policy Cache.Off (fun () -> S.pave ~config f b) in
+    let cold, replay =
+      with_policy Cache.Exact (fun () ->
+          (S.pave ~config f b, S.pave ~config f b))
+    in
+    if not (paving_eq off cold) then
+      Alcotest.failf "case %d: pavings differ (off vs cached) on %s" case
+        (Fmt.str "%a" F.pp f);
+    if not (paving_eq off replay) then
+      Alcotest.failf "case %d: pavings differ (off vs replay) on %s" case
+        (Fmt.str "%a" F.pp f);
+    let vols p = S.paving_volumes ~over:vars p in
+    if vols off <> vols cold then
+      Alcotest.failf "case %d: paving volumes differ" case
+  done
+
+(* ---- flow: identical tubes, and exact hits return the same tube ---- *)
+
+let decay2 =
+  Ode.System.of_strings ~vars:[ "u"; "v" ] ~params:[ "k" ]
+    ~rhs:[ ("u", "-k*u"); ("v", "k*u - 0.5*v") ]
+
+let rand_flow_query st =
+  let k0 = 0.4 +. Random.State.float st 1.0 in
+  let kw = Random.State.float st 0.3 in
+  let u0 = 0.5 +. Random.State.float st 1.0 in
+  let params = Box.of_list [ ("k", I.make k0 (k0 +. kw)) ] in
+  let init =
+    Box.of_list
+      [ ("u", I.make u0 (u0 +. 0.05)); ("v", I.of_float 0.0) ]
+  in
+  let t_end = if Random.State.bool st then 0.5 else 1.0 in
+  (params, init, t_end)
+
+let step_eq (a : Enc.step) (b : Enc.step) =
+  a.Enc.t_lo = b.Enc.t_lo && a.Enc.t_hi = b.Enc.t_hi
+  && Box.equal a.Enc.enclosure b.Enc.enclosure
+  && Box.equal a.Enc.at_end b.Enc.at_end
+
+let tube_eq (a : Enc.tube) (b : Enc.tube) =
+  a.Enc.vars = b.Enc.vars && a.Enc.t_end = b.Enc.t_end
+  && a.Enc.complete = b.Enc.complete
+  && Box.equal a.Enc.final b.Enc.final
+  && List.length a.Enc.steps = List.length b.Enc.steps
+  && List.for_all2 step_eq a.Enc.steps b.Enc.steps
+
+let test_flow_differential () =
+  let st = Random.State.make [| 2029 |] in
+  for case = 1 to 200 do
+    let params, init, t_end = rand_flow_query st in
+    let off =
+      with_policy Cache.Off (fun () ->
+          Enc.flow ~params ~init ~t_end decay2)
+    in
+    let cold, hit =
+      with_policy Cache.Exact (fun () ->
+          let t1 = Enc.flow ~params ~init ~t_end decay2 in
+          let t2 = Enc.flow ~params ~init ~t_end decay2 in
+          (t1, t2))
+    in
+    if not (tube_eq off cold) then Alcotest.failf "case %d: tubes differ" case;
+    if not (hit == cold) then
+      Alcotest.failf "case %d: exact hit did not return the cached tube" case
+  done
+
+(* ---- biopsy: identical pavings, sequential and parallel ---- *)
+
+let decay_k =
+  Ode.System.of_strings ~vars:[ "x" ] ~params:[ "k" ] ~rhs:[ ("x", "-k*x") ]
+
+let decay_data tol =
+  List.map
+    (fun t -> D.point ~time:t ~var:"x" ~value:(Float.exp (-.t)) ~tolerance:tol)
+    [ 0.25; 0.5; 0.75; 1.0 ]
+
+let rand_biopsy_problem st =
+  let tol = 0.05 +. Random.State.float st 0.2 in
+  let lo = 0.2 +. Random.State.float st 0.4 in
+  let hi = lo +. 0.5 +. Random.State.float st 2.0 in
+  B.problem ~sys:decay_k
+    ~param_box:(Box.of_list [ ("k", I.make lo hi) ])
+    ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+    ~data:(decay_data tol)
+
+let biopsy_result_eq (a : B.result) (b : B.result) =
+  sorted_boxes a.B.consistent = sorted_boxes b.B.consistent
+  && sorted_boxes a.B.inconsistent = sorted_boxes b.B.inconsistent
+  && sorted_boxes a.B.undecided = sorted_boxes b.B.undecided
+
+let test_biopsy_differential () =
+  let st = Random.State.make [| 2030 |] in
+  let config = { B.default_config with epsilon = 0.05; max_boxes = 800 } in
+  for case = 1 to 40 do
+    let prob = rand_biopsy_problem st in
+    let off = with_policy Cache.Off (fun () -> B.synthesize ~config prob) in
+    let cold, replay =
+      with_policy Cache.Exact (fun () ->
+          (B.synthesize ~config prob, B.synthesize ~config prob))
+    in
+    if not (biopsy_result_eq off cold) then
+      Alcotest.failf "case %d: pavings differ (off vs cached)" case;
+    if not (biopsy_result_eq off replay) then
+      Alcotest.failf "case %d: pavings differ (off vs replay)" case;
+    if off.B.boxes_explored <> cold.B.boxes_explored then
+      Alcotest.failf "case %d: explored %d (off) vs %d (cached)" case
+        off.B.boxes_explored cold.B.boxes_explored;
+    (* Parallel paving with a shared cache: same leaves. *)
+    let par =
+      with_policy Cache.Exact (fun () ->
+          B.synthesize ~config:{ config with jobs = 2 } prob)
+    in
+    if not (biopsy_result_eq off par) then
+      Alcotest.failf "case %d: pavings differ (off vs cached jobs=2)" case
+  done
+
+(* ---- Warm policy: sound, checked against ground truth ---- *)
+
+(* An Unsat verdict is a proof; caching must never flip one.  Decide the
+   full box first (populating the refuted-box store), then sub-boxes:
+   under Warm those may be answered by subsumption, and any Unsat must
+   agree with the uncached answer. *)
+let test_warm_decide_sound () =
+  let st = Random.State.make [| 2031 |] in
+  let config = decide_config 1 in
+  for case = 1 to 150 do
+    let f = rand_formula st and b = rand_box st in
+    let shrink b =
+      Box.of_list
+        (List.map
+           (fun (v, itv) ->
+             let w = I.width itv in
+             (v, I.make (I.lo itv +. (0.25 *. w)) (I.hi itv -. (0.25 *. w))))
+           (Box.to_list b))
+    in
+    let sub = shrink b in
+    let off_sub = with_policy Cache.Off (fun () -> S.decide ~config f sub) in
+    let warm_sub =
+      with_policy Cache.Warm (fun () ->
+          ignore (S.decide ~config f b);
+          S.decide ~config f sub)
+    in
+    match (off_sub, warm_sub) with
+    | S.Delta_sat _, S.Unsat ->
+        Alcotest.failf "case %d: warm cache flipped sat to unsat on %s" case
+          (Fmt.str "%a" F.pp f)
+    | S.Unsat, S.Delta_sat _ ->
+        Alcotest.failf "case %d: warm cache flipped unsat to sat on %s" case
+          (Fmt.str "%a" F.pp f)
+    | _ -> ()
+  done
+
+(* A warm-started tube must still contain a numerically sampled
+   trajectory from the midpoint of the (sub-)query. *)
+let trajectory_inside tube ~params ~init =
+  let env = Box.mid_env params and ienv = Box.mid_env init in
+  let tr =
+    Ode.Integrate.simulate ~params:env ~init:ienv
+      ~t_end:tube.Enc.t_end decay2
+  in
+  List.for_all
+    (fun (s : Enc.step) ->
+      let t = 0.5 *. (s.Enc.t_lo +. s.Enc.t_hi) in
+      let state = Ode.Integrate.state_at tr t in
+      List.for_all2
+        (fun v x ->
+          (* generous slack: the sampled trajectory is itself approximate *)
+          let itv = Box.find v s.Enc.enclosure in
+          x >= I.lo itv -. 1e-6 && x <= I.hi itv +. 1e-6)
+        tube.Enc.vars (Array.to_list state))
+    tube.Enc.steps
+
+let test_warm_flow_sound () =
+  let st = Random.State.make [| 2032 |] in
+  for case = 1 to 50 do
+    let params, init, t_end = rand_flow_query st in
+    let shrink b =
+      Box.map
+        (fun itv ->
+          let w = I.width itv in
+          I.make (I.lo itv +. (0.3 *. w)) (I.hi itv -. (0.3 *. w)))
+        b
+    in
+    let sub_params = shrink params and sub_init = shrink init in
+    let tube =
+      with_policy Cache.Warm (fun () ->
+          ignore (Enc.flow ~params ~init ~t_end decay2);
+          Enc.flow ~params:sub_params ~init:sub_init ~t_end decay2)
+    in
+    if tube.Enc.complete && not (trajectory_inside tube ~params:sub_params ~init:sub_init)
+    then Alcotest.failf "case %d: warm tube does not enclose trajectory" case
+  done
+
+(* Under Warm, every box synthesize proves consistent must really fit:
+   its midpoint trajectory passes through all bands. *)
+let test_warm_biopsy_sound () =
+  let st = Random.State.make [| 2033 |] in
+  let config = { B.default_config with epsilon = 0.05; max_boxes = 800 } in
+  for case = 1 to 20 do
+    let prob = rand_biopsy_problem st in
+    let r =
+      with_policy Cache.Warm (fun () ->
+          ignore (B.synthesize ~config prob);
+          (* refine: the sub-box reuses parental verdicts *)
+          B.synthesize ~config { prob with B.param_box = prob.B.param_box })
+    in
+    List.iter
+      (fun cbox ->
+        let params = Box.mid_env cbox in
+        let tr =
+          Ode.Integrate.simulate ~params ~init:(Box.mid_env prob.B.init)
+            ~t_end:(D.horizon prob.B.data) decay_k
+        in
+        if not (D.consistent_with_trace prob.B.data tr) then
+          Alcotest.failf "case %d: consistent box %s rejects its midpoint" case
+            (Box.to_string cbox))
+      r.B.consistent
+  done
+
+(* ---- BIOMC_NO_CACHE / Off reproduces the uncached path ---- *)
+
+let test_off_is_identity () =
+  let st = Random.State.make [| 2034 |] in
+  for case = 1 to 50 do
+    let f = rand_formula st and b = rand_box st in
+    let r1 = with_policy Cache.Off (fun () -> S.decide f b) in
+    let r2 = with_policy Cache.Off (fun () -> S.decide f b) in
+    if not (result_eq r1 r2) then Alcotest.failf "case %d: Off not deterministic" case
+  done;
+  (* Off: no lookups, no inserts. *)
+  with_policy Cache.Off (fun () ->
+      let c : int Cache.t = Cache.create "test-off" in
+      let b = Box.of_list [ ("x", I.make 0.0 1.0) ] in
+      Cache.add c ~group:"g" b 1;
+      Alcotest.(check int) "no insert under Off" 0 (Cache.length c);
+      match Cache.find c ~group:"g" b with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "Off must always miss")
+
+(* ---- cache mechanics units ---- *)
+
+let mkbox lo hi = Box.of_list [ ("x", I.make lo hi) ]
+
+let test_exact_hit_identity () =
+  with_policy Cache.Exact (fun () ->
+      let c : string list Cache.t = Cache.create "test-unit" in
+      let v = [ "a"; "b" ] in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) v;
+      match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Hit v' -> Alcotest.(check bool) "physically equal" true (v == v')
+      | _ -> Alcotest.fail "expected exact hit")
+
+let test_subsumption_tightest () =
+  with_policy Cache.Warm (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      Cache.add c ~group:"g" (mkbox (-4.0) 4.0) 1;
+      Cache.add c ~group:"g" (mkbox (-1.0) 1.0) 2;
+      Cache.add c ~group:"g" (mkbox 5.0 9.0) 3;
+      (match Cache.find c ~group:"g" (mkbox (-0.5) 0.5) with
+      | Cache.Subsumed (eb, v) ->
+          Alcotest.(check int) "tightest container wins" 2 v;
+          Alcotest.(check bool) "its box" true (Box.equal eb (mkbox (-1.0) 1.0))
+      | Cache.Hit _ -> Alcotest.fail "no exact entry exists"
+      | Cache.Miss -> Alcotest.fail "expected subsumption hit");
+      (* no containment → miss, even under Warm *)
+      match Cache.find c ~group:"g" (mkbox 3.0 6.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "expected miss")
+
+let test_exact_policy_no_subsumption () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      Cache.add c ~group:"g" (mkbox (-4.0) 4.0) 1;
+      match Cache.find c ~group:"g" (mkbox (-0.5) 0.5) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "Exact policy must not subsume")
+
+let test_group_isolation () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      Cache.add c ~group:"g1" (mkbox 0.0 1.0) 1;
+      match Cache.find c ~group:"g2" (mkbox 0.0 1.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "groups must be isolated")
+
+let test_capacity_eviction () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create ~group_capacity:4 "test-unit" in
+      for i = 0 to 9 do
+        Cache.add c ~group:"g" (mkbox 0.0 (float_of_int i +. 1.0)) i
+      done;
+      Alcotest.(check int) "capacity bound" 4 (Cache.length c);
+      (* newest entries survive FIFO truncation *)
+      (match Cache.find c ~group:"g" (mkbox 0.0 10.0) with
+      | Cache.Hit 9 -> ()
+      | _ -> Alcotest.fail "newest entry must survive");
+      match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "oldest entry must be evicted")
+
+let test_replace_equal_box () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 1;
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 2;
+      Alcotest.(check int) "replaced, not duplicated" 1 (Cache.length c);
+      match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Hit 2 -> ()
+      | _ -> Alcotest.fail "replacement must win")
+
+let test_clear_invalidates () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 1;
+      Cache.clear ();
+      (match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "clear must invalidate");
+      (* the cache is usable again after a clear *)
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 2;
+      match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Hit 2 -> ()
+      | _ -> Alcotest.fail "cache must accept inserts after clear")
+
+let test_stats_counting () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-stats" in
+      let before = Cache.global_stats () in
+      ignore (Cache.find c ~group:"g" (mkbox 0.0 1.0));
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 1;
+      ignore (Cache.find c ~group:"g" (mkbox 0.0 1.0));
+      let d = Cache.sub_stats (Cache.global_stats ()) before in
+      Alcotest.(check int) "one miss" 1 d.Cache.misses;
+      Alcotest.(check int) "one hit" 1 d.Cache.hits;
+      Alcotest.(check int) "one insertion" 1 d.Cache.insertions;
+      Alcotest.(check bool) "named stats include test-stats" true
+        (List.mem_assoc "test-stats" (Cache.named_stats ())))
+
+let test_concurrent_access () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-unit" in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to 249 do
+                  let b = mkbox 0.0 (float_of_int ((i mod 25) + 1)) in
+                  let g = Printf.sprintf "g%d" (i mod 3) in
+                  (match Cache.find c ~group:g b with
+                  | Cache.Hit v -> assert (v = i mod 25)
+                  | _ -> Cache.add c ~group:g b (i mod 25))
+                done;
+                d))
+      in
+      let done_ = List.map Domain.join domains in
+      Alcotest.(check (list int)) "all domains joined" [ 0; 1; 2; 3 ] done_)
+
+let () =
+  Alcotest.run "cache"
+    [ ( "differential",
+        [ Alcotest.test_case "decide off=exact=replay" `Quick
+            test_decide_differential;
+          Alcotest.test_case "decide jobs=2" `Quick
+            test_decide_differential_parallel;
+          Alcotest.test_case "pave off=exact=replay" `Quick
+            test_pave_differential;
+          Alcotest.test_case "flow off=exact, hit identity" `Quick
+            test_flow_differential;
+          Alcotest.test_case "biopsy off=exact=replay, jobs=2" `Quick
+            test_biopsy_differential;
+          Alcotest.test_case "Off reproduces uncached" `Quick
+            test_off_is_identity ] );
+      ( "warm soundness",
+        [ Alcotest.test_case "decide verdicts never flip" `Quick
+            test_warm_decide_sound;
+          Alcotest.test_case "warm tube encloses trajectory" `Quick
+            test_warm_flow_sound;
+          Alcotest.test_case "consistent boxes really fit" `Quick
+            test_warm_biopsy_sound ] );
+      ( "mechanics",
+        [ Alcotest.test_case "exact hit identity" `Quick test_exact_hit_identity;
+          Alcotest.test_case "subsumption tightest" `Quick
+            test_subsumption_tightest;
+          Alcotest.test_case "exact never subsumes" `Quick
+            test_exact_policy_no_subsumption;
+          Alcotest.test_case "group isolation" `Quick test_group_isolation;
+          Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "replace equal box" `Quick test_replace_equal_box;
+          Alcotest.test_case "clear invalidates" `Quick test_clear_invalidates;
+          Alcotest.test_case "stats counting" `Quick test_stats_counting;
+          Alcotest.test_case "concurrent access" `Quick test_concurrent_access ] ) ]
