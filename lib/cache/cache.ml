@@ -171,10 +171,12 @@ let report_kvs () =
    FIFO queue recording insertion order for capacity eviction.  The
    subsumption scan of the [Warm] policy folds over the index.
 
-   Replacing an entry leaves its predecessor in the queue as a stale
-   element (same key, no longer in the index); eviction pops and skips
-   stale elements, so the queue stays consistent without a mid-queue
-   delete. *)
+   Replacing an entry updates the index in place and leaves the queue
+   untouched: every live key has exactly one queue element (from its
+   first insertion), so the queue length always equals the index length
+   and cannot grow unboundedly when racing domains re-add the same box
+   (find-before-add is not atomic).  Eviction order is FIFO on first
+   insertion; a replacement does not refresh its key's position. *)
 
 (* Binary rendering of the box: per variable, the name (NUL-terminated —
    names never contain NUL) followed by the raw bit patterns of the two
@@ -321,26 +323,28 @@ let add t ~group box value =
               g
         in
         let e = { ebox = box; ekey = box_key box; value } in
+        let existed = Hashtbl.mem g.index e.ekey in
         Hashtbl.replace g.index e.ekey e;
-        Queue.add e g.queue;
-        (* Evict the oldest live entries beyond capacity; every live
-           entry is in the queue exactly once, so the loop terminates. *)
+        if not existed then Queue.add e g.queue;
+        (* Evict the oldest entries beyond capacity; every live key is in
+           the queue exactly once, so the loop terminates. *)
         while Hashtbl.length g.index > t.group_capacity do
           match Queue.take_opt g.queue with
           | None -> assert false
-          | Some old -> (
-              match Hashtbl.find_opt g.index old.ekey with
-              | Some live when live == old ->
-                  Hashtbl.remove g.index old.ekey;
-                  Atomic.incr t.ctr.c_evictions
-              | _ -> () (* stale: replaced by a newer entry *))
+          | Some old ->
+              Hashtbl.remove g.index old.ekey;
+              Atomic.incr t.ctr.c_evictions
         done);
     Atomic.incr t.ctr.c_insertions
   end
 
+(* The saved-iterations delta is accumulated signed: a warm run that
+   spends MORE iterations than its cached parent subtracts from the
+   total, so the aggregate is the net savings rather than a sum of only
+   the favorable cases (which would bias the statistic upward). *)
 let note_warm_start t ~saved_iterations =
   Atomic.incr t.ctr.c_warm_starts;
-  if saved_iterations > 0 then
+  if saved_iterations <> 0 then
     Atomic.fetch_and_add t.ctr.c_warm_saved saved_iterations |> ignore
 
 let length t =

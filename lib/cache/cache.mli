@@ -63,7 +63,8 @@ type stats = {
   evictions : int;
   warm_starts : int;  (** computations seeded from a subsumption hit *)
   warm_saved_iterations : int;
-      (** estimated fixpoint/Picard iterations avoided by warm starts *)
+      (** estimated net fixpoint/Picard iterations avoided by warm starts
+          (signed: a warm run costlier than its parent subtracts) *)
 }
 
 val zero_stats : stats
@@ -117,7 +118,9 @@ val add : 'v t -> group:string -> Interval.Box.t -> 'v -> unit
 
 val note_warm_start : 'v t -> saved_iterations:int -> unit
 (** Record that a computation was warm-started off a subsumption hit,
-    with an estimate of the iterations it avoided. *)
+    with a signed estimate of the iterations it avoided (negative when
+    the warm run cost more than its parent; the aggregate statistic is
+    the net savings). *)
 
 val length : 'v t -> int
 (** Total entries currently cached (diagnostic). *)

@@ -219,7 +219,11 @@ let of_atom ?(delta = 0.0) (a : Expr.Formula.atom) =
 (* Fixpoint contraction with all constraints.  Stops when no component
    shrinks by more than [tol] (relative to its width) or after
    [max_rounds].  Returns [None] on infeasibility. *)
-let fixpoint ?(tol = 0.01) ?(max_rounds = 20) constraints box =
+let default_tol = 0.01
+let default_max_rounds = 20
+
+let fixpoint ?(tol = default_tol) ?(max_rounds = default_max_rounds) constraints
+    box =
   let progressed old_box new_box =
     let shrank = ref false in
     Box.iter
@@ -294,7 +298,8 @@ let compile constraints =
   in
   { cvars = Array.of_list vars; ctapes; ws_key }
 
-let fixpoint_compiled ?(tol = 0.01) ?(max_rounds = 20) cs box =
+let fixpoint_compiled ?(tol = default_tol) ?(max_rounds = default_max_rounds)
+    cs box =
   let n = Array.length cs.cvars in
   let ws = Domain.DLS.get cs.ws_key in
   let dom = ws.dom and present = ws.present in
@@ -389,22 +394,31 @@ let hc4_cache : Box.t option Cache.t = Cache.create ~group_capacity:1024 "hc4"
    domains (tapes are immutable; scratch is per-domain via Domain.DLS;
    the cache shards are mutex-guarded). *)
 let contractor ?tol ?max_rounds constraints =
+  let tape = Expr.Tape.enabled () in
   let base =
-    if Expr.Tape.enabled () then begin
+    if tape then begin
       let cs = compile constraints in
       fun box -> fixpoint_compiled ?tol ?max_rounds cs box
     end
     else fun box -> fixpoint ?tol ?max_rounds constraints box
   in
-  if not (Cache.enabled ()) then base
-  else begin
-    let group =
-      Printf.sprintf "hc4|%s|%s|%s|%b" (fingerprint constraints)
-        (match tol with None -> "-" | Some t -> Printf.sprintf "%h" t)
-        (match max_rounds with None -> "-" | Some r -> string_of_int r)
-        (Expr.Tape.enabled ())
-    in
-    fun box ->
+  (* The group string is built unconditionally (one digest — negligible
+     next to [compile]) with [tol]/[max_rounds] normalized to their
+     defaults, so callers passing the defaults explicitly share a group
+     with callers omitting them.  The policy is re-read on every call,
+     not baked into the closure: a [set_policy] flip after a contractor
+     was built takes effect on its next use.  ([lazy] is deliberately
+     avoided here — these closures are shared across worker domains, and
+     concurrently forcing one thunk is unsafe.) *)
+  let group =
+    Printf.sprintf "hc4|%s|%h|%d|%b" (fingerprint constraints)
+      (Option.value tol ~default:default_tol)
+      (Option.value max_rounds ~default:default_max_rounds)
+      tape
+  in
+  fun box ->
+    if not (Cache.enabled ()) then base box
+    else
       match Cache.find hc4_cache ~group box with
       | Cache.Hit r -> r
       | Cache.Subsumed (_, None) -> None
@@ -418,4 +432,3 @@ let contractor ?tol ?max_rounds constraints =
           let r = base box in
           Cache.add hc4_cache ~group box r;
           r
-  end

@@ -159,9 +159,21 @@ let refuted_group cfg atoms =
   if not (Cache.enabled ()) then None
   else
     let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
+    (* [Contractor.of_atom] erases strictness (Gt and Ge both contract
+       against the closed target [-δ, ∞)), but the [sat_possible] pruning
+       in [process_box] distinguishes them, so each atom's relation must
+       be part of the key: a boundary box refuted for a strict
+       conjunction is not necessarily refuted for its non-strict twin. *)
+    let rels =
+      String.concat ""
+        (List.map
+           (fun (a : Expr.Formula.atom) ->
+             match a.rel with Expr.Formula.Gt -> ">" | Expr.Formula.Ge -> "G")
+           atoms)
+    in
     Some
-      (Printf.sprintf "prune|%s|%h|%d|%b|%b"
-         (Contractor.fingerprint constraints)
+      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b"
+         (Contractor.fingerprint constraints) rels
          cfg.delta cfg.contractor_rounds cfg.use_contraction
          (Expr.Tape.enabled ()))
 

@@ -139,6 +139,29 @@ let test_decide_differential_parallel () =
         (pp_res on)
   done
 
+(* Regression: the refuted-box store must key on each atom's relation.
+   Contraction erases strictness (x > 0 and x >= 0 share a constraint
+   fingerprint), but the sat_possible pruning does not: on [-1, 0] at
+   δ = 0 the strict atom is refuted while the non-strict one is δ-sat at
+   the boundary.  A conflated key replays the strict refutation and
+   returns a wrong Unsat for x >= 0. *)
+let test_strictness_not_conflated () =
+  let config = { S.default_config with delta = 0.0 } in
+  let b = Box.of_list [ ("x", I.make (-1.0) 0.0) ] in
+  let gt = F.gt (T.var "x") (T.const 0.0) in
+  let ge = F.ge (T.var "x") (T.const 0.0) in
+  with_policy Cache.Exact (fun () ->
+      (match S.decide ~config gt b with
+      | S.Unsat -> ()
+      | r -> Alcotest.failf "x>0 on [-1,0] must be unsat, got %s" (pp_res r));
+      match S.decide ~config ge b with
+      | S.Delta_sat _ -> ()
+      | r ->
+          Alcotest.failf
+            "x>=0 on [-1,0] must be delta-sat (strict refutation must not \
+             replay), got %s"
+            (pp_res r))
+
 (* ---- pave: identical leaf sets ---- *)
 
 let test_pave_differential () =
@@ -455,6 +478,64 @@ let test_replace_equal_box () =
       | Cache.Hit 2 -> ()
       | _ -> Alcotest.fail "replacement must win")
 
+(* Replacing a key keeps its first-insertion slot in the eviction order
+   (and adds no queue growth): after a replace, the key is still the
+   oldest and evicts first once capacity is exceeded. *)
+let test_replace_keeps_fifo_slot () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create ~group_capacity:2 "test-unit" in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 1;
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 10;
+      Cache.add c ~group:"g" (mkbox 0.0 2.0) 2;
+      Cache.add c ~group:"g" (mkbox 0.0 3.0) 3;
+      Alcotest.(check int) "capacity bound" 2 (Cache.length c);
+      (match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "replaced key must still evict first");
+      match Cache.find c ~group:"g" (mkbox 0.0 3.0) with
+      | Cache.Hit 3 -> ()
+      | _ -> Alcotest.fail "newest entry must survive")
+
+(* A contractor closure built while the policy is Off must start caching
+   after set_policy enables it (the policy is read per call, not baked in
+   at closure creation). *)
+let test_contractor_policy_flip () =
+  Cache.clear ();
+  Cache.set_policy Cache.Off;
+  let a = { F.term = T.sub (T.var "x") (T.const 0.5); rel = F.Ge } in
+  let contract =
+    Icp.Contractor.contractor [ Icp.Contractor.of_atom ~delta:0.0 a ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear_policy_override ();
+      Cache.clear ())
+    (fun () ->
+      Cache.set_policy Cache.Exact;
+      let b = Box.of_list [ ("x", I.make 0.0 1.0) ] in
+      let before = Cache.global_stats () in
+      let r1 = contract b in
+      let r2 = contract b in
+      (match (r1, r2) with
+      | Some b1, Some b2 ->
+          Alcotest.(check bool) "same contraction" true (Box.equal b1 b2)
+      | None, None -> ()
+      | _ -> Alcotest.fail "cached and fresh contraction disagree");
+      let d = Cache.sub_stats (Cache.global_stats ()) before in
+      Alcotest.(check bool) "second call hits" true (d.Cache.hits >= 1))
+
+(* Warm-start iteration accounting is signed: a costlier-than-parent warm
+   run subtracts, so the aggregate is the net savings. *)
+let test_warm_saved_signed () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create "test-warm-net" in
+      let before = Cache.global_stats () in
+      Cache.note_warm_start c ~saved_iterations:5;
+      Cache.note_warm_start c ~saved_iterations:(-2);
+      let d = Cache.sub_stats (Cache.global_stats ()) before in
+      Alcotest.(check int) "two warm starts" 2 d.Cache.warm_starts;
+      Alcotest.(check int) "net savings" 3 d.Cache.warm_saved_iterations)
+
 let test_clear_invalidates () =
   with_policy Cache.Exact (fun () ->
       let c : int Cache.t = Cache.create "test-unit" in
@@ -515,7 +596,9 @@ let () =
           Alcotest.test_case "biopsy off=exact=replay, jobs=2" `Quick
             test_biopsy_differential;
           Alcotest.test_case "Off reproduces uncached" `Quick
-            test_off_is_identity ] );
+            test_off_is_identity;
+          Alcotest.test_case "strictness not conflated in refuted store"
+            `Quick test_strictness_not_conflated ] );
       ( "warm soundness",
         [ Alcotest.test_case "decide verdicts never flip" `Quick
             test_warm_decide_sound;
@@ -532,6 +615,12 @@ let () =
           Alcotest.test_case "group isolation" `Quick test_group_isolation;
           Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
           Alcotest.test_case "replace equal box" `Quick test_replace_equal_box;
+          Alcotest.test_case "replace keeps FIFO slot" `Quick
+            test_replace_keeps_fifo_slot;
+          Alcotest.test_case "contractor follows policy flips" `Quick
+            test_contractor_policy_flip;
+          Alcotest.test_case "warm savings are signed" `Quick
+            test_warm_saved_signed;
           Alcotest.test_case "clear invalidates" `Quick test_clear_invalidates;
           Alcotest.test_case "stats counting" `Quick test_stats_counting;
           Alcotest.test_case "concurrent access" `Quick test_concurrent_access ] ) ]
