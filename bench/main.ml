@@ -1053,6 +1053,130 @@ let c1 ?(quick = false) () =
   Report.print [ Report.text "wrote BENCH_cache.json" ]
 
 (* ------------------------------------------------------------------ *)
+(* O1: telemetry overhead guard                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Honesty guard for the telemetry subsystem: the same workload runs
+   with telemetry fully disabled, with metrics only (counters +
+   histograms, no trace), and with tracing on.  The results must be
+   identical — instrumentation observes the search, it never steers it —
+   and the overhead ratios land in BENCH_telemetry.json with an explicit
+   over_budget flag when metrics-only costs more than 5% over disabled
+   (recorded as measured, not hidden).  The metrics run's span
+   histograms are attached as the per-span breakdown section. *)
+
+let o1 ?(quick = false) () =
+  section
+    (if quick then "O1  Telemetry overhead: off vs metrics vs trace (quick)"
+     else "O1  Telemetry overhead: off vs metrics vs trace");
+  let tangency = Expr.Parse.formula "x^2 + y^2 = 1 and x*y = 1/2" in
+  let tangency_box =
+    Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ]
+  in
+  let ring = Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
+  let rbox = Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ] in
+  (* The workload must dwarf clock noise for the overhead ratio to mean
+     anything, so even quick mode keeps delta small enough for a few
+     tens of ms per run. *)
+  let dcfg =
+    { Icp.Solver.default_config with
+      delta = (if quick then 3e-4 else 1e-4);
+      epsilon = (if quick then 3e-5 else 1e-5) }
+  in
+  let pcfg =
+    { Icp.Solver.default_config with epsilon = (if quick then 0.02 else 0.01) }
+  in
+  let run () =
+    let d = Icp.Solver.decide ~config:dcfg tangency tangency_box in
+    let p = Icp.Solver.pave ~config:pcfg ring rbox in
+    (d, p)
+  in
+  let rounds = if quick then 4 else 6 in
+  (* Caches off so every round repeats the full search; per-mode minimum
+     over the rounds filters the container's clock spikes (see T1). *)
+  Cache.set_policy Cache.Off;
+  Fun.protect ~finally:Cache.clear_policy_override @@ fun () ->
+  let measure setup =
+    Telemetry.reset ();
+    setup ();
+    Fun.protect ~finally:Telemetry.disable (fun () ->
+        let best = ref infinity and result = ref None in
+        for _ = 1 to rounds do
+          let r, dt = timed run in
+          if dt < !best then best := dt;
+          result := Some r
+        done;
+        (Option.get !result, !best))
+  in
+  let r_off, t_off = measure (fun () -> ()) in
+  let r_met, t_met = measure (fun () -> Telemetry.set_metrics true) in
+  let breakdown = Telemetry.Metrics.histograms () in
+  let r_trc, t_trc =
+    measure (fun () ->
+        Telemetry.set_metrics true;
+        Telemetry.set_trace true)
+  in
+  let trace_events = Telemetry.Trace.events_recorded () in
+  let trace_dropped = Telemetry.Trace.events_dropped () in
+  if not (r_off = r_met && r_off = r_trc) then
+    failwith "O1: telemetry-enabled run changed the results";
+  let metrics_overhead = t_met /. t_off and trace_overhead = t_trc /. t_off in
+  let budget = 1.05 in
+  let over_budget = metrics_overhead > budget in
+  Report.print
+    [ Report.table
+        ~header:[ "mode"; "wall"; "vs disabled"; "check" ]
+        [ [ "disabled"; Fmt.str "%.3fs" t_off; "1.00x"; "identical results" ];
+          [ "metrics"; Fmt.str "%.3fs" t_met;
+            Fmt.str "%.2fx" metrics_overhead; "identical results" ];
+          [ "metrics + trace"; Fmt.str "%.3fs" t_trc;
+            Fmt.str "%.2fx" trace_overhead;
+            Fmt.str "%d events (%d dropped)" trace_events trace_dropped ] ];
+      (if over_budget then
+         Report.text
+           "OVER BUDGET: metrics-only overhead %.1f%% exceeds the 5%% budget"
+           ((metrics_overhead -. 1.0) *. 100.0)
+       else
+         Report.text "metrics-only overhead %.1f%% (budget 5%%)"
+           ((metrics_overhead -. 1.0) *. 100.0)) ];
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n\
+       \  \"quick\": %b,\n\
+       \  \"rounds\": %d,\n\
+       \  \"disabled_s\": %.6f,\n\
+       \  \"metrics_s\": %.6f,\n\
+       \  \"trace_s\": %.6f,\n\
+       \  \"metrics_overhead\": %.4f,\n\
+       \  \"trace_overhead\": %.4f,\n\
+       \  \"budget\": %.2f,\n\
+       \  \"over_budget\": %b,\n\
+       \  \"identical\": true,\n\
+       \  \"trace_events\": %d,\n\
+       \  \"trace_dropped\": %d,\n\
+       \  \"breakdown\": [\n"
+       quick rounds t_off t_met t_trc metrics_overhead trace_overhead budget
+       over_budget trace_events trace_dropped);
+  List.iteri
+    (fun i (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"span\": %S, \"count\": %d, \"mean_ns\": %.0f, \"p50_ns\": %d, \"p90_ns\": %d}%s\n"
+           name s.Telemetry.Histogram.count
+           (Telemetry.Histogram.mean s)
+           (Telemetry.Histogram.quantile 0.5 s)
+           (Telemetry.Histogram.quantile 0.9 s)
+           (if i = List.length breakdown - 1 then "" else ",")))
+    breakdown;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Telemetry.reset ();
+  Report.print [ Report.text "wrote BENCH_telemetry.json" ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel kernel timing                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1226,7 +1350,9 @@ let () =
     [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("e7", e7); ("e8", e8); ("e9", e9); ("s1", s1); ("a1", a1); ("a2", a2);
       ("a3", a3); ("a4", a4); ("p1", p1); ("t1", t1);
-      ("c1", fun () -> c1 ~quick ()); ("bechamel", run_bechamel) ]
+      ("c1", fun () -> c1 ~quick ());
+      ("o1", fun () -> o1 ~quick ());
+      ("bechamel", run_bechamel) ]
   in
   let chosen =
     match only with
@@ -1240,7 +1366,8 @@ let () =
           names;
         List.filter (fun (n, _) -> List.mem n names) sections
     | None ->
-        if quick then List.filter (fun (n, _) -> n = "c1") sections
+        if quick then
+          List.filter (fun (n, _) -> List.mem n [ "c1"; "o1" ]) sections
         else sections
   in
   Report.print

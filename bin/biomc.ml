@@ -172,6 +172,99 @@ let apply_cache_policy no_cache =
    cache-assisted analyses. *)
 let cache_line () = Report.text "%s" (Cache.summary ())
 
+(* ---- common analysis flags (solve / reach / smc / synth) ---- *)
+
+type common = {
+  jobs : int;
+  no_cache : bool;
+  trace : string option;  (** Chrome trace_event JSON output file *)
+  metrics : bool;  (** print the telemetry metrics section *)
+  metrics_json : string option;  (** also write the metrics as JSON *)
+}
+
+let trace_arg =
+  let doc =
+    "Record a Chrome trace_event JSON trace of the analysis to $(docv) \
+     (open in Perfetto or chrome://tracing).  Implies --metrics."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print telemetry counters and span histograms after the analysis." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Also write the telemetry metrics snapshot as JSON to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let common_term =
+  let mk jobs no_cache trace metrics metrics_json =
+    { jobs; no_cache; trace; metrics; metrics_json }
+  in
+  Term.(
+    const mk $ jobs_arg $ no_cache_arg $ trace_arg $ metrics_arg
+    $ metrics_json_arg)
+
+(* Telemetry section appended to a report when metrics are on: non-zero
+   counters as a key/value block, span histograms as a table. *)
+let telemetry_items () =
+  if not (Telemetry.metrics_on ()) then []
+  else begin
+    let kvs = Telemetry.Metrics.kvs () in
+    let hists = Telemetry.Metrics.histograms () in
+    let hist_rows =
+      List.map
+        (fun (name, s) ->
+          [ name;
+            string_of_int s.Telemetry.Histogram.count;
+            Fmt.str "%.0f" (Telemetry.Histogram.mean s);
+            string_of_int (Telemetry.Histogram.quantile 0.5 s);
+            string_of_int (Telemetry.Histogram.quantile 0.9 s) ])
+        hists
+    in
+    [ Report.heading "Telemetry" ]
+    @ (if kvs = [] then [ Report.text "no events recorded" ]
+       else [ Report.kv kvs ])
+    @
+    if hist_rows = [] then []
+    else
+      [ Report.table
+          ~header:[ "span"; "count"; "mean ns"; "p50 ns"; "p90 ns" ]
+          hist_rows ]
+  end
+
+(* Run an analysis body under the common flags: cache policy and
+   telemetry switches are applied before, the telemetry report section
+   and the trace / metrics files are emitted after.  The body returns
+   the report items for a successful run. *)
+let with_common c body =
+  apply_cache_policy c.no_cache;
+  if c.metrics || c.metrics_json <> None then Telemetry.set_metrics true;
+  if c.trace <> None then begin
+    Telemetry.set_metrics true;
+    Telemetry.set_trace true
+  end;
+  match body () with
+  | Error _ as e -> e
+  | Ok items ->
+      Report.print (items @ telemetry_items ());
+      (match c.metrics_json with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Telemetry.Metrics.to_json ());
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "wrote %s (telemetry metrics)@." path
+      | None -> ());
+      (match c.trace with
+      | Some path ->
+          Telemetry.Trace.write_file path;
+          Fmt.pr "wrote %s (%d trace events)@." path
+            (Telemetry.Trace.events_recorded ())
+      | None -> ());
+      Ok ()
+
 (* ---- reach ---- *)
 
 let goal_arg =
@@ -202,8 +295,8 @@ let box_arg =
   in
   Arg.(value & opt_all box_conv [] & info [ "box" ] ~docv:"KEY=LO:HI" ~doc)
 
-let reach () (name, entry) t_end params goal goal_modes k boxes jobs no_cache =
-  apply_cache_policy no_cache;
+let reach () (name, entry) t_end params goal goal_modes k boxes common =
+  with_common common @@ fun () ->
   let time_bound = Option.value ~default:entry.default_t_end t_end in
   let h = entry.automaton () in
   let h = if params = [] then h else Hybrid.Automaton.bind_params params h in
@@ -216,18 +309,17 @@ let reach () (name, entry) t_end params goal goal_modes k boxes jobs no_cache =
           ~goal:{ Reach.Encoding.goal_modes; predicate }
           ~k ~time_bound h
       in
-      let config = { Reach.Checker.default_config with jobs } in
+      let config = { Reach.Checker.default_config with jobs = common.jobs } in
       let result = Reach.Checker.check ~config pb in
-      Report.print
+      Ok
         [ Report.heading (Printf.sprintf "Bounded reachability: %s" name);
           Report.kv
             [ ("goal", goal); ("k", string_of_int k);
               ("time bound", Fmt.str "%g" time_bound);
-              ("jobs", string_of_int jobs);
+              ("jobs", string_of_int common.jobs);
               ("candidate paths", string_of_int (List.length (Reach.Encoding.candidate_paths pb))) ];
           Report.text "verdict: %s" (Fmt.str "%a" Reach.Checker.pp_result result);
-          cache_line () ];
-      Ok ()
+          cache_line () ]
 
 let reach_cmd =
   let info =
@@ -238,7 +330,7 @@ let reach_cmd =
     Term.(
       term_result
         (const reach $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
-       $ goal_modes_arg $ k_arg $ box_arg $ jobs_arg $ no_cache_arg))
+       $ goal_modes_arg $ k_arg $ box_arg $ common_term))
 
 (* ---- robustness ---- *)
 
@@ -340,7 +432,9 @@ let stability_cmd =
 
 (* ---- smc ---- *)
 
-let smc () n jobs =
+let smc () n common =
+  with_common common @@ fun () ->
+  let jobs = common.jobs in
   let prob =
     Smc.Runner.problem
       ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
@@ -352,23 +446,22 @@ let smc () n jobs =
       ~t_end:30.0 ()
   in
   let e = Smc.Runner.estimate_bayesian ~jobs ~n prob in
-  Report.print
+  Ok
     [ Report.heading "SMC: p53 pulse probability under high damage";
       Report.text "(%d sampling domain(s))" jobs;
-      Report.text "%s" (Fmt.str "%a" Smc.Estimate.pp_estimate e) ];
-  Ok ()
+      Report.text "%s" (Fmt.str "%a" Smc.Estimate.pp_estimate e) ]
 
 let smc_cmd =
   let n_arg =
     Arg.(value & opt int 300 & info [ "n" ] ~docv:"N" ~doc:"Sample count.")
   in
   let info = Cmd.info "smc" ~doc:"Statistical model checking demo (p53 module)." in
-  Cmd.v info Term.(term_result (const smc $ logs_term $ n_arg $ jobs_arg))
+  Cmd.v info Term.(term_result (const smc $ logs_term $ n_arg $ common_term))
 
 (* ---- solve ---- *)
 
-let solve () formula boxes delta jobs no_cache =
-  apply_cache_policy no_cache;
+let solve () formula boxes delta common =
+  with_common common @@ fun () ->
   match Expr.Parse.formula_opt formula with
   | None -> Error (`Msg (Printf.sprintf "cannot parse %S" formula))
   | Some f ->
@@ -382,17 +475,18 @@ let solve () formula boxes delta jobs no_cache =
             (Printf.sprintf "missing --box for variable(s): %s"
                (String.concat ", " missing)))
       else begin
-        let config = { Icp.Solver.default_config with delta; jobs } in
+        let config =
+          { Icp.Solver.default_config with delta; jobs = common.jobs }
+        in
         let result, stats = Icp.Solver.decide_with_stats ~config f box in
-        Report.print
+        Ok
           [ Report.heading "delta-decision";
             Report.kv
               [ ("formula", formula); ("delta", Fmt.str "%g" delta);
-                ("jobs", string_of_int jobs);
+                ("jobs", string_of_int common.jobs);
                 ("boxes", string_of_int stats.Icp.Solver.boxes_processed) ];
             Report.text "verdict: %s" (Fmt.str "%a" Icp.Solver.pp_result result);
-            cache_line () ];
-        Ok ()
+            cache_line () ]
       end
 
 let solve_cmd =
@@ -409,8 +503,8 @@ let solve_cmd =
   Cmd.v info
     Term.(
       term_result
-        (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg $ jobs_arg
-       $ no_cache_arg))
+        (const solve $ logs_term $ formula_arg $ box_arg $ delta_arg
+       $ common_term))
 
 (* ---- synth ---- *)
 
@@ -422,8 +516,8 @@ let synth_systems =
     ("sir", Biomodels.Classics.sir) ]
 
 let synth () name boxes true_params inits points tolerance noise epsilon t_end
-    jobs no_cache =
-  apply_cache_policy no_cache;
+    common =
+  with_common common @@ fun () ->
   match List.assoc_opt name synth_systems with
   | None ->
       Error
@@ -470,10 +564,12 @@ let synth () name boxes true_params inits points tolerance noise epsilon t_end
           Box.of_list (List.map (fun (v, x) -> (v, I.of_float x)) init_env)
         in
         let prob = Synth.Biopsy.problem ~sys ~param_box ~init:init_box ~data in
-        let config = { Synth.Biopsy.default_config with epsilon; jobs } in
+        let config =
+          { Synth.Biopsy.default_config with epsilon; jobs = common.jobs }
+        in
         let r = Synth.Biopsy.synthesize ~config prob in
         let vc, vi, vu = Synth.Biopsy.volumes prob r in
-        Report.print
+        Ok
           [ Report.heading (Printf.sprintf "Parameter synthesis: %s" name);
             Report.kv
               [ ("parameters", String.concat ", " sys_params);
@@ -482,15 +578,14 @@ let synth () name boxes true_params inits points tolerance noise epsilon t_end
                    (List.map (fun (p, v) -> Printf.sprintf "%s=%g" p v) truth));
                 ("data points", string_of_int (List.length data));
                 ("epsilon", Fmt.str "%g" epsilon);
-                ("jobs", string_of_int jobs) ];
+                ("jobs", string_of_int common.jobs) ];
             Report.text "%s" (Fmt.str "%a" Synth.Biopsy.pp_result r);
             Report.text "volumes: consistent %.4g, inconsistent %.4g, undecided %.4g"
               vc vi vu;
             (if Synth.Biopsy.falsified r then
                Report.text "model FALSIFIED: no parameter fits the data"
              else Report.text "model admits consistent parameters");
-            cache_line () ];
-        Ok ()
+            cache_line () ]
       end
 
 let synth_cmd =
@@ -544,7 +639,7 @@ let synth_cmd =
       term_result
         (const synth $ logs_term $ sys_arg $ box_arg $ param_arg $ init_arg
        $ points_arg $ tolerance_arg $ noise_arg $ epsilon_arg $ t_end_synth_arg
-       $ jobs_arg $ no_cache_arg))
+       $ common_term))
 
 (* ---- export (.drh) ---- *)
 
@@ -584,6 +679,42 @@ let export_cmd =
         (const export $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
        $ goal_modes_arg $ k_arg $ box_arg $ output_arg))
 
+(* ---- trace-check ---- *)
+
+let trace_check () file =
+  match Telemetry.Trace.validate_file file with
+  | Error msg -> Error (`Msg (Printf.sprintf "%s: invalid trace: %s" file msg))
+  | Ok c ->
+      Report.print
+        [ Report.heading (Printf.sprintf "Trace check: %s" file);
+          Report.kv
+            [ ("events", string_of_int c.Telemetry.Trace.events);
+              ("begin/end pairs",
+               Printf.sprintf "%d/%d" c.Telemetry.Trace.begins
+                 c.Telemetry.Trace.ends);
+              ("instants", string_of_int c.Telemetry.Trace.instants);
+              ("domains",
+               String.concat ", "
+                 (List.map string_of_int c.Telemetry.Trace.tids));
+              ("max span depth", string_of_int c.Telemetry.Trace.max_depth) ];
+          Report.text "trace is well-formed (begin/end balanced per domain)" ];
+      Ok ()
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file to validate.")
+  in
+  let info =
+    Cmd.info "trace-check"
+      ~doc:
+        "Validate a Chrome trace_event JSON file written by --trace (parses \
+         it back and checks begin/end balance per domain)."
+  in
+  Cmd.v info Term.(term_result (const trace_check $ logs_term $ file_arg))
+
 (* ---- models listing ---- *)
 
 let list_models () =
@@ -619,6 +750,6 @@ let main_cmd =
   let info = Cmd.info "biomc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ simulate_cmd; reach_cmd; robustness_cmd; therapy_cmd; stability_cmd;
-      smc_cmd; solve_cmd; synth_cmd; export_cmd; list_cmd ]
+      smc_cmd; solve_cmd; synth_cmd; export_cmd; trace_check_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -86,25 +86,32 @@ let pp_stats ppf s =
 
 (* One counter set per cache name; caches created with the same name
    (across modules, or many times in tests) share counters, so the
-   registry stays bounded by the handful of static names in the code. *)
+   registry stays bounded by the handful of static names in the code.
+
+   The counters themselves live in the Telemetry metrics registry under
+   "cache.<name>.<field>" (created [~always:true]: cache statistics
+   count whether or not telemetry is enabled, as they always have).
+   [stats]/[summary]/[report_kvs] below are thin views over those
+   telemetry counters, so `biomc --metrics` and the cache's own
+   reporting read one store. *)
 type counters = {
-  c_hits : int Atomic.t;
-  c_subsumed : int Atomic.t;
-  c_misses : int Atomic.t;
-  c_insertions : int Atomic.t;
-  c_evictions : int Atomic.t;
-  c_warm_starts : int Atomic.t;
-  c_warm_saved : int Atomic.t;
+  c_hits : Telemetry.Counter.t;
+  c_subsumed : Telemetry.Counter.t;
+  c_misses : Telemetry.Counter.t;
+  c_insertions : Telemetry.Counter.t;
+  c_evictions : Telemetry.Counter.t;
+  c_warm_starts : Telemetry.Counter.t;
+  c_warm_saved : Telemetry.Counter.t;
 }
 
 let snapshot c =
-  { hits = Atomic.get c.c_hits;
-    subsumption_hits = Atomic.get c.c_subsumed;
-    misses = Atomic.get c.c_misses;
-    insertions = Atomic.get c.c_insertions;
-    evictions = Atomic.get c.c_evictions;
-    warm_starts = Atomic.get c.c_warm_starts;
-    warm_saved_iterations = Atomic.get c.c_warm_saved }
+  { hits = Telemetry.Counter.value c.c_hits;
+    subsumption_hits = Telemetry.Counter.value c.c_subsumed;
+    misses = Telemetry.Counter.value c.c_misses;
+    insertions = Telemetry.Counter.value c.c_insertions;
+    evictions = Telemetry.Counter.value c.c_evictions;
+    warm_starts = Telemetry.Counter.value c.c_warm_starts;
+    warm_saved_iterations = Telemetry.Counter.value c.c_warm_saved }
 
 let registry : (string, counters) Hashtbl.t = Hashtbl.create 8
 let registry_lock = Mutex.create ()
@@ -117,11 +124,12 @@ let counters_for name =
       match Hashtbl.find_opt registry name with
       | Some c -> c
       | None ->
+          let field f = Telemetry.Counter.make ~always:true ("cache." ^ name ^ "." ^ f) in
           let c =
-            { c_hits = Atomic.make 0; c_subsumed = Atomic.make 0;
-              c_misses = Atomic.make 0; c_insertions = Atomic.make 0;
-              c_evictions = Atomic.make 0; c_warm_starts = Atomic.make 0;
-              c_warm_saved = Atomic.make 0 }
+            { c_hits = field "hits"; c_subsumed = field "subsumed";
+              c_misses = field "misses"; c_insertions = field "insertions";
+              c_evictions = field "evictions"; c_warm_starts = field "warm_starts";
+              c_warm_saved = field "warm_saved_iterations" }
           in
           Hashtbl.add registry name c;
           c)
@@ -142,13 +150,13 @@ let reset_stats () =
   with_registry (fun () ->
       Hashtbl.iter
         (fun _ c ->
-          Atomic.set c.c_hits 0;
-          Atomic.set c.c_subsumed 0;
-          Atomic.set c.c_misses 0;
-          Atomic.set c.c_insertions 0;
-          Atomic.set c.c_evictions 0;
-          Atomic.set c.c_warm_starts 0;
-          Atomic.set c.c_warm_saved 0)
+          Telemetry.Counter.set c.c_hits 0;
+          Telemetry.Counter.set c.c_subsumed 0;
+          Telemetry.Counter.set c.c_misses 0;
+          Telemetry.Counter.set c.c_insertions 0;
+          Telemetry.Counter.set c.c_evictions 0;
+          Telemetry.Counter.set c.c_warm_starts 0;
+          Telemetry.Counter.set c.c_warm_saved 0)
         registry)
 
 let summary () =
@@ -291,9 +299,9 @@ let find t ~group box =
                       | None -> Miss)))
       in
       (match outcome with
-      | Hit _ -> Atomic.incr t.ctr.c_hits
-      | Subsumed _ -> Atomic.incr t.ctr.c_subsumed
-      | Miss -> Atomic.incr t.ctr.c_misses);
+      | Hit _ -> Telemetry.Counter.incr t.ctr.c_hits
+      | Subsumed _ -> Telemetry.Counter.incr t.ctr.c_subsumed
+      | Miss -> Telemetry.Counter.incr t.ctr.c_misses);
       outcome
 
 let add t ~group box value =
@@ -311,9 +319,8 @@ let add t ~group box value =
                 | Some old -> (
                     match Hashtbl.find_opt sh.tbl old with
                     | Some og ->
-                        Atomic.fetch_and_add t.ctr.c_evictions
-                          (Hashtbl.length og.index)
-                        |> ignore;
+                        Telemetry.Counter.add t.ctr.c_evictions
+                          (Hashtbl.length og.index);
                         Hashtbl.remove sh.tbl old
                     | None -> ())
               done;
@@ -333,9 +340,9 @@ let add t ~group box value =
           | None -> assert false
           | Some old ->
               Hashtbl.remove g.index old.ekey;
-              Atomic.incr t.ctr.c_evictions
+              Telemetry.Counter.incr t.ctr.c_evictions
         done);
-    Atomic.incr t.ctr.c_insertions
+    Telemetry.Counter.incr t.ctr.c_insertions
   end
 
 (* The saved-iterations delta is accumulated signed: a warm run that
@@ -343,9 +350,9 @@ let add t ~group box value =
    total, so the aggregate is the net savings rather than a sum of only
    the favorable cases (which would bias the statistic upward). *)
 let note_warm_start t ~saved_iterations =
-  Atomic.incr t.ctr.c_warm_starts;
+  Telemetry.Counter.incr t.ctr.c_warm_starts;
   if saved_iterations <> 0 then
-    Atomic.fetch_and_add t.ctr.c_warm_saved saved_iterations |> ignore
+    Telemetry.Counter.add t.ctr.c_warm_saved saved_iterations
 
 let length t =
   Array.fold_left

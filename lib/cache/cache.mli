@@ -53,7 +53,14 @@ val clear_policy_override : unit -> unit
 
 val pp_policy : policy Fmt.t
 
-(** {1 Stats} *)
+(** {1 Stats}
+
+    The backing store for every statistic below is the process-wide
+    telemetry metrics registry ([Telemetry.Counter], one counter per
+    ["cache.<name>.<field>"], created always-on so counting does not
+    depend on telemetry being enabled).  The entry points here are thin
+    views over those counters, kept for callers and tests; [biomc
+    --metrics] reports the same numbers from the registry directly. *)
 
 type stats = {
   hits : int;  (** exact hits *)

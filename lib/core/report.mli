@@ -24,3 +24,7 @@ val cellf : ('a, unit, string) format -> 'a
 val pp : t Fmt.t
 val print : t -> unit
 val to_string : t -> string
+
+val to_json : t -> string
+(** The same report as a JSON array of items ([{"type":"kv","pairs":…}],
+    …) for machine-readable consumers of the key/value plumbing. *)

@@ -10,6 +10,13 @@
 module I = Interval.Ia
 module Box = Interval.Box
 
+(* Contraction telemetry: one span per contractor call (cache lookups
+   included, so warm replays show up as near-zero-width spans on the
+   timeline) and round counters for the fixpoint loops. *)
+let tm_hc4 = Telemetry.Span.probe "icp.hc4"
+let m_fixpoints = Telemetry.Counter.make "hc4.fixpoints"
+let m_rounds = Telemetry.Counter.make "hc4.rounds"
+
 exception Empty
 
 (* Annotated term tree: each node carries its forward interval value. *)
@@ -238,6 +245,7 @@ let fixpoint ?(tol = default_tol) ?(max_rounds = default_max_rounds) constraints
     !shrank
   in
   let rec loop box round =
+    Telemetry.Counter.incr m_rounds;
     let step =
       List.fold_left
         (fun acc c ->
@@ -252,6 +260,7 @@ let fixpoint ?(tol = default_tol) ?(max_rounds = default_max_rounds) constraints
         if round >= max_rounds || not (progressed box box') then Some box'
         else loop box' (round + 1)
   in
+  Telemetry.Counter.incr m_fixpoints;
   loop box 0
 
 (* ---- Tape-compiled constraint systems ----
@@ -332,6 +341,7 @@ let fixpoint_compiled ?(tol = default_tol) ?(max_rounds = default_max_rounds)
      ulp widening): the cross-module call would box its float result on
      every bound of every round. *)
   let rec loop round =
+    Telemetry.Counter.incr m_rounds;
     for i = 0 to n - 1 do
       let itv = dom.(i) in
       let l = itv.I.lo and h = itv.I.hi in
@@ -365,6 +375,7 @@ let fixpoint_compiled ?(tol = default_tol) ?(max_rounds = default_max_rounds)
       else loop (round + 1)
     end
   in
+  Telemetry.Counter.incr m_fixpoints;
   loop 0
 
 (* Collision-safe fingerprint of a constraint system (terms with exact
@@ -416,7 +427,7 @@ let contractor ?tol ?max_rounds constraints =
       (Option.value max_rounds ~default:default_max_rounds)
       tape
   in
-  fun box ->
+  let cached box =
     if not (Cache.enabled ()) then base box
     else
       match Cache.find hc4_cache ~group box with
@@ -432,3 +443,16 @@ let contractor ?tol ?max_rounds constraints =
           let r = base box in
           Cache.add hc4_cache ~group box r;
           r
+  in
+  fun box ->
+    if not (Telemetry.enabled ()) then cached box
+    else begin
+      let tok = Telemetry.Span.enter tm_hc4 in
+      match cached box with
+      | r ->
+          Telemetry.Span.exit tm_hc4 tok;
+          r
+      | exception e ->
+          Telemetry.Span.exit tm_hc4 tok;
+          raise e
+    end

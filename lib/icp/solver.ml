@@ -30,6 +30,25 @@ module Box = Interval.Box
 let src = Logs.Src.create "icp.solver" ~doc:"delta-decision solver"
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Search telemetry.  Spans time whole queries and individual box steps
+   (the box step's trace payload is the box's total width, so a Perfetto
+   timeline shows the measure shrinking down the search tree); the
+   counters mirror the per-query [stats] records into the process-wide
+   metrics registry, which is the one reporting path `--metrics` and the
+   bench breakdown read.  Always-on, like the cache counters they sit
+   beside. *)
+let tm_decide = Telemetry.Span.probe "icp.decide"
+let tm_pave = Telemetry.Span.probe "icp.pave"
+let tm_box = Telemetry.Span.probe "icp.box"
+let m_decide_boxes = Telemetry.Counter.make ~always:true "icp.decide.boxes"
+let m_decide_splits = Telemetry.Counter.make ~always:true "icp.decide.splits"
+let m_decide_prunings = Telemetry.Counter.make ~always:true "icp.decide.prunings"
+let m_decide_certifications =
+  Telemetry.Counter.make ~always:true "icp.decide.certifications"
+let m_pave_boxes = Telemetry.Counter.make ~always:true "icp.pave.boxes"
+let m_pave_splits = Telemetry.Counter.make ~always:true "icp.pave.splits"
+let m_pave_prunings = Telemetry.Counter.make ~always:true "icp.pave.prunings"
+
 type config = {
   delta : float;  (** perturbation bound δ of the δ-decision problem *)
   epsilon : float;  (** boxes thinner than this are no longer split *)
@@ -177,7 +196,7 @@ let refuted_group cfg atoms =
          cfg.delta cfg.contractor_rounds cfg.use_contraction
          (Expr.Tape.enabled ()))
 
-let process_box cfg stats ?refuted contract formula b =
+let process_box_inner cfg stats ?refuted contract formula b =
   let known_refuted =
     match refuted with
     | None -> false
@@ -225,6 +244,29 @@ let process_box cfg stats ?refuted contract formula b =
                   (Delta_sat
                      { point = Box.mid_env b'; box = b'; certified = false }))
       end
+
+let total_width b = Box.fold (fun _ itv acc -> acc +. I.width itv) b 0.0
+
+(* The telemetry wrapper around the per-box step: pure observation (a
+   span and, when tracing, the box measure), so verdicts are identical
+   with telemetry on or off. *)
+let process_box cfg stats ?refuted contract formula b =
+  if not (Telemetry.enabled ()) then
+    process_box_inner cfg stats ?refuted contract formula b
+  else begin
+    let tok =
+      if Telemetry.trace_on () then
+        Telemetry.Span.enter ~arg:(total_width b) tm_box
+      else Telemetry.Span.enter tm_box
+    in
+    match process_box_inner cfg stats ?refuted contract formula b with
+    | r ->
+        Telemetry.Span.exit tm_box tok;
+        r
+    | exception e ->
+        Telemetry.Span.exit tm_box tok;
+        raise e
+  end
 
 let conjunction_contractor cfg atoms =
   if not cfg.use_contraction then fun b -> Some b
@@ -339,7 +381,7 @@ let decide_branches_portfolio ~jobs ~spend cfg worker_stats branches box =
 
 (* ---- Public entry points ---- *)
 
-let decide_with_stats ?(config = default_config) formula box =
+let decide_with_stats_inner ?(config = default_config) formula box =
   let stats = fresh_stats () in
   let jobs = Stdlib.max 1 config.jobs in
   let result =
@@ -393,6 +435,15 @@ let decide_with_stats ?(config = default_config) formula box =
         r
   in
   (result, stats)
+
+let decide_with_stats ?config formula box =
+  Telemetry.Span.with_ tm_decide (fun () ->
+      let ((_, stats) as r) = decide_with_stats_inner ?config formula box in
+      Telemetry.Counter.add m_decide_boxes stats.boxes_processed;
+      Telemetry.Counter.add m_decide_splits stats.splits;
+      Telemetry.Counter.add m_decide_prunings stats.prunings;
+      Telemetry.Counter.add m_decide_certifications stats.certifications;
+      r)
 
 let decide ?config formula box = fst (decide_with_stats ?config formula box)
 
@@ -477,7 +528,7 @@ let pave_step cfg ?refuted contract formula b =
         | Some (l, r) -> Pave_split (l, r)
         | None -> Pave_undecided)
 
-let pave_with_stats ?(config = default_config) formula box =
+let pave_with_stats_inner ?(config = default_config) formula box =
   let atoms = Expr.Formula.atoms formula in
   let constraints = List.map (Contractor.of_atom ~delta:0.0) atoms in
   (* Compiled once for the whole paving; used only as an infeasibility
@@ -551,5 +602,13 @@ let pave_with_stats ?(config = default_config) formula box =
         undecided = collect (fun (_, _, d) -> d) },
       stats )
   end
+
+let pave_with_stats ?config formula box =
+  Telemetry.Span.with_ tm_pave (fun () ->
+      let ((_, stats) as r) = pave_with_stats_inner ?config formula box in
+      Telemetry.Counter.add m_pave_boxes stats.boxes_processed;
+      Telemetry.Counter.add m_pave_splits stats.splits;
+      Telemetry.Counter.add m_pave_prunings stats.prunings;
+      r)
 
 let pave ?config formula box = fst (pave_with_stats ?config formula box)

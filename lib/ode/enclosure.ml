@@ -19,6 +19,18 @@ module Box = Interval.Box
 let src = Logs.Src.create "ode.enclosure" ~doc:"validated integration"
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Integration telemetry: one span per [flow] call (cache hits show as
+   near-zero spans), counters for accepted steps, Picard iterations,
+   step-size rejections (a failed a-priori enclosure forcing h/2) and
+   warm-seed fallbacks (cached parent enclosure that failed its
+   containment check). *)
+let tm_flow = Telemetry.Span.probe "ode.flow"
+let m_flows = Telemetry.Counter.make "ode.flows"
+let m_steps = Telemetry.Counter.make "ode.steps"
+let m_picard_iters = Telemetry.Counter.make "ode.picard_iters"
+let m_step_rejections = Telemetry.Counter.make "ode.step_rejections"
+let m_warm_fallbacks = Telemetry.Counter.make "ode.warm_fallbacks"
+
 type order = Euler_1 | Taylor_2
 
 type config = {
@@ -272,7 +284,9 @@ let flow_tape ?(warm = []) cfg prep ~params ~init ~t_end ~iters t0 =
                   at_end = box_of x' }
               in
               go step.t_hi x' cfg.h (step :: steps) wrest
-          | None -> go t x h steps [])
+          | None ->
+              Telemetry.Counter.incr m_warm_fallbacks;
+              go t x h steps [])
       | warm -> (
           let h = Float.min h (t_end -. t) in
           match step_tape t h x with
@@ -286,7 +300,10 @@ let flow_tape ?(warm = []) cfg prep ~params ~init ~t_end ~iters t0 =
               if h <= cfg.h_min then
                 { vars = System.vars sys; steps = List.rev steps;
                   final = box_of x; t_end = t; complete = false }
-              else go t x (h /. 2.0) steps warm)
+              else begin
+                Telemetry.Counter.incr m_step_rejections;
+                go t x (h /. 2.0) steps warm
+              end)
   in
   go t0 (arr_of init) cfg.h [] warm
 
@@ -307,7 +324,10 @@ let flow_tree config sys ~params ~init ~t_end ~iters t0 =
           if h <= config.h_min then
             { vars = System.vars sys; steps = List.rev steps; final = x; t_end = t;
               complete = false }
-          else go t x (h /. 2.0) steps
+          else begin
+            Telemetry.Counter.incr m_step_rejections;
+            go t x (h /. 2.0) steps
+          end
   in
   go t0 init config.h []
 
@@ -332,6 +352,7 @@ let tube_cache : (tube * int) Cache.t =
    step; wider: the a-priori enclosures are the parent's). *)
 let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
     sys =
+  Telemetry.Span.with_ tm_flow @@ fun () ->
   let run ?warm () =
     let iters = ref 0 in
     let tube =
@@ -347,6 +368,9 @@ let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
         flow_tape ?warm config prep ~params ~init ~t_end ~iters t0
       else flow_tree config sys ~params ~init ~t_end ~iters t0
     in
+    Telemetry.Counter.incr m_flows;
+    Telemetry.Counter.add m_picard_iters !iters;
+    Telemetry.Counter.add m_steps (List.length tube.steps);
     (tube, !iters)
   in
   if not (Cache.enabled ()) then fst (run ())

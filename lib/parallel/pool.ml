@@ -22,6 +22,16 @@
 let src = Logs.Src.create "parallel.pool" ~doc:"domain pool"
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Scheduling telemetry: how deep the frontier queue runs, how often
+   workers pick up shared items, how often they pick one up after having
+   gone idle (a "steal" in work-sharing terms), and how long they sit in
+   Condition.wait. *)
+let tm_drain = Telemetry.Span.probe "pool.drain"
+let m_takes = Telemetry.Counter.make "pool.takes"
+let m_steals = Telemetry.Counter.make "pool.steals"
+let m_idle_ns = Telemetry.Counter.make "pool.idle_ns"
+let h_queue_depth = Telemetry.Histogram.make "pool.queue_depth"
+
 (* Cap the default well below huge machines: branch-and-prune frontiers
    rarely keep more than a handful of domains saturated, and the GC's
    minor-heap traffic grows with every extra domain. *)
@@ -56,18 +66,21 @@ module Frontier = struct
     mutex : Mutex.t;
     wake : Condition.t;  (* new item, cancellation, or drain *)
     mutable queue : 'a list;  (* LIFO: keeps the search depth-first-ish *)
+    mutable depth : int;  (* List.length queue, maintained O(1) *)
     mutable active : int;  (* workers currently processing an item *)
     mutable stopped : bool;
   }
 
   let create init =
     { mutex = Mutex.create (); wake = Condition.create (); queue = init;
-      active = 0; stopped = false }
+      depth = List.length init; active = 0; stopped = false }
 
   let push t x =
     Mutex.lock t.mutex;
     if not t.stopped then begin
       t.queue <- x :: t.queue;
+      t.depth <- t.depth + 1;
+      Telemetry.Histogram.observe h_queue_depth t.depth;
       Condition.signal t.wake
     end;
     Mutex.unlock t.mutex
@@ -76,6 +89,7 @@ module Frontier = struct
     Mutex.lock t.mutex;
     t.stopped <- true;
     t.queue <- [];
+    t.depth <- 0;
     Condition.broadcast t.wake;
     Mutex.unlock t.mutex
 
@@ -85,18 +99,26 @@ module Frontier = struct
      no active worker that could still push) or stopped. *)
   let take t =
     Mutex.lock t.mutex;
+    let waited = ref false in
     let rec go () =
       if t.stopped then None
       else
         match t.queue with
         | x :: rest ->
             t.queue <- rest;
+            t.depth <- t.depth - 1;
             t.active <- t.active + 1;
+            Telemetry.Counter.incr m_takes;
+            if !waited then Telemetry.Counter.incr m_steals;
             Some x
         | [] ->
             if t.active = 0 then None
             else begin
+              let t0 = if Telemetry.metrics_on () then Telemetry.now_ns () else 0 in
               Condition.wait t.wake t.mutex;
+              if t0 <> 0 then
+                Telemetry.Counter.add m_idle_ns (Telemetry.now_ns () - t0);
+              waited := true;
               go ()
             end
     in
@@ -118,6 +140,7 @@ module Frontier = struct
      first one is re-raised after all domains joined. *)
   let drain ~jobs t process =
     validate_jobs jobs;
+    let tok = Telemetry.Span.enter tm_drain in
     let worker w =
       let rec loop () =
         match take t with
@@ -133,7 +156,9 @@ module Frontier = struct
       in
       loop ()
     in
-    ignore (run ~jobs worker)
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Span.exit tm_drain tok)
+      (fun () -> ignore (run ~jobs worker))
 end
 
 (* ---- Static chunked index ranges ---- *)

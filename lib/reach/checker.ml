@@ -35,6 +35,20 @@ module T = Expr.Term
 let src = Logs.Src.create "reach.checker" ~doc:"bounded reachability"
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Reachability telemetry.  Path unrolling is traced per (mode, depth):
+   each flow segment gets a span whose payload is its depth along the
+   path, nested under the per-path span (payload: path length), nested
+   under the whole check.  Counters record how many candidate paths and
+   flow segments were evaluated and how often the validated tube was
+   replaced by the non-rigorous ensemble bracket. *)
+let tm_check = Telemetry.Span.probe "reach.check"
+let tm_synth = Telemetry.Span.probe "reach.synthesize"
+let tm_path = Telemetry.Span.probe "reach.path"
+let tm_segment = Telemetry.Span.probe "reach.segment"
+let m_paths = Telemetry.Counter.make "reach.paths"
+let m_segments = Telemetry.Counter.make "reach.segments"
+let m_brackets = Telemetry.Counter.make "reach.fallback_brackets"
+
 type config = {
   delta : float;
   epsilon : float;  (** minimum search-box width before giving up splitting *)
@@ -239,6 +253,7 @@ let flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
   if tube_usable then Some { steps = tube.Ode.Enclosure.steps; rigorous = true }
   else begin
     (* Ensemble fallback: simulate from sampled (params, init) pairs. *)
+    Telemetry.Counter.incr m_brackets;
     let joint =
       List.fold_left (fun b (k, v) -> Box.set k v b) params_box (Box.to_list init_box)
     in
@@ -418,17 +433,24 @@ let states_satisfying steps ~params_box formula =
   | [] -> None
   | b :: rest -> Some (List.fold_left Box.hull b rest)
 
+(* One flow segment of a path unrolling: counted, and traced with the
+   segment's depth along the path as payload. *)
+let traced_segment ~depth f =
+  Telemetry.Counter.incr m_segments;
+  Telemetry.Span.with_ ~arg:(float_of_int depth) tm_segment f
+
 (* `Infeasible of rigor | `Maybe *)
 let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
   let automaton = pb.Encoding.automaton in
-  let rec walk state_box rigorous = function
+  let rec walk depth state_box rigorous = function
     | [] -> `Infeasible true
     | [ last ] -> (
         let sys = Hybrid.Automaton.mode_system automaton last in
         match
-          flow_enclosure cfg sys
-            ~prepared:(Hashtbl.find prep.flow_prep last)
-            ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound
+          traced_segment ~depth (fun () ->
+              flow_enclosure cfg sys
+                ~prepared:(Hashtbl.find prep.flow_prep last)
+                ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound)
         with
         | None -> `Maybe
         | Some enc -> (
@@ -441,9 +463,10 @@ let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
     | q :: (q' :: _ as rest) -> (
         let sys = Hybrid.Automaton.mode_system automaton q in
         match
-          flow_enclosure cfg sys
-            ~prepared:(Hashtbl.find prep.flow_prep q)
-            ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound
+          traced_segment ~depth (fun () ->
+              flow_enclosure cfg sys
+                ~prepared:(Hashtbl.find prep.flow_prep q)
+                ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound)
         with
         | None -> `Maybe
         | Some enc -> (
@@ -475,9 +498,9 @@ let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
                         (Hashtbl.find prep.inv_contract q') ~params_box next
                       with
                       | None -> `Infeasible rigorous
-                      | Some next -> walk next rigorous rest))))
+                      | Some next -> walk (depth + 1) next rigorous rest))))
   in
-  walk init_box true path
+  walk 0 init_box true path
 
 (* ---- Certification by guided simulation ---- *)
 
@@ -570,6 +593,9 @@ let certify cfg pb path sbox =
 (* ---- Per-path branch and prune over the search box ---- *)
 
 let decide_path cfg pb prep path =
+  Telemetry.Counter.incr m_paths;
+  Telemetry.Span.with_ ~arg:(float_of_int (List.length path)) tm_path
+  @@ fun () ->
   let budget = ref cfg.max_param_boxes in
   let rigorous_all = ref true in
   let rec search sbox =
@@ -612,6 +638,7 @@ let decide_path cfg pb prep path =
    cancels work on paths with larger indices — exactly the paths the
    sequential scan would never have reached. *)
 let check ?(config = default_config) (pb : Encoding.t) =
+  Telemetry.Span.with_ tm_check @@ fun () ->
   let paths =
     List.sort
       (fun a b -> compare (List.length a) (List.length b))
@@ -713,6 +740,7 @@ type synth_outcome =
   | Synth_undecided of witness option
 
 let synthesize ?(config = default_config) (pb : Encoding.t) =
+  Telemetry.Span.with_ tm_synth @@ fun () ->
   let paths =
     List.sort
       (fun a b -> compare (List.length a) (List.length b))

@@ -10,6 +10,13 @@ type model =
   | Ode_model of Ode.System.t
   | Hybrid_model of Hybrid.Automaton.t
 
+let tm_test = Telemetry.Span.probe "smc.test"
+let tm_estimate = Telemetry.Span.probe "smc.estimate"
+let tm_batch = Telemetry.Span.probe "smc.batch"
+let m_samples = Telemetry.Counter.make "smc.samples"
+let m_successes = Telemetry.Counter.make "smc.successes"
+let m_batches = Telemetry.Counter.make "smc.sprt_batches"
+
 type problem = {
   model : model;
   init_dist : Sampler.spec;  (** distributions of initial values *)
@@ -24,7 +31,7 @@ let problem ?(max_jumps = 100) ~model ~init_dist ~param_dist ~property ~t_end ()
   { model; init_dist; param_dist; property; t_end; max_jumps }
 
 (* One Bernoulli sample of the property. *)
-let sample_once rng prob =
+let sample_once_inner rng prob =
   let init = Sampler.sample rng prob.init_dist in
   let params = Sampler.sample rng prob.param_dist in
   match prob.model with
@@ -45,6 +52,14 @@ let sample_once rng prob =
           ~max_jumps:prob.max_jumps h
       in
       Bltl.holds (Bltl.of_trajectory ~params traj) prob.property
+
+(* Counting wrapper: sampling only observes the outcome, so telemetry
+   never perturbs the Bernoulli stream. *)
+let sample_once rng prob =
+  let outcome = sample_once_inner rng prob in
+  Telemetry.Counter.incr m_samples;
+  if outcome then Telemetry.Counter.incr m_successes;
+  outcome
 
 (* Robustness of one random trajectory (quantitative sample). *)
 let sample_robustness rng prob =
@@ -80,6 +95,8 @@ let worker_rng ~seed w = Random.State.make [| seed; w |]
 let fan_out ~seed ~jobs ~n ~zero ~add f =
   let parts =
     Parallel.Pool.parallel_for_chunks ~jobs n (fun w lo hi ->
+        Telemetry.Span.with_ ~arg:(float_of_int (hi - lo)) tm_batch
+        @@ fun () ->
         let rng = worker_rng ~seed w in
         let acc = ref zero in
         for _ = lo to hi - 1 do
@@ -100,6 +117,7 @@ let count_successes ~seed ~jobs ~n prob =
    order — the verdict is deterministic at a fixed (seed, jobs); samples
    drawn past the decision point are discarded. *)
 let test ?(seed = 42) ?(jobs = 1) ?config prob =
+  Telemetry.Span.with_ tm_test @@ fun () ->
   if jobs <= 1 then begin
     let rng = Random.State.make [| seed |] in
     Sprt.run ?config (fun _ -> sample_once rng prob)
@@ -112,6 +130,9 @@ let test ?(seed = 42) ?(jobs = 1) ?config prob =
     let extend () =
       (* batch b: worker w computes outcomes for its next slice; global
          order interleaves the slices round-robin by worker. *)
+      Telemetry.Counter.incr m_batches;
+      Telemetry.Span.with_ ~arg:(float_of_int (jobs * per_worker)) tm_batch
+      @@ fun () ->
       let batch =
         Parallel.Pool.run ~jobs (fun w ->
             Array.init per_worker (fun _ -> sample_once rngs.(w) prob))
@@ -130,6 +151,7 @@ let test ?(seed = 42) ?(jobs = 1) ?config prob =
 
 (* Probability estimation with Chernoff sample size. *)
 let estimate ?(seed = 42) ?(jobs = 1) ?(eps = 0.05) ?(alpha = 0.05) prob =
+  Telemetry.Span.with_ tm_estimate @@ fun () ->
   if jobs <= 1 then begin
     let rng = Random.State.make [| seed |] in
     Estimate.monte_carlo ~eps ~alpha (fun _ -> sample_once rng prob)
@@ -142,6 +164,7 @@ let estimate ?(seed = 42) ?(jobs = 1) ?(eps = 0.05) ?(alpha = 0.05) prob =
 
 (* Bayesian estimation with fixed sample count. *)
 let estimate_bayesian ?(seed = 42) ?(jobs = 1) ?(n = 500) ?confidence prob =
+  Telemetry.Span.with_ tm_estimate @@ fun () ->
   if jobs <= 1 then begin
     let rng = Random.State.make [| seed |] in
     Estimate.bayesian ?confidence ~n (fun _ -> sample_once rng prob)

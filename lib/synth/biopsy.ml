@@ -20,6 +20,10 @@ module Box = Interval.Box
 let src = Logs.Src.create "synth.biopsy" ~doc:"guaranteed parameter synthesis"
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let tm_synth = Telemetry.Span.probe "biopsy.synthesize"
+let tm_classify = Telemetry.Span.probe "biopsy.classify"
+let m_boxes = Telemetry.Counter.make "biopsy.boxes"
+
 type config = {
   epsilon : float;  (** minimum parameter-box width *)
   max_boxes : int;
@@ -113,7 +117,7 @@ let classify_uncached cfg prob prepared pbox =
 
 (* [group] is [problem_group cfg prob] when caching is on, [None] when
    off (computed once per synthesis, not per box). *)
-let classify cfg prob prepared ?group pbox =
+let classify_inner cfg prob prepared ?group pbox =
   match group with
   | None -> classify_uncached cfg prob prepared pbox
   | Some group -> (
@@ -126,6 +130,23 @@ let classify cfg prob prepared ?group pbox =
           let v = classify_uncached cfg prob prepared pbox in
           Cache.add verdict_cache ~group pbox v;
           v)
+
+(* Per-box classification, the hot path of the paving loop: count every
+   box and span it when tracing, without allocating a closure when
+   telemetry is off. *)
+let classify cfg prob prepared ?group pbox =
+  Telemetry.Counter.incr m_boxes;
+  if not (Telemetry.enabled ()) then classify_inner cfg prob prepared ?group pbox
+  else begin
+    let tok = Telemetry.Span.enter tm_classify in
+    match classify_inner cfg prob prepared ?group pbox with
+    | v ->
+        Telemetry.Span.exit tm_classify tok;
+        v
+    | exception e ->
+        Telemetry.Span.exit tm_classify tok;
+        raise e
+  end
 
 type result = {
   consistent : Box.t list;
@@ -145,6 +166,7 @@ let pp_result ppf r =
     (List.length r.undecided) r.boxes_explored
 
 let synthesize ?(config = default_config) prob =
+  Telemetry.Span.with_ tm_synth @@ fun () ->
   let jobs = Stdlib.max 1 config.jobs in
   let prepared = Ode.Enclosure.prepare prob.sys in
   let group =
