@@ -511,7 +511,9 @@ let p1 () =
       ~t_end:30.0 ()
   in
   (* Per run: a one-line summary (verdict / leaf counts / estimate) so
-     agreement across jobs values is visible, and the wall time. *)
+     agreement across jobs values is visible, the search-effort counters
+     (boxes processed / splits / prunings — zero for SMC, which has no
+     box search), and the wall time. *)
   let decide_kernel jobs =
     let config =
       { Icp.Solver.default_config with delta = 1e-4; epsilon = 1e-5; jobs }
@@ -525,6 +527,9 @@ let p1 () =
         | Icp.Solver.Unsat -> "unsat"
         | Icp.Solver.Unknown _ -> "unknown")
         stats.Icp.Solver.boxes_processed stats.Icp.Solver.certifications,
+      ( stats.Icp.Solver.boxes_processed,
+        stats.Icp.Solver.splits,
+        stats.Icp.Solver.prunings ),
       dt )
   in
   let pave_kernel jobs =
@@ -537,13 +542,16 @@ let p1 () =
         (List.length p.Icp.Solver.unsat)
         (List.length p.Icp.Solver.undecided)
         stats.Icp.Solver.boxes_processed stats.Icp.Solver.splits,
+      ( stats.Icp.Solver.boxes_processed,
+        stats.Icp.Solver.splits,
+        stats.Icp.Solver.prunings ),
       dt )
   in
   let smc_kernel jobs =
     let e, dt =
       timed (fun () -> Smc.Runner.estimate ~jobs ~eps:0.1 ~alpha:0.05 smc_prob)
     in
-    (Fmt.str "p=%.3f, n=%d" e.Smc.Estimate.p_hat e.Smc.Estimate.n, dt)
+    (Fmt.str "p=%.3f, n=%d" e.Smc.Estimate.p_hat e.Smc.Estimate.n, (0, 0, 0), dt)
   in
   let kernels =
     [ ("icp-decide-tangency", decide_kernel);
@@ -560,10 +568,10 @@ let p1 () =
     List.concat_map
       (fun (name, runs) ->
         let base =
-          match runs with (_, (_, dt)) :: _ -> dt | [] -> nan
+          match runs with (_, (_, _, dt)) :: _ -> dt | [] -> nan
         in
         List.map
-          (fun (jobs, (summary, dt)) ->
+          (fun (jobs, (summary, _, dt)) ->
             [ name; string_of_int jobs; Fmt.str "%.3fs" dt;
               Fmt.str "%.2fx" (base /. dt); summary ])
           runs)
@@ -584,14 +592,15 @@ let p1 () =
        (Parallel.Pool.default_jobs ()));
   List.iteri
     (fun i (name, runs) ->
-      let base = match runs with (_, (_, dt)) :: _ -> dt | [] -> nan in
+      let base = match runs with (_, (_, _, dt)) :: _ -> dt | [] -> nan in
       Buffer.add_string buf (Printf.sprintf "    {\"name\": %S, \"runs\": [" name);
       List.iteri
-        (fun j (jobs, (_, dt)) ->
+        (fun j (jobs, (_, (boxes, splits, prunings), dt)) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s{\"jobs\": %d, \"wall_s\": %.6f, \"ns_per_op\": %.0f, \"speedup\": %.3f}"
+            (Printf.sprintf
+               "%s{\"jobs\": %d, \"wall_s\": %.6f, \"ns_per_op\": %.0f, \"speedup\": %.3f, \"boxes_processed\": %d, \"splits\": %d, \"prunings\": %d}"
                (if j = 0 then "" else ", ")
-               jobs dt (dt *. 1e9) (base /. dt)))
+               jobs dt (dt *. 1e9) (base /. dt) boxes splits prunings))
         runs;
       Buffer.add_string buf
         (Printf.sprintf "]}%s\n" (if i = List.length measured - 1 then "" else ",")))
@@ -1177,6 +1186,172 @@ let o1 ?(quick = false) () =
   Report.print [ Report.text "wrote BENCH_telemetry.json" ]
 
 (* ------------------------------------------------------------------ *)
+(* N1: derivative pruning off vs on                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The derivative layer (Icp.Deriv: mean-value refutation, interval
+   Newton contraction, smear branching) against the plain HC4 search on
+   dependency-rich workloads — terms where variables occur repeatedly,
+   so the natural interval extension is loose and the first-order
+   expansions have something to win.  Both runs of every workload must
+   agree (decide: same verdict kind, checked here; pave: a sat leaf of
+   one run overlapping an unsat leaf of the other would be two
+   contradictory proofs — also checked here), so the reported reduction
+   in boxes processed is bought without changing any answer.  Caches
+   are off: each run does its own full search. *)
+
+let n1 ?(quick = false) () =
+  section
+    (if quick then "N1  Derivative pruning off vs on (quick)"
+     else "N1  Derivative pruning: mean-value/Newton + smear, off vs on");
+  Cache.set_policy Cache.Off;
+  Fun.protect ~finally:(fun () ->
+      Cache.clear_policy_override ();
+      Icp.Deriv.clear_enabled_override ())
+  @@ fun () ->
+  let verdict_of = function
+    | Icp.Solver.Delta_sat _ -> "delta-sat"
+    | Icp.Solver.Unsat -> "unsat"
+    | Icp.Solver.Unknown _ -> "unknown"
+  in
+  let counts (s : Icp.Solver.stats) =
+    (s.Icp.Solver.boxes_processed, s.Icp.Solver.splits, s.Icp.Solver.prunings)
+  in
+  (* Workload 1 (decide, multi-atom): x and y each satisfy the expanded
+     cubic t^3 - 2t^2 + 1.25t = 0.25, whose real solutions are t = 1 and
+     the double root t = 0.5; no pair of solutions is 0.4-separated in
+     the square, so the conjunction is unsat.  The cubic mentions its
+     variable three times — exactly the dependency that makes the
+     natural extension loose and the mean-value form sharp. *)
+  let cubic =
+    Expr.Parse.formula
+      "x^3 - 2*x^2 + 1.25*x = 0.25 and y^3 - 2*y^2 + 1.25*y = 0.25 and \
+       (x - y)^2 >= 0.3"
+  in
+  let cubic_box =
+    Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ]
+  in
+  (* Workload 2 (decide, multi-atom): two Michaelis–Menten channels
+     sharing one rate law v(s) = 1.2 s / (0.4 + s); on the conservation
+     line s1 + s2 = 1 the total rate peaks at 4/3 < 1.35, so the demand
+     is unsat.  Each substrate occurs in both numerator and denominator
+     of its rate — again a dependency HC4 cannot see through. *)
+  let mm =
+    Expr.Parse.formula
+      "1.2*s1/(0.4 + s1) + 1.2*s2/(0.4 + s2) = 1.35 and s1 + s2 = 1"
+  in
+  let mm_box =
+    Box.of_list [ ("s1", I.make 0.0 1.0); ("s2", I.make 0.0 1.0) ]
+  in
+  (* Workload 3 (pave, biopsy-style parameter fit): admissible (k, a)
+     for the impulse-response model y(t) = a k t e^{-kt} against two
+     data bands (t = 1 and t = 3) — the algebraic form of a calibration
+     paving.  k occurs twice per observation. *)
+  let fit =
+    Expr.Parse.formula
+      "a*k*exp(-k) >= 0.3 and a*k*exp(-k) <= 0.5 and \
+       3*a*k*exp(-3*k) >= 0.1 and 3*a*k*exp(-3*k) <= 0.3"
+  in
+  let fit_box =
+    Box.of_list [ ("k", I.make 0.05 2.5); ("a", I.make 0.2 3.0) ]
+  in
+  let run_decide name formula box config =
+    let run on =
+      Icp.Deriv.set_enabled on;
+      let (r, stats), dt =
+        timed (fun () -> Icp.Solver.decide_with_stats ~config formula box)
+      in
+      (verdict_of r, counts stats, dt)
+    in
+    let v_off, c_off, t_off = run false in
+    let v_on, c_on, t_on = run true in
+    if v_off <> v_on then
+      failwith
+        (Printf.sprintf "N1 %s: verdicts differ (off=%s, on=%s)" name v_off
+           v_on);
+    (name, "decide", v_off, c_off, t_off, c_on, t_on)
+  in
+  let run_pave name formula box config =
+    let run on =
+      Icp.Deriv.set_enabled on;
+      let (p, stats), dt =
+        timed (fun () -> Icp.Solver.pave_with_stats ~config formula box)
+      in
+      (p, counts stats, dt)
+    in
+    let p_off, c_off, t_off = run false in
+    let p_on, c_on, t_on = run true in
+    (* Two pavings of the same box: sat and unsat leaves are proofs, so
+       a positive-volume overlap between one run's sat region and the
+       other's unsat region would be a soundness bug, not noise. *)
+    let contradicts sats unsats =
+      List.exists
+        (fun s ->
+          List.exists
+            (fun u -> Box.volume (Box.inter s u) > 0.0)
+            unsats)
+        sats
+    in
+    if
+      contradicts p_on.Icp.Solver.sat p_off.Icp.Solver.unsat
+      || contradicts p_off.Icp.Solver.sat p_on.Icp.Solver.unsat
+    then failwith (Printf.sprintf "N1 %s: pavings contradict" name);
+    let feasible (p : Icp.Solver.paving) = p.sat <> [] in
+    if feasible p_off <> feasible p_on then
+      failwith (Printf.sprintf "N1 %s: feasibility verdicts differ" name);
+    let v = if feasible p_off then "feasible" else "infeasible" in
+    (name, "pave", v, c_off, t_off, c_on, t_on)
+  in
+  let dcfg =
+    { Icp.Solver.default_config with
+      delta = (if quick then 1e-3 else 1e-4);
+      epsilon = (if quick then 1e-4 else 1e-5) }
+  in
+  let pcfg =
+    { Icp.Solver.default_config with
+      epsilon = (if quick then 0.02 else 0.01) }
+  in
+  let results =
+    [ run_decide "decide-cubic-separation" cubic cubic_box dcfg;
+      run_decide "decide-mm-kinetics" mm mm_box dcfg;
+      run_pave "pave-impulse-fit" fit fit_box pcfg ]
+  in
+  let rows =
+    List.map
+      (fun (name, kind, v, (b0, _, _), t0, (b1, _, _), t1) ->
+        [ name; kind; v; string_of_int b0; string_of_int b1;
+          Fmt.str "%.2fx" (float_of_int b0 /. float_of_int b1);
+          Fmt.str "%.3fs" t0; Fmt.str "%.3fs" t1 ])
+      results
+  in
+  Report.print
+    [ Report.table
+        ~header:
+          [ "workload"; "kind"; "verdict"; "boxes off"; "boxes on";
+            "reduction"; "wall off"; "wall on" ]
+        rows ];
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"quick\": %b,\n  \"workloads\": [\n" quick);
+  List.iteri
+    (fun i (name, kind, v, (b0, s0, p0), t0, (b1, s1, p1), t1) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"kind\": %S, \"verdict\": %S, \"identical\": true,\n\
+           \     \"off\": {\"boxes_processed\": %d, \"splits\": %d, \"prunings\": %d, \"wall_s\": %.6f},\n\
+           \     \"on\":  {\"boxes_processed\": %d, \"splits\": %d, \"prunings\": %d, \"wall_s\": %.6f},\n\
+           \     \"box_reduction\": %.3f}%s\n"
+           name kind v b0 s0 p0 t0 b1 s1 p1 t1
+           (float_of_int b0 /. float_of_int b1)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_newton.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Report.print [ Report.text "wrote BENCH_newton.json" ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel kernel timing                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1352,6 +1527,7 @@ let () =
       ("a3", a3); ("a4", a4); ("p1", p1); ("t1", t1);
       ("c1", fun () -> c1 ~quick ());
       ("o1", fun () -> o1 ~quick ());
+      ("n1", fun () -> n1 ~quick ());
       ("bechamel", run_bechamel) ]
   in
   let chosen =
@@ -1367,7 +1543,7 @@ let () =
         List.filter (fun (n, _) -> List.mem n names) sections
     | None ->
         if quick then
-          List.filter (fun (n, _) -> List.mem n [ "c1"; "o1" ]) sections
+          List.filter (fun (n, _) -> List.mem n [ "c1"; "o1"; "n1" ]) sections
         else sections
   in
   Report.print

@@ -165,6 +165,15 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let no_newton_arg =
+  let doc =
+    "Disable the derivative layer of the δ-decision search (mean-value \
+     refutation, interval Newton contraction, smear-guided branching), \
+     restoring plain HC4 + widest-dimension bisection; equivalent to \
+     BIOMC_NO_NEWTON=1."
+  in
+  Arg.(value & flag & info [ "no-newton" ] ~doc)
+
 let apply_cache_policy no_cache =
   if no_cache then Cache.set_policy Cache.Off
 
@@ -177,6 +186,7 @@ let cache_line () = Report.text "%s" (Cache.summary ())
 type common = {
   jobs : int;
   no_cache : bool;
+  no_newton : bool;
   trace : string option;  (** Chrome trace_event JSON output file *)
   metrics : bool;  (** print the telemetry metrics section *)
   metrics_json : string option;  (** also write the metrics as JSON *)
@@ -199,12 +209,12 @@ let metrics_json_arg =
     value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let mk jobs no_cache trace metrics metrics_json =
-    { jobs; no_cache; trace; metrics; metrics_json }
+  let mk jobs no_cache no_newton trace metrics metrics_json =
+    { jobs; no_cache; no_newton; trace; metrics; metrics_json }
   in
   Term.(
-    const mk $ jobs_arg $ no_cache_arg $ trace_arg $ metrics_arg
-    $ metrics_json_arg)
+    const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ trace_arg
+    $ metrics_arg $ metrics_json_arg)
 
 (* Telemetry section appended to a report when metrics are on: non-zero
    counters as a key/value block, span histograms as a table. *)
@@ -240,6 +250,7 @@ let telemetry_items () =
    the report items for a successful run. *)
 let with_common c body =
   apply_cache_policy c.no_cache;
+  if c.no_newton then Icp.Deriv.set_enabled false;
   if c.metrics || c.metrics_json <> None then Telemetry.set_metrics true;
   if c.trace <> None then begin
     Telemetry.set_metrics true;

@@ -447,6 +447,62 @@ let eval_interval tp sc inputs =
   forward_intervals tp sc inputs;
   slot_itv sc tp.roots.(0)
 
+(* ---- Smoothness certificate ----
+
+   After [forward_intervals] over a box, decide whether every function
+   compiled into the tape is defined and C¹ on the whole box.  The box
+   is convex, so it suffices that no partially-defined or non-smooth
+   instruction's argument enclosure touches a singular point:
+
+   - ODiv: the divisor enclosure excludes 0;
+   - OLog, OSqrt: the argument enclosure is strictly positive (sqrt is
+     defined at 0 but not differentiable there);
+   - OPow with negative exponent: the base enclosure excludes 0;
+   - OAbs: the argument enclosure excludes 0 (the kink);
+   - OTan: the instruction's own enclosure is bounded — {!Ia.tan}
+     returns [entire] whenever the argument may contain a pole, so a
+     bounded result certifies the argument sits inside one branch;
+   - OMin/OMax: never smooth-certified (kinks anywhere the arguments
+     cross; the gradient compiler rejects them before this point);
+   - any empty slot (including empty inputs) fails.
+
+   The enclosures are conservative, so this can only under-report
+   smoothness — exactly the safe direction for the mean-value and
+   Newton contractions that require it. *)
+let smooth_on tp sc =
+  let lo = sc.ilos and hi = sc.ihis in
+  let ops = tp.ops in
+  let n = Array.length ops in
+  let ok = ref true in
+  let s = ref 0 in
+  while !ok && !s < n do
+    let i = !s in
+    (match Array.unsafe_get ops i with
+    | ODiv (_, b) ->
+        let bl = Array.unsafe_get lo b and bh = Array.unsafe_get hi b in
+        if not (bl > 0.0 || bh < 0.0) then ok := false
+    | OLog a | OSqrt a ->
+        if not (Array.unsafe_get lo a > 0.0) then ok := false
+    | OPow (a, k) when k < 0 ->
+        let al = Array.unsafe_get lo a and ah = Array.unsafe_get hi a in
+        if not (al > 0.0 || ah < 0.0) then ok := false
+    | OAbs a ->
+        let al = Array.unsafe_get lo a and ah = Array.unsafe_get hi a in
+        if not (al > 0.0 || ah < 0.0) then ok := false
+    | OTan _ ->
+        let l = Array.unsafe_get lo i and h = Array.unsafe_get hi i in
+        if not (Float.is_finite l && Float.is_finite h) then ok := false
+    | OMin _ | OMax _ -> ok := false
+    | OVar _ | OConst _ | OAdd _ | OSub _ | OMul _ | ONeg _ | OPow _
+    | OExp _ | OSin _ | OCos _ | OAtan _ | OTanh _ ->
+        ());
+    (if !ok then
+       let l = Array.unsafe_get lo i in
+       if l <> l then ok := false);
+    incr s
+  done;
+  !ok
+
 (* ---- Preimage helpers shared with the tree-walking contractor ---- *)
 
 (* Preimage of [r] under x ↦ x^k intersected with [x].  Even powers have

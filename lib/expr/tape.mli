@@ -83,6 +83,20 @@ val eval_float : t -> scratch -> float array -> float
 val eval_interval_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
 val eval_interval : t -> scratch -> I.t array -> I.t
 
+val smooth_on : t -> scratch -> bool
+(** Must be called directly after an interval evaluation over a box
+    ([eval_interval]/[eval_interval_into] with the box's component
+    intervals as inputs); inspects the forward enclosures left in the
+    scratch.  [true] certifies that every function compiled into the
+    tape is defined and continuously differentiable on the entire
+    (convex) box: every partially-defined or non-smooth instruction —
+    division, log, sqrt, negative powers, abs, tan — stayed strictly
+    inside the interior of its smooth domain, and no slot was empty.
+    Min/Max instructions always fail the certificate.  Conservative:
+    may return [false] on a smooth box (enclosure overapproximation),
+    never [true] on a non-smooth one.  This is the licence the
+    mean-value form and interval Newton contractions require. *)
+
 (** {1 HC4 forward–backward contraction} *)
 
 val hc4_revise :

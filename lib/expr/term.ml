@@ -222,6 +222,102 @@ let rename renaming t =
 (* Rebuild the term through the smart constructors, folding constants. *)
 let simplify t = subst [] t
 
+(* ---- Deep simplification (gradient pipeline) ----
+
+   [Term.deriv] builds its output through the smart constructors, which
+   fold adjacent constants but leave the chain/product-rule scaffolding
+   in place: nested negations, products of negated factors, constants
+   buried one level inside a product.  [simplify_deep] cleans those up
+   before tape compilation.
+
+   Every rule preserves the function's domain of definition exactly —
+   the interval Newton layer certifies smoothness from the natural
+   enclosures of the simplified tree, so a rewrite that extended the
+   domain (say [exp (log x) → x]) could hide a singularity and break
+   the certificate.  Rules are also numerically conservative: they
+   either commute with IEEE arithmetic bit-for-bit (neg hoisting,
+   sub-of-neg) or are gated on the constant folding being exact
+   (checked with an FMA residual for products, a Fast2Sum-style
+   round-trip for sums).  [Term.simplify] (used by [compile]) is left
+   untouched: its float semantics are pinned by the tape differential
+   tests. *)
+
+let exact_mul c d =
+  let p = c *. d in
+  Float.is_finite p && Float.fma c d (-.p) = 0.0
+
+let exact_add c d =
+  let s = c +. d in
+  Float.is_finite s && s -. c = d && s -. d = c
+
+let s_neg = function
+  | Const c -> Const (-.c)
+  | Neg t -> t
+  | Sub (a, b) -> Sub (b, a)  (* -(a - b) = b - a, bit-identical *)
+  | t -> Neg t
+
+(* Strip negations off the operands of a product or quotient; the sign
+   is re-applied on top where [s_neg] can cancel it against the
+   context.  Recursion consumes one [Neg] constructor per step, so it
+   terminates. *)
+let rec s_mul a b =
+  match (a, b) with
+  | Neg a, Neg b -> s_mul a b
+  | Neg a, b | a, Neg b -> s_neg (s_mul a b)
+  | Const c, Mul (Const d, e) when exact_mul c d -> s_mul (Const (c *. d)) e
+  | Mul (Const d, e), Const c when exact_mul c d -> s_mul (Const (c *. d)) e
+  | Const c, Mul (e, Const d) when exact_mul c d -> s_mul (Const (c *. d)) e
+  | _ -> mul a b
+
+let rec s_div a b =
+  match (a, b) with
+  | Neg a, Neg b -> s_div a b
+  | Neg a, b | a, Neg b -> s_neg (s_div a b)
+  | _ -> div a b
+
+let s_add a b =
+  match (a, b) with
+  | a, Neg b -> sub a b
+  | Neg a, b -> sub b a
+  | Const c, Add (Const d, e) when exact_add c d -> add (Const (c +. d)) e
+  | _ -> add a b
+
+let s_sub a b =
+  match (a, b) with
+  | Neg a, Neg b -> sub b a
+  | a, Neg b -> add a b
+  | _ -> sub a b
+
+let s_pow t n =
+  match (t, n) with
+  (* (a^m)^n = a^(mn) as real functions when m, n ≥ 1 (same domain:
+     total in a for non-negative exponents). *)
+  | Pow (a, m), n when m >= 1 && n >= 1 -> pow a (m * n)
+  | Neg a, n when n >= 0 -> if n land 1 = 0 then pow a n else s_neg (pow a n)
+  | _ -> pow t n
+
+let rec simplify_deep t =
+  let s = simplify_deep in
+  match t with
+  | Var _ | Const _ -> t
+  | Add (a, b) -> s_add (s a) (s b)
+  | Sub (a, b) -> s_sub (s a) (s b)
+  | Mul (a, b) -> s_mul (s a) (s b)
+  | Div (a, b) -> s_div (s a) (s b)
+  | Neg a -> s_neg (s a)
+  | Pow (a, n) -> s_pow (s a) n
+  | Exp a -> exp (s a)
+  | Log a -> log (s a)
+  | Sqrt a -> sqrt (s a)
+  | Sin a -> sin (s a)
+  | Cos a -> cos (s a)
+  | Tan a -> tan (s a)
+  | Atan a -> atan (s a)
+  | Tanh a -> tanh (s a)
+  | Abs a -> abs (s a)
+  | Min (a, b) -> min_ (s a) (s b)
+  | Max (a, b) -> max_ (s a) (s b)
+
 (* ---- Evaluation ---- *)
 
 let rec eval lookup = function

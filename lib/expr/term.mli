@@ -111,6 +111,20 @@ val rename : (string * string) list -> t -> t
 val simplify : t -> t
 (** Constant folding and neutral-element elimination (idempotent). *)
 
+val simplify_deep : t -> t
+(** Stronger simplification for derivative trees: everything
+    {!simplify} does, plus negation hoisting out of products and
+    quotients, sum/difference-of-negation rewrites, pow-of-pow
+    merging, and constant merging across one level of product/sum
+    nesting (applied only when the fold is exact in IEEE arithmetic).
+    Every rule preserves the domain of definition exactly, so natural
+    interval enclosures of the result blow up at the same singular
+    points as the input's — the property the interval Newton layer's
+    smoothness certificate relies on.  The result denotes the same
+    real function; float evaluation agrees bit-for-bit up to the sign
+    of zero, except across a pow-of-pow merge where libm may differ by
+    ulps. *)
+
 (** {1 Evaluation} *)
 
 val eval : (string -> float) -> t -> float

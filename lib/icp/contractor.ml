@@ -413,6 +413,28 @@ let contractor ?tol ?max_rounds constraints =
     end
     else fun box -> fixpoint ?tol ?max_rounds constraints box
   in
+  (* Derivative layer (mean-value refutation + interval Newton), run
+     after the HC4 fixpoint; when Newton contracts the box, one more
+     fixpoint round lets HC4 exploit the tightened components.  The
+     flag is sampled at build time — like [tape] — so the closure and
+     its cache group stay consistent for their whole lifetime. *)
+  let newton =
+    if Deriv.enabled () then
+      Deriv.compile (List.map (fun c -> (c.term, c.target)) constraints)
+    else None
+  in
+  let base =
+    match newton with
+    | None -> base
+    | Some sys -> (
+        fun box ->
+          match base box with
+          | None -> None
+          | Some b -> (
+              match Deriv.contract sys b with
+              | None -> None
+              | Some b' -> if b' == b then Some b else base b'))
+  in
   (* The group string is built unconditionally (one digest — negligible
      next to [compile]) with [tol]/[max_rounds] normalized to their
      defaults, so callers passing the defaults explicitly share a group
@@ -422,10 +444,14 @@ let contractor ?tol ?max_rounds constraints =
      avoided here — these closures are shared across worker domains, and
      concurrently forcing one thunk is unsafe.) *)
   let group =
-    Printf.sprintf "hc4|%s|%h|%d|%b" (fingerprint constraints)
+    (* The newton flag keys the group too: Newton-contracted results
+       must never replay into a Newton-off run (and vice versa), or the
+       kill-switch would no longer reproduce the HC4-only search. *)
+    Printf.sprintf "hc4|%s|%h|%d|%b|%b" (fingerprint constraints)
       (Option.value tol ~default:default_tol)
       (Option.value max_rounds ~default:default_max_rounds)
       tape
+      (Option.is_some newton)
   in
   let cached box =
     if not (Cache.enabled ()) then base box

@@ -62,5 +62,13 @@ val contractor :
   Interval.Box.t option
 (** [contractor constraints] compiles once and returns the fixpoint as a
     closure — tape-backed unless tapes are disabled ([BIOMC_NO_TAPE=1]).
-    The closure may be shared across worker domains: tapes are immutable
+    Unless the derivative layer is disabled ([BIOMC_NO_NEWTON=1], see
+    {!Deriv}), the HC4 fixpoint is followed by a mean-value-form
+    refutation test and an interval Newton (Gauss–Seidel) contraction
+    sweep over the differentiable constraints, with one extra fixpoint
+    round when Newton tightened the box.  Both layers only remove
+    points violating a constraint, so the contraction contract is
+    unchanged; with Newton disabled the closure reproduces the HC4-only
+    result bit for bit (cache groups are keyed on the flag).  The
+    closure may be shared across worker domains: tapes are immutable
     and scratch buffers are per-domain. *)

@@ -191,12 +191,37 @@ let refuted_group cfg atoms =
            atoms)
     in
     Some
-      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b"
+      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b"
          (Contractor.fingerprint constraints) rels
          cfg.delta cfg.contractor_rounds cfg.use_contraction
-         (Expr.Tape.enabled ()))
+         (Expr.Tape.enabled ())
+         (* Newton-era refutations are still proofs, but replaying them
+            into a BIOMC_NO_NEWTON=1 run would change that run's search
+            trajectory — the kill-switch must reproduce the HC4-only
+            search exactly, so the two populations stay separate. *)
+         (Deriv.enabled ()))
 
-let process_box_inner cfg stats ?refuted contract formula b =
+(* Per-query gradient system for smear-guided branching (and, through
+   [Contractor.contractor], the Newton contraction).  [None] when the
+   derivative layer is disabled or no atom is differentiable; the split
+   sites then fall back to widest-dimension bisection — the pre-Newton
+   behaviour. *)
+let conjunction_deriv ~delta atoms =
+  if not (Deriv.enabled ()) then None
+  else
+    Deriv.compile
+      (List.map
+         (fun a ->
+           let c = Contractor.of_atom ~delta a in
+           (c.Contractor.term, c.Contractor.target))
+         atoms)
+
+let split_box ?dsys ~min_width b =
+  match dsys with
+  | Some sys -> Deriv.split sys ~min_width b
+  | None -> Box.split ~min_width b
+
+let process_box_inner cfg stats ?refuted ?dsys contract formula b =
   let known_refuted =
     match refuted with
     | None -> false
@@ -235,7 +260,7 @@ let process_box_inner cfg stats ?refuted contract formula b =
         match certify ~delta:cfg.delta stats formula b' with
         | Some pt -> Found (Delta_sat { point = pt; box = b'; certified = true })
         | None -> (
-            match Box.split ~min_width:cfg.epsilon b' with
+            match split_box ?dsys ~min_width:cfg.epsilon b' with
             | Some (left, right) -> Split_into (left, right)
             | None ->
                 (* Sub-ε box on which φ^δ cannot be refuted: the
@@ -250,16 +275,16 @@ let total_width b = Box.fold (fun _ itv acc -> acc +. I.width itv) b 0.0
 (* The telemetry wrapper around the per-box step: pure observation (a
    span and, when tracing, the box measure), so verdicts are identical
    with telemetry on or off. *)
-let process_box cfg stats ?refuted contract formula b =
+let process_box cfg stats ?refuted ?dsys contract formula b =
   if not (Telemetry.enabled ()) then
-    process_box_inner cfg stats ?refuted contract formula b
+    process_box_inner cfg stats ?refuted ?dsys contract formula b
   else begin
     let tok =
       if Telemetry.trace_on () then
         Telemetry.Span.enter ~arg:(total_width b) tm_box
       else Telemetry.Span.enter tm_box
     in
-    match process_box_inner cfg stats ?refuted contract formula b with
+    match process_box_inner cfg stats ?refuted ?dsys contract formula b with
     | r ->
         Telemetry.Span.exit tm_box tok;
         r
@@ -284,6 +309,7 @@ let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
     atoms box =
   let contract = conjunction_contractor cfg atoms in
   let refuted = refuted_group cfg atoms in
+  let dsys = conjunction_deriv ~delta:cfg.delta atoms in
   let rec loop = function
     | [] -> Unsat
     | (b, depth) :: rest ->
@@ -293,7 +319,7 @@ let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
           if depth > stats.max_depth then stats.max_depth <- depth;
           if not (spend ()) then Unknown "box budget exhausted"
           else
-            match process_box cfg stats ?refuted contract formula b with
+            match process_box cfg stats ?refuted ?dsys contract formula b with
             | Pruned -> loop rest
             | Found r -> r
             | Split_into (l, r) ->
@@ -328,6 +354,7 @@ let rec record_verdict cell r =
 let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box =
   let contract = conjunction_contractor cfg atoms in
   let refuted = refuted_group cfg atoms in
+  let dsys = conjunction_deriv ~delta:cfg.delta atoms in
   let cell = make_verdict_cell () in
   let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
   Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
@@ -339,7 +366,7 @@ let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box 
         Parallel.Pool.Frontier.stop fr
       end
       else
-        match process_box cfg stats ?refuted contract formula b with
+        match process_box cfg stats ?refuted ?dsys contract formula b with
         | Pruned -> ()
         | Found r ->
             record_verdict cell r;
@@ -486,12 +513,13 @@ let pave_group cfg formula =
   if not (Cache.enabled ()) then None
   else
     Some
-      (Printf.sprintf "pave|%s|%b|%b"
+      (Printf.sprintf "pave|%s|%b|%b|%b"
          (Digest.to_hex (Digest.string (Expr.Formula.fingerprint formula)))
          cfg.use_contraction
-         (Expr.Tape.enabled ()))
+         (Expr.Tape.enabled ())
+         (Deriv.enabled ()))
 
-let pave_step cfg ?refuted contract formula b =
+let pave_step cfg ?refuted ?dsys contract formula b =
   let known_unsat =
     match refuted with
     | None -> false
@@ -524,7 +552,7 @@ let pave_step cfg ?refuted contract formula b =
         Pave_unsat
       end
       else (
-        match Box.split ~min_width:cfg.epsilon b with
+        match split_box ?dsys ~min_width:cfg.epsilon b with
         | Some (l, r) -> Pave_split (l, r)
         | None -> Pave_undecided)
 
@@ -538,6 +566,7 @@ let pave_with_stats_inner ?(config = default_config) formula box =
     else fun b -> Some b
   in
   let refuted = pave_group config formula in
+  let dsys = conjunction_deriv ~delta:0.0 atoms in
   let jobs = Stdlib.max 1 config.jobs in
   let stats = fresh_stats () in
   if jobs = 1 then begin
@@ -550,7 +579,7 @@ let pave_with_stats_inner ?(config = default_config) formula box =
         decr budget;
         stats.boxes_processed <- stats.boxes_processed + 1;
         if depth > stats.max_depth then stats.max_depth <- depth;
-        match pave_step config ?refuted contract formula b with
+        match pave_step config ?refuted ?dsys contract formula b with
         | Pave_sat -> sat := b :: !sat
         | Pave_unsat ->
             stats.prunings <- stats.prunings + 1;
@@ -582,7 +611,7 @@ let pave_with_stats_inner ?(config = default_config) formula box =
         else begin
           st.boxes_processed <- st.boxes_processed + 1;
           if depth > st.max_depth then st.max_depth <- depth;
-          match pave_step config ?refuted contract formula b with
+          match pave_step config ?refuted ?dsys contract formula b with
           | Pave_sat -> sat := b :: !sat
           | Pave_unsat ->
               st.prunings <- st.prunings + 1;

@@ -16,7 +16,18 @@
     witness cancels the rest, unsat requires frontier exhaustion, and
     DNF branches run as a portfolio.  Verdict {e kinds} agree with the
     sequential search ([jobs = 1], the original code path); the only
-    nondeterminism is {e which} δ-sat witness wins a portfolio race. *)
+    nondeterminism is {e which} δ-sat witness wins a portfolio race.
+
+    Unless disabled ([BIOMC_NO_NEWTON=1] or {!Deriv.set_enabled}), the
+    search uses the derivative layer: the per-box contraction gains a
+    mean-value-form refutation test and an interval Newton sweep (via
+    {!Contractor.contractor}), and branching picks the variable with
+    the largest smear score [max |∂f/∂x|·width] instead of the widest
+    one ({!Deriv.split}) — in both {!decide} and {!pave}.  Verdicts
+    and pavings are unchanged in meaning (the layer only ever removes
+    points violating a constraint and swaps which variable is bisected
+    first); with the kill-switch the pre-derivative search is
+    reproduced exactly. *)
 
 type config = {
   delta : float;  (** perturbation bound δ of the δ-decision problem *)
