@@ -174,6 +174,14 @@ let no_newton_arg =
   in
   Arg.(value & flag & info [ "no-newton" ] ~doc)
 
+let no_affine_arg =
+  let doc =
+    "Disable affine-form (noise-symbol) evaluation in the HC4 forward \
+     passes and ODE enclosures, restoring plain interval arithmetic; \
+     equivalent to BIOMC_NO_AFFINE=1."
+  in
+  Arg.(value & flag & info [ "no-affine" ] ~doc)
+
 let apply_cache_policy no_cache =
   if no_cache then Cache.set_policy Cache.Off
 
@@ -187,6 +195,7 @@ type common = {
   jobs : int;
   no_cache : bool;
   no_newton : bool;
+  no_affine : bool;
   trace : string option;  (** Chrome trace_event JSON output file *)
   metrics : bool;  (** print the telemetry metrics section *)
   metrics_json : string option;  (** also write the metrics as JSON *)
@@ -209,12 +218,12 @@ let metrics_json_arg =
     value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let mk jobs no_cache no_newton trace metrics metrics_json =
-    { jobs; no_cache; no_newton; trace; metrics; metrics_json }
+  let mk jobs no_cache no_newton no_affine trace metrics metrics_json =
+    { jobs; no_cache; no_newton; no_affine; trace; metrics; metrics_json }
   in
   Term.(
-    const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ trace_arg
-    $ metrics_arg $ metrics_json_arg)
+    const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ no_affine_arg
+    $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* Telemetry section appended to a report when metrics are on: non-zero
    counters as a key/value block, span histograms as a table. *)
@@ -251,6 +260,7 @@ let telemetry_items () =
 let with_common c body =
   apply_cache_policy c.no_cache;
   if c.no_newton then Icp.Deriv.set_enabled false;
+  if c.no_affine then Interval.Affine.set_enabled false;
   if c.metrics || c.metrics_json <> None then Telemetry.set_metrics true;
   if c.trace <> None then begin
     Telemetry.set_metrics true;

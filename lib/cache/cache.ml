@@ -102,6 +102,9 @@ type counters = {
   c_evictions : Telemetry.Counter.t;
   c_warm_starts : Telemetry.Counter.t;
   c_warm_saved : Telemetry.Counter.t;
+  c_demotions : Telemetry.Counter.t;
+      (* groups switched off for having no hits; not part of [stats]
+         (it is a structural event, not a per-query one) *)
 }
 
 let snapshot c =
@@ -129,7 +132,8 @@ let counters_for name =
             { c_hits = field "hits"; c_subsumed = field "subsumed";
               c_misses = field "misses"; c_insertions = field "insertions";
               c_evictions = field "evictions"; c_warm_starts = field "warm_starts";
-              c_warm_saved = field "warm_saved_iterations" }
+              c_warm_saved = field "warm_saved_iterations";
+              c_demotions = field "demotions" }
           in
           Hashtbl.add registry name c;
           c)
@@ -156,7 +160,8 @@ let reset_stats () =
           Telemetry.Counter.set c.c_insertions 0;
           Telemetry.Counter.set c.c_evictions 0;
           Telemetry.Counter.set c.c_warm_starts 0;
-          Telemetry.Counter.set c.c_warm_saved 0)
+          Telemetry.Counter.set c.c_warm_saved 0;
+          Telemetry.Counter.set c.c_demotions 0)
         registry)
 
 let summary () =
@@ -207,9 +212,25 @@ let box_key b =
 
 type 'v entry = { ebox : Box.t; ekey : box_key; value : 'v }
 
+(* A group that keeps missing without ever hitting is pure overhead:
+   branch-and-prune explores each box once, so stores like the pave
+   verdict cache pay key rendering, lookup, and insertion on every box
+   and win nothing back (BENCH_cache.json recorded pave at ~0.8x).  A
+   group demotes itself to Off after [demote_after] consecutive misses
+   with zero lifetime hits: its entries are dropped (counted as
+   evictions, plus one [cache.<name>.demotions]) and subsequent
+   finds/adds return immediately.  The threshold defaults to the group
+   capacity — after that many consecutive misses, FIFO eviction has
+   already recycled the whole group, so an exact replay can no longer
+   hit and demotion provably loses nothing.  Any hit (exact or
+   subsumption) grants permanent immunity; an epoch bump ({!clear})
+   discards the group record and thus re-arms it. *)
 type 'v group = {
   queue : 'v entry Queue.t;  (* oldest-first, may hold stale entries *)
   index : (box_key, 'v entry) Hashtbl.t;  (* live entries *)
+  mutable ghits : int;  (* lifetime hits + subsumption hits *)
+  mutable miss_streak : int;  (* consecutive misses since the last hit *)
+  mutable demoted : bool;
 }
 
 type 'v shard = {
@@ -224,21 +245,29 @@ type 'v t = {
   shards : 'v shard array;
   group_capacity : int;
   max_groups_per_shard : int;
+  demote_after : int;
 }
 
 let epoch = Atomic.make 0
 let clear () = Atomic.incr epoch
 
 let create ?(shards = 8) ?(group_capacity = 4096) ?(max_groups_per_shard = 128)
-    name =
+    ?demote_after name =
   let shards = Stdlib.max 1 shards in
+  let group_capacity = Stdlib.max 1 group_capacity in
   { ctr = counters_for name;
     shards =
       Array.init shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 16;
             order = Queue.create (); epoch = Atomic.get epoch });
-    group_capacity = Stdlib.max 1 group_capacity;
-    max_groups_per_shard = Stdlib.max 1 max_groups_per_shard }
+    group_capacity;
+    max_groups_per_shard = Stdlib.max 1 max_groups_per_shard;
+    demote_after =
+      (match demote_after with
+      | Some d -> Stdlib.max 1 d
+      | None -> group_capacity) }
+
+let demotions t = Telemetry.Counter.value t.ctr.c_demotions
 
 let shard_of t group =
   t.shards.(Hashtbl.hash group mod Array.length t.shards)
@@ -268,35 +297,66 @@ type 'v outcome = Hit of 'v | Subsumed of Box.t * 'v | Miss
 let total_width b =
   Box.fold (fun _ itv acc -> acc +. I.width itv) b 0.0
 
+(* Callers hold the shard lock.  [g] just missed: advance its streak and
+   demote when it has earned nothing over a full capacity's worth (or
+   the configured [demote_after]) of consecutive queries. *)
+let note_group_miss t g =
+  g.miss_streak <- g.miss_streak + 1;
+  if g.ghits = 0 && g.miss_streak >= t.demote_after then begin
+    g.demoted <- true;
+    Telemetry.Counter.add t.ctr.c_evictions (Hashtbl.length g.index);
+    Telemetry.Counter.incr t.ctr.c_demotions;
+    Hashtbl.reset g.index;
+    Queue.clear g.queue
+  end
+
+let note_group_hit g =
+  g.ghits <- g.ghits + 1;
+  g.miss_streak <- 0
+
 let find t ~group box =
   match policy () with
   | Off -> Miss
   | pol ->
-      let key = box_key box in
       let outcome =
         with_shard t group (fun sh ->
             match Hashtbl.find_opt sh.tbl group with
             | None -> Miss
-            | Some g -> (
-                match Hashtbl.find_opt g.index key with
-                | Some e -> Hit e.value
-                | None ->
-                    if pol <> Warm then Miss
-                    else
-                      let best =
-                        Hashtbl.fold
-                          (fun _ e acc ->
-                            if Box.subset box e.ebox then
-                              let w = total_width e.ebox in
-                              match acc with
-                              | Some (bw, _) when bw <= w -> acc
-                              | _ -> Some (w, e)
-                            else acc)
-                          g.index None
+            | Some g ->
+                (* The demoted check runs before the box key is even
+                   rendered — a demoted group costs one hashtable probe
+                   per query, nothing more. *)
+                if g.demoted then Miss
+                else begin
+                  let key = box_key box in
+                  match Hashtbl.find_opt g.index key with
+                  | Some e ->
+                      note_group_hit g;
+                      Hit e.value
+                  | None ->
+                      let res =
+                        if pol <> Warm then Miss
+                        else
+                          let best =
+                            Hashtbl.fold
+                              (fun _ e acc ->
+                                if Box.subset box e.ebox then
+                                  let w = total_width e.ebox in
+                                  match acc with
+                                  | Some (bw, _) when bw <= w -> acc
+                                  | _ -> Some (w, e)
+                                else acc)
+                              g.index None
+                          in
+                          match best with
+                          | Some (_, e) -> Subsumed (e.ebox, e.value)
+                          | None -> Miss
                       in
-                      (match best with
-                      | Some (_, e) -> Subsumed (e.ebox, e.value)
-                      | None -> Miss)))
+                      (match res with
+                      | Miss -> note_group_miss t g
+                      | _ -> note_group_hit g);
+                      res
+                end)
       in
       (match outcome with
       | Hit _ -> Telemetry.Counter.incr t.ctr.c_hits
@@ -306,7 +366,8 @@ let find t ~group box =
 
 let add t ~group box value =
   if enabled () then begin
-    with_shard t group (fun sh ->
+    let inserted =
+      with_shard t group (fun sh ->
         let g =
           match Hashtbl.find_opt sh.tbl group with
           | Some g -> g
@@ -324,25 +385,33 @@ let add t ~group box value =
                         Hashtbl.remove sh.tbl old
                     | None -> ())
               done;
-              let g = { queue = Queue.create (); index = Hashtbl.create 16 } in
+              let g =
+                { queue = Queue.create (); index = Hashtbl.create 16;
+                  ghits = 0; miss_streak = 0; demoted = false }
+              in
               Hashtbl.add sh.tbl group g;
               Queue.add group sh.order;
               g
         in
-        let e = { ebox = box; ekey = box_key box; value } in
-        let existed = Hashtbl.mem g.index e.ekey in
-        Hashtbl.replace g.index e.ekey e;
-        if not existed then Queue.add e g.queue;
-        (* Evict the oldest entries beyond capacity; every live key is in
-           the queue exactly once, so the loop terminates. *)
-        while Hashtbl.length g.index > t.group_capacity do
-          match Queue.take_opt g.queue with
-          | None -> assert false
-          | Some old ->
-              Hashtbl.remove g.index old.ekey;
-              Telemetry.Counter.incr t.ctr.c_evictions
-        done);
-    Telemetry.Counter.incr t.ctr.c_insertions
+        if g.demoted then false
+        else begin
+          let e = { ebox = box; ekey = box_key box; value } in
+          let existed = Hashtbl.mem g.index e.ekey in
+          Hashtbl.replace g.index e.ekey e;
+          if not existed then Queue.add e g.queue;
+          (* Evict the oldest entries beyond capacity; every live key is in
+             the queue exactly once, so the loop terminates. *)
+          while Hashtbl.length g.index > t.group_capacity do
+            match Queue.take_opt g.queue with
+            | None -> assert false
+            | Some old ->
+                Hashtbl.remove g.index old.ekey;
+                Telemetry.Counter.incr t.ctr.c_evictions
+          done;
+          true
+        end)
+    in
+    if inserted then Telemetry.Counter.incr t.ctr.c_insertions
   end
 
 (* The saved-iterations delta is accumulated signed: a warm run that

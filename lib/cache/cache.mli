@@ -104,12 +104,30 @@ val create :
   ?shards:int ->
   ?group_capacity:int ->
   ?max_groups_per_shard:int ->
+  ?demote_after:int ->
   string ->
   'v t
 (** [create name] makes a cache whose stats are aggregated under [name].
     [group_capacity] bounds the entries retained per group (newest kept);
     [max_groups_per_shard] bounds distinct groups per shard (oldest
-    evicted). *)
+    evicted).
+
+    [demote_after] (default: [group_capacity]) is the hit-rate guard: a
+    group that accumulates this many {e consecutive} misses without a
+    single lifetime hit demotes itself to Off — its entries are dropped
+    (counted as evictions plus one [cache.<name>.demotions]) and further
+    finds and adds in the group become near-free no-ops.  This caps the
+    overhead of workloads that never revisit a box (each pave query is
+    one such group).  The default threshold is safe by construction: a
+    group that missed [group_capacity] consecutive times has FIFO-evicted
+    everything an exact replay could still hit.  Any hit or subsumption
+    hit grants the group permanent immunity; {!clear} re-arms demoted
+    groups. *)
+
+val demotions : 'v t -> int
+(** Number of group demotions recorded under this cache's name
+    (diagnostic; also exported as the [cache.<name>.demotions]
+    telemetry counter). *)
 
 type 'v outcome =
   | Hit of 'v  (** exact [Box.equal] match *)

@@ -57,6 +57,7 @@ and scratch = {
   ilos : float array;
   ihis : float array;
   req : reqcell;
+  aff : Interval.Affine.t array;  (* affine walker slot values *)
 }
 
 and reqcell = { mutable rlo : float; mutable rhi : float }
@@ -160,7 +161,8 @@ let compile ~vars terms =
         { fvals = Array.make n 0.0;
           ilos = Array.make n neg_infinity;
           ihis = Array.make n infinity;
-          req = { rlo = neg_infinity; rhi = infinity } })
+          req = { rlo = neg_infinity; rhi = infinity };
+          aff = Array.make n (Interval.Affine.const 0.0) })
   in
   { inputs; ops; roots; var_slots; const_los; const_his;
     interior_shared = !interior; scratch_key }
@@ -175,7 +177,8 @@ let scratch tp =
   { fvals = Array.make n 0.0;
     ilos = Array.make n neg_infinity;
     ihis = Array.make n infinity;
-    req = { rlo = neg_infinity; rhi = infinity } }
+    req = { rlo = neg_infinity; rhi = infinity };
+    aff = Array.make n (Interval.Affine.const 0.0) }
 
 let dls_scratch tp = Domain.DLS.get tp.scratch_key
 
@@ -447,6 +450,93 @@ let eval_interval tp sc inputs =
   forward_intervals tp sc inputs;
   slot_itv sc tp.roots.(0)
 
+(* ---- Affine forward pass ----
+
+   The second operand interpretation of the same instruction array: slot
+   values are {!Interval.Affine} forms, and input [i] is introduced with
+   noise symbol [i] — all occurrences of a variable are CSE'd into one
+   OVar slot, so correlations between subexpressions sharing a variable
+   are tracked exactly.  Every Affine operation matches the domain
+   semantics of the corresponding {!Ia} operation, so concretized slot
+   ranges are sound enclosures of the same value sets the interval pass
+   bounds — the two can be intersected slot by slot. *)
+
+module A = Interval.Affine
+
+let forward_affine tp sc (inputs : I.t array) =
+  let af = sc.aff in
+  let ops = tp.ops in
+  for s = 0 to Array.length ops - 1 do
+    let r =
+      match Array.unsafe_get ops s with
+      | OVar i -> A.of_interval ~sym:i (Array.unsafe_get inputs i)
+      | OConst c -> A.const c
+      | OAdd (a, b) -> A.add af.(a) af.(b)
+      | OSub (a, b) -> A.sub af.(a) af.(b)
+      | OMul (a, b) -> A.mul af.(a) af.(b)
+      | ODiv (a, b) -> A.div af.(a) af.(b)
+      | ONeg a -> A.neg af.(a)
+      | OPow (a, k) -> A.pow_int af.(a) k
+      | OExp a -> A.exp af.(a)
+      | OLog a -> A.log af.(a)
+      | OSqrt a -> A.sqrt af.(a)
+      | OSin a -> A.sin af.(a)
+      | OCos a -> A.cos af.(a)
+      | OTan a -> A.tan af.(a)
+      | OAtan a -> A.atan af.(a)
+      | OTanh a -> A.tanh af.(a)
+      | OAbs a -> A.abs af.(a)
+      | OMin (a, b) -> A.min_ af.(a) af.(b)
+      | OMax (a, b) -> A.max_ af.(a) af.(b)
+    in
+    af.(s) <- r
+  done
+
+let eval_affine_into tp sc ~inputs ~out =
+  forward_affine tp sc inputs;
+  for k = 0 to Array.length tp.roots - 1 do
+    out.(k) <- A.concretize sc.aff.(tp.roots.(k))
+  done
+
+(* Intersect the interval slot enclosures (left by [forward_intervals])
+   with the concretized affine slot ranges.  Returns [true] iff some
+   slot strictly tightened.  An empty intersection certifies that the
+   slot's subterm has an empty value set on the box — recorded as the
+   (nan, nan) empty slot, which the backward pass treats as infeasible
+   on contact. *)
+let affine_tighten tp sc dom =
+  forward_affine tp sc dom;
+  let lo = sc.ilos and hi = sc.ihis in
+  let af = sc.aff in
+  let tightened = ref false in
+  for s = 0 to Array.length tp.ops - 1 do
+    let l = Array.unsafe_get lo s in
+    if l = l then begin
+      let r = A.concretize af.(s) in
+      let rl = r.I.lo and rh = r.I.hi in
+      if rl <> rl || rh <> rh then begin
+        Array.unsafe_set lo s nan;
+        Array.unsafe_set hi s nan;
+        tightened := true
+      end
+      else begin
+        let h = Array.unsafe_get hi s in
+        let l' = fmax l rl and h' = fmin h rh in
+        if l' > h' then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan;
+          tightened := true
+        end
+        else if not (l' = l && h' = h) then begin
+          Array.unsafe_set lo s l';
+          Array.unsafe_set hi s h';
+          tightened := true
+        end
+      end
+    end
+  done;
+  !tightened
+
 (* ---- Smoothness certificate ----
 
    After [forward_intervals] over a box, decide whether every function
@@ -689,8 +779,35 @@ and push tp sc s =
         require tp sc b
       end
 
-let hc4_revise tp sc ?mask ~target dom =
+let hc4_revise tp sc ?(affine = false) ?mask ~target dom =
   forward_intervals tp sc dom;
+  let refuted =
+    affine
+    && A.with_span (fun () ->
+           (* Tightened forward pass: intersect every slot with its
+              affine range before the backward pass sees it, and refute
+              outright when the affine pass empties root ∩ target. *)
+           let r0 = tp.roots.(0) in
+           let tlo = target.I.lo and thi = target.I.hi in
+           let meets_target l h =
+             l = l && tlo = tlo && fmax l tlo <= fmin h thi
+           in
+           let pre =
+             meets_target
+               (Array.unsafe_get sc.ilos r0)
+               (Array.unsafe_get sc.ihis r0)
+           in
+           if affine_tighten tp sc dom then A.note_tightening ();
+           let post =
+             meets_target
+               (Array.unsafe_get sc.ilos r0)
+               (Array.unsafe_get sc.ihis r0)
+           in
+           if pre && not post then A.note_refutation ();
+           not post)
+  in
+  if refuted then false
+  else begin
   sc.req.rlo <- target.I.lo;
   sc.req.rhi <- target.I.hi;
   match require tp sc tp.roots.(0) with
@@ -713,3 +830,4 @@ let hc4_revise tp sc ?mask ~target dom =
       done;
       true
   | exception Infeasible -> false
+  end

@@ -83,6 +83,21 @@ val eval_float : t -> scratch -> float array -> float
 val eval_interval_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
 val eval_interval : t -> scratch -> I.t array -> I.t
 
+(** {1 Affine evaluation}
+
+    A second operand interpretation over the same instruction array:
+    slot values are {!Interval.Affine} forms, and input [i] enters with
+    noise symbol [i], so correlations between subexpressions sharing a
+    variable cancel instead of compounding (the wrapping effect).  Every
+    affine operation matches the domain semantics of the corresponding
+    {!Interval.Ia} operation, so the concretized result is a sound
+    enclosure of the same value set as {!eval_interval_into} — never
+    assumed tighter; callers intersect the two. *)
+
+val eval_affine_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
+(** Evaluate every root affinely over the input box and store the
+    concretized range of root [k] in [out.(k)]. *)
+
 val smooth_on : t -> scratch -> bool
 (** Must be called directly after an interval evaluation over a box
     ([eval_interval]/[eval_interval_into] with the box's component
@@ -100,7 +115,13 @@ val smooth_on : t -> scratch -> bool
 (** {1 HC4 forward–backward contraction} *)
 
 val hc4_revise :
-  t -> scratch -> ?mask:bool array -> target:I.t -> I.t array -> bool
+  t ->
+  scratch ->
+  ?affine:bool ->
+  ?mask:bool array ->
+  target:I.t ->
+  I.t array ->
+  bool
 (** [hc4_revise tape sc ~target dom] runs the forward pass of root 0 over
     the input box [dom] (an interval per input), intersects the root with
     [target], and propagates the requirements back down to the inputs.
@@ -108,6 +129,15 @@ val hc4_revise :
     positions where [mask] is true, when given — and the function returns
     [false] iff the constraint [root ∈ target] is infeasible on [dom] (in
     which case [dom] is meaningless and should be discarded).
+
+    With [~affine:true] (default [false]) the forward enclosures are
+    first intersected slot-by-slot with the affine walker's concretized
+    ranges — a sound tightening, since both passes enclose the same value
+    sets — and the revise refutes immediately (returns [false]) when the
+    tightened root no longer meets [target].  The affine pass runs inside
+    the [icp.affine] telemetry span and feeds the [affine.tightenings] /
+    [affine.refutations] counters.  With [~affine:false] the result is
+    bit-for-bit the pre-affine behaviour.
 
     Matches the tree-walking [Icp.Contractor.revise] exactly when
     {!interior_sharing} is [0]; shared interior slots accumulate

@@ -52,7 +52,15 @@ type compiled
 val compile : constr list -> compiled
 
 val fixpoint_compiled :
-  ?tol:float -> ?max_rounds:int -> compiled -> Interval.Box.t -> Interval.Box.t option
+  ?tol:float ->
+  ?max_rounds:int ->
+  ?affine:bool ->
+  compiled ->
+  Interval.Box.t ->
+  Interval.Box.t option
+(** [?affine] (default [false]) threads the affine-tightened forward
+    pass into every HC4 revise (see {!Expr.Tape.hc4_revise}); sound
+    either way, possibly tighter with it on. *)
 
 val contractor :
   ?tol:float ->

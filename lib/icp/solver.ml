@@ -191,15 +191,17 @@ let refuted_group cfg atoms =
            atoms)
     in
     Some
-      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b"
+      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b|%b"
          (Contractor.fingerprint constraints) rels
          cfg.delta cfg.contractor_rounds cfg.use_contraction
          (Expr.Tape.enabled ())
          (* Newton-era refutations are still proofs, but replaying them
             into a BIOMC_NO_NEWTON=1 run would change that run's search
             trajectory — the kill-switch must reproduce the HC4-only
-            search exactly, so the two populations stay separate. *)
-         (Deriv.enabled ()))
+            search exactly, so the two populations stay separate.  Same
+            story for the affine flag below. *)
+         (Deriv.enabled ())
+         (Interval.Affine.enabled ()))
 
 (* Per-query gradient system for smear-guided branching (and, through
    [Contractor.contractor], the Newton contraction).  [None] when the
@@ -513,11 +515,12 @@ let pave_group cfg formula =
   if not (Cache.enabled ()) then None
   else
     Some
-      (Printf.sprintf "pave|%s|%b|%b|%b"
+      (Printf.sprintf "pave|%s|%b|%b|%b|%b"
          (Digest.to_hex (Digest.string (Expr.Formula.fingerprint formula)))
          cfg.use_contraction
          (Expr.Tape.enabled ())
-         (Deriv.enabled ()))
+         (Deriv.enabled ())
+         (Interval.Affine.enabled ()))
 
 let pave_step cfg ?refuted ?dsys contract formula b =
   let known_unsat =

@@ -180,10 +180,31 @@ let flow_tape ?(warm = []) cfg prep ~params ~init ~t_end ~iters t0 =
     (System.params sys);
   let sc_rhs = Expr.Tape.scratch prep.rhs_tape in
   let sc_snd = Expr.Tape.scratch prep.second_tape in
+  (* Affine evaluation of the field: the state variables are exactly
+     where Picard/Taylor enclosures correlate (x appears in several
+     rates with opposite signs in mass-action kinetics), so the affine
+     range intersected into the interval one shrinks f(B) and with it
+     the whole tube.  Sampled once per flow — the flow cache group is
+     keyed on the same flag. *)
+  let affine = Interval.Affine.enabled () in
+  let abuf = Array.make n I.empty in
   let eval_field tape sc time (x : I.t array) (out : I.t array) =
     Array.blit x 0 inp 0 n;
     inp.(n + np) <- time;
-    Expr.Tape.eval_interval_into tape sc ~inputs:inp ~out
+    Expr.Tape.eval_interval_into tape sc ~inputs:inp ~out;
+    if affine then
+      Interval.Affine.with_span (fun () ->
+          Expr.Tape.eval_affine_into tape sc ~inputs:inp ~out:abuf;
+          let tightened = ref false in
+          for i = 0 to n - 1 do
+            let v = out.(i) in
+            let w = I.inter v abuf.(i) in
+            if not (w.I.lo = v.I.lo && w.I.hi = v.I.hi) then begin
+              out.(i) <- w;
+              tightened := true
+            end
+          done;
+          if !tightened then Interval.Affine.note_tightening ())
   in
   let fbuf = Array.make n I.empty in
   let box_of (x : I.t array) =
@@ -376,9 +397,12 @@ let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
   if not (Cache.enabled ()) then fst (run ())
   else begin
     let group =
-      Printf.sprintf "flow|%s|%s|%b|%h|%h" (System.digest sys)
+      Printf.sprintf "flow|%s|%s|%b|%b|%h|%h" (System.digest sys)
         (config_fingerprint config)
         (Expr.Tape.enabled ())
+        (* Affine-tightened tubes must not replay into a
+           BIOMC_NO_AFFINE=1 run (or vice versa). *)
+        (Interval.Affine.enabled ())
         t0 t_end
     in
     let key = Box.join params init in

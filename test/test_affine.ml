@@ -1,0 +1,461 @@
+(* Differential tests for the affine-arithmetic layer (Interval.Affine
+   and its wiring): affine ranges vs true (sampled) values, the affine
+   tape walker vs the interval walker, condensation soundness, the
+   affine-tightened HC4 revise, affine-on vs affine-off search
+   agreement, and the kill-switch guarantee that BIOMC_NO_AFFINE
+   reproduces the interval-only search bit for bit (including its cache
+   interactions). *)
+
+module I = Interval.Ia
+module A = Interval.Affine
+module Box = Interval.Box
+module T = Expr.Term
+module Tape = Expr.Tape
+module P = Expr.Parse
+module S = Icp.Solver
+
+let vars = [ "x"; "y"; "z" ]
+let nvars = List.length vars
+
+(* ---- random generators (deterministic seeds) ---- *)
+
+let rand_leaf st =
+  if Random.State.bool st then T.var (List.nth vars (Random.State.int st nvars))
+  else T.const (Random.State.float st 4.0 -. 2.0)
+
+let rec rand_smooth st depth =
+  if depth = 0 then rand_leaf st
+  else
+    let sub () = rand_smooth st (depth - 1) in
+    match Random.State.int st 16 with
+    | 0 -> T.add (sub ()) (sub ())
+    | 1 -> T.sub (sub ()) (sub ())
+    | 2 -> T.mul (sub ()) (sub ())
+    | 3 -> T.div (sub ()) (sub ())
+    | 4 -> T.neg (sub ())
+    | 5 -> T.pow (sub ()) (Random.State.int st 7 - 3)
+    | 6 -> T.exp (sub ())
+    | 7 -> T.log (sub ())
+    | 8 -> T.sqrt (sub ())
+    | 9 -> T.sin (sub ())
+    | 10 -> T.cos (sub ())
+    | 11 -> T.tan (sub ())
+    | 12 -> T.atan (sub ())
+    | 13 -> T.tanh (sub ())
+    | 14 -> T.abs (sub ())
+    | _ -> rand_leaf st
+
+(* The full constructor set: the affine walker must stay sound through
+   its Min/Max interval fallbacks too. *)
+let rand_term st depth =
+  if depth = 0 || Random.State.int st 8 > 0 then rand_smooth st depth
+  else
+    let sub () = rand_smooth st (depth - 1) in
+    if Random.State.bool st then T.min_ (sub ()) (sub ())
+    else T.max_ (sub ()) (sub ())
+
+let rand_box st =
+  Box.of_list
+    (List.map
+       (fun v ->
+         let a = Random.State.float st 8.0 -. 4.0 in
+         let w =
+           match Random.State.int st 4 with
+           | 0 -> 0.0 (* singleton *)
+           | 1 -> Random.State.float st 0.5
+           | _ -> Random.State.float st 4.0
+         in
+         (v, I.make a (a +. w)))
+       vars)
+
+let rand_point st b =
+  List.map
+    (fun (v, itv) ->
+      (v, I.lo itv +. (Random.State.float st 1.0 *. I.width itv)))
+    (Box.to_list b)
+
+let rand_target st =
+  match Random.State.int st 4 with
+  | 0 -> I.of_float (Random.State.float st 4.0 -. 2.0)
+  | 1 -> I.make (Random.State.float st 2.0 -. 2.0) (Random.State.float st 2.0)
+  | 2 -> I.make (Random.State.float st 4.0 -. 2.0) Float.infinity
+  | _ ->
+      let a = Random.State.float st 6.0 -. 3.0 in
+      I.make a (a +. Random.State.float st 1.0)
+
+let inputs_of_box b =
+  Array.of_list (List.map (fun v -> Box.find v b) vars)
+
+(* ---- affine walker vs true values and the interval walker ----
+
+   For every sampled point where the float evaluation is finite, both
+   walkers' root enclosures must contain it (up to float-evaluation
+   slack): the affine concretization is a sound range, never *assumed*
+   tighter than the interval result — solver layers intersect the two,
+   which is exactly what this licence checks. *)
+let test_affine_soundness_sampled () =
+  let st = Random.State.make [| 60 |] in
+  let checked = ref 0 in
+  for case = 1 to 1_200 do
+    let t = rand_term st (1 + Random.State.int st 4) in
+    let b = rand_box st in
+    let tp = Tape.compile ~vars [ t ] in
+    let sc = Tape.scratch tp in
+    let inp = inputs_of_box b in
+    let r_aff = Array.make 1 I.empty and r_itv = Array.make 1 I.empty in
+    Tape.eval_affine_into tp sc ~inputs:inp ~out:r_aff;
+    Tape.eval_interval_into tp sc ~inputs:inp ~out:r_itv;
+    for _probe = 1 to 3 do
+      let pt = rand_point st b in
+      let v = try T.eval_env pt t with _ -> nan in
+      if Float.is_finite v then begin
+        incr checked;
+        let slack = 1e-7 *. Float.max 1.0 (Float.abs v) in
+        if not (I.mem v (I.inflate slack r_aff.(0))) then
+          Alcotest.failf "case %d: %.17g outside affine range %s of %s" case v
+            (I.to_string r_aff.(0)) (T.to_string t);
+        if not (I.mem v (I.inflate slack r_itv.(0))) then
+          Alcotest.failf "case %d: %.17g outside interval range %s of %s" case
+            v (I.to_string r_itv.(0)) (T.to_string t)
+      end
+    done
+  done;
+  if !checked < 1_000 then
+    Alcotest.failf "only %d points checked — generator drifted" !checked
+
+(* Dependency problems where affine forms provably beat intervals; the
+   tightness claim of the whole PR, pinned on its canonical examples. *)
+let test_affine_tightness_dependency () =
+  let check name ts box_l expect_width =
+    let t = P.term ts in
+    let tvars = T.free_var_list t in
+    let tp = Tape.compile ~vars:tvars [ t ] in
+    let sc = Tape.scratch tp in
+    let b = Box.of_list box_l in
+    let inp = Array.of_list (List.map (fun v -> Box.find v b) tvars) in
+    let r_aff = Array.make 1 I.empty and r_itv = Array.make 1 I.empty in
+    Tape.eval_affine_into tp sc ~inputs:inp ~out:r_aff;
+    Tape.eval_interval_into tp sc ~inputs:inp ~out:r_itv;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: affine (%s) tighter than interval (%s)" name
+         (I.to_string r_aff.(0)) (I.to_string r_itv.(0)))
+      true
+      (I.width r_aff.(0) < I.width r_itv.(0));
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: affine width below %g" name expect_width)
+      true
+      (I.width r_aff.(0) <= expect_width)
+  in
+  check "cancellation" "x - x" [ ("x", I.make 0.0 1.0) ] 1e-9;
+  check "logistic" "x*(1 - x)" [ ("x", I.make 0.0 1.0) ] 0.51;
+  check "shifted-diff" "(x + 1) - x" [ ("x", I.make (-2.0) 2.0) ] 1e-9;
+  check "quadratic" "x^2 - 2*x" [ ("x", I.make 0.0 2.0) ] 3.1
+
+(* ---- condensation preserves the enclosure ---- *)
+
+let rand_interval st =
+  let a = Random.State.float st 8.0 -. 4.0 in
+  I.make a (a +. Random.State.float st 2.0)
+
+(* Random forms with many noise symbols, built through the public ops;
+   condensing to any budget must only widen the concretization. *)
+let test_condense_encloses () =
+  let st = Random.State.make [| 61 |] in
+  for case = 1 to 1_000 do
+    let n = 2 + Random.State.int st 10 in
+    let f = ref (A.of_interval ~sym:0 (rand_interval st)) in
+    for i = 1 to n - 1 do
+      let leaf = A.of_interval ~sym:i (rand_interval st) in
+      f :=
+        (match Random.State.int st 4 with
+        | 0 -> A.add !f leaf
+        | 1 -> A.sub !f leaf
+        | 2 -> A.mul !f leaf
+        | _ -> A.add (A.scale (Random.State.float st 2.0 -. 1.0) !f) leaf)
+    done;
+    let budget = 1 + Random.State.int st 4 in
+    let c = A.condense ~budget !f in
+    if A.nterms c > budget then
+      Alcotest.failf "case %d: %d terms left after condense to %d" case
+        (A.nterms c) budget;
+    (* Both radii are upward-rounded sums of the same exact quantity in
+       different association orders, so the condensed concretization may
+       sit a few ulps inside the original; containment holds up to that
+       rounding slack. *)
+    let slack = 1e-12 *. Float.max 1.0 (I.mag (A.concretize !f)) in
+    if not (I.subset (A.concretize !f) (I.inflate slack (A.concretize c))) then
+      Alcotest.failf "case %d: condensation shrank %s to %s" case
+        (I.to_string (A.concretize !f))
+        (I.to_string (A.concretize c))
+  done
+
+(* A tiny process-wide budget must keep the walker sound (forms
+   auto-condense mid-evaluation) and actually fire the condensation
+   counter. *)
+let test_budget_soundness () =
+  let st = Random.State.make [| 62 |] in
+  let cond = Telemetry.Counter.make ~always:true "affine.condensations" in
+  let before = Telemetry.Counter.value cond in
+  A.set_budget 2;
+  Fun.protect
+    ~finally:(fun () -> A.set_budget A.default_budget)
+    (fun () ->
+      for case = 1 to 300 do
+        let t = rand_smooth st (2 + Random.State.int st 3) in
+        let b = rand_box st in
+        let tp = Tape.compile ~vars [ t ] in
+        let sc = Tape.scratch tp in
+        let r = Array.make 1 I.empty in
+        Tape.eval_affine_into tp sc ~inputs:(inputs_of_box b) ~out:r;
+        for _probe = 1 to 2 do
+          let pt = rand_point st b in
+          let v = try T.eval_env pt t with _ -> nan in
+          if Float.is_finite v then
+            let slack = 1e-7 *. Float.max 1.0 (Float.abs v) in
+            if not (I.mem v (I.inflate slack r.(0))) then
+              Alcotest.failf "case %d: %.17g escapes budget-2 range %s of %s"
+                case v (I.to_string r.(0)) (T.to_string t)
+        done
+      done);
+  Alcotest.(check bool) "condensations fired" true
+    (Telemetry.Counter.value cond > before)
+
+(* ---- affine-tightened HC4 revise ---- *)
+
+let robustly_in value target =
+  Float.is_finite value
+  && (not (I.is_empty target))
+  &&
+  let m = 1e-6 *. Float.max 1.0 (Float.abs value) in
+  value >= I.lo target +. m && value <= I.hi target -. m
+
+(* The tightened forward pass must never lose a witness: any sampled
+   point robustly satisfying the constraint survives the contraction,
+   and a plain-interval refutation is never un-refuted by the affine
+   pass (its slots are subsets of the plain ones). *)
+let test_hc4_affine_witnesses () =
+  let st = Random.State.make [| 63 |] in
+  let witnessed = ref 0 in
+  for case = 1 to 1_000 do
+    let t = rand_smooth st (1 + Random.State.int st 3) in
+    let target = rand_target st in
+    let b = rand_box st in
+    let tp = Tape.compile ~vars [ t ] in
+    let sc = Tape.scratch tp in
+    let witnesses =
+      List.filter_map
+        (fun _ ->
+          let pt = rand_point st b in
+          let v = try T.eval_env pt t with _ -> nan in
+          if robustly_in v target then Some pt else None)
+        (List.init 20 Fun.id)
+    in
+    let dom_plain = inputs_of_box b in
+    let ok_plain = Tape.hc4_revise tp sc ~target dom_plain in
+    let dom_aff = inputs_of_box b in
+    let ok_aff = Tape.hc4_revise tp sc ~affine:true ~target dom_aff in
+    if (not ok_plain) && ok_aff then
+      Alcotest.failf "case %d: affine pass un-refuted %s ∈ %s" case
+        (T.to_string t) (I.to_string target);
+    List.iter
+      (fun pt ->
+        incr witnessed;
+        if not ok_aff then
+          Alcotest.failf "case %d: affine revise refuted a witness of %s" case
+            (T.to_string t);
+        List.iteri
+          (fun i v ->
+            let x = List.assoc v pt in
+            if not (I.mem x (I.inflate 1e-9 dom_aff.(i))) then
+              Alcotest.failf "case %d: witness %s=%.17g contracted away (%s)"
+                case v x
+                (I.to_string dom_aff.(i)))
+          vars)
+      witnesses
+  done;
+  if !witnessed < 300 then
+    Alcotest.failf "only %d witnesses checked — generator drifted" !witnessed
+
+(* The canonical refutation interval arithmetic cannot make: x - x is
+   pinned to (near) zero by shared noise symbols, so a target away from
+   zero dies in the affine forward pass — and the refutation counter
+   ticks. *)
+let test_hc4_affine_refutes_cancellation () =
+  let refs = Telemetry.Counter.make ~always:true "affine.refutations" in
+  let t = P.term "x - x" in
+  let tp = Tape.compile ~vars:[ "x" ] [ t ] in
+  let sc = Tape.scratch tp in
+  let target = I.make 0.5 1.0 in
+  let dom () = [| I.make 0.0 4.0 |] in
+  Alcotest.(check bool) "plain HC4 cannot refute" true
+    (Tape.hc4_revise tp sc ~target (dom ()));
+  let before = Telemetry.Counter.value refs in
+  Alcotest.(check bool) "affine pass refutes" false
+    (Tape.hc4_revise tp sc ~affine:true ~target (dom ()));
+  Alcotest.(check bool) "refutation counted" true
+    (Telemetry.Counter.value refs > before)
+
+(* ---- affine on vs off: decide and pave agreement ---- *)
+
+let with_affine flag f =
+  A.set_enabled flag;
+  Fun.protect ~finally:A.clear_enabled_override f
+
+let verdict_kind = function
+  | S.Delta_sat _ -> "delta-sat"
+  | S.Unsat -> "unsat"
+  | S.Unknown _ -> "unknown"
+
+let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
+
+(* Workloads kept away from the δ-boundary so both searches reach the
+   same verdict kind (at the boundary, Unsat and Delta_sat are both
+   δ-correct answers and the comparison would be meaningless). *)
+let decide_cases =
+  [ ("sqrt2", "x^2 = 2", box [ ("x", 0.0, 2.0) ]);
+    ( "geom-unsat",
+      "x^2 + y^2 <= 1 and x + y >= 3",
+      box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] );
+    ("sin", "sin(x) = 1/2", box [ ("x", 0.0, 3.0) ]);
+    ( "cubic-dependency",
+      "x^3 - 2*x^2 + 1.25*x = 0.25 and y^3 - 2*y^2 + 1.25*y = 0.25 and \
+       (x - y)^2 >= 0.3",
+      box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] );
+    ( "mm-kinetics",
+      "1.2*s1/(0.4 + s1) + 1.2*s2/(0.4 + s2) = 1.35 and s1 + s2 = 1",
+      box [ ("s1", 0.0, 1.0); ("s2", 0.0, 1.0) ] );
+    ( "tangency",
+      "x^2 + y^2 = 1 and x*y = 1/2",
+      box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] ) ]
+
+let test_decide_on_vs_off () =
+  List.iter
+    (fun (name, fs, bx) ->
+      let f = P.formula fs in
+      List.iter
+        (fun jobs ->
+          let config = { S.default_config with jobs } in
+          let on =
+            with_affine true (fun () -> verdict_kind (S.decide ~config f bx))
+          in
+          let off =
+            with_affine false (fun () -> verdict_kind (S.decide ~config f bx))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at jobs=%d" name jobs)
+            off on)
+        [ 1; 2 ])
+    decide_cases
+
+(* Paving on vs off: leaf sets legitimately differ (the affine pass
+   changes contraction trajectories), but both are proofs over the same
+   box, so a sat leaf of one run may never share volume with an unsat
+   leaf of the other; feasibility must agree; and the affine paving must
+   be identical between jobs=1 and jobs=2. *)
+let test_pave_on_vs_off () =
+  let f =
+    P.formula
+      "a*k*exp(-k) >= 0.3 and a*k*exp(-k) <= 0.5 and \
+       3*a*k*exp(-3*k) >= 0.1 and 3*a*k*exp(-3*k) <= 0.3"
+  in
+  let bx = box [ ("k", 0.05, 2.5); ("a", 0.2, 3.0) ] in
+  let config jobs = { S.default_config with S.epsilon = 0.05; jobs } in
+  let p_on = with_affine true (fun () -> S.pave ~config:(config 1) f bx) in
+  let p_off = with_affine false (fun () -> S.pave ~config:(config 1) f bx) in
+  let contradicts sats unsats =
+    List.exists
+      (fun s -> List.exists (fun u -> Box.volume (Box.inter s u) > 0.0) unsats)
+      sats
+  in
+  Alcotest.(check bool) "no sat(on)/unsat(off) contradiction" false
+    (contradicts p_on.S.sat p_off.S.unsat);
+  Alcotest.(check bool) "no sat(off)/unsat(on) contradiction" false
+    (contradicts p_off.S.sat p_on.S.unsat);
+  Alcotest.(check bool) "feasibility agrees"
+    (p_off.S.sat <> []) (p_on.S.sat <> []);
+  let sort = List.sort (fun a b -> compare (Box.to_list a) (Box.to_list b)) in
+  let p_on2 = with_affine true (fun () -> S.pave ~config:(config 2) f bx) in
+  List.iter
+    (fun (label, l, l') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s leaves equal at jobs=2" label)
+        true
+        (List.equal Box.equal (sort l) (sort l')))
+    [ ("sat", p_on.S.sat, p_on2.S.sat);
+      ("unsat", p_on.S.unsat, p_on2.S.unsat);
+      ("undecided", p_on.S.undecided, p_on2.S.undecided) ]
+
+(* ---- the kill-switch: BIOMC_NO_AFFINE reproduces the old search ---- *)
+
+(* Off-run, on-run, off-run again — with the caches at their default
+   policy.  The second off-run must match the first in verdict kind AND
+   in every stats field: any divergence would mean affine-era cache
+   entries (HC4 fixpoints, refuted boxes, paving verdicts, flow tubes)
+   leaked into the disabled search. *)
+let stats_tuple (s : S.stats) =
+  (s.S.boxes_processed, s.S.splits, s.S.prunings, s.S.max_depth,
+   s.S.certifications)
+
+let test_killswitch_decide_bitforbit () =
+  List.iter
+    (fun (name, fs, bx) ->
+      let f = P.formula fs in
+      let run on =
+        with_affine on (fun () ->
+            let r, stats = S.decide_with_stats f bx in
+            (verdict_kind r, stats_tuple stats))
+      in
+      let v1, s1 = run false in
+      let _ = run true in
+      let v2, s2 = run false in
+      Alcotest.(check string) (name ^ ": off verdict reproduced") v1 v2;
+      Alcotest.(check bool)
+        (name ^ ": off stats reproduced (no cache leakage)") true (s1 = s2))
+    decide_cases
+
+let test_killswitch_pave_bitforbit () =
+  let f = P.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
+  let bx = box [ ("x", -1.5, 1.5); ("y", -1.5, 1.5) ] in
+  let config = { S.default_config with S.epsilon = 0.05 } in
+  let run on = with_affine on (fun () -> S.pave ~config f bx) in
+  let sort = List.sort (fun a b -> compare (Box.to_list a) (Box.to_list b)) in
+  let p1 = run false in
+  let _ = run true in
+  let p2 = run false in
+  List.iter
+    (fun (label, l, l') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "off %s leaves reproduced" label)
+        true
+        (List.equal Box.equal (sort l) (sort l')))
+    [ ("sat", p1.S.sat, p2.S.sat);
+      ("unsat", p1.S.unsat, p2.S.unsat);
+      ("undecided", p1.S.undecided, p2.S.undecided) ]
+
+let () =
+  Alcotest.run "affine"
+    [ ( "soundness",
+        [ Alcotest.test_case "affine range contains sampled values" `Quick
+            test_affine_soundness_sampled;
+          Alcotest.test_case "dependency tightness pinned" `Quick
+            test_affine_tightness_dependency ] );
+      ( "condensation",
+        [ Alcotest.test_case "condense only widens" `Quick
+            test_condense_encloses;
+          Alcotest.test_case "tiny budget stays sound" `Quick
+            test_budget_soundness ] );
+      ( "hc4",
+        [ Alcotest.test_case "never loses a witness" `Quick
+            test_hc4_affine_witnesses;
+          Alcotest.test_case "refutes x-x dependency" `Quick
+            test_hc4_affine_refutes_cancellation ] );
+      ( "search",
+        [ Alcotest.test_case "decide on vs off (jobs 1, 2)" `Quick
+            test_decide_on_vs_off;
+          Alcotest.test_case "pave on vs off consistency" `Quick
+            test_pave_on_vs_off ] );
+      ( "kill-switch",
+        [ Alcotest.test_case "decide off-run reproduced" `Quick
+            test_killswitch_decide_bitforbit;
+          Alcotest.test_case "pave off-run reproduced" `Quick
+            test_killswitch_pave_bitforbit ] ) ]

@@ -564,6 +564,75 @@ let test_stats_counting () =
       Alcotest.(check bool) "named stats include test-stats" true
         (List.mem_assoc "test-stats" (Cache.named_stats ())))
 
+(* ---- auto-demote of hitless groups ---- *)
+
+(* A group accumulating [demote_after] consecutive misses with zero
+   lifetime hits switches itself off: entries dropped, later adds and
+   finds are no-ops, one demotion recorded. *)
+let test_demote_hitless_group () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create ~demote_after:3 "test-demote" in
+      let before = Cache.demotions c in
+      (* The group record only exists after the first add; misses on a
+         nonexistent group don't count toward any streak. *)
+      ignore (Cache.find c ~group:"g" (mkbox 0.0 1.0));
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 0;
+      for i = 1 to 3 do
+        match Cache.find c ~group:"g" (mkbox 0.0 (1.0 +. float_of_int i)) with
+        | Cache.Miss -> ()
+        | _ -> Alcotest.fail "distinct boxes must miss"
+      done;
+      Alcotest.(check int) "one demotion" (before + 1) (Cache.demotions c);
+      Alcotest.(check int) "entries dropped" 0 (Cache.length c);
+      (* Demoted: adds are dropped, so the exact box that was just added
+         still misses. *)
+      Cache.add c ~group:"g" (mkbox 5.0 6.0) 42;
+      (match Cache.find c ~group:"g" (mkbox 5.0 6.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "demoted group must not serve hits");
+      (* Other groups of the same cache are unaffected. *)
+      Cache.add c ~group:"h" (mkbox 0.0 1.0) 7;
+      match Cache.find c ~group:"h" (mkbox 0.0 1.0) with
+      | Cache.Hit 7 -> ()
+      | _ -> Alcotest.fail "sibling group must still work")
+
+(* Any hit grants permanent immunity: a group that hit once never
+   demotes, no matter how long its later miss streak runs. *)
+let test_demote_immunity_after_hit () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create ~demote_after:3 "test-demote" in
+      let before = Cache.demotions c in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 1;
+      (match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Hit 1 -> ()
+      | _ -> Alcotest.fail "expected hit");
+      for i = 1 to 20 do
+        ignore (Cache.find c ~group:"g" (mkbox 0.0 (1.0 +. float_of_int i)))
+      done;
+      Alcotest.(check int) "no demotion" before (Cache.demotions c);
+      match Cache.find c ~group:"g" (mkbox 0.0 1.0) with
+      | Cache.Hit 1 -> ()
+      | _ -> Alcotest.fail "immune group must keep serving hits")
+
+(* An epoch bump re-arms demoted groups: the group record is discarded
+   with the rest of the shard, so the fresh group caches again. *)
+let test_demote_rearmed_by_clear () =
+  with_policy Cache.Exact (fun () ->
+      let c : int Cache.t = Cache.create ~demote_after:2 "test-demote" in
+      Cache.add c ~group:"g" (mkbox 0.0 1.0) 0;
+      for i = 1 to 2 do
+        ignore (Cache.find c ~group:"g" (mkbox 0.0 (1.0 +. float_of_int i)))
+      done;
+      Cache.add c ~group:"g" (mkbox 5.0 6.0) 42;
+      (match Cache.find c ~group:"g" (mkbox 5.0 6.0) with
+      | Cache.Miss -> ()
+      | _ -> Alcotest.fail "expected demoted group");
+      Cache.clear ();
+      Cache.add c ~group:"g" (mkbox 5.0 6.0) 42;
+      match Cache.find c ~group:"g" (mkbox 5.0 6.0) with
+      | Cache.Hit 42 -> ()
+      | _ -> Alcotest.fail "clear must re-arm demoted groups")
+
 let test_concurrent_access () =
   with_policy Cache.Exact (fun () ->
       let c : int Cache.t = Cache.create "test-unit" in
@@ -623,4 +692,10 @@ let () =
             test_warm_saved_signed;
           Alcotest.test_case "clear invalidates" `Quick test_clear_invalidates;
           Alcotest.test_case "stats counting" `Quick test_stats_counting;
+          Alcotest.test_case "demote hitless group" `Quick
+            test_demote_hitless_group;
+          Alcotest.test_case "hit grants demote immunity" `Quick
+            test_demote_immunity_after_hit;
+          Alcotest.test_case "clear re-arms demoted groups" `Quick
+            test_demote_rearmed_by_clear;
           Alcotest.test_case "concurrent access" `Quick test_concurrent_access ] ) ]
