@@ -481,25 +481,75 @@ let a4 () =
 (* P1: multicore scaling sweep (jobs = 1, 2, 4, 8)                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Each kernel is run once per jobs value; sequential (jobs = 1) is the
-   baseline for the speedup column.  Results also land in BENCH_icp.json
-   (machine-readable: ns/op and speedup per kernel and jobs value, plus
-   the detected core count — speedups are bounded by the latter). *)
+(* Each kernel runs [rounds] times per jobs value with scheduler
+   telemetry captured per run; the minimum wall time survives (the
+   container's clock is noisy, and the min filters throttling spikes).
+   Sequential (jobs = 1) is the baseline for the speedup column, and the
+   result of every parallel run is checked against it in-process —
+   verdict kind for decide, exact leaf multiset for pave, bit-equal
+   rounds plus a 2ε Chernoff corridor for the SMC estimate — so a
+   scheduler bug cannot hide behind a good-looking speedup.  Results
+   land in BENCH_icp.json (ns/op, speedup, search effort, and scheduler
+   counters per kernel and jobs value, plus the detected core count —
+   speedups are bounded by the latter; jobs beyond it are multiplexed
+   onto the available domains). *)
 
-let jobs_sweep = [ 1; 2; 4; 8 ]
+let p1_jobs_sweep = [ 1; 2; 4; 8 ]
 
-let p1 () =
-  section "P1  Multicore scaling: decide / pave / SMC across worker domains";
-  let tangency = Expr.Parse.formula "x^2 + y^2 = 1 and x*y = 1/2" in
-  let tangency_box =
-    Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ]
+(* One run's scheduler telemetry, read off the metrics registry. *)
+type p1_sched = {
+  steals : int;
+  steal_fails : int;
+  idle_ns : int;
+  lease_refills : int;
+  deque_p50 : int;
+  deque_p99 : int;
+}
+
+let p1_snapshot_sched () =
+  let counters = Telemetry.Metrics.counters () in
+  let c name = match List.assoc_opt name counters with Some v -> v | None -> 0 in
+  let p50, p99 =
+    match List.assoc_opt "pool.deque_depth" (Telemetry.Metrics.histograms ()) with
+    | Some snap when snap.Telemetry.Histogram.count > 0 ->
+        ( Telemetry.Histogram.quantile 0.5 snap,
+          Telemetry.Histogram.quantile 0.99 snap )
+    | _ -> (0, 0)
   in
-  let ring =
-    Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2"
+  {
+    steals = c "pool.steals";
+    steal_fails = c "pool.steal_fails";
+    idle_ns = c "pool.idle_ns";
+    lease_refills = c "pool.lease_refills";
+    deque_p50 = p50;
+    deque_p99 = p99;
+  }
+
+let p1 ?(quick = false) () =
+  section
+    (if quick then "P1  Multicore scaling: decide / pave / SMC (quick)"
+     else "P1  Multicore scaling: decide / pave / SMC across worker domains");
+  let sweep = if quick then [ 1; 2 ] else p1_jobs_sweep in
+  let rounds = if quick then 3 else 13 in
+  (* Near-tangency unsat: max of x*y*z on the unit sphere is 3^(-3/2) ≈
+     0.192450, so x*y*z = 0.1925 misses by 5e-5 — refuting it must
+     exhaust a deep search tree (≈16k boxes), which is the
+     parallelizable regime; a δ-sat race would end at the first witness
+     instead.  (The PR-1..6 tangency kernel decided in a handful of
+     boxes after the Newton/affine layers landed and measured only
+     scheduler constants.) *)
+  let sphere =
+    Expr.Parse.formula "x^2 + y^2 + z^2 = 1 and x*y*z = 1925/10000"
   in
+  let sphere_box =
+    Box.of_list
+      [ ("x", I.make 0.0 1.0); ("y", I.make 0.0 1.0); ("z", I.make 0.0 1.0) ]
+  in
+  let ring = Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
   let ring_box =
     Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ]
   in
+  let smc_eps = 0.03 in
   let smc_prob =
     Smc.Runner.problem
       ~model:(Smc.Runner.Ode_model Biomodels.Classics.p53_mdm2)
@@ -510,33 +560,43 @@ let p1 () =
       ~property:(Smc.Bltl.Finally (30.0, Smc.Bltl.prop "p53 >= 0.3"))
       ~t_end:30.0 ()
   in
-  (* Per run: a one-line summary (verdict / leaf counts / estimate) so
-     agreement across jobs values is visible, the search-effort counters
-     (boxes processed / splits / prunings — zero for SMC, which has no
-     box search), and the wall time. *)
+  let sort_leaves over bs =
+    List.sort compare
+      (List.map
+         (fun b ->
+           List.map
+             (fun v ->
+               let i = Box.find v b in
+               (v, I.lo i, I.hi i))
+             over)
+         bs)
+  in
+  (* Each kernel returns (summary, (boxes, splits, prunings), check);
+     [same] compares checks across rounds at one jobs value (must be
+     exact — that is the determinism contract), [agrees] compares a
+     parallel run's check against the jobs=1 baseline. *)
   let decide_kernel jobs =
     let config =
-      { Icp.Solver.default_config with delta = 1e-4; epsilon = 1e-5; jobs }
+      { Icp.Solver.default_config with
+        delta = 1e-7; epsilon = 1e-8; max_boxes = 10_000_000; jobs }
     in
-    let (r, stats), dt =
-      timed (fun () -> Icp.Solver.decide_with_stats ~config tangency tangency_box)
+    let r, stats = Icp.Solver.decide_with_stats ~config sphere sphere_box in
+    let kind =
+      match r with
+      | Icp.Solver.Delta_sat _ -> "delta-sat"
+      | Icp.Solver.Unsat -> "unsat"
+      | Icp.Solver.Unknown _ -> "unknown"
     in
-    ( Fmt.str "%s, %d boxes, %d certs"
-        (match r with
-        | Icp.Solver.Delta_sat _ -> "delta-sat"
-        | Icp.Solver.Unsat -> "unsat"
-        | Icp.Solver.Unknown _ -> "unknown")
-        stats.Icp.Solver.boxes_processed stats.Icp.Solver.certifications,
+    ( Fmt.str "%s, %d boxes, %d certs" kind stats.Icp.Solver.boxes_processed
+        stats.Icp.Solver.certifications,
       ( stats.Icp.Solver.boxes_processed,
         stats.Icp.Solver.splits,
         stats.Icp.Solver.prunings ),
-      dt )
+      `Verdict kind )
   in
   let pave_kernel jobs =
-    let config = { Icp.Solver.default_config with epsilon = 0.02; jobs } in
-    let (p, stats), dt =
-      timed (fun () -> Icp.Solver.pave_with_stats ~config ring ring_box)
-    in
+    let config = { Icp.Solver.default_config with epsilon = 0.005; jobs } in
+    let p, stats = Icp.Solver.pave_with_stats ~config ring ring_box in
     ( Fmt.str "%d/%d/%d leaves, %d boxes, %d splits"
         (List.length p.Icp.Solver.sat)
         (List.length p.Icp.Solver.unsat)
@@ -545,65 +605,197 @@ let p1 () =
       ( stats.Icp.Solver.boxes_processed,
         stats.Icp.Solver.splits,
         stats.Icp.Solver.prunings ),
-      dt )
+      `Leaves
+        (List.map
+           (fun leaves -> sort_leaves [ "x"; "y" ] leaves)
+           [ p.Icp.Solver.sat; p.Icp.Solver.unsat; p.Icp.Solver.undecided ]) )
   in
   let smc_kernel jobs =
-    let e, dt =
-      timed (fun () -> Smc.Runner.estimate ~jobs ~eps:0.1 ~alpha:0.05 smc_prob)
-    in
-    (Fmt.str "p=%.3f, n=%d" e.Smc.Estimate.p_hat e.Smc.Estimate.n, (0, 0, 0), dt)
+    let e = Smc.Runner.estimate ~jobs ~eps:smc_eps ~alpha:0.05 smc_prob in
+    ( Fmt.str "p=%.3f, n=%d" e.Smc.Estimate.p_hat e.Smc.Estimate.n,
+      (0, 0, 0),
+      `Est (e.Smc.Estimate.p_hat, e.Smc.Estimate.successes, e.Smc.Estimate.n) )
   in
-  let kernels =
-    [ ("icp-decide-tangency", decide_kernel);
-      ("icp-pave-ring", pave_kernel);
-      ("smc-estimate-p53", smc_kernel) ]
+  let agrees name base got =
+    match (base, got) with
+    | `Verdict a, `Verdict b ->
+        if a <> b then failwith (Printf.sprintf "P1 %s: verdict %s <> %s" name b a)
+    | `Leaves a, `Leaves b ->
+        if a <> b then
+          failwith (Printf.sprintf "P1 %s: parallel leaf set differs" name)
+    | `Est (p_base, _, _), `Est (p_got, _, _) ->
+        (* different jobs consume different PRNG streams; both estimates
+           carry the same Chernoff ±ε bound *)
+        if Float.abs (p_base -. p_got) > 2.0 *. smc_eps then
+          failwith
+            (Printf.sprintf "P1 %s: estimate %.3f outside 2eps of %.3f" name
+               p_got p_base)
+    | _ -> failwith (Printf.sprintf "P1 %s: check kind mismatch" name)
+  in
+  let same name jobs a b =
+    if a <> b then
+      failwith
+        (Printf.sprintf "P1 %s: non-reproducible result at jobs=%d" name jobs)
+  in
+  (* Timed rounds run with metrics OFF: the pool's per-item counters and
+     the deque-depth histogram only fire on the pooled (jobs > 1) code
+     path, so leaving them on would tax exactly the runs whose speedup
+     is being measured.  Scheduler telemetry instead comes from one
+     extra, untimed run per (kernel, jobs) cell with metrics enabled —
+     the kernels are deterministic at a fixed jobs value (asserted via
+     [same]), so the extra run retraces the measured ones. *)
+  (* Shared containers throttle in multi-second waves (observed: wall
+     clock for a fixed workload halving and doubling on a ~5 s period),
+     so any protocol that times the jobs=1 cell and the jobs=k cell far
+     apart measures the wave, not the scheduler.  The speedup for
+     jobs=k is therefore the {e median of adjacent-pair ratios}: each
+     round times jobs=1 and jobs=k back to back (order alternating
+     every round so neither side systematically runs on the fresher
+     CPU), takes the ratio of those two adjacent walls - close enough
+     in time that a slow wave taxes both sides equally - and the median
+     over rounds discards the pairs a wave boundary happened to split.
+     Each timed run is preceded by a major GC so a run never pays for
+     the garbage of the previous one.  The wall column is the per-cell
+     minimum over every sample taken (the usual noise-floor
+     estimate). *)
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+  in
+  let measure_kernel name kernel =
+    let slots = List.length sweep in
+    let sweep_arr = Array.of_list sweep in
+    let best = Array.make slots None in
+    let checks = Array.make slots None in
+    let run k =
+      let jobs = sweep_arr.(k) in
+      Gc.full_major ();
+      let (summary, effort, check), dt = timed (fun () -> kernel jobs) in
+      (match checks.(k) with
+      | None -> checks.(k) <- Some check
+      | Some c -> same name jobs c check);
+      (match best.(k) with
+      | Some (_, _, best_dt) when best_dt <= dt -> ()
+      | _ -> best.(k) <- Some (summary, effort, dt));
+      dt
+    in
+    (* one unrecorded warm-up so the first pair does not pay for cold
+       caches and allocator growth *)
+    ignore (run 0 : float);
+    let ratios =
+      Array.init (slots - 1) (fun i ->
+          Array.init rounds (fun round ->
+              let k = i + 1 in
+              if round land 1 = 0 then
+                let d1 = run 0 in
+                let dk = run k in
+                d1 /. dk
+              else
+                let dk = run k in
+                let d1 = run 0 in
+                d1 /. dk))
+    in
+    let speedup k = if k = 0 then 1.0 else median ratios.(k - 1) in
+    List.mapi
+      (fun k jobs ->
+        let sched =
+          Telemetry.set_metrics true;
+          Fun.protect ~finally:(fun () -> Telemetry.set_metrics false)
+          @@ fun () ->
+          Telemetry.reset ();
+          let (_, _, check), _ = timed (fun () -> kernel jobs) in
+          (match checks.(k) with Some c -> same name jobs c check | None -> ());
+          p1_snapshot_sched ()
+        in
+        match (best.(k), checks.(k)) with
+        | Some (summary, effort, dt), Some check ->
+            (jobs, (summary, effort, sched, dt, speedup k, check))
+        | _ -> assert false)
+      sweep
   in
   let measured =
     List.map
       (fun (name, kernel) ->
-        (name, List.map (fun jobs -> (jobs, kernel jobs)) jobs_sweep))
-      kernels
+        let runs = measure_kernel name kernel in
+        (match runs with
+        | (_, (_, _, _, _, _, base_check)) :: rest ->
+            List.iter
+              (fun (_, (_, _, _, _, _, check)) -> agrees name base_check check)
+              rest
+        | [] -> ());
+        (name, runs))
+      [ ("icp-decide-sphere", decide_kernel);
+        ("icp-pave-ring", pave_kernel);
+        ("smc-estimate-p53", smc_kernel) ]
   in
   let rows =
     List.concat_map
       (fun (name, runs) ->
-        let base =
-          match runs with (_, (_, _, dt)) :: _ -> dt | [] -> nan
-        in
         List.map
-          (fun (jobs, (summary, _, dt)) ->
+          (fun (jobs, (summary, _, sched, dt, speedup, _)) ->
             [ name; string_of_int jobs; Fmt.str "%.3fs" dt;
-              Fmt.str "%.2fx" (base /. dt); summary ])
+              Fmt.str "%.2fx" speedup;
+              string_of_int sched.steals;
+              string_of_int sched.lease_refills;
+              Fmt.str "%.1fms" (float_of_int sched.idle_ns /. 1e6);
+              summary ])
           runs)
       measured
   in
   Report.print
-    [ Report.text "detected cores: %d (speedups are bounded by this)"
+    [ Report.text
+        "detected cores: %d (speedups are bounded by this; jobs beyond the"
         (Domain.recommended_domain_count ());
+      Report.text
+        "domain cap are multiplexed sequentially, so they cost ~nothing)";
+      Report.text
+        "parallel runs are checked against jobs=1 in-process (verdict /";
+      Report.text "leaf set / 2-eps estimate corridor)";
       Report.table
-        ~header:[ "kernel"; "jobs"; "wall"; "speedup"; "result" ]
+        ~header:
+          [ "kernel"; "jobs"; "wall"; "speedup"; "steals"; "refills"; "idle";
+            "result" ]
         rows ];
   (* machine-readable dump *)
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\n  \"cores\": %d,\n  \"default_jobs\": %d,\n  \"kernels\": [\n"
+       "{\n\
+       \  \"cores\": %d,\n\
+       \  \"default_jobs\": %d,\n\
+       \  \"domain_cap\": %d,\n\
+       \  \"workstealing\": %b,\n\
+       \  \"quick\": %b,\n\
+       \  \"note\": \"1-core containers multiplex jobs > cores onto the available domains; speedups are bounded by cores, and the acceptance bar is jobs=2 >= 1.0x (no coordination overhead). Scheduler counters come from one extra untimed run per cell with metrics enabled; timed rounds ran with metrics off. wall_s is the per-cell minimum over all samples (each run preceded by a major GC); speedup for jobs=k is the median of adjacent-pair ratios against jobs=1 (the two cells timed back to back, order alternating per round), which cancels the multi-second throttling waves of a shared container.\",\n\
+       \  \"kernels\": [\n"
        (Domain.recommended_domain_count ())
-       (Parallel.Pool.default_jobs ()));
+       (Parallel.Pool.default_jobs ())
+       (Parallel.Pool.domain_cap ())
+       (Parallel.Pool.workstealing_enabled ())
+       quick);
   List.iteri
     (fun i (name, runs) ->
-      let base = match runs with (_, (_, _, dt)) :: _ -> dt | [] -> nan in
-      Buffer.add_string buf (Printf.sprintf "    {\"name\": %S, \"runs\": [" name);
+      Buffer.add_string buf (Printf.sprintf "    {\"name\": %S, \"runs\": [\n" name);
       List.iteri
-        (fun j (jobs, (_, (boxes, splits, prunings), dt)) ->
+        (fun j (jobs, (_, (boxes, splits, prunings), sched, dt, speedup, _)) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "%s{\"jobs\": %d, \"wall_s\": %.6f, \"ns_per_op\": %.0f, \"speedup\": %.3f, \"boxes_processed\": %d, \"splits\": %d, \"prunings\": %d}"
+               "      %s{\"jobs\": %d, \"wall_s\": %.6f, \"ns_per_op\": %.0f, \
+                \"speedup\": %.2f, \"boxes_processed\": %d, \"splits\": %d, \
+                \"prunings\": %d, \"steals\": %d, \"steal_fails\": %d, \
+                \"idle_ns\": %d, \"lease_refills\": %d, \"deque_depth_p50\": \
+                %d, \"deque_depth_p99\": %d}%s\n"
                (if j = 0 then "" else ", ")
-               jobs dt (dt *. 1e9) (base /. dt) boxes splits prunings))
+               jobs dt (dt *. 1e9) speedup boxes splits prunings
+               sched.steals sched.steal_fails sched.idle_ns sched.lease_refills
+               sched.deque_p50 sched.deque_p99
+               (if j = List.length runs - 1 then "" else "")))
         runs;
       Buffer.add_string buf
-        (Printf.sprintf "]}%s\n" (if i = List.length measured - 1 then "" else ",")))
+        (Printf.sprintf "    ]}%s\n"
+           (if i = List.length measured - 1 then "" else ",")))
     measured;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out "BENCH_icp.json" in
@@ -1751,7 +1943,7 @@ let () =
   let sections =
     [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("e7", e7); ("e8", e8); ("e9", e9); ("s1", s1); ("a1", a1); ("a2", a2);
-      ("a3", a3); ("a4", a4); ("p1", p1); ("t1", t1);
+      ("a3", a3); ("a4", a4); ("p1", fun () -> p1 ~quick ()); ("t1", t1);
       ("c1", fun () -> c1 ~quick ());
       ("o1", fun () -> o1 ~quick ());
       ("n1", fun () -> n1 ~quick ());
@@ -1771,7 +1963,9 @@ let () =
         List.filter (fun (n, _) -> List.mem n names) sections
     | None ->
         if quick then
-          List.filter (fun (n, _) -> List.mem n [ "c1"; "o1"; "n1"; "af1" ]) sections
+          List.filter
+            (fun (n, _) -> List.mem n [ "c1"; "o1"; "n1"; "af1"; "p1" ])
+            sections
         else sections
   in
   Report.print

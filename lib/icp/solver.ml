@@ -351,19 +351,21 @@ let rec record_verdict cell r =
     record_verdict cell r
 
 (* Parallel branch-and-prune over one conjunction: [jobs] worker domains
-   pull (box, depth) items from a shared frontier.  Any domain finding a
-   δ-sat witness stops the frontier; unsat requires exhaustion. *)
+   pull (box, depth) items from a work-stealing frontier.  Any domain
+   finding a δ-sat witness stops the frontier; unsat requires
+   exhaustion.  [spend w] consumes one unit of worker [w]'s budget
+   lease. *)
 let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box =
   let contract = conjunction_contractor cfg atoms in
   let refuted = refuted_group cfg atoms in
   let dsys = conjunction_deriv ~delta:cfg.delta atoms in
   let cell = make_verdict_cell () in
   let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
-  Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth) ->
       let stats = worker_stats.(w) in
       stats.boxes_processed <- stats.boxes_processed + 1;
       if depth > stats.max_depth then stats.max_depth <- depth;
-      if not (spend ()) then begin
+      if not (spend w) then begin
         record_verdict cell (Unknown "box budget exhausted");
         Parallel.Pool.Frontier.stop fr
       end
@@ -375,9 +377,9 @@ let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box 
             Parallel.Pool.Frontier.stop fr
         | Split_into (l, r) ->
             stats.splits <- stats.splits + 1;
-            (* push right first so the left half is taken next (LIFO) *)
-            Parallel.Pool.Frontier.push fr (r, depth + 1);
-            Parallel.Pool.Frontier.push fr (l, depth + 1));
+            (* one publish for both halves; the left is popped next *)
+            Parallel.Pool.Frontier.push_batch slot
+              [ (l, depth + 1); (r, depth + 1) ]);
   match Atomic.get cell with Some v -> v | None -> Unsat
 
 (* Portfolio over DNF branches: each branch is searched (sequentially)
@@ -388,13 +390,16 @@ let decide_branches_portfolio ~jobs ~spend cfg worker_stats branches box =
   let sat = make_verdict_cell () in
   let pending_unknown = Atomic.make None in
   let fr = Parallel.Pool.Frontier.create branches in
-  Parallel.Pool.Frontier.drain ~jobs fr (fun w fr atoms ->
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w _slot atoms ->
       let stats = worker_stats.(w) in
       let cancelled () = Option.is_some (Atomic.get sat) in
       let conj =
         Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
       in
-      match decide_conjunction ~cancelled ~spend cfg stats conj atoms box with
+      match
+        decide_conjunction ~cancelled ~spend:(fun () -> spend w) cfg stats conj
+          atoms box
+      with
       | Unsat -> ()
       | Delta_sat _ as r ->
           record_verdict sat r;
@@ -418,32 +423,24 @@ let decide_with_stats_inner ?(config = default_config) formula box =
     | Expr.Formula.True ->
         Delta_sat { point = Box.mid_env box; box; certified = true }
     | Expr.Formula.False -> Unsat
-    | _ when jobs = 1 ->
-        (* Sequential path: shared budget = the single stats record. *)
-        let spend () = stats.boxes_processed <= config.max_boxes in
-        let branches = Expr.Formula.dnf formula in
-        Log.debug (fun m -> m "decide: %d DNF branch(es)" (List.length branches));
-        (* Try branches in order; an Unknown branch only matters if no
-           later branch is δ-sat. *)
-        let rec run pending_unknown = function
-          | [] -> (
-              match pending_unknown with Some why -> Unknown why | None -> Unsat)
-          | atoms :: rest -> (
-              let conj =
-                Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
-              in
-              match decide_conjunction ~spend config stats conj atoms box with
-              | Unsat -> run pending_unknown rest
-              | Delta_sat w -> Delta_sat w
-              | Unknown why -> run (Some why) rest)
-        in
-        run None branches
     | _ ->
-        (* Parallel path: the box budget is shared across all domains and
-           all DNF branches through one atomic counter, mirroring the
-           cumulative budget of the sequential search. *)
-        let counter = Atomic.make 0 in
-        let spend () = Atomic.fetch_and_add counter 1 < config.max_boxes in
+        (* One code path for every [jobs] value: the frontier's
+           sequential drive executes [jobs = 1] (and any [jobs] on a
+           one-domain budget) as a plain loop with the same DFS order,
+           budget semantics and leaf/stats accounting as the historical
+           sequential search — so "sequential-identical at jobs = 1"
+           holds by construction, and a jobs sweep on one core compares
+           identical instruction streams instead of two code paths
+           whose constant factors drift apart.  The box budget is
+           shared across all domains and all DNF branches through one
+           leased counter — each worker claims a chunk at a time and
+           spends it locally, mirroring the cumulative budget of the
+           sequential search without per-box atomic traffic. *)
+        let lease = Parallel.Pool.Lease.create ~total:config.max_boxes () in
+        let locals =
+          Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease)
+        in
+        let spend w = Parallel.Pool.Lease.spend locals.(w) in
         let worker_stats = Array.init jobs (fun _ -> fresh_stats ()) in
         let branches = Expr.Formula.dnf formula in
         Log.debug (fun m ->
@@ -460,6 +457,7 @@ let decide_with_stats_inner ?(config = default_config) formula box =
               decide_branches_portfolio ~jobs ~spend config worker_stats branches
                 box
         in
+        Array.iter Parallel.Pool.Lease.return_unspent locals;
         Array.iter (merge_stats stats) worker_stats;
         r
   in
@@ -572,44 +570,24 @@ let pave_with_stats_inner ?(config = default_config) formula box =
   let dsys = conjunction_deriv ~delta:0.0 atoms in
   let jobs = Stdlib.max 1 config.jobs in
   let stats = fresh_stats () in
-  if jobs = 1 then begin
-    let sat = ref [] and unsat = ref [] and undecided = ref [] in
-    let budget = ref config.max_boxes in
-    let rec go (b, depth) =
-      if Box.is_empty b then ()
-      else if !budget <= 0 then undecided := b :: !undecided
-      else begin
-        decr budget;
-        stats.boxes_processed <- stats.boxes_processed + 1;
-        if depth > stats.max_depth then stats.max_depth <- depth;
-        match pave_step config ?refuted ?dsys contract formula b with
-        | Pave_sat -> sat := b :: !sat
-        | Pave_unsat ->
-            stats.prunings <- stats.prunings + 1;
-            unsat := b :: !unsat
-        | Pave_split (l, r) ->
-            stats.splits <- stats.splits + 1;
-            go (l, depth + 1);
-            go (r, depth + 1)
-        | Pave_undecided -> undecided := b :: !undecided
-      end
-    in
-    go (box, 0);
-    ({ sat = !sat; unsat = !unsat; undecided = !undecided }, stats)
-  end
-  else begin
-    (* Parallel paving: worker domains pull boxes from the shared
-       frontier and collect classified leaves in per-domain lists, merged
-       (with their stats) at the end. *)
-    let budget = Atomic.make config.max_boxes in
+  begin
+    (* Worker domains pull boxes from the work-stealing frontier and
+       collect classified leaves in per-domain lists, merged (with their
+       stats) at the end.  The box budget is leased per worker; a box
+       that finds the budget exhausted becomes an undecided leaf.  At
+       [jobs = 1] (or on a one-domain budget) the frontier's sequential
+       drive makes this the historical sequential paving — same DFS
+       order, so even the leaf list order is identical. *)
+    let lease = Parallel.Pool.Lease.create ~total:config.max_boxes () in
+    let locals = Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease) in
     let worker_stats = Array.init jobs (fun _ -> fresh_stats ()) in
     let acc = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
     let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
-    Parallel.Pool.Frontier.drain ~jobs fr (fun w fr (b, depth) ->
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth) ->
         let st = worker_stats.(w) in
         let sat, unsat, undecided = acc.(w) in
         if Box.is_empty b then ()
-        else if Atomic.fetch_and_add budget (-1) <= 0 then
+        else if not (Parallel.Pool.Lease.spend locals.(w)) then
           undecided := b :: !undecided
         else begin
           st.boxes_processed <- st.boxes_processed + 1;
@@ -621,10 +599,11 @@ let pave_with_stats_inner ?(config = default_config) formula box =
               unsat := b :: !unsat
           | Pave_split (l, r) ->
               st.splits <- st.splits + 1;
-              Parallel.Pool.Frontier.push fr (r, depth + 1);
-              Parallel.Pool.Frontier.push fr (l, depth + 1)
+              Parallel.Pool.Frontier.push_batch slot
+                [ (l, depth + 1); (r, depth + 1) ]
           | Pave_undecided -> undecided := b :: !undecided
         end);
+    Array.iter Parallel.Pool.Lease.return_unspent locals;
     Array.iter (merge_stats stats) worker_stats;
     let collect pick =
       Array.fold_left (fun l a -> !(pick a) @ l) [] acc

@@ -1,0 +1,168 @@
+(* Work-stealing deque: a growable ring buffer with owner-local LIFO
+   push/pop at the bottom and steal-half removal from the top.
+
+   Every operation takes the deque's own mutex.  That sounds like the
+   contention we are trying to kill, but the difference to a shared
+   monitor queue is where the contention *lives*: here the owner's
+   push/pop locks a mutex nobody else touches unless a steal is in
+   flight — an uncontended Mutex.lock/unlock pair is a couple of atomic
+   operations with no syscall — while a shared queue makes every worker
+   fight over one lock (and one cache line) for every item.  Steals are
+   rare by construction (a worker only probes victims when its own
+   deque runs dry), so the locked sections almost never collide.
+
+   Why not an unsynchronized owner ring with only the steal path locked?
+   Because in the OCaml 5 memory model a plain-field owner update racing
+   with a stealer's read has no useful ordering guarantee: a stale
+   [bottom] could hand the same item to both sides or lose it entirely.
+   The lock-free answer to that is Chase–Lev, which steals one item at a
+   time and needs fenced CAS choreography; the locked ring gives us
+   steal-half batching in twenty lines and owner ops that are cheap
+   enough to disappear next to interval arithmetic.  DESIGN.md §15
+   records the measurements behind this choice.
+
+   Order contract (what the Frontier relies on):
+   - [pop] returns the most recently pushed item (LIFO — keeps the
+     branch-and-prune search depth-first-ish);
+   - [push_list xs] behaves like pushing the items of [xs] in *reverse*
+     order, so a subsequent [pop] returns [List.hd xs] first;
+   - [steal_half] removes the *oldest* ceil(size/2) items — the ones
+     nearest the root of the search tree, i.e. the biggest subtrees. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a array;  (* [||] until the first push *)
+  mutable top : int;  (* index of the oldest item *)
+  mutable bottom : int;  (* index one past the newest item *)
+}
+(* Invariant: top <= bottom; the ring holds buf.(i land (len-1)) for
+   top <= i < bottom; len is a power of two.  Indices grow without
+   wrap-around (at 2^62 items we have other problems).  Popped and
+   stolen slots keep their stale references until overwritten — the
+   frontier's items are small boxes with short lifetimes, so the
+   retention window is harmless. *)
+
+let create () = { lock = Mutex.create (); buf = [||]; top = 0; bottom = 0 }
+
+let size t = t.bottom - t.top
+
+let[@inline] unlocked_grow t x =
+  let old = t.buf in
+  let old_len = Array.length old in
+  if old_len = 0 then begin
+    t.buf <- Array.make 32 x;
+    t.top <- 0;
+    t.bottom <- 0
+  end
+  else begin
+    (* full: double, compacting the live window to [0, size) *)
+    let n = t.bottom - t.top in
+    let fresh = Array.make (2 * old_len) x in
+    for i = 0 to n - 1 do
+      fresh.(i) <- old.((t.top + i) land (old_len - 1))
+    done;
+    t.buf <- fresh;
+    t.top <- 0;
+    t.bottom <- n
+  end
+
+let[@inline] unlocked_push t x =
+  let len = Array.length t.buf in
+  if len = 0 || t.bottom - t.top = len then unlocked_grow t x;
+  let len = Array.length t.buf in
+  t.buf.(t.bottom land (len - 1)) <- x;
+  t.bottom <- t.bottom + 1
+
+let push t x =
+  Mutex.lock t.lock;
+  unlocked_push t x;
+  Mutex.unlock t.lock
+
+(* One lock acquisition for the whole batch (a worker splitting a box
+   publishes both halves in one operation). *)
+let push_list t xs =
+  match xs with
+  | [] -> ()
+  | xs ->
+      Mutex.lock t.lock;
+      List.iter (fun x -> unlocked_push t x) (List.rev xs);
+      Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      t.bottom <- t.bottom - 1;
+      Some t.buf.(t.bottom land (Array.length t.buf - 1))
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+(* -- Single-threaded variants: same order contract, no locking.  Only
+   safe while exactly one thread can touch every deque involved; the
+   Frontier's sequential drive (effective domain count 1, where all
+   logical workers are multiplexed onto the calling domain) is the only
+   caller.  There, the mutex pairs are pure overhead per item — the
+   whole point of that path is to make [jobs > 1] on one core cost the
+   same as [jobs = 1]. -- *)
+
+let unsafe_push t x = unlocked_push t x
+let unsafe_push_list t xs = List.iter (fun x -> unlocked_push t x) (List.rev xs)
+
+let unsafe_pop t =
+  if t.bottom = t.top then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    Some t.buf.(t.bottom land (Array.length t.buf - 1))
+  end
+
+let unsafe_steal_half victim ~into =
+  let n = victim.bottom - victim.top in
+  if n = 0 then None
+  else begin
+    let k = (n + 1) / 2 in
+    let len = Array.length victim.buf in
+    let first = victim.buf.(victim.top land (len - 1)) in
+    for i = k - 2 downto 0 do
+      unlocked_push into victim.buf.((victim.top + 1 + i) land (len - 1))
+    done;
+    victim.top <- victim.top + k;
+    Some first
+  end
+
+(* Steal the oldest ceil(size/2) items from [victim].  The first stolen
+   item is returned for immediate processing; the rest land in [into]
+   (the thief's own deque) newest-last, so the thief pops them oldest
+   first — it inherits the victim's breadth-first end in order.  The two
+   locks are never held together (extract under the victim's, publish
+   under the thief's), so no lock ordering is needed even when two
+   workers steal from each other concurrently. *)
+let steal_half victim ~into =
+  Mutex.lock victim.lock;
+  let n = victim.bottom - victim.top in
+  if n = 0 then begin
+    Mutex.unlock victim.lock;
+    None
+  end
+  else begin
+    let k = (n + 1) / 2 in
+    let len = Array.length victim.buf in
+    let first = victim.buf.(victim.top land (len - 1)) in
+    let rest = Array.init (k - 1) (fun i ->
+        victim.buf.((victim.top + 1 + i) land (len - 1)))
+    in
+    victim.top <- victim.top + k;
+    Mutex.unlock victim.lock;
+    if k > 1 then begin
+      Mutex.lock into.lock;
+      (* oldest stolen first at the bottom end; the thief pops them in
+         stolen order after exhausting its own newer work *)
+      for i = Array.length rest - 1 downto 0 do
+        unlocked_push into rest.(i)
+      done;
+      Mutex.unlock into.lock
+    end;
+    Some first
+  end

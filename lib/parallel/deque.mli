@@ -1,0 +1,46 @@
+(** Work-stealing deque: growable ring, owner-local LIFO bottom,
+    steal-half from the top, one private mutex per deque.
+
+    The owner pushes and pops at the bottom (newest end); thieves remove
+    the oldest half from the top.  All operations are thread-safe; the
+    design point is that the mutex is {e private} — it is only ever
+    contended while a steal is actually probing this deque, so the
+    owner's per-item cost is an uncontended lock/unlock pair.  See
+    DESIGN.md §15 for why this beats both a shared monitor queue and a
+    Chase–Lev deque for this workload. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Advisory (unlocked) read — exact only for the owner between its own
+    operations; used for victim selection and depth telemetry. *)
+
+val push : 'a t -> 'a -> unit
+(** Push at the bottom (newest end). *)
+
+val push_list : 'a t -> 'a list -> unit
+(** Batched push under one lock acquisition; behaves like pushing the
+    items in reverse, so the next {!pop} returns the list head. *)
+
+val pop : 'a t -> 'a option
+(** Owner-side LIFO pop from the bottom; [None] when empty. *)
+
+val steal_half : 'a t -> into:'a t -> 'a option
+(** [steal_half victim ~into] removes the oldest [ceil(size/2)] items
+    from [victim]; the very oldest is returned, the remainder is pushed
+    onto [into] so that [into]'s owner pops them in age order.  [None]
+    when [victim] is empty.  Never holds both locks at once. *)
+
+(** {2 Single-threaded variants}
+
+    Identical order contracts, no locking.  Only safe while exactly one
+    thread can touch every deque involved — the Frontier's sequential
+    drive (effective domain count 1) is the intended caller.
+    [unsafe_steal_half] additionally requires [victim != into]. *)
+
+val unsafe_push : 'a t -> 'a -> unit
+val unsafe_push_list : 'a t -> 'a list -> unit
+val unsafe_pop : 'a t -> 'a option
+val unsafe_steal_half : 'a t -> into:'a t -> 'a option

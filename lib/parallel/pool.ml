@@ -1,36 +1,53 @@
-(* Fixed-size domain pool with a work-sharing frontier.
+(* Fixed-size domain pool with a work-stealing frontier.
 
    The branch-and-prune analyses of this framework are embarrassingly
    parallel: boxes on the solver stack are independent, as are DNF
    branches, paving subtrees, candidate mode paths and SMC trace samples.
-   This module provides the three coordination shapes they need on
-   OCaml 5 domains, with no dependency beyond the stdlib:
+   This module provides the coordination shapes they need on OCaml 5
+   domains, with no dependency beyond the stdlib:
 
-   - {!run}: fork/join over a fixed set of workers (worker 0 runs on the
+   - {!run}: fork/join over a fixed set of logical workers, scheduled
+     over at most {!domain_cap} hardware domains (worker 0 runs on the
      calling domain, so [jobs = 1] spawns nothing);
-   - {!Frontier}: a shared LIFO work queue drained by [jobs] workers,
-     with item-granular cancellation — the pattern behind parallel
-     [decide], [pave] and parameter synthesis;
+   - {!Frontier}: a cancellable work pool drained by [jobs] workers —
+     per-worker work-stealing deques (owner-local LIFO, steal-half) by
+     default, the historical single-monitor queue under
+     [BIOMC_NO_WORKSTEAL=1] — the pattern behind parallel [decide],
+     [pave] and parameter synthesis;
+   - {!Lease}: per-worker leases over a shared work budget, so the
+     search budget costs one atomic operation per lease instead of one
+     per box;
    - {!parallel_for_chunks}: static contiguous chunking of an index
      range — the pattern behind SMC sampling, where worker [w] owns its
      deterministic slice and its own PRNG stream.
 
-   Every shared-state structure here is a plain Mutex/Condition monitor;
-   throughput is dominated by interval arithmetic inside the work items,
-   so queue contention is negligible at the pool sizes we target. *)
+   Scheduling-wise the design point is near-zero coordination on the hot
+   path: a worker's own deque is guarded by a mutex nobody else touches
+   unless a steal is probing it, budget traffic is amortized over lease
+   chunks, and sleeping is an eventcount that producers only signal when
+   somebody is actually idle.  Oversubscription is handled in {!run}:
+   when [jobs] exceeds the hardware domain budget, the extra logical
+   workers are multiplexed sequentially onto the available domains
+   instead of forcing the runtime to rendezvous descheduled domains at
+   every minor collection — which is precisely what made [jobs > cores]
+   lose before (BENCH_icp.json's 0.16x SMC rows). *)
 
 let src = Logs.Src.create "parallel.pool" ~doc:"domain pool"
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Scheduling telemetry: how deep the frontier queue runs, how often
-   workers pick up shared items, how often they pick one up after having
-   gone idle (a "steal" in work-sharing terms), and how long they sit in
-   Condition.wait. *)
+(* Scheduling telemetry: how often workers pick up items, how often a
+   pickup crossed deques (a steal), how often a full victim sweep found
+   nothing, how long workers sit in Condition.wait, how deep the deques
+   (and, on the legacy path, the shared queue) run, and how often budget
+   leases go back to the shared counter for a refill. *)
 let tm_drain = Telemetry.Span.probe "pool.drain"
 let m_takes = Telemetry.Counter.make "pool.takes"
 let m_steals = Telemetry.Counter.make "pool.steals"
+let m_steal_fails = Telemetry.Counter.make "pool.steal_fails"
 let m_idle_ns = Telemetry.Counter.make "pool.idle_ns"
+let m_lease_refills = Telemetry.Counter.make "pool.lease_refills"
 let h_queue_depth = Telemetry.Histogram.make "pool.queue_depth"
+let h_deque_depth = Telemetry.Histogram.make "pool.deque_depth"
 
 (* Cap the default well below huge machines: branch-and-prune frontiers
    rarely keep more than a handful of domains saturated, and the GC's
@@ -40,125 +57,551 @@ let default_jobs () = Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_coun
 let validate_jobs jobs =
   if jobs < 1 then invalid_arg "Parallel.Pool: jobs must be >= 1"
 
+(* ---- Kill-switch: BIOMC_NO_WORKSTEAL=1 restores the PR-1 monitor
+   frontier, per-box budget spends and fixed SMC batches bit-for-bit
+   (the same discipline as BIOMC_NO_TAPE / BIOMC_NO_NEWTON /
+   BIOMC_NO_AFFINE). ---- *)
+
+let ws_override : bool option Atomic.t = Atomic.make None
+
+let workstealing_enabled () =
+  match Atomic.get ws_override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "BIOMC_NO_WORKSTEAL" with
+      | Some ("1" | "true" | "yes") -> false
+      | _ -> true)
+
+let set_workstealing b = Atomic.set ws_override (Some b)
+let clear_workstealing_override () = Atomic.set ws_override None
+
+(* ---- Hardware domain budget ----
+
+   [run ~jobs] never keeps more domains runnable than the machine has
+   cores (or than this override says): two domains time-slicing one core
+   do not add throughput, but every minor collection must interrupt and
+   reschedule the descheduled one to reach its safepoint.  Logical
+   workers beyond the cap run sequentially on the available domains;
+   every worker still executes with its own index (PRNG streams, stats
+   slots and chunk assignments are per logical worker, so results do not
+   depend on the cap).  Tests and benches override the cap to force real
+   concurrency on constrained machines. *)
+
+let cap_override : int option Atomic.t = Atomic.make None
+
+let set_domain_cap c =
+  (match c with
+  | Some n when n < 1 -> invalid_arg "Parallel.Pool.set_domain_cap: cap must be >= 1"
+  | _ -> ());
+  Atomic.set cap_override c
+
+let domain_cap () =
+  match Atomic.get cap_override with
+  | Some c -> c
+  | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+
 (* ---- Fork/join ---- *)
 
-(* [run ~jobs worker] evaluates [worker w] for w = 0..jobs-1, worker 0 on
-   the calling domain, and returns the results in worker order.  Every
+(* [run ~jobs worker] evaluates [worker w] for w = 0..jobs-1 on
+   [min jobs (domain_cap ())] domains — domain d executes logical
+   workers d, d+doms, d+2*doms... in ascending order, worker 0 on the
+   calling domain — and returns the results in worker order.  Every
    spawned domain is joined even when a worker raises; the first
    exception (in worker order) is re-raised after the join. *)
 let run ~jobs worker =
   validate_jobs jobs;
   if jobs = 1 then [| worker 0 |]
   else begin
-    let wrap w () = try Ok (worker w) with e -> Error e in
-    let doms = Array.init (jobs - 1) (fun i -> Domain.spawn (wrap (i + 1))) in
-    let r0 = wrap 0 () in
-    let rest = Array.map Domain.join doms in
-    let all = Array.append [| r0 |] rest in
-    Array.iter (function Error e -> raise e | Ok _ -> ()) all;
-    Array.map (function Ok v -> v | Error _ -> assert false) all
+    let doms = Stdlib.min jobs (domain_cap ()) in
+    let wrap w = try Ok (worker w) with e -> Error e in
+    let run_domain d =
+      let rec go acc w =
+        if w >= jobs then List.rev acc else go (wrap w :: acc) (w + doms)
+      in
+      go [] d
+    in
+    let spawned =
+      Array.init (doms - 1) (fun i -> Domain.spawn (fun () -> run_domain (i + 1)))
+    in
+    let r0 = run_domain 0 in
+    let rest = Array.map Domain.join spawned in
+    let results = Array.make jobs None in
+    let record d rs = List.iteri (fun i r -> results.(d + (i * doms)) <- Some r) rs in
+    record 0 r0;
+    Array.iteri (fun i rs -> record (i + 1) rs) rest;
+    Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
   end
 
-(* ---- Work-sharing frontier ---- *)
+(* ---- Work-stealing / work-sharing frontier ---- *)
 
 module Frontier = struct
-  type 'a t = {
-    mutex : Mutex.t;
-    wake : Condition.t;  (* new item, cancellation, or drain *)
-    mutable queue : 'a list;  (* LIFO: keeps the search depth-first-ish *)
-    mutable depth : int;  (* List.length queue, maintained O(1) *)
-    mutable active : int;  (* workers currently processing an item *)
-    mutable stopped : bool;
-  }
+  (* -- Legacy monitor queue (one mutex + condition around a shared
+     list), kept verbatim as the BIOMC_NO_WORKSTEAL=1 fallback and the
+     differential-testing oracle for the deque scheduler.  One fix
+     relative to PR 1: [take]'s steal accounting resets after every
+     successful take — previously a worker that had waited once was
+     counted as "stealing" every item it took for the rest of the call,
+     inflating pool.steals. -- *)
+  module Mon = struct
+    type 'a t = {
+      mutex : Mutex.t;
+      wake : Condition.t;  (* new item, cancellation, or drain *)
+      mutable queue : 'a list;  (* LIFO: keeps the search depth-first-ish *)
+      mutable depth : int;  (* List.length queue, maintained O(1) *)
+      mutable active : int;  (* workers currently processing an item *)
+      mutable stopped : bool;
+    }
+
+    let create init =
+      { mutex = Mutex.create (); wake = Condition.create (); queue = init;
+        depth = List.length init; active = 0; stopped = false }
+
+    let push t x =
+      Mutex.lock t.mutex;
+      if not t.stopped then begin
+        t.queue <- x :: t.queue;
+        t.depth <- t.depth + 1;
+        Telemetry.Histogram.observe h_queue_depth t.depth;
+        Condition.signal t.wake
+      end;
+      Mutex.unlock t.mutex
+
+    let stop t =
+      Mutex.lock t.mutex;
+      t.stopped <- true;
+      t.queue <- [];
+      t.depth <- 0;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex
+
+    let stopped t = t.stopped
+
+    (* Blocking take: [None] once the frontier is drained (empty queue
+       and no active worker that could still push) or stopped. *)
+    let take t =
+      Mutex.lock t.mutex;
+      let waited = ref false in
+      let rec go () =
+        if t.stopped then None
+        else
+          match t.queue with
+          | x :: rest ->
+              t.queue <- rest;
+              t.depth <- t.depth - 1;
+              t.active <- t.active + 1;
+              Telemetry.Counter.incr m_takes;
+              if !waited then Telemetry.Counter.incr m_steals;
+              waited := false;
+              Some x
+          | [] ->
+              if t.active = 0 then None
+              else begin
+                let t0 = if Telemetry.metrics_on () then Telemetry.now_ns () else 0 in
+                Condition.wait t.wake t.mutex;
+                if t0 <> 0 then
+                  Telemetry.Counter.add m_idle_ns (Telemetry.now_ns () - t0);
+                waited := true;
+                go ()
+              end
+      in
+      let r = go () in
+      (* On drain/stop, wake the remaining sleepers so they can exit. *)
+      if Option.is_none r then Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      r
+
+    let finish_item t =
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 && t.queue = [] then Condition.broadcast t.wake;
+      Mutex.unlock t.mutex
+  end
+
+  (* -- Work-stealing scheduler: one deque per logical worker, owner
+     pops LIFO, dry workers steal the oldest half of a victim chosen by
+     a seeded per-worker sweep.  Termination and sleeping:
+
+     - [pending] counts items that are queued or in flight; it is
+       incremented {e before} an item is published and decremented only
+       after [process] returns, so [pending = 0] proves there is
+       nothing left anywhere and nothing in flight that could push.
+     - A dry worker that found [pending > 0] registers in [idlers],
+       reads the wake generation, re-scans every deque once, and only
+       then waits for a generation bump.  A producer bumps the
+       generation only when [idlers > 0] at push time.  The handshake
+       cannot lose a wakeup: if the producer misses the idler
+       registration, the idler's re-scan necessarily runs after the
+       item was published (both sides cross the deque mutexes and the
+       [idlers] atomic, which order the two races); if the idler's
+       re-scan misses the item, the producer necessarily sees
+       [idlers > 0] and bumps.  See DESIGN.md §15. -- *)
+  module Ws = struct
+    type 'a t = {
+      mutable deques : 'a Deque.t array;  (* one per worker; set by drain *)
+      mutable seeds : 'a list;  (* initial items, in take order *)
+      mutable seq : bool;  (* sequential drive: see [drain] below *)
+      pending : int Atomic.t;
+      stop_flag : bool Atomic.t;
+      idlers : int Atomic.t;
+      lock : Mutex.t;  (* sleep monitor: guards [gen] *)
+      wake : Condition.t;
+      mutable gen : int;
+    }
+
+    let create init =
+      { deques = [||]; seeds = init; seq = false;
+        pending = Atomic.make (List.length init);
+        stop_flag = Atomic.make false; idlers = Atomic.make 0;
+        lock = Mutex.create (); wake = Condition.create (); gen = 0 }
+
+    let wake_all t =
+      Mutex.lock t.lock;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock
+
+    let stop t =
+      Atomic.set t.stop_flag true;
+      wake_all t
+
+    let stopped t = Atomic.get t.stop_flag
+
+    let observe_depth my =
+      (* guarded here rather than relying on the histogram's own check:
+         [Deque.size] is evaluated eagerly as the argument, and this
+         runs once per published batch *)
+      if Telemetry.metrics_on () then
+        Telemetry.Histogram.observe h_deque_depth (Deque.size my)
+
+    (* Publication order matters: [pending] goes up before the item is
+       visible, and comes down only after the item is fully processed
+       ([finish]), so [pending = 0] can never race with a live item.
+       In sequential-drive mode ([t.seq], single-threaded by
+       construction) there is nobody to publish to: no pending counter,
+       no locks, no wakeups. *)
+    let push t my x =
+      if not (Atomic.get t.stop_flag) then
+        if t.seq then begin
+          Deque.unsafe_push my x;
+          observe_depth my
+        end
+        else begin
+          Atomic.incr t.pending;
+          Deque.push my x;
+          observe_depth my;
+          if Atomic.get t.idlers > 0 then wake_all t
+        end
+
+    let push_batch t my xs =
+      match xs with
+      | [] -> ()
+      | xs ->
+          if not (Atomic.get t.stop_flag) then
+            if t.seq then begin
+              Deque.unsafe_push_list my xs;
+              observe_depth my
+            end
+            else begin
+              ignore (Atomic.fetch_and_add t.pending (List.length xs));
+              Deque.push_list my xs;
+              observe_depth my;
+              if Atomic.get t.idlers > 0 then wake_all t
+            end
+
+    let finish t =
+      if Atomic.fetch_and_add t.pending (-1) = 1 then
+        (* last outstanding item: wake sleepers so they can exit *)
+        wake_all t
+
+    (* One seeded-random cyclic sweep over the other deques; [Some] on
+       the first successful steal-half.  [steal] is {!Deque.steal_half}
+       or its unsafe variant in sequential-drive mode. *)
+    let try_steal_gen ~steal t my w rng =
+      let n = Array.length t.deques in
+      if n <= 1 then None
+      else begin
+        let start = Random.State.int rng n in
+        let rec sweep i =
+          if i >= n then None
+          else
+            let v = (start + i) mod n in
+            if v = w then sweep (i + 1)
+            else
+              match steal t.deques.(v) ~into:my with
+              | Some _ as r -> r
+              | None -> sweep (i + 1)
+        in
+        sweep 0
+      end
+
+    let try_steal t my w rng = try_steal_gen ~steal:Deque.steal_half t my w rng
+
+    let take_local () = Telemetry.Counter.incr m_takes
+    let take_stolen () =
+      Telemetry.Counter.incr m_takes;
+      Telemetry.Counter.incr m_steals
+
+    (* Next item for worker [w]: own deque, then steal, then the
+       eventcount sleep described above.  [None] = drained or stopped. *)
+    let rec acquire t my w rng =
+      if Atomic.get t.stop_flag then None
+      else
+        match Deque.pop my with
+        | Some _ as r -> take_local (); r
+        | None ->
+            if Atomic.get t.pending = 0 then None
+            else (
+              match try_steal t my w rng with
+              | Some _ as r -> take_stolen (); r
+              | None ->
+                  Telemetry.Counter.incr m_steal_fails;
+                  if Atomic.get t.pending = 0 then None
+                  else begin
+                    Atomic.incr t.idlers;
+                    Mutex.lock t.lock;
+                    let g0 = t.gen in
+                    Mutex.unlock t.lock;
+                    (* one more scan after registering as idle: items a
+                       producer published without seeing us are
+                       guaranteed visible here *)
+                    let again =
+                      match Deque.pop my with
+                      | Some _ as r -> take_local (); r
+                      | None -> (
+                          match try_steal t my w rng with
+                          | Some _ as r -> take_stolen (); r
+                          | None -> None)
+                    in
+                    match again with
+                    | Some _ ->
+                        Atomic.decr t.idlers;
+                        again
+                    | None ->
+                        if
+                          Atomic.get t.pending > 0
+                          && not (Atomic.get t.stop_flag)
+                        then begin
+                          let t0 =
+                            if Telemetry.metrics_on () then Telemetry.now_ns ()
+                            else 0
+                          in
+                          Mutex.lock t.lock;
+                          while
+                            t.gen = g0
+                            && Atomic.get t.pending > 0
+                            && not (Atomic.get t.stop_flag)
+                          do
+                            Condition.wait t.wake t.lock
+                          done;
+                          Mutex.unlock t.lock;
+                          if t0 <> 0 then
+                            Telemetry.Counter.add m_idle_ns
+                              (Telemetry.now_ns () - t0)
+                        end;
+                        Atomic.decr t.idlers;
+                        acquire t my w rng
+                  end)
+
+    (* Build the per-worker deques and spread the seeds round-robin, in
+       index order within each deque (so worker w starts on the
+       lowest-indexed seed it owns — [Reach.Checker] relies on
+       low-index-first preference for its shortest-path-first scan). *)
+    let install ~jobs t =
+      let deques = Array.init jobs (fun _ -> Deque.create ()) in
+      t.deques <- deques;
+      let seeds = t.seeds in
+      t.seeds <- [];
+      let buckets = Array.make jobs [] in
+      List.iteri
+        (fun i x -> buckets.(i mod jobs) <- x :: buckets.(i mod jobs))
+        seeds;
+      Array.iteri (fun w b -> Deque.push_list deques.(w) (List.rev b)) buckets;
+      deques
+  end
+
+  type 'a t = T_ws of 'a Ws.t | T_mon of 'a Mon.t
+
+  (* A worker's handle on the frontier: its own deque (work-stealing) or
+     the shared monitor (legacy).  Allocated once per worker per drain. *)
+  type 'a slot = S_ws of 'a Ws.t * 'a Deque.t | S_mon of 'a Mon.t
 
   let create init =
-    { mutex = Mutex.create (); wake = Condition.create (); queue = init;
-      depth = List.length init; active = 0; stopped = false }
+    if workstealing_enabled () then T_ws (Ws.create init)
+    else T_mon (Mon.create init)
 
-  let push t x =
-    Mutex.lock t.mutex;
-    if not t.stopped then begin
-      t.queue <- x :: t.queue;
-      t.depth <- t.depth + 1;
-      Telemetry.Histogram.observe h_queue_depth t.depth;
-      Condition.signal t.wake
-    end;
-    Mutex.unlock t.mutex
+  let push slot x =
+    match slot with
+    | S_ws (ws, my) -> Ws.push ws my x
+    | S_mon m -> Mon.push m x
 
-  let stop t =
-    Mutex.lock t.mutex;
-    t.stopped <- true;
-    t.queue <- [];
-    t.depth <- 0;
-    Condition.broadcast t.wake;
-    Mutex.unlock t.mutex
+  (* Batched publish: one lock acquisition on the work-stealing path.
+     The next item popped by this worker is [List.hd xs] (the legacy
+     path emulates this by pushing in reverse, exactly the push pairs
+     PR 1's call sites wrote out by hand). *)
+  let push_batch slot xs =
+    match slot with
+    | S_ws (ws, my) -> Ws.push_batch ws my xs
+    | S_mon m -> List.iter (Mon.push m) (List.rev xs)
 
-  let stopped t = t.stopped
+  let stop = function T_ws ws -> Ws.stop ws | T_mon m -> Mon.stop m
+  let stopped = function T_ws ws -> Ws.stopped ws | T_mon m -> Mon.stopped m
 
-  (* Blocking take: [None] once the frontier is drained (empty queue and
-     no active worker that could still push) or stopped. *)
-  let take t =
-    Mutex.lock t.mutex;
-    let waited = ref false in
-    let rec go () =
-      if t.stopped then None
-      else
-        match t.queue with
-        | x :: rest ->
-            t.queue <- rest;
-            t.depth <- t.depth - 1;
-            t.active <- t.active + 1;
-            Telemetry.Counter.incr m_takes;
-            if !waited then Telemetry.Counter.incr m_steals;
-            Some x
-        | [] ->
-            if t.active = 0 then None
-            else begin
-              let t0 = if Telemetry.metrics_on () then Telemetry.now_ns () else 0 in
-              Condition.wait t.wake t.mutex;
-              if t0 <> 0 then
-                Telemetry.Counter.add m_idle_ns (Telemetry.now_ns () - t0);
-              waited := true;
-              go ()
-            end
-    in
-    let r = go () in
-    (* On drain/stop, wake the remaining sleepers so they can exit. *)
-    if Option.is_none r then Condition.broadcast t.wake;
-    Mutex.unlock t.mutex;
-    r
-
-  let finish_item t =
-    Mutex.lock t.mutex;
-    t.active <- t.active - 1;
-    if t.active = 0 && t.queue = [] then Condition.broadcast t.wake;
-    Mutex.unlock t.mutex
-
-  (* Drain the frontier with [jobs] workers.  [process w t item] may
-     [push] follow-up items and may [stop] the whole frontier (first
-     conclusive result wins).  Exceptions cancel the frontier, and the
-     first one is re-raised after all domains joined. *)
+  (* Drain the frontier with [jobs] workers.  [process w slot item] may
+     [push]/[push_batch] follow-up items through its slot and may [stop]
+     the whole frontier (first conclusive result wins).  Exceptions
+     cancel the frontier, and the first one is re-raised after all
+     domains joined. *)
   let drain ~jobs t process =
     validate_jobs jobs;
     let tok = Telemetry.Span.enter tm_drain in
-    let worker w =
-      let rec loop () =
-        match take t with
-        | None -> ()
-        | Some item ->
-            (match process w t item with
-            | () -> finish_item t
-            | exception e ->
-                finish_item t;
-                stop t;
-                raise e);
-            loop ()
-      in
-      loop ()
-    in
     Fun.protect
       ~finally:(fun () -> Telemetry.Span.exit tm_drain tok)
-      (fun () -> ignore (run ~jobs worker))
+      (fun () ->
+        match t with
+        | T_mon m ->
+            ignore
+              (run ~jobs (fun w ->
+                   let slot = S_mon m in
+                   let rec loop () =
+                     match Mon.take m with
+                     | None -> ()
+                     | Some item ->
+                         (match process w slot item with
+                         | () -> Mon.finish_item m
+                         | exception e ->
+                             Mon.finish_item m;
+                             Mon.stop m;
+                             raise e);
+                         loop ()
+                   in
+                   loop ()))
+        | T_ws ws ->
+            let deques = Ws.install ~jobs ws in
+            let doms = Stdlib.min jobs (domain_cap ()) in
+            ws.Ws.seq <- doms = 1;
+            if doms = 1 then
+              (* Sequential drive: one effective domain means [run] would
+                 execute the logical workers back to back on the calling
+                 domain anyway, with every push/pop paying mutexes and
+                 pending-counter RMWs that coordinate with nobody.  This
+                 loop is that same schedule — worker 0 drains its own
+                 deque LIFO, then steals the remaining seeds worker by
+                 worker — minus all synchronization, so [jobs > 1] on one
+                 core costs the same as [jobs = 1].  Item-granular
+                 cancellation is preserved (the stop flag is checked
+                 before every item), and so is worker identity (the
+                 callback still sees the logical [w] that owns the
+                 deque).  A failed steal sweep here means global
+                 emptiness, i.e. normal termination — not contention —
+                 so it does not count toward [pool.steal_fails]. *)
+              for w = 0 to jobs - 1 do
+                let my = deques.(w) in
+                let slot = S_ws (ws, my) in
+                let rng = Random.State.make [| 0x5ca1ab1e; w |] in
+                let rec loop () =
+                  if not (Atomic.get ws.Ws.stop_flag) then begin
+                    let item =
+                      match Deque.unsafe_pop my with
+                      | Some _ as r -> Ws.take_local (); r
+                      | None -> (
+                          match
+                            Ws.try_steal_gen ~steal:Deque.unsafe_steal_half
+                              ws my w rng
+                          with
+                          | Some _ as r -> Ws.take_stolen (); r
+                          | None -> None)
+                    in
+                    match item with
+                    | None -> ()
+                    | Some item ->
+                        (match process w slot item with
+                        | () -> ()
+                        | exception e ->
+                            Ws.stop ws;
+                            raise e);
+                        loop ()
+                  end
+                in
+                loop ()
+              done
+            else
+              ignore
+                (run ~jobs (fun w ->
+                     let my = deques.(w) in
+                     let slot = S_ws (ws, my) in
+                     let rng = Random.State.make [| 0x5ca1ab1e; w |] in
+                     let rec loop () =
+                       match Ws.acquire ws my w rng with
+                       | None -> ()
+                       | Some item ->
+                           (match process w slot item with
+                           | () -> Ws.finish ws
+                           | exception e ->
+                               Ws.finish ws;
+                               Ws.stop ws;
+                               raise e);
+                           loop ()
+                     in
+                     loop ())))
+end
+
+(* ---- Budget leases ---- *)
+
+(* The search budget (max boxes) used to be one atomic counter hit once
+   per box by every worker — a guaranteed cache-line ping-pong.  A lease
+   moves the contention boundary: each worker claims [chunk] units at a
+   time from the shared counter and then spends them with plain local
+   mutations; unspent units go back at drain so the consumed total stays
+   exact.  The budget remains a hard global cap (a claim never exceeds
+   [total]); the only slack is that exhaustion can be detected up to
+   [jobs * chunk] units early when workers hold unspent leases —
+   irrelevant in practice because budgets are orders of magnitude larger
+   than the lease chunk, and tests only fix behaviour when the budget is
+   not exhausted.  Under BIOMC_NO_WORKSTEAL=1 the chunk is forced to 1,
+   which is bit-for-bit the historical per-box spend. *)
+module Lease = struct
+  type t = { total : int; chunk : int; taken : int Atomic.t }
+  type local = { shared : t; mutable remaining : int }
+
+  let default_chunk = 64
+
+  let create ?(chunk = default_chunk) ~total () =
+    if chunk < 1 then invalid_arg "Parallel.Pool.Lease.create: chunk must be >= 1";
+    let chunk = if workstealing_enabled () then chunk else 1 in
+    { total; chunk; taken = Atomic.make 0 }
+
+  let local t = { shared = t; remaining = 0 }
+
+  let refill l =
+    let t = l.shared in
+    let old = Atomic.fetch_and_add t.taken t.chunk in
+    let granted = Stdlib.max 0 (Stdlib.min t.chunk (t.total - old)) in
+    if granted < t.chunk then
+      (* return the part of the claim that overshot the budget *)
+      ignore (Atomic.fetch_and_add t.taken (granted - t.chunk));
+    Telemetry.Counter.incr m_lease_refills;
+    l.remaining <- granted;
+    granted > 0
+
+  let spend l =
+    if l.remaining > 0 then begin
+      l.remaining <- l.remaining - 1;
+      true
+    end
+    else if refill l then begin
+      l.remaining <- l.remaining - 1;
+      true
+    end
+    else false
+
+  let return_unspent l =
+    if l.remaining > 0 then begin
+      ignore (Atomic.fetch_and_add l.shared.taken (-l.remaining));
+      l.remaining <- 0
+    end
+
+  let consumed t = Stdlib.min t.total (Atomic.get t.taken)
 end
 
 (* ---- Static chunked index ranges ---- *)
@@ -183,15 +626,19 @@ let parallel_for_chunks ~jobs n f =
 
 (* [first_conclusive ~jobs tasks] runs the thunks concurrently; each
    receives a [cancelled] probe it should poll and a [conclude] callback.
-   The first task calling [conclude v] cancels the rest; the return value
-   is that [v], or [None] when every task finished without concluding. *)
+   The first task calling [conclude v] stops the frontier {e immediately}
+   — losing racers observe [cancelled ()] while the winner is still
+   unwinding, not only after its thunk returns (the PR-1 version stopped
+   the frontier from the drain loop, so losers kept burning boxes for
+   the whole tail of the winner's run).  The return value is that [v],
+   or [None] when every task finished without concluding. *)
 let first_conclusive ~jobs tasks =
   validate_jobs jobs;
   let cell = Atomic.make None in
+  let t = Frontier.create tasks in
   let cancelled () = Option.is_some (Atomic.get cell) in
-  let conclude v = ignore (Atomic.compare_and_set cell None (Some v)) in
-  let t = Frontier.create (List.map (fun task -> task) tasks) in
-  Frontier.drain ~jobs t (fun _w fr task ->
-      task ~cancelled ~conclude;
-      if cancelled () then Frontier.stop fr);
+  let conclude v =
+    if Atomic.compare_and_set cell None (Some v) then Frontier.stop t
+  in
+  Frontier.drain ~jobs t (fun _w _slot task -> task ~cancelled ~conclude);
   Atomic.get cell

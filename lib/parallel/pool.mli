@@ -1,42 +1,146 @@
-(** Fixed-size domain pool with a work-sharing frontier (OCaml 5
-    domains, stdlib only).
+(** Fixed-size domain pool with a work-stealing frontier.
 
-    Three coordination shapes cover every parallel analysis in the
-    framework: fork/join over a fixed worker set ({!run}), a shared
-    cancellable work queue ({!Frontier}) for branch-and-prune loops, and
-    static contiguous chunking ({!parallel_for_chunks}) for SMC sampling
-    with reproducible per-worker PRNG streams.
+    Stdlib-only parallel building blocks for the branch-and-prune
+    analyses: fork/join over logical workers ({!run}), a cancellable
+    work-stealing frontier ({!Frontier}), per-worker budget leases
+    ({!Lease}), static chunked fan-out ({!parallel_for_chunks}), and
+    portfolio races ({!first_conclusive}).
 
-    Everywhere, [jobs = 1] means "no domains spawned, run inline": the
-    sequential code path is always a special case. *)
+    {2 Determinism contracts}
+
+    - [jobs = 1] runs entirely on the calling domain and is
+      bit-identical to the sequential code path.
+    - Logical worker indices, not domains, carry identity: PRNG streams,
+      stats slots and chunk assignments are per worker [w], so results
+      at fixed [(seed, jobs)] do not depend on {!domain_cap} or on how
+      workers were multiplexed onto domains.
+    - The frontier schedule is nondeterministic at [jobs > 1]; callers
+      that promise deterministic output (Reach's path-order merge,
+      pave's leaf sets, SMC's weave) merge per-worker results by worker
+      index, which this module returns in order. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] clamped to [1, 8]. *)
 
+val workstealing_enabled : unit -> bool
+(** Whether the work-stealing scheduler (per-worker deques, budget
+    leases with chunk > 1, adaptive SMC batches) is active.  Defaults to
+    [true] unless the environment sets [BIOMC_NO_WORKSTEAL=1] (or
+    [true]/[yes]), which restores the PR-1 monitor frontier and per-box
+    budget spends bit-for-bit. *)
+
+val set_workstealing : bool -> unit
+(** Programmatic override (tests, benches); wins over the environment.
+    Affects frontiers and leases created {e after} the call. *)
+
+val clear_workstealing_override : unit -> unit
+(** Drop the {!set_workstealing} override and re-read the environment. *)
+
+val domain_cap : unit -> int
+(** Hardware domain budget: how many domains {!run} keeps runnable at
+    once.  Defaults to [Domain.recommended_domain_count ()]. *)
+
+val set_domain_cap : int option -> unit
+(** Override the cap ([None] restores the default).  Tests use this to
+    force real concurrency on 1-core machines; 1-core machines benefit
+    from the default, because multiplexing logical workers sequentially
+    avoids cross-domain minor-GC rendezvous.  Results never depend on
+    the cap (see the determinism contracts above) — only scheduling
+    does.
+    @raise Invalid_argument when [Some n] with [n < 1]. *)
+
 val run : jobs:int -> (int -> 'a) -> 'a array
-(** [run ~jobs worker] evaluates [worker w] for [w = 0 .. jobs-1]
-    (worker 0 on the calling domain) and returns results in worker
-    order.  All spawned domains are joined even on exceptions; the first
-    worker exception is re-raised afterwards.
+(** [run ~jobs worker] evaluates [worker w] for [w = 0 .. jobs-1] on
+    [min jobs (domain_cap ())] domains and returns the results in worker
+    order.  Worker 0 runs on the calling domain; [jobs = 1] spawns
+    nothing.  When [jobs] exceeds the cap, domain [d] runs workers
+    [d, d+doms, d+2*doms, ...] sequentially in ascending order.  All
+    spawned domains are joined even on exceptions; the first worker
+    exception (in worker order) is re-raised afterwards.
     @raise Invalid_argument when [jobs < 1]. *)
 
+(** A shared pool of independent work items, drained concurrently.
+
+    Work-stealing by default: each worker owns a {!Deque}, pushes
+    follow-up items locally (LIFO, so the search stays depth-first-ish),
+    and steals the oldest half of a seeded-randomly chosen victim when
+    dry.  Under [BIOMC_NO_WORKSTEAL=1] the frontier is the historical
+    single monitor queue instead; the API is identical. *)
 module Frontier : sig
   type 'a t
 
+  type 'a slot
+  (** A worker's handle on the frontier, passed to the {!drain}
+      callback; pushes through a slot land in that worker's own deque. *)
+
   val create : 'a list -> 'a t
-  val push : 'a t -> 'a -> unit
-  (** No-op after {!stop}. *)
+  (** Frontier seeded with the given items.  Seeds are distributed
+      round-robin across workers at {!drain} time, lowest index first
+      within each worker (worker [w] starts on seed [w]). *)
+
+  val push : 'a slot -> 'a -> unit
+  (** Add one item.  No-op after {!stop}. *)
+
+  val push_batch : 'a slot -> 'a list -> unit
+  (** Add a batch under one lock acquisition; the pushing worker pops
+      [List.hd] of the batch first.  No-op after {!stop} and on [[]]. *)
 
   val stop : 'a t -> unit
-  (** Cancel: discard queued items and wake all workers. *)
+  (** Cancel: discard queued items and wake all workers.  Items already
+      being processed run to completion (cancellation is item-granular —
+      long-running items poll {!stopped}). *)
 
   val stopped : 'a t -> bool
 
-  val drain : jobs:int -> 'a t -> (int -> 'a t -> 'a -> unit) -> unit
-  (** [drain ~jobs t process] drains [t] with [jobs] workers; [process w
-      t item] may {!push} follow-up items and {!stop} the frontier (first
-      conclusive result wins).  Returns when the queue is empty and all
-      workers idle, or after {!stop}. *)
+  val drain : jobs:int -> 'a t -> (int -> 'a slot -> 'a -> unit) -> unit
+  (** [drain ~jobs t process] runs [jobs] workers until the frontier is
+      empty (no queued items, none in flight) or stopped.  [process w
+      slot item] may {!push}/{!push_batch} follow-ups through [slot] and
+      may {!stop} the frontier (first conclusive result wins).  An
+      exception in [process] stops the frontier and is re-raised after
+      all workers joined.
+      @raise Invalid_argument when [jobs < 1]. *)
+end
+
+(** Per-worker leases over a shared integer budget.
+
+    The box budget used to cost one contended atomic per box; a lease
+    claims {!Lease.default_chunk} units at a time and spends them with
+    local mutations.  The budget stays a hard cap — a claim never
+    exceeds [total], and unspent units are returned by
+    {!Lease.return_unspent} — the only slack being that exhaustion can
+    be declared up to [jobs * chunk] units early while other workers
+    hold unspent leases.  Under [BIOMC_NO_WORKSTEAL=1] the chunk is
+    forced to 1, which is exactly the historical per-box
+    [Atomic.fetch_and_add]. *)
+module Lease : sig
+  type t
+  (** The shared budget. *)
+
+  type local
+  (** One worker's lease.  Not thread-safe: each worker creates its own
+      with {!local}. *)
+
+  val default_chunk : int
+  (** 64. *)
+
+  val create : ?chunk:int -> total:int -> unit -> t
+  (** @raise Invalid_argument when [chunk < 1]. *)
+
+  val local : t -> local
+
+  val spend : local -> bool
+  (** Consume one unit, refilling the lease from the shared budget when
+      empty; [false] means the budget is exhausted. *)
+
+  val return_unspent : local -> unit
+  (** Give unspent claimed units back to the shared budget (call at
+      drain, so {!consumed} is exact). *)
+
+  val consumed : t -> int
+  (** Units actually spent, exact once every worker has returned its
+      lease; equals the number of successful {!spend}s and never exceeds
+      [total]. *)
 end
 
 val chunk : jobs:int -> n:int -> int -> (int * int)
@@ -46,12 +150,16 @@ val chunk : jobs:int -> n:int -> int -> (int * int)
 val parallel_for_chunks : jobs:int -> int -> (int -> int -> int -> 'a) -> 'a array
 (** [parallel_for_chunks ~jobs n f] runs [f w lo hi] per worker on its
     {!chunk}; [jobs] is clamped to [n] so no worker gets an empty slice
-    unless [n = 0]. *)
+    unless [n = 0].
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val first_conclusive :
   jobs:int ->
   (cancelled:(unit -> bool) -> conclude:('a -> unit) -> unit) list ->
   'a option
 (** Portfolio execution: run the tasks concurrently; the first task that
-    calls [conclude v] cancels the rest (they observe [cancelled ()]),
-    and that [v] is returned.  [None] when no task concluded. *)
+    calls [conclude v] wins and stops the frontier {e immediately} —
+    losing racers observe [cancelled () = true] while the winner's thunk
+    is still unwinding.  Returns the winning value, or [None] when no
+    task concluded.  Later [conclude]s lose the race and are ignored.
+    @raise Invalid_argument when [jobs < 1]. *)

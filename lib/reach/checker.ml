@@ -666,7 +666,7 @@ let check ?(config = default_config) (pb : Encoding.t) =
     let results = Array.make n None in
     let winner = Atomic.make Stdlib.max_int in
     let fr = Parallel.Pool.Frontier.create (List.init n Fun.id) in
-    Parallel.Pool.Frontier.drain ~jobs fr (fun _w _fr i ->
+    Parallel.Pool.Frontier.drain ~jobs fr (fun _w _slot i ->
         (* skip paths the sequential scan would never reach *)
         if i <= Atomic.get winner then begin
           let r = decide_path config pb prep paths.(i) in
@@ -807,17 +807,20 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
     { feasible = !feasible; infeasible = !infeasible; undecided = !undecided }
   end
   else begin
-    (* Worker domains share the paving frontier and a global atomic box
-       budget; each keeps private result lists, concatenated at the end.
-       The leaf *set* matches the sequential paving (classification is a
-       pure function of the box) whenever the budget is not hit; only the
-       list order may differ. *)
-    let spent = Atomic.make 0 in
+    (* Worker domains share the paving frontier and a leased box budget;
+       each keeps private result lists, concatenated at the end.  The
+       leaf *set* matches the sequential paving (classification is a pure
+       function of the box) whenever the budget is not hit; only the list
+       order may differ. *)
+    let lease =
+      Parallel.Pool.Lease.create ~total:config.max_param_boxes ()
+    in
+    let locals = Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease) in
     let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
     let fr = Parallel.Pool.Frontier.create [ searchable_box pb ] in
-    Parallel.Pool.Frontier.drain ~jobs fr (fun w fr sbox ->
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot sbox ->
         let feasible, infeasible, undecided = accs.(w) in
-        if Atomic.fetch_and_add spent 1 >= config.max_param_boxes then
+        if not (Parallel.Pool.Lease.spend locals.(w)) then
           undecided := (sbox, None) :: !undecided
         else
           match classify sbox with
@@ -825,9 +828,9 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
           | Synth_infeasible rigorous ->
               infeasible := (sbox, rigorous) :: !infeasible
           | Synth_split (l, r) ->
-              Parallel.Pool.Frontier.push fr l;
-              Parallel.Pool.Frontier.push fr r
+              Parallel.Pool.Frontier.push_batch slot [ r; l ]
           | Synth_undecided wit -> undecided := (sbox, wit) :: !undecided);
+    Array.iter Parallel.Pool.Lease.return_unspent locals;
     Array.fold_left
       (fun acc (f, i, u) ->
         {

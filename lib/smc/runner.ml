@@ -16,6 +16,7 @@ let tm_batch = Telemetry.Span.probe "smc.batch"
 let m_samples = Telemetry.Counter.make "smc.samples"
 let m_successes = Telemetry.Counter.make "smc.successes"
 let m_batches = Telemetry.Counter.make "smc.sprt_batches"
+let m_discarded = Telemetry.Counter.make "smc.discarded"
 
 type problem = {
   model : model;
@@ -113,9 +114,18 @@ let count_successes ~seed ~jobs ~n prob =
 
 (* Hypothesis test: is P(property) >= theta?  With [jobs > 1] outcomes
    are precomputed in speculative batches (each worker extends its own
-   stream by a fixed batch slice) and fed to the SPRT in global index
-   order — the verdict is deterministic at a fixed (seed, jobs); samples
-   drawn past the decision point are discarded. *)
+   stream by a batch slice) and fed to the SPRT in global index order.
+
+   The batch size adapts to test progress: each round computes at least
+   [Sprt.min_remaining] further samples (no shorter batch can decide the
+   test), so batches are large while the llr is far from both Wald
+   boundaries and shrink as a decision approaches — bounding the
+   speculative samples discarded past the decision point, which the old
+   fixed-32 batches threw away wholesale.  The round structure is a
+   deterministic function of the consumed outcome prefix, so the verdict
+   is still bit-reproducible at a fixed (seed, jobs).  Under
+   BIOMC_NO_WORKSTEAL=1 the batch is pinned at the historical 32 per
+   worker, reproducing the old sample stream exactly. *)
 let test ?(seed = 42) ?(jobs = 1) ?config prob =
   Telemetry.Span.with_ tm_test @@ fun () ->
   if jobs <= 1 then begin
@@ -124,12 +134,18 @@ let test ?(seed = 42) ?(jobs = 1) ?config prob =
   end
   else begin
     let jobs = Stdlib.max 1 jobs in
-    let per_worker = 32 in
+    let adaptive = Parallel.Pool.workstealing_enabled () in
     let rngs = Array.init jobs (fun w -> worker_rng ~seed w) in
     let buffer = ref [||] (* outcomes so far, in global order *) in
-    let extend () =
-      (* batch b: worker w computes outcomes for its next slice; global
+    let extend st =
+      (* round: worker w computes outcomes for its next slice; global
          order interleaves the slices round-robin by worker. *)
+      let per_worker =
+        if adaptive then
+          let need = Sprt.min_remaining st in
+          Stdlib.max 1 (Stdlib.min 256 ((need + jobs - 1) / jobs))
+        else 32
+      in
       Telemetry.Counter.incr m_batches;
       Telemetry.Span.with_ ~arg:(float_of_int (jobs * per_worker)) tm_batch
       @@ fun () ->
@@ -142,11 +158,17 @@ let test ?(seed = 42) ?(jobs = 1) ?config prob =
       in
       buffer := Array.append !buffer woven
     in
-    Sprt.run ?config (fun i ->
-        while i >= Array.length !buffer do
-          extend ()
-        done;
-        !buffer.(i))
+    let rec drive st i =
+      match Sprt.status st with
+      | Some r ->
+          Telemetry.Counter.add m_discarded
+            (Array.length !buffer - r.Sprt.samples_used);
+          r
+      | None ->
+          if i >= Array.length !buffer then extend st;
+          drive (Sprt.feed st !buffer.(i)) (i + 1)
+    in
+    drive (Sprt.start ?config ()) 0
   end
 
 (* Probability estimation with Chernoff sample size. *)

@@ -45,24 +45,83 @@ let validate cfg =
   if cfg.alpha <= 0.0 || cfg.alpha >= 1.0 || cfg.beta <= 0.0 || cfg.beta >= 1.0 then
     invalid_arg "Sprt: error bounds must be in (0,1)"
 
-(* [run cfg sample] where [sample i] produces the i-th Bernoulli outcome. *)
-let run ?(config = default_config) sample =
+(* ---- Incremental interface ----
+
+   The test as a value: feed outcomes one at a time, ask for the verdict
+   after each.  [run] below is a fold over this; the parallel SMC runner
+   drives the state directly so it can size speculative sample batches
+   from the current distance to the decision boundaries. *)
+
+type state = {
+  cfg : config;
+  log_a : float;  (* upper (reject) boundary, > 0 *)
+  log_b : float;  (* lower (accept) boundary, < 0 *)
+  l_succ : float;  (* llr step on success, < 0 *)
+  l_fail : float;  (* llr step on failure, > 0 *)
+  n : int;
+  succ : int;
+  cur_llr : float;
+}
+
+let start ?(config = default_config) () =
   validate config;
   let p0 = config.theta +. config.delta_ind in
   let p1 = config.theta -. config.delta_ind in
-  let log_a = Float.log ((1.0 -. config.beta) /. config.alpha) in
-  let log_b = Float.log (config.beta /. (1.0 -. config.alpha)) in
-  let l_succ = Float.log (p1 /. p0) in
-  let l_fail = Float.log ((1.0 -. p1) /. (1.0 -. p0)) in
-  let rec go i succ llr =
-    if llr >= log_a then { verdict = Reject; samples_used = i; successes = succ; llr }
-    else if llr <= log_b then
-      { verdict = Accept; samples_used = i; successes = succ; llr }
-    else if i >= config.max_samples then
-      { verdict = Inconclusive; samples_used = i; successes = succ; llr }
-    else
-      let ok = sample i in
-      let llr = llr +. if ok then l_succ else l_fail in
-      go (i + 1) (if ok then succ + 1 else succ) llr
+  {
+    cfg = config;
+    log_a = Float.log ((1.0 -. config.beta) /. config.alpha);
+    log_b = Float.log (config.beta /. (1.0 -. config.alpha));
+    l_succ = Float.log (p1 /. p0);
+    l_fail = Float.log ((1.0 -. p1) /. (1.0 -. p0));
+    n = 0;
+    succ = 0;
+    cur_llr = 0.0;
+  }
+
+(* Decision check order (reject, accept, budget) matches the historical
+   [run] loop exactly, so folding [feed]/[status] is bit-identical. *)
+let status st =
+  if st.cur_llr >= st.log_a then
+    Some
+      { verdict = Reject; samples_used = st.n; successes = st.succ; llr = st.cur_llr }
+  else if st.cur_llr <= st.log_b then
+    Some
+      { verdict = Accept; samples_used = st.n; successes = st.succ; llr = st.cur_llr }
+  else if st.n >= st.cfg.max_samples then
+    Some
+      {
+        verdict = Inconclusive;
+        samples_used = st.n;
+        successes = st.succ;
+        llr = st.cur_llr;
+      }
+  else None
+
+let feed st ok =
+  {
+    st with
+    n = st.n + 1;
+    succ = (if ok then st.succ + 1 else st.succ);
+    cur_llr = (st.cur_llr +. if ok then st.l_succ else st.l_fail);
+  }
+
+(* Lower bound on how many more samples any outcome sequence needs
+   before the test can decide: the distance to each boundary divided by
+   the step size toward it, best case, capped by the remaining sample
+   budget.  0 iff already decided, >= 1 otherwise. *)
+let min_remaining st =
+  match status st with
+  | Some _ -> 0
+  | None ->
+      let to_reject = (st.log_a -. st.cur_llr) /. st.l_fail in
+      let to_accept = (st.log_b -. st.cur_llr) /. st.l_succ in
+      let d = Float.min to_reject to_accept in
+      let budget = st.cfg.max_samples - st.n in
+      Stdlib.max 1 (Stdlib.min budget (int_of_float (Float.ceil d)))
+
+(* [run cfg sample] where [sample i] produces the i-th Bernoulli outcome. *)
+let run ?config sample =
+  let rec go st =
+    match status st with Some r -> r | None -> go (feed st (sample st.n))
   in
-  go 0 0 0.0
+  go (start ?config ())

@@ -32,5 +32,34 @@ val run : ?config:config -> (int -> bool) -> result
     @raise Invalid_argument when the indifference region leaves (0,1) or
     the error bounds do. *)
 
+(** {2 Incremental interface}
+
+    The same test as an explicit fold: [run] is equivalent to feeding
+    outcomes into {!feed} until {!status} decides.  The parallel SMC
+    runner drives this directly, sizing its speculative sample batches
+    from {!min_remaining}. *)
+
+type state
+
+val start : ?config:config -> unit -> state
+(** Fresh test ([status] is [None] unless [max_samples = 0]).
+    @raise Invalid_argument as {!run}. *)
+
+val feed : state -> bool -> state
+(** Consume one Bernoulli outcome. *)
+
+val status : state -> result option
+(** [Some r] once the llr has left the Wald corridor or the sample
+    budget is exhausted; further {!feed}s are ignored by convention
+    (callers should stop).  Decision order (reject, accept, budget)
+    matches {!run} exactly, so a fold of [feed]/[status] over the same
+    outcomes is bit-identical to [run]. *)
+
+val min_remaining : state -> int
+(** Lower bound on further samples needed before {e any} outcome
+    sequence can decide the test: distance to the nearer boundary
+    divided by the largest step toward it, capped by the remaining
+    budget.  0 iff already decided, ≥ 1 otherwise. *)
+
 val pp_verdict : verdict Fmt.t
 val pp_result : result Fmt.t

@@ -202,16 +202,21 @@ let synthesize ?(config = default_config) prob =
       }
     end
     else begin
-      (* Worker domains share the paving frontier and an atomic global
+      (* Worker domains share the paving frontier and a leased global
          budget; [classify] is a pure function of the box, so the leaf
          set matches the sequential paving when the budget is not hit
-         (only list order may differ). *)
-      let spent = Atomic.make 0 in
+         (only list order may differ).  [boxes_explored] counts actual
+         spends — [Lease.consumed] is exact once every worker returned
+         its lease, so it agrees with the sequential count. *)
+      let lease = Parallel.Pool.Lease.create ~total:config.max_boxes () in
+      let locals =
+        Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease)
+      in
       let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
       let fr = Parallel.Pool.Frontier.create [ prob.param_box ] in
-      Parallel.Pool.Frontier.drain ~jobs fr (fun w fr pbox ->
+      Parallel.Pool.Frontier.drain ~jobs fr (fun w slot pbox ->
           let consistent, inconsistent, undecided = accs.(w) in
-          if Atomic.fetch_and_add spent 1 >= config.max_boxes then
+          if not (Parallel.Pool.Lease.spend locals.(w)) then
             undecided := pbox :: !undecided
           else
             match classify config prob prepared ?group pbox with
@@ -220,10 +225,10 @@ let synthesize ?(config = default_config) prob =
             | Split_ -> (
                 match Box.split ~min_width:config.epsilon pbox with
                 | Some (l, r) ->
-                    Parallel.Pool.Frontier.push fr l;
-                    Parallel.Pool.Frontier.push fr r
+                    Parallel.Pool.Frontier.push_batch slot [ r; l ]
                 | None -> undecided := pbox :: !undecided));
-      let explored = Stdlib.min (Atomic.get spent) config.max_boxes in
+      Array.iter Parallel.Pool.Lease.return_unspent locals;
+      let explored = Parallel.Pool.Lease.consumed lease in
       Array.fold_left
         (fun acc (c, i, u) ->
           {

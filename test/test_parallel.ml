@@ -14,7 +14,34 @@ module E = Reach.Encoding
 module C = Reach.Checker
 
 let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
-let jobs_sweep = [ 1; 2; 4 ]
+
+(* CI's jobs=2 leg runs the whole parallel suite with the sweep pinned
+   to [1; j] and the domain cap raised to [j], so the agreement tests
+   exercise real cross-domain scheduling even on 1-core runners. *)
+let jobs_sweep =
+  match Sys.getenv_opt "BIOMC_TEST_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j > 1 ->
+          Parallel.Pool.set_domain_cap (Some j);
+          [ 1; j ]
+      | _ -> [ 1; 2; 4 ])
+  | None -> [ 1; 2; 4 ]
+
+(* Force real domains for a scheduler stress test, then restore. *)
+let with_domain_cap n f =
+  let saved =
+    match Sys.getenv_opt "BIOMC_TEST_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with Some j when j > 1 -> Some j | _ -> None)
+    | None -> None
+  in
+  Parallel.Pool.set_domain_cap (Some n);
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_domain_cap saved) f
+
+let with_workstealing b f =
+  Parallel.Pool.set_workstealing b;
+  Fun.protect ~finally:Parallel.Pool.clear_workstealing_override f
 
 (* ---- Pool primitives ---- *)
 
@@ -44,15 +71,15 @@ let test_frontier_drains_all () =
   (* Count down from each seed; every decrement must be processed. *)
   let total = Atomic.make 0 in
   let fr = Parallel.Pool.Frontier.create [ 5; 3; 7 ] in
-  Parallel.Pool.Frontier.drain ~jobs:4 fr (fun _w fr n ->
+  Parallel.Pool.Frontier.drain ~jobs:4 fr (fun _w slot n ->
       Atomic.incr total;
-      if n > 0 then Parallel.Pool.Frontier.push fr (n - 1));
+      if n > 0 then Parallel.Pool.Frontier.push slot (n - 1));
   Alcotest.(check int) "5+1 + 3+1 + 7+1 items" 18 (Atomic.get total)
 
 let test_frontier_stop_discards () =
   let processed = Atomic.make 0 in
   let fr = Parallel.Pool.Frontier.create (List.init 100 Fun.id) in
-  Parallel.Pool.Frontier.drain ~jobs:2 fr (fun _w fr _n ->
+  Parallel.Pool.Frontier.drain ~jobs:2 fr (fun _w _slot _n ->
       if Atomic.fetch_and_add processed 1 = 0 then
         Parallel.Pool.Frontier.stop fr);
   Alcotest.(check bool) "stop cuts the queue short"
@@ -71,6 +98,211 @@ let test_first_conclusive () =
       [ (fun ~cancelled:_ ~conclude:_ -> ()); (fun ~cancelled:_ ~conclude:_ -> ()) ]
   in
   Alcotest.(check (option int)) "no conclusion -> None" None none
+
+let test_first_conclusive_stops_immediately () =
+  (* A winner's [conclude] must stop the frontier while the winner is
+     still running, so queued tasks stop being dequeued at once: task 0
+     concludes (after at least one recorder ran, so the other domain is
+     live) and then stays busy; meanwhile the other worker chews through
+     recorder tasks.  If stop only fired when the winner's thunk
+     returned — the old behaviour — all recorders would run during the
+     winner's busy tail. *)
+  with_domain_cap 2 @@ fun () ->
+  let n = 2_000 in
+  let ran = Atomic.make 0 in
+  let sink = ref 0.0 in
+  let recorder ~cancelled:_ ~conclude:_ =
+    Atomic.incr ran;
+    (* a few microseconds of work per task, so the busy tail below is
+       orders of magnitude longer than the stop latency *)
+    for i = 1 to 1_000 do
+      sink := !sink +. Float.sin (float_of_int i)
+    done
+  in
+  let winner ~cancelled:_ ~conclude =
+    while Atomic.get ran = 0 do
+      Domain.cpu_relax ()
+    done;
+    conclude 1;
+    (* busy tail: long enough for the other worker to drain every
+       remaining recorder if the frontier were still live *)
+    for i = 1 to 20_000_000 do
+      sink := !sink +. float_of_int (i land 7)
+    done
+  in
+  let r =
+    Parallel.Pool.first_conclusive ~jobs:2
+      (winner :: List.init (n - 1) (fun _ -> recorder))
+  in
+  Alcotest.(check (option int)) "winner's value" (Some 1) r;
+  Alcotest.(check bool)
+    (Printf.sprintf "recorders cut short (%d of %d ran)" (Atomic.get ran) (n - 1))
+    true
+    (Atomic.get ran < n - 1)
+
+(* ---- Deque primitives ---- *)
+
+let test_deque_order () =
+  let d : int Parallel.Deque.t = Parallel.Deque.create () in
+  List.iter (Parallel.Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "LIFO pop" (Some 3) (Parallel.Deque.pop d);
+  Parallel.Deque.push_list d [ 10; 11; 12 ];
+  Alcotest.(check (option int)) "batch head first" (Some 10) (Parallel.Deque.pop d);
+  Alcotest.(check (option int)) "then batch order" (Some 11) (Parallel.Deque.pop d);
+  Alcotest.(check (option int)) "batch tail" (Some 12) (Parallel.Deque.pop d);
+  Alcotest.(check (option int)) "back to LIFO" (Some 2) (Parallel.Deque.pop d);
+  Alcotest.(check (option int)) "oldest last" (Some 1) (Parallel.Deque.pop d);
+  Alcotest.(check (option int)) "empty" None (Parallel.Deque.pop d)
+
+let test_deque_steal_half () =
+  let v : int Parallel.Deque.t = Parallel.Deque.create () in
+  for i = 1 to 8 do
+    Parallel.Deque.push v i
+  done;
+  let thief = Parallel.Deque.create () in
+  (* oldest half: 1 (returned) and 2, 3, 4 (into the thief, age order) *)
+  Alcotest.(check (option int)) "oldest item returned" (Some 1)
+    (Parallel.Deque.steal_half v ~into:thief);
+  Alcotest.(check int) "victim keeps newest half" 4 (Parallel.Deque.size v);
+  Alcotest.(check (option int)) "thief pops stolen in age order" (Some 2)
+    (Parallel.Deque.pop thief);
+  Alcotest.(check (option int)) "next stolen" (Some 3) (Parallel.Deque.pop thief);
+  Alcotest.(check (option int)) "last stolen" (Some 4) (Parallel.Deque.pop thief);
+  Alcotest.(check (option int)) "thief drained" None (Parallel.Deque.pop thief);
+  Alcotest.(check (option int)) "victim newest intact" (Some 8)
+    (Parallel.Deque.pop v);
+  Alcotest.(check (option int)) "steal of singleton returns it" (Some 5)
+    (let v2 = Parallel.Deque.create () in
+     Parallel.Deque.push v2 5;
+     Parallel.Deque.steal_half v2 ~into:thief)
+
+(* Raw deque stress: an owner pushes [total] items in bursts and pops,
+   while thieves steal (from anyone, including each other) and drain
+   their own deques.  Every item must be consumed exactly once. *)
+let deque_stress ~jobs ~total () =
+  with_domain_cap jobs @@ fun () ->
+  let deques = Array.init jobs (fun _ -> Parallel.Deque.create ()) in
+  let consumed = Atomic.make 0 in
+  let bags =
+    Parallel.Pool.run ~jobs (fun w ->
+        let mine = deques.(w) in
+        let bag = ref [] in
+        let eat x =
+          bag := x :: !bag;
+          Atomic.incr consumed
+        in
+        let try_steal () =
+          let rec go v =
+            if v >= jobs then None
+            else if v = w then go (v + 1)
+            else
+              match Parallel.Deque.steal_half deques.(v) ~into:mine with
+              | Some _ as r -> r
+              | None -> go (v + 1)
+          in
+          go 0
+        in
+        if w = 0 then begin
+          (* owner: push in bursts of 16, popping one per burst *)
+          let i = ref 0 in
+          while !i < total do
+            let burst = Stdlib.min 16 (total - !i) in
+            Parallel.Deque.push_list mine (List.init burst (fun k -> !i + k));
+            i := !i + burst;
+            match Parallel.Deque.pop mine with Some x -> eat x | None -> ()
+          done
+        end;
+        (* everyone drains until the global count is reached *)
+        while Atomic.get consumed < total do
+          match Parallel.Deque.pop mine with
+          | Some x -> eat x
+          | None -> (
+              match try_steal () with
+              | Some x -> eat x
+              | None -> Domain.cpu_relax ())
+        done;
+        !bag)
+  in
+  let seen = Array.make total 0 in
+  Array.iter (List.iter (fun x -> seen.(x) <- seen.(x) + 1)) bags;
+  Alcotest.(check int) "every item consumed" total (Atomic.get consumed);
+  Alcotest.(check bool) "no loss, no duplication" true
+    (Array.for_all (fun c -> c = 1) seen)
+
+(* Frontier stress with dynamic pushes: seeds [0, n) each spawn one
+   child [n + i]; the processed multiset must be exactly seeds+children. *)
+let frontier_stress ~jobs ~n () =
+  with_domain_cap jobs @@ fun () ->
+  let seen = Array.make (2 * n) 0 in
+  let bags = Array.init jobs (fun _ -> ref []) in
+  let fr = Parallel.Pool.Frontier.create (List.init n Fun.id) in
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w slot x ->
+      bags.(w) := x :: !(bags.(w));
+      if x < n then Parallel.Pool.Frontier.push slot (x + n));
+  Array.iter (fun bag -> List.iter (fun x -> seen.(x) <- seen.(x) + 1) !bag) bags;
+  Alcotest.(check bool) "seeds and children each processed exactly once" true
+    (Array.for_all (fun c -> c = 1) seen)
+
+(* ---- Budget leases ---- *)
+
+let test_lease_exact_consumption () =
+  List.iter
+    (fun (total, jobs) ->
+      with_domain_cap (Stdlib.min jobs 4) @@ fun () ->
+      let lease = Parallel.Pool.Lease.create ~total () in
+      let spent =
+        Parallel.Pool.run ~jobs (fun _w ->
+            let l = Parallel.Pool.Lease.local lease in
+            let n = ref 0 in
+            while Parallel.Pool.Lease.spend l do
+              incr n
+            done;
+            Parallel.Pool.Lease.return_unspent l;
+            !n)
+      in
+      let sum = Array.fold_left ( + ) 0 spent in
+      Alcotest.(check int)
+        (Printf.sprintf "all %d units spent once (jobs=%d)" total jobs)
+        total sum;
+      Alcotest.(check int)
+        (Printf.sprintf "consumed exact (total=%d jobs=%d)" total jobs)
+        total
+        (Parallel.Pool.Lease.consumed lease))
+    [ (1000, 2); (1000, 4); (37, 4); (0, 2); (64, 3) ]
+
+let test_lease_partial_return () =
+  let lease = Parallel.Pool.Lease.create ~chunk:16 ~total:1_000 () in
+  let locals = Array.init 3 (fun _ -> Parallel.Pool.Lease.local lease) in
+  Array.iter
+    (fun l ->
+      for _ = 1 to 10 do
+        ignore (Parallel.Pool.Lease.spend l)
+      done)
+    locals;
+  Array.iter Parallel.Pool.Lease.return_unspent locals;
+  Alcotest.(check int) "consumed = successful spends only" 30
+    (Parallel.Pool.Lease.consumed lease);
+  (* the returned units are spendable again *)
+  let l = Parallel.Pool.Lease.local lease in
+  let n = ref 0 in
+  while Parallel.Pool.Lease.spend l do
+    incr n
+  done;
+  Alcotest.(check int) "remainder spendable" 970 !n
+
+let test_lease_legacy_chunk_one () =
+  (* With work-stealing disabled the lease degenerates to the historical
+     per-box atomic: chunk forced to 1, same exact accounting. *)
+  with_workstealing false @@ fun () ->
+  let lease = Parallel.Pool.Lease.create ~chunk:64 ~total:100 () in
+  let l = Parallel.Pool.Lease.local lease in
+  let n = ref 0 in
+  while Parallel.Pool.Lease.spend l do
+    incr n
+  done;
+  Parallel.Pool.Lease.return_unspent l;
+  Alcotest.(check int) "exactly total spends" 100 !n;
+  Alcotest.(check int) "consumed exact" 100 (Parallel.Pool.Lease.consumed lease)
 
 (* ---- decide: parallel vs sequential verdict kinds ---- *)
 
@@ -349,6 +581,130 @@ let test_smc_mean_robustness_reproducible () =
         a b)
     jobs_sweep
 
+(* ---- SPRT incremental state vs the batch fold ---- *)
+
+let test_sprt_state_matches_run () =
+  (* Folding feed/status over the same outcome stream must be
+     bit-identical to Sprt.run — decision, sample count, llr. *)
+  let rng = Random.State.make [| 123 |] in
+  for case = 1 to 500 do
+    let p = Random.State.float rng 1.0 in
+    let config =
+      { Smc.Sprt.default_config with theta = 0.9; max_samples = 400 }
+    in
+    let outcomes = Array.init 400 (fun _ -> Random.State.float rng 1.0 < p) in
+    let r = Smc.Sprt.run ~config (fun i -> outcomes.(i)) in
+    let st = ref (Smc.Sprt.start ~config ()) in
+    let i = ref 0 in
+    while Option.is_none (Smc.Sprt.status !st) do
+      st := Smc.Sprt.feed !st outcomes.(!i);
+      incr i
+    done;
+    let r' = Option.get (Smc.Sprt.status !st) in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: state fold = run" case)
+      true
+      (r.Smc.Sprt.verdict = r'.Smc.Sprt.verdict
+      && r.Smc.Sprt.samples_used = r'.Smc.Sprt.samples_used
+      && r.Smc.Sprt.successes = r'.Smc.Sprt.successes
+      && Float.equal r.Smc.Sprt.llr r'.Smc.Sprt.llr)
+  done
+
+let test_sprt_min_remaining_lower_bound () =
+  (* From any undecided state, feeding min_remaining - 1 outcomes (of any
+     kind) must never decide the test. *)
+  let rng = Random.State.make [| 321 |] in
+  for case = 1 to 200 do
+    let config =
+      { Smc.Sprt.default_config with theta = 0.85; max_samples = 1_000 }
+    in
+    (* wander to a random undecided state *)
+    let st = ref (Smc.Sprt.start ~config ()) in
+    let steps = Random.State.int rng 30 in
+    (try
+       for _ = 1 to steps do
+         if Option.is_some (Smc.Sprt.status !st) then raise Exit;
+         st := Smc.Sprt.feed !st (Random.State.bool rng)
+       done
+     with Exit -> ());
+    if Option.is_none (Smc.Sprt.status !st) then begin
+      let need = Smc.Sprt.min_remaining !st in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: min_remaining >= 1" case)
+        true (need >= 1);
+      (* adversarial prefixes of length need - 1: all-success,
+         all-failure, and a random one *)
+      let try_prefix mk =
+        let s = ref !st in
+        for k = 0 to need - 2 do
+          s := Smc.Sprt.feed !s (mk k)
+        done;
+        Option.is_none (Smc.Sprt.status !s)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: undecided within min_remaining - 1" case)
+        true
+        (try_prefix (fun _ -> true)
+        && try_prefix (fun _ -> false)
+        && try_prefix (fun _ -> Random.State.bool rng))
+    end
+  done
+
+(* ---- Work-stealing off/on differential ---- *)
+
+(* The monitor fallback and the deque scheduler must produce the same
+   verdicts, leaf sets, and (jobs-stable) SMC decisions. *)
+
+let test_workstealing_differential_decide () =
+  let f = P.formula "x^2 + y^2 <= 1 and x + y >= 3" in
+  let bx = box [ ("x", -2.0, 2.0); ("y", -2.0, 2.0) ] in
+  let run () =
+    verdict_kind (S.decide ~config:{ S.default_config with jobs = 2 } f bx)
+  in
+  let on = run () in
+  let off = with_workstealing false run in
+  Alcotest.(check string) "decide verdict off = on" off on
+
+let test_workstealing_differential_pave () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let bx = box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] in
+  let config = { S.default_config with epsilon = 0.05; jobs = 2 } in
+  let over = [ "x"; "y" ] in
+  let run () = S.pave ~config f bx in
+  let on = run () in
+  let off = with_workstealing false run in
+  List.iter
+    (fun (label, proj) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s leaves off = on" label)
+        true
+        (sort_boxes over (proj on) = sort_boxes over (proj off)))
+    [ ("sat", fun (p : S.paving) -> p.S.sat);
+      ("unsat", fun p -> p.S.unsat);
+      ("undecided", fun p -> p.S.undecided) ]
+
+let test_workstealing_differential_smc () =
+  (* Adaptive and fixed-32 batching consume the worker streams at
+     different offsets, so sample counts may differ; the verdict on a
+     clear-cut property must not. *)
+  let prob = smc_problem () in
+  let kind = function
+    | Smc.Sprt.Accept -> "accept"
+    | Smc.Sprt.Reject -> "reject"
+    | Smc.Sprt.Inconclusive -> "inconclusive"
+  in
+  let run () = kind (Smc.Runner.test ~seed:11 ~jobs:2 prob).Smc.Sprt.verdict in
+  let on = run () in
+  let off = with_workstealing false run in
+  Alcotest.(check string) "smc verdict off = on" off on;
+  (* and the estimator path is stream-identical (fan_out is untouched by
+     the scheduler choice) *)
+  let est () = Smc.Runner.estimate ~seed:7 ~jobs:2 ~eps:0.1 ~alpha:0.05 prob in
+  let e_on = est () in
+  let e_off = with_workstealing false est in
+  Alcotest.(check (float 0.0)) "estimate p_hat off = on" e_off.Smc.Estimate.p_hat
+    e_on.Smc.Estimate.p_hat
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -357,7 +713,36 @@ let () =
           Alcotest.test_case "chunks partition" `Quick test_chunks_partition;
           Alcotest.test_case "frontier drains" `Quick test_frontier_drains_all;
           Alcotest.test_case "frontier stop" `Quick test_frontier_stop_discards;
-          Alcotest.test_case "first conclusive" `Quick test_first_conclusive ] );
+          Alcotest.test_case "first conclusive" `Quick test_first_conclusive;
+          Alcotest.test_case "first conclusive stops immediately" `Quick
+            test_first_conclusive_stops_immediately ] );
+      ( "deque",
+        [ Alcotest.test_case "lifo and batch order" `Quick test_deque_order;
+          Alcotest.test_case "steal-half order" `Quick test_deque_steal_half;
+          Alcotest.test_case "stress 10k items jobs=2" `Quick
+            (deque_stress ~jobs:2 ~total:10_000);
+          Alcotest.test_case "stress 10k items jobs=4" `Quick
+            (deque_stress ~jobs:4 ~total:10_000);
+          Alcotest.test_case "frontier stress jobs=2" `Quick
+            (frontier_stress ~jobs:2 ~n:10_000);
+          Alcotest.test_case "frontier stress jobs=4" `Quick
+            (frontier_stress ~jobs:4 ~n:10_000) ] );
+      ( "lease",
+        [ Alcotest.test_case "exact consumption" `Quick
+            test_lease_exact_consumption;
+          Alcotest.test_case "partial return" `Quick test_lease_partial_return;
+          Alcotest.test_case "legacy chunk=1" `Quick test_lease_legacy_chunk_one ] );
+      ( "sprt-state",
+        [ Alcotest.test_case "state fold = run" `Quick test_sprt_state_matches_run;
+          Alcotest.test_case "min_remaining lower bound" `Quick
+            test_sprt_min_remaining_lower_bound ] );
+      ( "workstealing-differential",
+        [ Alcotest.test_case "decide off = on" `Quick
+            test_workstealing_differential_decide;
+          Alcotest.test_case "pave off = on" `Quick
+            test_workstealing_differential_pave;
+          Alcotest.test_case "smc off = on" `Quick
+            test_workstealing_differential_smc ] );
       ( "decide",
         [ Alcotest.test_case "sqrt2" `Quick test_decide_sqrt2;
           Alcotest.test_case "geometric unsat" `Quick test_decide_geom_unsat;
