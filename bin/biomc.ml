@@ -182,6 +182,19 @@ let no_affine_arg =
   in
   Arg.(value & flag & info [ "no-affine" ] ~doc)
 
+let portfolio_arg =
+  let doc =
+    "Race solver strategy configurations per query (first conclusive \
+     verdict wins, racers share refutation stores).  $(docv) is \
+     'curated' (the default 4-strategy lineup, also spelled 'on') or \
+     'all' (the full strategy product); equivalent to BIOMC_PORTFOLIO.  \
+     BIOMC_NO_PORTFOLIO=1 kill-switches the portfolio regardless."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "curated") (some string) None
+    & info [ "portfolio" ] ~docv:"MODE" ~doc)
+
 let apply_cache_policy no_cache =
   if no_cache then Cache.set_policy Cache.Off
 
@@ -196,6 +209,7 @@ type common = {
   no_cache : bool;
   no_newton : bool;
   no_affine : bool;
+  portfolio : string option;  (** strategy-portfolio mode (curated/all) *)
   trace : string option;  (** Chrome trace_event JSON output file *)
   metrics : bool;  (** print the telemetry metrics section *)
   metrics_json : string option;  (** also write the metrics as JSON *)
@@ -218,12 +232,13 @@ let metrics_json_arg =
     value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let mk jobs no_cache no_newton no_affine trace metrics metrics_json =
-    { jobs; no_cache; no_newton; no_affine; trace; metrics; metrics_json }
+  let mk jobs no_cache no_newton no_affine portfolio trace metrics metrics_json =
+    { jobs; no_cache; no_newton; no_affine; portfolio; trace; metrics;
+      metrics_json }
   in
   Term.(
     const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ no_affine_arg
-    $ trace_arg $ metrics_arg $ metrics_json_arg)
+    $ portfolio_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* Telemetry section appended to a report when metrics are on: non-zero
    counters as a key/value block, span histograms as a table. *)
@@ -261,6 +276,10 @@ let with_common c body =
   apply_cache_policy c.no_cache;
   if c.no_newton then Icp.Deriv.set_enabled false;
   if c.no_affine then Interval.Affine.set_enabled false;
+  (match c.portfolio with
+  | None -> ()
+  | Some "all" -> Icp.Portfolio.set_mode Icp.Portfolio.All
+  | Some _ -> Icp.Portfolio.set_mode Icp.Portfolio.Curated);
   if c.metrics || c.metrics_json <> None then Telemetry.set_metrics true;
   if c.trace <> None then begin
     Telemetry.set_metrics true;
@@ -269,7 +288,12 @@ let with_common c body =
   match body () with
   | Error _ as e -> e
   | Ok items ->
-      Report.print (items @ telemetry_items ());
+      let winner_items =
+        match Icp.Portfolio.last_winner () with
+        | Some name -> [ Report.winner name ]
+        | None -> []
+      in
+      Report.print (items @ winner_items @ telemetry_items ());
       (match c.metrics_json with
       | Some path ->
           let oc = open_out path in

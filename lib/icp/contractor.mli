@@ -65,6 +65,8 @@ val fixpoint_compiled :
 val contractor :
   ?tol:float ->
   ?max_rounds:int ->
+  ?newton:bool ->
+  ?affine:bool ->
   constr list ->
   Interval.Box.t ->
   Interval.Box.t option
@@ -79,4 +81,12 @@ val contractor :
     unchanged; with Newton disabled the closure reproduces the HC4-only
     result bit for bit (cache groups are keyed on the flag).  The
     closure may be shared across worker domains: tapes are immutable
-    and scratch buffers are per-domain. *)
+    and scratch buffers are per-domain.
+
+    [?newton] / [?affine] pin the respective layer on or off for this
+    closure, overriding the global switches — portfolio racers build
+    per-strategy contractors this way, without flipping process-wide
+    state under concurrent racers.  The affine pass still requires the
+    tape path: [~affine:true] is ignored under [BIOMC_NO_TAPE=1].  The
+    HC4 cache group keys on the effective flags, exactly as for
+    globally-switched closures. *)

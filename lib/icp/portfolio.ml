@@ -1,0 +1,177 @@
+(* Strategy portfolios: the configuration space and race bookkeeping.
+
+   The racing itself lives next to the searches it parameterizes
+   (Solver, Reach.Checker, Synth.Biopsy); this module owns what they
+   share: the strategy type, the runtime mode switch, the epoch counter
+   scoping the shared refutation groups, and the winner telemetry.
+
+   Rank order is a 1-core scheduling decision, not cosmetics: under
+   [Pool.first_conclusive] on a single effective domain the racers run
+   to completion in rank order, so the portfolio's wall-clock is rank
+   0's plus cancellation overhead whenever rank 0 reaches a verdict.
+   Our benches (BENCH_newton.json, BENCH_affine.json) consistently
+   measure the plain HC4 search fastest on wall-clock on this
+   container — the Newton/affine layers buy boxes, not time, at these
+   problem sizes — so the curated lineup leads with it and keeps the
+   stronger-pruning strategies as rank 1+: they take over exactly when
+   rank 0 retires Unknown, riding its refutation store. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+
+type branching = Bisect | Smear
+type order = Widest | Round_robin
+
+type strategy = {
+  name : string;
+  branching : branching;
+  newton : bool;
+  affine : bool;
+  order : order;
+}
+
+let pp_strategy ppf s =
+  Fmt.pf ppf "%s{%s%s%s,%s}" s.name
+    (match s.branching with Bisect -> "bisect" | Smear -> "smear")
+    (if s.newton then "+newton" else "")
+    (if s.affine then "+affine" else "")
+    (match s.order with Widest -> "widest" | Round_robin -> "rr")
+
+(* ---- Runtime switch (same shape as Expr.Tape / Deriv) ---- *)
+
+type mode = Off | Curated | All
+
+let pp_mode ppf = function
+  | Off -> Fmt.string ppf "off"
+  | Curated -> Fmt.string ppf "curated"
+  | All -> Fmt.string ppf "all"
+
+let override : mode option Atomic.t = Atomic.make None
+
+let env_mode () =
+  match Sys.getenv_opt "BIOMC_NO_PORTFOLIO" with
+  | Some ("1" | "true" | "yes") -> Off
+  | _ -> (
+      match Sys.getenv_opt "BIOMC_PORTFOLIO" with
+      | Some "all" -> All
+      | Some ("1" | "true" | "yes" | "on" | "curated") -> Curated
+      | _ -> Off)
+
+let mode () =
+  (* The kill-switch outranks the override too: BIOMC_NO_PORTFOLIO=1
+     must reproduce the single-strategy search even when a test or the
+     CLI called [set_mode]. *)
+  match Sys.getenv_opt "BIOMC_NO_PORTFOLIO" with
+  | Some ("1" | "true" | "yes") -> Off
+  | _ -> ( match Atomic.get override with Some m -> m | None -> env_mode ())
+
+let set_mode m = Atomic.set override (Some m)
+let clear_mode_override () = Atomic.set override None
+let active () = mode () <> Off
+
+(* ---- Lineups ---- *)
+
+let hc4 =
+  { name = "hc4"; branching = Bisect; newton = false; affine = false;
+    order = Widest }
+
+let curated () =
+  [ hc4;
+    { name = "newton-smear"; branching = Smear; newton = true; affine = false;
+      order = Widest };
+    { name = "affine-rr"; branching = Bisect; newton = false; affine = true;
+      order = Round_robin };
+    { name = "full"; branching = Smear; newton = true; affine = true;
+      order = Widest } ]
+
+let all_strategies () =
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun order ->
+      List.concat_map
+        (fun branching ->
+          (* Under Round_robin the split variable is depth-cycled, so
+             the branching heuristic never fires: Bisect and Smear
+             coincide.  Keep only the Bisect spelling. *)
+          if order = Round_robin && branching = Smear then []
+          else
+            List.concat_map
+              (fun newton ->
+                List.map
+                  (fun affine ->
+                    let name =
+                      Printf.sprintf "%s%s%s%s"
+                        (match branching with
+                        | Bisect -> "bisect"
+                        | Smear -> "smear")
+                        (if newton then "+newton" else "")
+                        (if affine then "+affine" else "")
+                        (match order with
+                        | Widest -> ""
+                        | Round_robin -> "+rr")
+                    in
+                    { name; branching; newton; affine; order })
+                  bools)
+              bools)
+        [ Bisect; Smear ])
+    [ Widest; Round_robin ]
+
+(* A strategy is runnable only when the layers it needs are globally
+   enabled: the portfolio must respect BIOMC_NO_NEWTON / BIOMC_NO_AFFINE
+   exactly like the single-strategy search does. *)
+let runnable s =
+  (match s.branching, s.newton with
+  | Smear, _ | _, true -> Deriv.enabled ()
+  | _ -> true)
+  && ((not s.affine) || (Expr.Tape.enabled () && Interval.Affine.enabled ()))
+
+let filter_runnable = function
+  | [] -> [ hc4 ]
+  | l -> ( match List.filter runnable l with [] -> [ hc4 ] | l -> l)
+
+let lineup () =
+  match mode () with
+  | Off -> [ hc4 ]
+  | Curated -> filter_runnable (curated ())
+  | All -> filter_runnable (all_strategies ())
+
+(* ---- Race bookkeeping ---- *)
+
+let epoch_counter = Atomic.make 0
+let next_epoch () = Atomic.fetch_and_add epoch_counter 1
+
+(* Winner counters are created on first win per strategy name and
+   always-on (like the cache counters): the race verdict must not
+   depend on telemetry being enabled, and `--metrics` should report
+   wins even in otherwise-untraced runs.  [Telemetry.Counter.make]
+   dedupes by name process-wide, so making the counter per call is a
+   registry lookup, not a leak. *)
+let win_counter name = Telemetry.Counter.make ~always:true ("portfolio.wins." ^ name)
+
+let last : string option Atomic.t = Atomic.make None
+
+let record_win name =
+  Telemetry.Counter.incr (win_counter name);
+  Atomic.set last (Some name)
+
+let last_winner () = Atomic.get last
+let wins name = Telemetry.Counter.value (win_counter name)
+
+(* ---- Round-robin splitting ---- *)
+
+let round_robin_split ~min_width ~depth box =
+  let vars = Box.vars box in
+  let n = List.length vars in
+  if n = 0 then None
+  else begin
+    let arr = Array.of_list vars in
+    let rec pick k =
+      if k >= n then None
+      else
+        let v = arr.((depth + k) mod n) in
+        if I.width (Box.find v box) > min_width then Some v else pick (k + 1)
+    in
+    match pick 0 with
+    | None -> None
+    | Some v -> Some (Box.split_var v box)
+  end

@@ -1,0 +1,121 @@
+(** Solver-configuration portfolios: the strategy space, the runtime
+    switch, and the race bookkeeping shared by {!Solver},
+    [Reach.Checker] and [Synth.Biopsy].
+
+    A {e strategy} fixes the per-query search knobs that the global
+    kill-switches ([BIOMC_NO_NEWTON], [BIOMC_NO_AFFINE]) otherwise set
+    process-wide: the branching heuristic (widest-dimension bisection
+    vs Kearfott smear), the Newton/affine contraction layers, and the
+    branch order (heuristic-first vs round-robin over the variables).
+    In portfolio mode a query races a ranked lineup of strategies —
+    each with its own box budget — and the first {e conclusive} verdict
+    wins ([Pool.first_conclusive]); an Unknown racer (budget exhausted)
+    never beats a conclusive one.  Racers share the refutation store
+    under an epoch-scoped group (see {!next_epoch}): a pruning is a
+    semantic proof about the query, valid whichever strategy derived
+    it, so each racer prunes the others' space, while the epoch keeps
+    portfolio-era entries out of the flag-keyed single-strategy groups
+    — the [BIOMC_NO_PORTFOLIO] path replays the pre-portfolio search
+    bit for bit.
+
+    Verdict merge is deterministic: among the conclusive verdicts
+    recorded before the race stopped, conclusive-kind priority first
+    (a refutation outranks a δ-sat — it is the un-weakened claim),
+    then lowest strategy rank — the same discipline as the Reach
+    path-order merge.  At [jobs = 1] the racers run in rank order, so
+    the winner is a deterministic function of (query, lineup). *)
+
+type branching =
+  | Bisect  (** widest-dimension bisection (the pre-Newton default) *)
+  | Smear  (** Kearfott smear-guided bisection (needs the Deriv layer) *)
+
+type order =
+  | Widest  (** split the branching heuristic's choice of variable *)
+  | Round_robin
+      (** cycle the split variable by depth (skipping sub-ε components);
+          overrides the branching heuristic's variable choice *)
+
+type strategy = {
+  name : string;  (** stable identifier: telemetry keys, reports, tests *)
+  branching : branching;
+  newton : bool;  (** interval Newton + mean-value refutation in HC4 *)
+  affine : bool;  (** affine-tightened forward passes in HC4 *)
+  order : order;
+}
+
+val pp_strategy : strategy Fmt.t
+
+(** {1 Runtime switch}
+
+    Same shape as the other kill-switches: environment default
+    ([BIOMC_PORTFOLIO=1] / [=all] enables, [BIOMC_NO_PORTFOLIO=1]
+    wins over everything), process-wide override for the CLI and
+    tests.  Default [Off]: the single-strategy search, bit for bit. *)
+
+type mode =
+  | Off  (** default single-strategy search *)
+  | Curated  (** the ~4-racer default lineup *)
+  | All  (** the full strategy product (deduplicated) *)
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+val clear_mode_override : unit -> unit
+
+val active : unit -> bool
+(** [mode () <> Off]. *)
+
+val pp_mode : mode Fmt.t
+
+(** {1 Lineups} *)
+
+val lineup : unit -> strategy list
+(** The racers for the current {!mode}, in rank order (index = rank),
+    filtered by the global layer switches: strategies needing the
+    derivative layer are dropped under [BIOMC_NO_NEWTON=1], affine
+    strategies under [BIOMC_NO_AFFINE=1] (or [BIOMC_NO_TAPE=1]).
+    Never empty — degenerates to the plain HC4 strategy when every
+    layer is off.  Under [Off] the lineup is the single HC4-default
+    strategy (callers should not race it). *)
+
+val curated : unit -> strategy list
+(** The default lineup before mode filtering (rank order: cheap
+    per-box strategies first — on one core the racers serialize in
+    rank order, so the lineup leads with the configuration our benches
+    measure fastest on wall-clock). *)
+
+val all_strategies : unit -> strategy list
+(** The full {branching} × {newton} × {affine} × {order} product,
+    deduplicated (under [Round_robin] the branching heuristic does not
+    pick the split variable, so the two branchings coincide). *)
+
+(** {1 Race bookkeeping} *)
+
+val next_epoch : unit -> int
+(** Fresh portfolio epoch (monotone counter).  Callers stamp one per
+    race into the shared store's group keys, so racers of one race
+    share entries while distinct races — and the single-strategy
+    groups — stay isolated. *)
+
+val record_win : string -> unit
+(** Count a race win for strategy [name] (the always-on
+    [portfolio.wins.<name>] telemetry counter) and remember it as the
+    process-wide {!last_winner}. *)
+
+val last_winner : unit -> string option
+(** Name of the most recent race winner in this process, for
+    [Core.Report] / [--metrics] lines.  [None] before any race. *)
+
+val wins : string -> int
+(** Current value of the [portfolio.wins.<name>] counter. *)
+
+(** {1 Round-robin splitting} *)
+
+val round_robin_split :
+  min_width:float ->
+  depth:int ->
+  Interval.Box.t ->
+  (Interval.Box.t * Interval.Box.t) option
+(** Bisect the [depth mod n]-th variable (scanning forward to the next
+    component wider than [min_width]).  [None] exactly when every
+    component is at most [min_width] — the same termination condition
+    as [Box.split], so sub-ε verdicts are reached at the same width. *)

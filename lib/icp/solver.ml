@@ -174,22 +174,24 @@ type box_outcome =
    only refutations are monotone. *)
 let refuted_cache : unit Cache.t = Cache.create "icp-refuted"
 
+(* [Contractor.of_atom] erases strictness (Gt and Ge both contract
+   against the closed target [-δ, ∞)), but the [sat_possible] pruning in
+   [process_box] distinguishes them, so each atom's relation must be
+   part of every refutation-store key: a boundary box refuted for a
+   strict conjunction is not necessarily refuted for its non-strict
+   twin. *)
+let rels_key atoms =
+  String.concat ""
+    (List.map
+       (fun (a : Expr.Formula.atom) ->
+         match a.rel with Expr.Formula.Gt -> ">" | Expr.Formula.Ge -> "G")
+       atoms)
+
 let refuted_group cfg atoms =
   if not (Cache.enabled ()) then None
   else
     let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
-    (* [Contractor.of_atom] erases strictness (Gt and Ge both contract
-       against the closed target [-δ, ∞)), but the [sat_possible] pruning
-       in [process_box] distinguishes them, so each atom's relation must
-       be part of the key: a boundary box refuted for a strict
-       conjunction is not necessarily refuted for its non-strict twin. *)
-    let rels =
-      String.concat ""
-        (List.map
-           (fun (a : Expr.Formula.atom) ->
-             match a.rel with Expr.Formula.Gt -> ">" | Expr.Formula.Ge -> "G")
-           atoms)
-    in
+    let rels = rels_key atoms in
     Some
       (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b|%b"
          (Contractor.fingerprint constraints) rels
@@ -413,17 +415,271 @@ let decide_branches_portfolio ~jobs ~spend cfg worker_stats branches box =
       | Some why -> Unknown why
       | None -> Unsat)
 
+(* ---- Strategy portfolio: race solver configurations ----
+
+   In portfolio mode ([BIOMC_PORTFOLIO=1] / [--portfolio]) a query
+   races the [Portfolio.lineup ()] strategies on
+   [Parallel.Pool.first_conclusive]: each racer runs the sequential
+   branch-and-prune with its own branching heuristic, branch order and
+   contraction layers (per-strategy [Contractor.contractor ?newton
+   ?affine] closures — no global switch flipping), and its own box
+   budget lease.  The first conclusive verdict (Unsat or Delta_sat)
+   cancels the rest; a racer that exhausts its budget retires Unknown
+   and never beats a conclusive one.
+
+   Racers share one refutation group per race: a pruning is a semantic
+   proof that no point of the box satisfies the conjunction at this δ —
+   valid whichever strategy derived it — so the group key carries only
+   the query identity (constraints, strictness, δ, rounds, contraction
+   flag) plus the race epoch.  The epoch keeps portfolio-era entries
+   out of the flag-keyed single-strategy groups (the
+   BIOMC_NO_PORTFOLIO path must replay the pre-portfolio populations
+   bit for bit) and out of other races' groups.  Lookups force the
+   Warm policy on this group — refutations are monotone, so a racer
+   prunes any sub-box of a region another racer refuted, which is the
+   whole point of sharing.
+
+   Verdict merge is deterministic: among the conclusive verdicts
+   recorded before the race stopped, conclusive-kind priority first
+   (Unsat outranks Delta_sat: in the δ-gray zone both are correct, and
+   the refutation is the un-weakened claim), then lowest strategy rank
+   — the Reach path-order-merge discipline.  At jobs = 1 the racers
+   run in rank order, so exactly one concludes and the verdict is a
+   deterministic function of (query, lineup). *)
+
+let portfolio_refuted_group cfg ~epoch atoms =
+  if not (Cache.enabled ()) then None
+  else
+    let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
+    Some
+      (Printf.sprintf "pf%d|prune|%s|%s|%h|%d|%b" epoch
+         (Contractor.fingerprint constraints)
+         (rels_key atoms) cfg.delta cfg.contractor_rounds cfg.use_contraction)
+
+let portfolio_pave_group cfg ~epoch formula =
+  if not (Cache.enabled ()) then None
+  else
+    Some
+      (Printf.sprintf "pf%d|pave|%s|%b" epoch
+         (Digest.to_hex (Digest.string (Expr.Formula.fingerprint formula)))
+         cfg.use_contraction)
+
+let strategy_contractor cfg (s : Portfolio.strategy) ~delta ~max_rounds atoms =
+  if not cfg.use_contraction then fun b -> Some b
+  else
+    let constraints = List.map (Contractor.of_atom ~delta) atoms in
+    Contractor.contractor ~max_rounds ~newton:s.Portfolio.newton
+      ~affine:s.Portfolio.affine constraints
+
+(* Gradient system for smear branching, compiled iff the strategy asks
+   for it (the lineup already filtered smear strategies out under
+   BIOMC_NO_NEWTON, so no [Deriv.enabled] gate here — a [?strategy]
+   caller forcing smear explicitly gets smear). *)
+let strategy_deriv (s : Portfolio.strategy) ~delta atoms =
+  if s.Portfolio.branching <> Portfolio.Smear then None
+  else
+    Deriv.compile
+      (List.map
+         (fun a ->
+           let c = Contractor.of_atom ~delta a in
+           (c.Contractor.term, c.Contractor.target))
+         atoms)
+
+let strategy_split (s : Portfolio.strategy) ?dsys ~min_width ~depth b =
+  match s.Portfolio.order with
+  | Portfolio.Round_robin -> Portfolio.round_robin_split ~min_width ~depth b
+  | Portfolio.Widest -> split_box ?dsys ~min_width b
+
+(* The racer's per-box step: [process_box_inner] with the strategy's
+   split and Warm-forced lookups on the shared race group.  Kept as a
+   separate function so the default path's step stays byte-identical. *)
+let racer_process_box cfg stats strategy ?refuted ?dsys contract ~depth
+    formula b =
+  let known_refuted =
+    match refuted with
+    | None -> false
+    | Some group -> (
+        match Cache.find ~policy:Cache.Warm refuted_cache ~group b with
+        | Cache.Hit () | Cache.Subsumed (_, ()) -> true
+        | Cache.Miss -> false)
+  in
+  let record_refuted () =
+    match refuted with
+    | None -> ()
+    | Some group -> Cache.add refuted_cache ~group b ()
+  in
+  if known_refuted then begin
+    stats.prunings <- stats.prunings + 1;
+    Pruned
+  end
+  else
+    match contract b with
+    | None ->
+        record_refuted ();
+        stats.prunings <- stats.prunings + 1;
+        Pruned
+    | Some b' ->
+        if Box.is_empty b' then begin
+          record_refuted ();
+          stats.prunings <- stats.prunings + 1;
+          Pruned
+        end
+        else if not (Expr.Formula.sat_possible ~delta:cfg.delta b' formula)
+        then begin
+          record_refuted ();
+          stats.prunings <- stats.prunings + 1;
+          Pruned
+        end
+        else begin
+          match certify ~delta:cfg.delta stats formula b' with
+          | Some pt ->
+              Found (Delta_sat { point = pt; box = b'; certified = true })
+          | None -> (
+              match
+                strategy_split strategy ?dsys ~min_width:cfg.epsilon ~depth b'
+              with
+              | Some (left, right) -> Split_into (left, right)
+              | None ->
+                  Found
+                    (Delta_sat
+                       { point = Box.mid_env b'; box = b'; certified = false }))
+        end
+
+(* One racer's full decide: the sequential DNF scan with this strategy's
+   knobs.  [cancelled] is polled per box; [spend] draws on the racer's
+   own budget lease.  Once the budget is out the remaining branches
+   could only come back Unknown too, so the racer retires at once. *)
+let racer_decide cfg stats ~cancelled ~spend strategy ~epoch formula box =
+  let rec branch_loop = function
+    | [] -> Unsat
+    | atoms :: rest -> (
+        let contract =
+          strategy_contractor cfg strategy ~delta:cfg.delta
+            ~max_rounds:cfg.contractor_rounds atoms
+        in
+        let dsys = strategy_deriv strategy ~delta:cfg.delta atoms in
+        let refuted = portfolio_refuted_group cfg ~epoch atoms in
+        let conj =
+          Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
+        in
+        let rec loop = function
+          | [] -> branch_loop rest
+          | (b, depth) :: tail ->
+              if cancelled () then Unknown "cancelled"
+              else begin
+                stats.boxes_processed <- stats.boxes_processed + 1;
+                if depth > stats.max_depth then stats.max_depth <- depth;
+                if not (spend ()) then Unknown "box budget exhausted"
+                else
+                  match
+                    racer_process_box cfg stats strategy ?refuted ?dsys
+                      contract ~depth conj b
+                  with
+                  | Pruned -> loop tail
+                  | Found r -> r
+                  | Split_into (l, r) ->
+                      stats.splits <- stats.splits + 1;
+                      loop ((l, depth + 1) :: (r, depth + 1) :: tail)
+              end
+        in
+        (* [loop []] tail-calls [branch_loop rest], so the only way out
+           with [Unsat] is every branch of every disjunct refuted. *)
+        loop [ (box, 0) ])
+  in
+  branch_loop (Expr.Formula.dnf formula)
+
+let conclusive = function Unsat | Delta_sat _ -> true | Unknown _ -> false
+
+(* Deterministic merge over the per-racer results array: conclusive-kind
+   priority (Unsat = 0 outranks Delta_sat = 1), then lowest rank. *)
+let merge_race_results results =
+  let best = ref None in
+  Array.iteri
+    (fun rank entry ->
+      match entry with
+      | Some (name, v) when conclusive v ->
+          let kind = match v with Unsat -> 0 | _ -> 1 in
+          let better =
+            match !best with
+            | None -> true
+            | Some (bkind, brank, _, _) -> (kind, rank) < (bkind, brank)
+          in
+          if better then best := Some (kind, rank, name, v)
+      | _ -> ())
+    results;
+  !best
+
+let decide_strategy_inner cfg stats strategy formula box =
+  let epoch = Portfolio.next_epoch () in
+  let lease = Parallel.Pool.Lease.create ~total:cfg.max_boxes () in
+  let local = Parallel.Pool.Lease.local lease in
+  let r =
+    racer_decide cfg stats
+      ~cancelled:(fun () -> false)
+      ~spend:(fun () -> Parallel.Pool.Lease.spend local)
+      strategy ~epoch formula box
+  in
+  Parallel.Pool.Lease.return_unspent local;
+  r
+
+(* The race.  [None] when the lineup degenerates to a single strategy —
+   the caller falls through to the default search (racing one strategy
+   would only add scheduling overhead). *)
+let decide_portfolio cfg stats formula box =
+  match Portfolio.lineup () with
+  | [] | [ _ ] -> None
+  | strategies ->
+      let epoch = Portfolio.next_epoch () in
+      let jobs = Stdlib.max 1 cfg.jobs in
+      let n = List.length strategies in
+      let leases =
+        Array.init n (fun _ ->
+            Parallel.Pool.Lease.create ~total:cfg.max_boxes ())
+      in
+      let locals = Array.map Parallel.Pool.Lease.local leases in
+      let racer_stats = Array.init n (fun _ -> fresh_stats ()) in
+      let results = Array.make n None in
+      let tasks =
+        List.mapi
+          (fun i s ~cancelled ~conclude ->
+            (* Construction is inside the task: racers cancelled before
+               they run never compile their tapes. *)
+            if not (cancelled ()) then begin
+              let spend () = Parallel.Pool.Lease.spend locals.(i) in
+              let r =
+                racer_decide cfg racer_stats.(i) ~cancelled ~spend s ~epoch
+                  formula box
+              in
+              results.(i) <- Some (s.Portfolio.name, r);
+              if conclusive r then conclude i
+            end)
+          strategies
+      in
+      ignore (Parallel.Pool.first_conclusive ~jobs ~leases:locals tasks);
+      Array.iter (merge_stats stats) racer_stats;
+      (match merge_race_results results with
+      | Some (_, _, name, v) ->
+          Portfolio.record_win name;
+          Some v
+      | None ->
+          (* No conclusive racer: surface the first real Unknown. *)
+          let why =
+            Array.fold_left
+              (fun acc entry ->
+                match (acc, entry) with
+                | None, Some (_, Unknown w) when w <> "cancelled" -> Some w
+                | _ -> acc)
+              None results
+          in
+          Some (Unknown (Option.value why ~default:"portfolio: no verdict")))
+
 (* ---- Public entry points ---- *)
 
-let decide_with_stats_inner ?(config = default_config) formula box =
-  let stats = fresh_stats () in
+(* The pre-portfolio search, byte-identical to what it always was: the
+   portfolio layer only runs in front of it, never through it. *)
+let decide_default config stats formula box =
   let jobs = Stdlib.max 1 config.jobs in
-  let result =
-    match formula with
-    | Expr.Formula.True ->
-        Delta_sat { point = Box.mid_env box; box; certified = true }
-    | Expr.Formula.False -> Unsat
-    | _ ->
+  begin
         (* One code path for every [jobs] value: the frontier's
            sequential drive executes [jobs = 1] (and any [jobs] on a
            one-domain budget) as a plain loop with the same DFS order,
@@ -460,19 +716,40 @@ let decide_with_stats_inner ?(config = default_config) formula box =
         Array.iter Parallel.Pool.Lease.return_unspent locals;
         Array.iter (merge_stats stats) worker_stats;
         r
+  end
+
+let decide_with_stats_inner ?(config = default_config) ?strategy formula box =
+  let stats = fresh_stats () in
+  let result =
+    match formula with
+    | Expr.Formula.True ->
+        Delta_sat { point = Box.mid_env box; box; certified = true }
+    | Expr.Formula.False -> Unsat
+    | _ -> (
+        match strategy with
+        | Some s -> decide_strategy_inner config stats s formula box
+        | None ->
+            if Portfolio.active () then
+              match decide_portfolio config stats formula box with
+              | Some r -> r
+              | None -> decide_default config stats formula box
+            else decide_default config stats formula box)
   in
   (result, stats)
 
-let decide_with_stats ?config formula box =
+let decide_with_stats ?config ?strategy formula box =
   Telemetry.Span.with_ tm_decide (fun () ->
-      let ((_, stats) as r) = decide_with_stats_inner ?config formula box in
+      let ((_, stats) as r) =
+        decide_with_stats_inner ?config ?strategy formula box
+      in
       Telemetry.Counter.add m_decide_boxes stats.boxes_processed;
       Telemetry.Counter.add m_decide_splits stats.splits;
       Telemetry.Counter.add m_decide_prunings stats.prunings;
       Telemetry.Counter.add m_decide_certifications stats.certifications;
       r)
 
-let decide ?config formula box = fst (decide_with_stats ?config formula box)
+let decide ?config ?strategy formula box =
+  fst (decide_with_stats ?config ?strategy formula box)
 
 (* ---- Paving: partition the box by formula status ----
 
@@ -557,7 +834,168 @@ let pave_step cfg ?refuted ?dsys contract formula b =
         | Some (l, r) -> Pave_split (l, r)
         | None -> Pave_undecided)
 
-let pave_with_stats_inner ?(config = default_config) formula box =
+(* One racer's paving: the sequential classification loop with this
+   strategy's contraction layers and split, spending its own lease and
+   sharing the race's pave-refutation group (Warm-forced: pave-unsat is
+   monotone).  Returns the paving plus a [truncated] flag — a racer is
+   conclusive only when it classified everything within budget.  On
+   cancellation the un-visited stack is flushed into [undecided] so the
+   result stays a partition of the input box. *)
+let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
+  let atoms = Expr.Formula.atoms formula in
+  let contract =
+    strategy_contractor cfg strategy ~delta:0.0 ~max_rounds:2 atoms
+  in
+  let dsys = strategy_deriv strategy ~delta:0.0 atoms in
+  let refuted = portfolio_pave_group cfg ~epoch formula in
+  let known_unsat b =
+    match refuted with
+    | None -> false
+    | Some group -> (
+        match Cache.find ~policy:Cache.Warm refuted_cache ~group b with
+        | Cache.Hit () | Cache.Subsumed (_, ()) -> true
+        | Cache.Miss -> false)
+  in
+  let record_unsat b =
+    match refuted with
+    | None -> ()
+    | Some group -> Cache.add refuted_cache ~group b ()
+  in
+  let sat = ref [] and unsat = ref [] and undecided = ref [] in
+  let truncated = ref false in
+  let rec loop = function
+    | [] -> ()
+    | rest when cancelled () ->
+        truncated := true;
+        List.iter (fun (b, _) -> undecided := b :: !undecided) rest
+    | (b, depth) :: tail ->
+        if Box.is_empty b then loop tail
+        else if not (spend ()) then begin
+          truncated := true;
+          undecided := b :: !undecided;
+          loop tail
+        end
+        else begin
+          stats.boxes_processed <- stats.boxes_processed + 1;
+          if depth > stats.max_depth then stats.max_depth <- depth;
+          if known_unsat b then begin
+            stats.prunings <- stats.prunings + 1;
+            unsat := b :: !unsat;
+            loop tail
+          end
+          else
+            match Expr.Formula.eval_cert b formula with
+            | Expr.Formula.Certain ->
+                sat := b :: !sat;
+                loop tail
+            | Expr.Formula.Impossible ->
+                record_unsat b;
+                stats.prunings <- stats.prunings + 1;
+                unsat := b :: !unsat;
+                loop tail
+            | Expr.Formula.Unknown ->
+                let infeasible =
+                  cfg.use_contraction && Option.is_none (contract b)
+                in
+                if infeasible then begin
+                  record_unsat b;
+                  stats.prunings <- stats.prunings + 1;
+                  unsat := b :: !unsat;
+                  loop tail
+                end
+                else (
+                  match
+                    strategy_split strategy ?dsys ~min_width:cfg.epsilon
+                      ~depth b
+                  with
+                  | Some (l, r) ->
+                      stats.splits <- stats.splits + 1;
+                      loop ((l, depth + 1) :: (r, depth + 1) :: tail)
+                  | None ->
+                      undecided := b :: !undecided;
+                      loop tail)
+        end
+  in
+  loop [ (box, 0) ];
+  ( { sat = !sat; unsat = !unsat; undecided = !undecided }, !truncated )
+
+let pave_strategy_inner cfg strategy formula box =
+  let epoch = Portfolio.next_epoch () in
+  let stats = fresh_stats () in
+  let lease = Parallel.Pool.Lease.create ~total:cfg.max_boxes () in
+  let local = Parallel.Pool.Lease.local lease in
+  let paving, _truncated =
+    racer_pave cfg stats
+      ~cancelled:(fun () -> false)
+      ~spend:(fun () -> Parallel.Pool.Lease.spend local)
+      strategy ~epoch formula box
+  in
+  Parallel.Pool.Lease.return_unspent local;
+  (paving, stats)
+
+(* The pave race: first racer to finish a complete (un-truncated)
+   paving wins; conclusive-kind priority is trivial here (there is one
+   kind of conclusive), so the merge is just lowest complete rank.
+   When every racer was truncated the rank-lowest partial paving is
+   returned — same information as the default path's budget-exhausted
+   result. *)
+let pave_portfolio cfg formula box =
+  match Portfolio.lineup () with
+  | [] | [ _ ] -> None
+  | strategies ->
+      let epoch = Portfolio.next_epoch () in
+      let jobs = Stdlib.max 1 cfg.jobs in
+      let n = List.length strategies in
+      let leases =
+        Array.init n (fun _ ->
+            Parallel.Pool.Lease.create ~total:cfg.max_boxes ())
+      in
+      let locals = Array.map Parallel.Pool.Lease.local leases in
+      let racer_stats = Array.init n (fun _ -> fresh_stats ()) in
+      let results = Array.make n None in
+      let tasks =
+        List.mapi
+          (fun i s ~cancelled ~conclude ->
+            if not (cancelled ()) then begin
+              let spend () = Parallel.Pool.Lease.spend locals.(i) in
+              let p, truncated =
+                racer_pave cfg racer_stats.(i) ~cancelled ~spend s ~epoch
+                  formula box
+              in
+              results.(i) <- Some (s.Portfolio.name, p, truncated);
+              if not truncated then conclude i
+            end)
+          strategies
+      in
+      ignore (Parallel.Pool.first_conclusive ~jobs ~leases:locals tasks);
+      let stats = fresh_stats () in
+      Array.iter (merge_stats stats) racer_stats;
+      let rec pick_complete i =
+        if i >= n then None
+        else
+          match results.(i) with
+          | Some (name, p, false) -> Some (name, p)
+          | _ -> pick_complete (i + 1)
+      in
+      let rec pick_any i =
+        if i >= n then None
+        else
+          match results.(i) with
+          | Some (name, p, _) -> Some (name, p)
+          | None -> pick_any (i + 1)
+      in
+      (match pick_complete 0 with
+      | Some (name, p) ->
+          Portfolio.record_win name;
+          Some (p, stats)
+      | None -> (
+          match pick_any 0 with
+          | Some (name, p) ->
+              Portfolio.record_win name;
+              Some (p, stats)
+          | None -> None))
+
+let pave_default ?(config = default_config) formula box =
   let atoms = Expr.Formula.atoms formula in
   let constraints = List.map (Contractor.of_atom ~delta:0.0) atoms in
   (* Compiled once for the whole paving; used only as an infeasibility
@@ -614,12 +1052,25 @@ let pave_with_stats_inner ?(config = default_config) formula box =
       stats )
   end
 
-let pave_with_stats ?config formula box =
+let pave_with_stats_inner ?(config = default_config) ?strategy formula box =
+  match strategy with
+  | Some s -> pave_strategy_inner config s formula box
+  | None ->
+      if Portfolio.active () then
+        match pave_portfolio config formula box with
+        | Some r -> r
+        | None -> pave_default ~config formula box
+      else pave_default ~config formula box
+
+let pave_with_stats ?config ?strategy formula box =
   Telemetry.Span.with_ tm_pave (fun () ->
-      let ((_, stats) as r) = pave_with_stats_inner ?config formula box in
+      let ((_, stats) as r) =
+        pave_with_stats_inner ?config ?strategy formula box
+      in
       Telemetry.Counter.add m_pave_boxes stats.boxes_processed;
       Telemetry.Counter.add m_pave_splits stats.splits;
       Telemetry.Counter.add m_pave_prunings stats.prunings;
       r)
 
-let pave ?config formula box = fst (pave_with_stats ?config formula box)
+let pave ?config ?strategy formula box =
+  fst (pave_with_stats ?config ?strategy formula box)

@@ -155,6 +155,7 @@ val parallel_for_chunks : jobs:int -> int -> (int -> int -> int -> 'a) -> 'a arr
 
 val first_conclusive :
   jobs:int ->
+  ?leases:Lease.local array ->
   (cancelled:(unit -> bool) -> conclude:('a -> unit) -> unit) list ->
   'a option
 (** Portfolio execution: run the tasks concurrently; the first task that
@@ -162,4 +163,24 @@ val first_conclusive :
     losing racers observe [cancelled () = true] while the winner's thunk
     is still unwinding.  Returns the winning value, or [None] when no
     task concluded.  Later [conclude]s lose the race and are ignored.
+
+    [?leases] attaches a per-racer budget lease-local to each task
+    (index-aligned with the task list).  Each local is
+    {!Lease.return_unspent}-ed the moment its racer settles — normal
+    completion {e or} cancellation — so {!Lease.consumed} on each
+    racer's shared budget is exact as soon as [first_conclusive]
+    returns, including for racers the winner cancelled mid-run or cut
+    out of the queue before they ever ran.
+
+    The always-on [portfolio.cancel_latency_ns] telemetry counter
+    accumulates, per losing racer, the nanoseconds between the winner's
+    [conclude] and that racer settling.
+
+    On a single effective domain the tasks run to completion in list
+    order (the frontier's sequential drive), so the winner is the first
+    task in list order that concludes — deterministic.  At true
+    concurrency the winner is timing-dependent; callers wanting a
+    deterministic verdict merge over near-simultaneous concludes should
+    record per-racer results and merge by rank after the race (see
+    [Icp.Portfolio]).
     @raise Invalid_argument when [jobs < 1]. *)

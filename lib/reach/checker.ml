@@ -324,13 +324,21 @@ let apply_reset_box automaton params_box (j : Hybrid.Automaton.jump) state_box =
    (tape-backed by default) and returns a closure applied per box; the
    closures are immutable after construction and safe to call from
    concurrent worker domains. *)
-let prepare_contract formula =
+let prepare_contract ?strategy formula =
   if formula = F.True then fun ~params_box:_ state_box -> Some state_box
   else
+    (* A portfolio racer pins its contraction layers per closure instead
+       of relying on the global switches (racers run concurrently). *)
+    let newton, affine =
+      match strategy with
+      | None -> (None, None)
+      | Some (s : Icp.Portfolio.strategy) ->
+          (Some s.Icp.Portfolio.newton, Some s.Icp.Portfolio.affine)
+    in
     let branch_contractors =
       List.map
         (fun atoms ->
-          Icp.Contractor.contractor ~max_rounds:5
+          Icp.Contractor.contractor ~max_rounds:5 ?newton ?affine
             (List.map (Icp.Contractor.of_atom ~delta:0.0) atoms))
         (F.dnf formula)
     in
@@ -366,7 +374,7 @@ type prep = {
       (* mode name ↦ contractor for the mode invariant *)
 }
 
-let prepare_pb (pb : Encoding.t) =
+let prepare_pb ?strategy (pb : Encoding.t) =
   let automaton = pb.Encoding.automaton in
   let flow_prep = Hashtbl.create 8 in
   let guard_contract = Hashtbl.create 8 in
@@ -375,7 +383,8 @@ let prepare_pb (pb : Encoding.t) =
     (fun (m : Hybrid.Automaton.mode) ->
       Hashtbl.replace flow_prep m.mode_name
         (Ode.Enclosure.prepare (Hybrid.Automaton.mode_system automaton m.mode_name));
-      Hashtbl.replace inv_contract m.mode_name (prepare_contract m.invariant))
+      Hashtbl.replace inv_contract m.mode_name
+        (prepare_contract ?strategy m.invariant))
     (Hybrid.Automaton.modes automaton);
   List.iter
     (fun (j : Hybrid.Automaton.jump) ->
@@ -387,7 +396,7 @@ let prepare_pb (pb : Encoding.t) =
           (Hybrid.Automaton.find_mode automaton j.source).invariant
         in
         Hashtbl.replace guard_contract key
-          (prepare_contract (F.and_ [ j.guard; source_inv ])))
+          (prepare_contract ?strategy (F.and_ [ j.guard; source_inv ])))
     (Hybrid.Automaton.jumps automaton);
   { flow_prep; guard_contract; inv_contract }
 
@@ -592,14 +601,24 @@ let certify cfg pb path sbox =
 
 (* ---- Per-path branch and prune over the search box ---- *)
 
-let decide_path cfg pb prep path =
+let decide_path ?(cancelled = fun () -> false) ?strategy cfg pb prep path =
   Telemetry.Counter.incr m_paths;
   Telemetry.Span.with_ ~arg:(float_of_int (List.length path)) tm_path
   @@ fun () ->
   let budget = ref cfg.max_param_boxes in
   let rigorous_all = ref true in
-  let rec search sbox =
-    if !budget <= 0 then Unknown "search box budget exhausted"
+  (* Strategy only changes the branch order here: the path search has no
+     derivative system, so smear branching degrades to widest-first and
+     the round-robin order is the one real alternative. *)
+  let split ~depth sbox =
+    match strategy with
+    | Some { Icp.Portfolio.order = Icp.Portfolio.Round_robin; _ } ->
+        Icp.Portfolio.round_robin_split ~min_width:cfg.epsilon ~depth sbox
+    | _ -> Box.split ~min_width:cfg.epsilon sbox
+  in
+  let rec search depth sbox =
+    if cancelled () then Unknown "cancelled"
+    else if !budget <= 0 then Unknown "search box budget exhausted"
     else begin
       decr budget;
       let params_box, init_box = interpret_box pb sbox in
@@ -611,11 +630,11 @@ let decide_path cfg pb prep path =
           match certify cfg pb path sbox with
           | Some r -> r
           | None -> (
-              match Box.split ~min_width:cfg.epsilon sbox with
+              match split ~depth sbox with
               | Some (l, r) -> (
-                  match search l with
+                  match search (depth + 1) l with
                   | Unsat { rigorous = rl } -> (
-                      match search r with
+                      match search (depth + 1) r with
                       | Unsat { rigorous = rr } -> Unsat { rigorous = rl && rr }
                       | other -> other)
                   | other -> other)
@@ -623,7 +642,7 @@ let decide_path cfg pb prep path =
                   Unknown "sub-epsilon box survived pruning without a witness"))
     end
   in
-  search (searchable_box pb)
+  search 0 (searchable_box pb)
 
 (* ---- Public API ---- *)
 
@@ -637,29 +656,90 @@ let decide_path cfg pb prep path =
    changes which paths are decided concurrently.  A δ-sat at index i
    cancels work on paths with larger indices — exactly the paths the
    sequential scan would never have reached. *)
-let check ?(config = default_config) (pb : Encoding.t) =
-  Telemetry.Span.with_ tm_check @@ fun () ->
-  let paths =
-    List.sort
-      (fun a b -> compare (List.length a) (List.length b))
-      (Encoding.candidate_paths pb)
+(* One full scan of the candidate paths with one strategy: the
+   sequential [check] loop, pollable for cancellation.  Used both for a
+   forced [?strategy] baseline and as one racer of the portfolio. *)
+let scan_paths ?(cancelled = fun () -> false) ?strategy config pb prep paths =
+  let rec go unknown rigorous = function
+    | [] -> (
+        match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
+    | path :: rest -> (
+        Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
+        match decide_path ~cancelled ?strategy config pb prep path with
+        | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
+        | Delta_sat w -> Delta_sat w
+        | Unknown "cancelled" -> Unknown "cancelled"
+        | Unknown why -> go (Some why) rigorous rest)
   in
-  Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
+  go None true paths
+
+(* Race the portfolio lineup over full path scans.  Racers share the
+   flow-tube segment store ([seg_cache] keys carry no strategy flags —
+   a tube enclosure is strategy-independent), so a racer skips every
+   segment any other racer already integrated: that store is the
+   cross-racer pruning channel here.  Per-strategy guard/invariant
+   contractors are compiled lazily inside each racer (cancelled racers
+   never pay compilation).  Merge discipline is the solver's:
+   conclusive-kind priority ([Unsat] before [Delta_sat]), then lowest
+   strategy rank. *)
+let check_portfolio config pb paths =
+  match Icp.Portfolio.lineup () with
+  | [] | [ _ ] -> None
+  | strategies ->
+      let jobs = Stdlib.max 1 config.jobs in
+      let n = List.length strategies in
+      let results = Array.make n None in
+      let tasks =
+        List.mapi
+          (fun i (s : Icp.Portfolio.strategy) ~cancelled ~conclude ->
+            if not (cancelled ()) then begin
+              let prep = prepare_pb ~strategy:s pb in
+              let r = scan_paths ~cancelled ~strategy:s config pb prep paths in
+              results.(i) <- Some (s.Icp.Portfolio.name, r);
+              match r with Unknown _ -> () | Unsat _ | Delta_sat _ -> conclude i
+            end)
+          strategies
+      in
+      ignore (Parallel.Pool.first_conclusive ~jobs tasks);
+      let best = ref None in
+      Array.iteri
+        (fun rank entry ->
+          match entry with
+          | Some (name, (Unsat _ | Delta_sat _)) ->
+              let kind =
+                match entry with Some (_, Unsat _) -> 0 | _ -> 1
+              in
+              let better =
+                match !best with
+                | None -> true
+                | Some (bkind, brank, _, _) -> (kind, rank) < (bkind, brank)
+              in
+              if better then
+                best :=
+                  Some
+                    (kind, rank, name, match entry with Some (_, r) -> r | None -> assert false)
+          | _ -> ())
+        results;
+      (match !best with
+      | Some (_, _, name, r) ->
+          Icp.Portfolio.record_win name;
+          Some r
+      | None ->
+          let why =
+            Array.fold_left
+              (fun acc entry ->
+                match (acc, entry) with
+                | None, Some (_, Unknown w) when w <> "cancelled" -> Some w
+                | _ -> acc)
+              None results
+          in
+          Some (Unknown (Option.value why ~default:"portfolio: no verdict")))
+
+let check_default config (pb : Encoding.t) paths =
   let prep = prepare_pb pb in
   let jobs = Stdlib.max 1 config.jobs in
-  if jobs = 1 || List.length paths <= 1 then begin
-    let rec go unknown rigorous = function
-      | [] -> (
-          match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
-      | path :: rest -> (
-          Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
-          match decide_path config pb prep path with
-          | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
-          | Delta_sat w -> Delta_sat w
-          | Unknown why -> go (Some why) rigorous rest)
-    in
-    go None true paths
-  end
+  if jobs = 1 || List.length paths <= 1 then
+    scan_paths config pb prep paths
   else begin
     let paths = Array.of_list paths in
     let n = Array.length paths in
@@ -693,6 +773,25 @@ let check ?(config = default_config) (pb : Encoding.t) =
     in
     merge 0 None true
   end
+
+let check ?(config = default_config) ?strategy (pb : Encoding.t) =
+  Telemetry.Span.with_ tm_check @@ fun () ->
+  let paths =
+    List.sort
+      (fun a b -> compare (List.length a) (List.length b))
+      (Encoding.candidate_paths pb)
+  in
+  Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
+  match strategy with
+  | Some s ->
+      let prep = prepare_pb ~strategy:s pb in
+      scan_paths ~strategy:s config pb prep paths
+  | None ->
+      if Icp.Portfolio.active () then
+        match check_portfolio config pb paths with
+        | Some r -> r
+        | None -> check_default config pb paths
+      else check_default config pb paths
 
 (* Universal feasibility on jump-free paths (see the synthesis notes). *)
 let path_surely_reaches cfg (pb : Encoding.t) prep path ~params_box ~init_box =

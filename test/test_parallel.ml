@@ -243,6 +243,37 @@ let frontier_stress ~jobs ~n () =
   Alcotest.(check bool) "seeds and children each processed exactly once" true
     (Array.for_all (fun c -> c = 1) seen)
 
+let test_first_conclusive_lease_exact () =
+  (* Racer budget leases must be settled exactly at the race's end:
+     winner and losers alike return their unspent chunks — including
+     racers the stop flag cut from the queue unrun — so [consumed]
+     reports actual spends, not chunk takes.  (Before the portfolio
+     work, cancelled racers leaked their last chunk until a caller-side
+     sweep.)  jobs=1 makes the schedule deterministic: task 0 runs and
+     retires, task 1 concludes, task 2 is never dequeued. *)
+  let n = 3 in
+  let leases =
+    Array.init n (fun _ -> Parallel.Pool.Lease.create ~total:1_000 ())
+  in
+  let locals = Array.map Parallel.Pool.Lease.local leases in
+  let spends = [| 5; 7; 0 |] in
+  let tasks =
+    List.init n (fun i ~cancelled:_ ~conclude ->
+        for _ = 1 to spends.(i) do
+          ignore (Parallel.Pool.Lease.spend locals.(i))
+        done;
+        if i = 1 then conclude i)
+  in
+  let r = Parallel.Pool.first_conclusive ~jobs:1 ~leases:locals tasks in
+  Alcotest.(check (option int)) "rank-1 racer wins" (Some 1) r;
+  Array.iteri
+    (fun i lease ->
+      Alcotest.(check int)
+        (Printf.sprintf "lease %d consumption exact" i)
+        spends.(i)
+        (Parallel.Pool.Lease.consumed lease))
+    leases
+
 (* ---- Budget leases ---- *)
 
 let test_lease_exact_consumption () =
@@ -715,7 +746,9 @@ let () =
           Alcotest.test_case "frontier stop" `Quick test_frontier_stop_discards;
           Alcotest.test_case "first conclusive" `Quick test_first_conclusive;
           Alcotest.test_case "first conclusive stops immediately" `Quick
-            test_first_conclusive_stops_immediately ] );
+            test_first_conclusive_stops_immediately;
+          Alcotest.test_case "first conclusive settles leases" `Quick
+            test_first_conclusive_lease_exact ] );
       ( "deque",
         [ Alcotest.test_case "lifo and batch order" `Quick test_deque_order;
           Alcotest.test_case "steal-half order" `Quick test_deque_steal_half;

@@ -1,0 +1,272 @@
+(* Tests for the strategy-portfolio layer: verdict agreement with every
+   single strategy, kill-switch bit-for-bit reproduction, cross-racer
+   refutation-store soundness, and winner reporting.
+
+   Portfolio activation is driven through [Portfolio.set_mode] rather
+   than the environment so the suite behaves the same under plain
+   `dune runtest` and the CI ablation legs; under BIOMC_NO_PORTFOLIO=1
+   the kill-switch outranks [set_mode] and the portfolio-on runs
+   degrade to the default search — every agreement and reproduction
+   check still holds (trivially), and the winner checks guard on
+   [Portfolio.active]. *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module P = Expr.Parse
+module S = Icp.Solver
+module Pf = Icp.Portfolio
+
+let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
+
+let with_mode m f =
+  Pf.set_mode m;
+  Fun.protect ~finally:Pf.clear_mode_override f
+
+let verdict_kind = function
+  | S.Unsat -> "unsat"
+  | S.Delta_sat _ -> "delta-sat"
+  | S.Unknown _ -> "unknown"
+
+(* Instances with robust margins, so every strategy (and the portfolio)
+   must agree on the verdict kind: the δ-gray zone is never hit. *)
+let decide_instances =
+  [ ("sqrt2", "x^2 = 2", [ ("x", 0.0, 2.0) ]);
+    ("sum-unsat", "x + y >= 3.5", [ ("x", 0.0, 1.0); ("y", 0.0, 1.0) ]);
+    ("prod-unsat", "x*y >= 2", [ ("x", 0.0, 1.0); ("y", 0.0, 1.0) ]);
+    ("sin", "sin(x) = 0.5", [ ("x", 0.0, 2.0) ]);
+    ( "cubic-pair",
+      "x^3 - 2*x^2 + 1.25*x = 0.25 and y^3 - 2*y^2 + 1.25*y = 0.25 and (x - \
+       y)^2 >= 0.3",
+      [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] ) ]
+
+(* A few randomized-but-seeded robust instances on top of the pinned
+   ones: circles of radius c < 1 (δ-sat) and thresholds above the
+   attainable maximum (unsat with margin ≥ 0.1). *)
+let random_instances =
+  let st = Random.State.make [| 0x5eed |] in
+  List.concat_map
+    (fun i ->
+      let c = 0.1 +. (Random.State.float st 0.8) in
+      [ ( Printf.sprintf "rand-sat-%d" i,
+          Printf.sprintf "x^2 + y^2 = %.3f" (c *. c),
+          [ ("x", 0.0, 1.0); ("y", 0.0, 1.0) ] );
+        ( Printf.sprintf "rand-unsat-%d" i,
+          Printf.sprintf "x^2 + y^2 >= %.3f" (2.1 +. Random.State.float st 0.5),
+          [ ("x", 0.0, 1.0); ("y", 0.0, 1.0) ] ) ])
+    [ 0; 1; 2 ]
+
+let test_decide_agreement () =
+  List.iter
+    (fun (name, fml, dom) ->
+      let f = P.formula fml in
+      let b = box dom in
+      List.iter
+        (fun jobs ->
+          let cfg = { S.default_config with jobs } in
+          let strategies = with_mode Pf.Curated (fun () -> Pf.lineup ()) in
+          let kinds =
+            List.map
+              (fun s -> verdict_kind (S.decide ~config:cfg ~strategy:s f b))
+              strategies
+          in
+          let reference = List.hd kinds in
+          List.iteri
+            (fun i k ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: strategy %d agrees (jobs=%d)" name i jobs)
+                reference k)
+            kinds;
+          let portfolio_kind =
+            with_mode Pf.Curated (fun () -> verdict_kind (S.decide ~config:cfg f b))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: portfolio agrees (jobs=%d)" name jobs)
+            reference portfolio_kind)
+        [ 1; 2 ])
+    (decide_instances @ random_instances)
+
+let test_pave_agreement () =
+  let f = P.formula "x^2 + y^2 <= 1" in
+  let b = box [ ("x", 0.0, 1.0); ("y", 0.0, 1.0) ] in
+  List.iter
+    (fun jobs ->
+      let cfg = { S.default_config with epsilon = 0.05; jobs } in
+      let strategies = with_mode Pf.Curated (fun () -> Pf.lineup ()) in
+      (* Every strategy's paving is a partition of the box... *)
+      let volumes =
+        List.map
+          (fun s ->
+            let p = S.pave ~config:cfg ~strategy:s f b in
+            let sv, uv, dv = S.paving_volumes ~over:[ "x"; "y" ] p in
+            Alcotest.(check bool)
+              "strategy paving partitions the box" true
+              (Float.abs (sv +. uv +. dv -. 1.0) < 1e-9);
+            (sv, uv))
+          strategies
+      in
+      (* ...and the certain volumes agree across strategies up to the
+         undecided shell (every paving's sat region contains the true
+         region minus the shell). *)
+      let sat_lo =
+        List.fold_left (fun acc (sv, _) -> Stdlib.min acc sv) infinity volumes
+      in
+      let sat_hi =
+        List.fold_left (fun acc (sv, _) -> Stdlib.max acc sv) neg_infinity
+          volumes
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "sat volumes within shell tolerance (jobs=%d)" jobs)
+        true
+        (sat_hi -. sat_lo < 0.2);
+      (* The portfolio's paving partitions too and its sat volume lies in
+         the strategies' range (it IS one of the racers' pavings). *)
+      with_mode Pf.Curated (fun () ->
+          let p = S.pave ~config:cfg f b in
+          let sv, uv, dv = S.paving_volumes ~over:[ "x"; "y" ] p in
+          Alcotest.(check bool)
+            "portfolio paving partitions the box" true
+            (Float.abs (sv +. uv +. dv -. 1.0) < 1e-9);
+          if Pf.active () then
+            Alcotest.(check bool)
+              "portfolio sat volume within strategy range" true
+              (sv >= sat_lo -. 1e-9 && sv <= sat_hi +. 1e-9)))
+    [ 1; 2 ]
+
+let check_stats_equal label (a : S.stats) (b : S.stats) =
+  Alcotest.(check (list int))
+    label
+    [ a.boxes_processed; a.splits; a.prunings; a.max_depth; a.certifications ]
+    [ b.boxes_processed; b.splits; b.prunings; b.max_depth; b.certifications ]
+
+let leaf_fingerprint p =
+  let dump boxes =
+    List.map
+      (fun b ->
+        String.concat ";"
+          (List.map
+             (fun (v, itv) -> Printf.sprintf "%s=%h,%h" v (I.lo itv) (I.hi itv))
+             (Box.to_list b)))
+      boxes
+  in
+  (dump p.S.sat, dump p.S.unsat, dump p.S.undecided)
+
+let test_kill_switch_reproduces () =
+  (* off → on → off: the third run must reproduce the first bit for bit
+     (verdict, stats, pave leaf sets in order) — the portfolio leaves no
+     residue in the default path (its refutation groups are epoch-keyed
+     away from the default groups). *)
+  let f = P.formula "x^3 - 2*x^2 + 1.25*x = 0.25 and (x - y)^2 >= 0.3" in
+  let b = box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] in
+  let cfg = { S.default_config with jobs = 1 } in
+  let pcfg = { S.default_config with epsilon = 0.05; jobs = 1 } in
+  let run () =
+    let r, st = S.decide_with_stats ~config:cfg f b in
+    let p, pst = S.pave_with_stats ~config:pcfg f b in
+    (verdict_kind r, st, leaf_fingerprint p, pst)
+  in
+  let k1, st1, leaves1, pst1 = with_mode Pf.Off run in
+  let _ = with_mode Pf.Curated run in
+  let k3, st3, leaves3, pst3 = with_mode Pf.Off run in
+  Alcotest.(check string) "verdict kind reproduced" k1 k3;
+  check_stats_equal "decide stats reproduced" st1 st3;
+  check_stats_equal "pave stats reproduced" pst1 pst3;
+  let s1, u1, d1 = leaves1 and s3, u3, d3 = leaves3 in
+  Alcotest.(check (list string)) "sat leaves reproduced" s1 s3;
+  Alcotest.(check (list string)) "unsat leaves reproduced" u1 u3;
+  Alcotest.(check (list string)) "undecided leaves reproduced" d1 d3
+
+let test_cross_racer_store_sound () =
+  (* A robustly-unsat instance that needs real splitting to refute:
+     x = y (strict diagonal) against (x - y)^2 >= 0.3.  Racers share
+     the race's refutation store; whatever budget forces early racers
+     to retire Unknown, a later racer consuming their refutations must
+     never be pushed to a δ-sat misclassification — the portfolio
+     verdict is Unsat or Unknown, never Delta_sat. *)
+  let f = P.formula "x = y and (x - y)^2 >= 0.3" in
+  let b = box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] in
+  let strategies = with_mode Pf.Curated (fun () -> Pf.lineup ()) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun max_boxes ->
+          let cfg =
+            { S.default_config with epsilon = 0.01; max_boxes; jobs }
+          in
+          let r = with_mode Pf.Curated (fun () -> S.decide ~config:cfg f b) in
+          Alcotest.(check bool)
+            (Printf.sprintf "no misclassification (budget=%d jobs=%d)"
+               max_boxes jobs)
+            true
+            (match r with S.Delta_sat _ -> false | _ -> true);
+          (* and with a real budget it is refuted, matching every
+             single-strategy verdict *)
+          if max_boxes >= 100_000 then begin
+            Alcotest.(check string) "refuted at full budget" "unsat"
+              (verdict_kind r);
+            List.iter
+              (fun s ->
+                Alcotest.(check string) "single strategy also refutes" "unsat"
+                  (verdict_kind (S.decide ~config:cfg ~strategy:s f b)))
+              strategies
+          end)
+        [ 10; 50; 100_000 ])
+    [ 1; 2 ]
+
+let test_winner_reported () =
+  with_mode Pf.Curated (fun () ->
+      if Pf.active () then begin
+        let f = P.formula "x^2 = 2" in
+        let b = box [ ("x", 0.0, 2.0) ] in
+        let lineup = Pf.lineup () in
+        let rank0 = (List.hd lineup).Pf.name in
+        let before = Pf.wins rank0 in
+        let r = S.decide f b in
+        Alcotest.(check string) "conclusive" "delta-sat" (verdict_kind r);
+        (match Pf.last_winner () with
+        | None -> Alcotest.fail "no winner recorded after a portfolio race"
+        | Some name ->
+            Alcotest.(check bool)
+              (Printf.sprintf "winner %s is in the lineup" name)
+              true
+              (List.exists (fun s -> s.Pf.name = name) lineup));
+        (* at jobs=1 racers run in rank order, so rank 0 concluding first
+           is deterministic *)
+        Alcotest.(check string) "rank-0 strategy wins at jobs=1" rank0
+          (Option.get (Pf.last_winner ()));
+        Alcotest.(check int) "win counter incremented" (before + 1)
+          (Pf.wins rank0)
+      end)
+
+let test_lineups () =
+  let curated = Pf.curated () in
+  Alcotest.(check int) "curated lineup has 4 strategies" 4
+    (List.length curated);
+  Alcotest.(check string) "rank 0 is the plain-HC4 racer" "hc4"
+    (List.hd curated).Pf.name;
+  let all = Pf.all_strategies () in
+  (* 2 branchings × 2 newton × 2 affine × 2 orders, minus the smear+rr
+     duplicates (rr ignores the branching heuristic) *)
+  Alcotest.(check int) "full product deduped" 12 (List.length all);
+  let names = List.map (fun s -> s.Pf.name) all in
+  Alcotest.(check int) "strategy names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "portfolio"
+    [ ( "lineup",
+        [ Alcotest.test_case "curated and full product" `Quick test_lineups ] );
+      ( "agreement",
+        [ Alcotest.test_case "decide: portfolio = each strategy" `Quick
+            test_decide_agreement;
+          Alcotest.test_case "pave: partitions and volumes agree" `Quick
+            test_pave_agreement ] );
+      ( "kill switch",
+        [ Alcotest.test_case "off-on-off bit-for-bit" `Quick
+            test_kill_switch_reproduces ] );
+      ( "shared store",
+        [ Alcotest.test_case "cross-racer refutations sound" `Quick
+            test_cross_racer_store_sound ] );
+      ( "winner",
+        [ Alcotest.test_case "recorded and counted" `Quick test_winner_reported ]
+      ) ]
