@@ -1378,6 +1378,109 @@ let o1 ?(quick = false) () =
   Report.print [ Report.text "wrote BENCH_telemetry.json" ]
 
 (* ------------------------------------------------------------------ *)
+(* J1: provenance-journal overhead: off vs memory sink                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The O1 discipline applied to the journal: the same decide + pave
+   workload with journaling off and with the memory sink recording the
+   full search DAG.  Verdicts must be identical (the journal observes
+   the search, it never steers it) and the slowdown is reported
+   honestly against the same 5% budget, alongside the record volume —
+   the journal writes one NDJSON line per search event, so its cost
+   scales with boxes processed, not with wall-clock. *)
+let j1 ?(quick = false) () =
+  section
+    (if quick then "J1  Journal overhead: off vs memory sink (quick)"
+     else "J1  Journal overhead: off vs memory sink");
+  let tangency = Expr.Parse.formula "x^2 + y^2 = 1 and x*y = 1/2" in
+  let tangency_box =
+    Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ]
+  in
+  let ring = Expr.Parse.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
+  let rbox = Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ] in
+  let dcfg =
+    { Icp.Solver.default_config with
+      delta = (if quick then 3e-4 else 1e-4);
+      epsilon = (if quick then 3e-5 else 1e-5) }
+  in
+  let pcfg =
+    { Icp.Solver.default_config with epsilon = (if quick then 0.02 else 0.01) }
+  in
+  let run () =
+    let d = Icp.Solver.decide ~config:dcfg tangency tangency_box in
+    let p = Icp.Solver.pave ~config:pcfg ring rbox in
+    (d, p)
+  in
+  let rounds = if quick then 4 else 6 in
+  Cache.set_policy Cache.Off;
+  Fun.protect ~finally:Cache.clear_policy_override @@ fun () ->
+  let measure sink =
+    Journal.set_sink sink;
+    Fun.protect ~finally:(fun () -> Journal.set_sink Journal.Off)
+      (fun () ->
+        let best = ref infinity and result = ref None in
+        for _ = 1 to rounds do
+          Journal.reset ();
+          let r, dt = timed run in
+          if dt < !best then best := dt;
+          result := Some r
+        done;
+        (Option.get !result, !best))
+  in
+  let r_off, t_off = measure Journal.Off in
+  let r_jrn, t_jrn = measure Journal.Memory in
+  (* volume of one journaled round: re-record once, then read back *)
+  Journal.set_sink Journal.Memory;
+  Journal.reset ();
+  ignore (run ());
+  let doc = Journal.contents () in
+  let dropped = Journal.dropped () in
+  Journal.set_sink Journal.Off;
+  Journal.reset ();
+  let records =
+    String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 doc
+  in
+  if r_off <> r_jrn then failwith "J1: journaled run changed the results";
+  let overhead = t_jrn /. t_off in
+  let budget = 1.05 in
+  let over_budget = overhead > budget in
+  Report.print
+    [ Report.table
+        ~header:[ "mode"; "wall"; "vs disabled"; "check" ]
+        [ [ "disabled"; Fmt.str "%.3fs" t_off; "1.00x"; "identical results" ];
+          [ "memory sink"; Fmt.str "%.3fs" t_jrn; Fmt.str "%.2fx" overhead;
+            Fmt.str "%d records, %d KiB (%d dropped)" records
+              (String.length doc / 1024)
+              dropped ] ];
+      (if over_budget then
+         Report.text
+           "OVER BUDGET: journal overhead %.1f%% exceeds the 5%% budget"
+           ((overhead -. 1.0) *. 100.0)
+       else
+         Report.text "journal overhead %.1f%% (budget 5%%)"
+           ((overhead -. 1.0) *. 100.0)) ];
+  let oc = open_out "BENCH_journal.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+       \  \"quick\": %b,\n\
+       \  \"rounds\": %d,\n\
+       \  \"disabled_s\": %.6f,\n\
+       \  \"journal_s\": %.6f,\n\
+       \  \"overhead\": %.4f,\n\
+       \  \"budget\": %.2f,\n\
+       \  \"over_budget\": %b,\n\
+       \  \"identical\": true,\n\
+       \  \"records\": %d,\n\
+       \  \"bytes\": %d,\n\
+       \  \"dropped\": %d\n\
+        }\n"
+       quick rounds t_off t_jrn overhead budget over_budget records
+       (String.length doc) dropped);
+  close_out oc;
+  Report.print [ Report.text "wrote BENCH_journal.json" ]
+
+(* ------------------------------------------------------------------ *)
 (* N1: derivative pruning off vs on                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -2184,6 +2287,7 @@ let () =
       ("a3", a3); ("a4", a4); ("p1", fun () -> p1 ~quick ()); ("t1", t1);
       ("c1", fun () -> c1 ~quick ());
       ("o1", fun () -> o1 ~quick ());
+      ("j1", fun () -> j1 ~quick ());
       ("n1", fun () -> n1 ~quick ());
       ("af1", fun () -> af1 ~quick ());
       ("pf1", fun () -> pf1 ~quick ());
@@ -2203,7 +2307,8 @@ let () =
     | None ->
         if quick then
           List.filter
-            (fun (n, _) -> List.mem n [ "c1"; "o1"; "n1"; "af1"; "pf1"; "p1" ])
+            (fun (n, _) ->
+              List.mem n [ "c1"; "o1"; "j1"; "n1"; "af1"; "pf1"; "p1" ])
             sections
         else sections
   in

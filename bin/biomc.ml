@@ -213,6 +213,9 @@ type common = {
   trace : string option;  (** Chrome trace_event JSON output file *)
   metrics : bool;  (** print the telemetry metrics section *)
   metrics_json : string option;  (** also write the metrics as JSON *)
+  metrics_prom : string option;  (** Prometheus text exposition file *)
+  journal : string option;  (** NDJSON provenance-journal output file *)
+  progress : bool;  (** rate-limited stderr heartbeat during the run *)
 }
 
 let trace_arg =
@@ -231,14 +234,41 @@ let metrics_json_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+let metrics_prom_arg =
+  let doc =
+    "Also write the telemetry metrics snapshot in Prometheus text \
+     exposition format to $(docv) (for node_exporter's textfile \
+     collector or a push gateway)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-prom" ] ~docv:"FILE" ~doc)
+
+let journal_arg =
+  let doc =
+    "Record the provenance journal — the full branch-and-prune search \
+     DAG as NDJSON events — to $(docv); reload it with `biomc explain'.  \
+     Equivalent to BIOMC_JOURNAL=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a rate-limited progress heartbeat to stderr while the \
+     analysis runs (boxes/sec, prunings, cache hit rate, portfolio \
+     leader).  Purely observational."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let common_term =
-  let mk jobs no_cache no_newton no_affine portfolio trace metrics metrics_json =
+  let mk jobs no_cache no_newton no_affine portfolio trace metrics metrics_json
+      metrics_prom journal progress =
     { jobs; no_cache; no_newton; no_affine; portfolio; trace; metrics;
-      metrics_json }
+      metrics_json; metrics_prom; journal; progress }
   in
   Term.(
     const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ no_affine_arg
-    $ portfolio_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
+    $ portfolio_arg $ trace_arg $ metrics_arg $ metrics_json_arg
+    $ metrics_prom_arg $ journal_arg $ progress_arg)
 
 (* Telemetry section appended to a report when metrics are on: non-zero
    counters as a key/value block, span histograms as a table. *)
@@ -280,14 +310,33 @@ let with_common c body =
   | None -> ()
   | Some "all" -> Icp.Portfolio.set_mode Icp.Portfolio.All
   | Some _ -> Icp.Portfolio.set_mode Icp.Portfolio.Curated);
-  if c.metrics || c.metrics_json <> None then Telemetry.set_metrics true;
+  if c.metrics || c.metrics_json <> None || c.metrics_prom <> None then
+    Telemetry.set_metrics true;
   if c.trace <> None then begin
     Telemetry.set_metrics true;
     Telemetry.set_trace true
   end;
+  (match c.journal with
+  | Some path -> Journal.set_sink (Journal.To_file path)
+  | None -> ());
+  (* The heartbeat reads the always-on telemetry registry, so it needs
+     no switches; it only exists while the body runs. *)
+  let progress =
+    if c.progress then Some (Journal.Progress.start ()) else None
+  in
+  let finish_observers () =
+    Option.iter Journal.Progress.stop progress;
+    Journal.close ();
+    match c.journal with
+    | Some path -> Fmt.pr "wrote %s (provenance journal)@." path
+    | None -> ()
+  in
   match body () with
-  | Error _ as e -> e
+  | Error _ as e ->
+      finish_observers ();
+      e
   | Ok items ->
+      finish_observers ();
       let winner_items =
         match Icp.Portfolio.last_winner () with
         | Some name -> [ Report.winner name ]
@@ -301,6 +350,13 @@ let with_common c body =
           output_char oc '\n';
           close_out oc;
           Fmt.pr "wrote %s (telemetry metrics)@." path
+      | None -> ());
+      (match c.metrics_prom with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Telemetry.Metrics.to_prometheus ());
+          close_out oc;
+          Fmt.pr "wrote %s (Prometheus metrics)@." path
       | None -> ());
       (match c.trace with
       | Some path ->
@@ -724,41 +780,208 @@ let export_cmd =
         (const export $ logs_term $ model_arg $ t_end_arg $ param_arg $ goal_arg
        $ goal_modes_arg $ k_arg $ box_arg $ output_arg))
 
-(* ---- trace-check ---- *)
+(* ---- explain ---- *)
 
-let trace_check () file =
-  match Telemetry.Trace.validate_file file with
-  | Error msg -> Error (`Msg (Printf.sprintf "%s: invalid trace: %s" file msg))
-  | Ok c ->
-      Report.print
-        [ Report.heading (Printf.sprintf "Trace check: %s" file);
-          Report.kv
-            [ ("events", string_of_int c.Telemetry.Trace.events);
-              ("begin/end pairs",
-               Printf.sprintf "%d/%d" c.Telemetry.Trace.begins
-                 c.Telemetry.Trace.ends);
-              ("instants", string_of_int c.Telemetry.Trace.instants);
-              ("domains",
-               String.concat ", "
-                 (List.map string_of_int c.Telemetry.Trace.tids));
-              ("max span depth", string_of_int c.Telemetry.Trace.max_depth) ];
-          Report.text "trace is well-formed (begin/end balanced per domain)" ];
-      Ok ()
+let write_or_stdout path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+  end
+
+let explain () file json dot max_nodes no_audit =
+  match Journal.load file with
+  | Error msg -> Error (`Msg (Printf.sprintf "%s: invalid journal: %s" file msg))
+  | Ok records ->
+      let forest = Journal.reconstruct records in
+      (match json with
+      | Some path -> write_or_stdout path (Journal.provenance_json forest ^ "\n")
+      | None -> print_string (Journal.report forest));
+      (match dot with
+      | Some path -> write_or_stdout path (Journal.to_dot ~max_nodes forest)
+      | None -> ());
+      if no_audit then Ok ()
+      else begin
+        match Journal.audit forest with
+        | [] ->
+            Fmt.pr "audit: clean (%d records, %d runs)@." (List.length records)
+              (List.length (Journal.runs forest));
+            Ok ()
+        | problems ->
+            Error
+              (`Msg
+                (Printf.sprintf "%s: audit failed:\n  %s" file
+                   (String.concat "\n  " problems)))
+      end
+
+let explain_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"NDJSON provenance journal written by --journal / BIOMC_JOURNAL.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the provenance payload as JSON to $(docv) ('-' for stdout) \
+             instead of printing the human-readable report.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Also write a truncated Graphviz DOT export of the search forest \
+             ('-' for stdout).")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "max-nodes" ] ~docv:"N" ~doc:"Node cap of the DOT export.")
+  in
+  let no_audit_arg =
+    Arg.(value & flag & info [ "no-audit" ] ~doc:"Skip the soundness audit.")
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Reload a provenance journal, reconstruct the search forest and \
+         report verdict provenance (prune-reason breakdown per depth, \
+         witness chain for delta-sat, refutation cover for unsat), then \
+         audit it for soundness."
+  in
+  Cmd.v info
+    Term.(
+      term_result
+        (const explain $ logs_term $ file_arg $ json_arg $ dot_arg
+       $ max_nodes_arg $ no_audit_arg))
+
+(* ---- check-artifacts (and its historical alias trace-check) ---- *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Sniff what kind of artifact a file is: a Chrome trace is one JSON
+   object whose top level carries a "traceEvents" array; a journal is
+   NDJSON whose records never contain that key. *)
+let artifact_kind file =
+  let ic = open_in_bin file in
+  let n = Stdlib.min 4096 (in_channel_length ic) in
+  let head = really_input_string ic n in
+  close_in ic;
+  if contains_substring head "traceEvents" then `Trace else `Journal
+
+let check_one_artifact file =
+  match artifact_kind file with
+  | `Trace -> (
+      match Telemetry.Trace.validate_file file with
+      | Error msg ->
+          Error (Printf.sprintf "%s: invalid trace: %s" file msg)
+      | Ok c ->
+          Ok
+            [ Report.heading (Printf.sprintf "Trace check: %s" file);
+              Report.kv
+                [ ("events", string_of_int c.Telemetry.Trace.events);
+                  ("begin/end pairs",
+                   Printf.sprintf "%d/%d" c.Telemetry.Trace.begins
+                     c.Telemetry.Trace.ends);
+                  ("instants", string_of_int c.Telemetry.Trace.instants);
+                  ("domains",
+                   String.concat ", "
+                     (List.map string_of_int c.Telemetry.Trace.tids));
+                  ("max span depth",
+                   string_of_int c.Telemetry.Trace.max_depth) ];
+              Report.text
+                "trace is well-formed (begin/end balanced per domain)" ])
+  | `Journal -> (
+      match Journal.load file with
+      | Error msg -> Error (Printf.sprintf "%s: invalid journal: %s" file msg)
+      | Ok records -> (
+          let forest = Journal.reconstruct records in
+          match Journal.audit forest with
+          | [] ->
+              let runs = Journal.runs forest in
+              Ok
+                [ Report.heading (Printf.sprintf "Journal check: %s" file);
+                  Report.kv
+                    [ ("records", string_of_int (List.length records));
+                      ("runs", string_of_int (List.length runs));
+                      ("verdicts",
+                       String.concat "; "
+                         (List.map
+                            (fun (r : Journal.run_info) ->
+                              Printf.sprintf "%s: %s" r.Journal.kind
+                                (Option.value ~default:"(unfinished)"
+                                   r.Journal.verdict))
+                            runs)) ];
+                  Report.text "journal is sound (audit clean)" ]
+          | problems ->
+              Error
+                (Printf.sprintf "%s: audit failed:\n  %s" file
+                   (String.concat "\n  " problems))))
+
+let check_artifacts () files =
+  let failures =
+    List.filter_map
+      (fun file ->
+        match check_one_artifact file with
+        | Ok items ->
+            Report.print items;
+            None
+        | Error msg -> Some msg)
+      files
+  in
+  if failures = [] then Ok ()
+  else Error (`Msg (String.concat "\n" failures))
+
+let artifact_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Observability artifacts to validate: Chrome trace_event JSON \
+           files (--trace) and NDJSON provenance journals (--journal), \
+           type-sniffed per file.")
+
+let check_artifacts_cmd =
+  let info =
+    Cmd.info "check-artifacts"
+      ~doc:
+        "Validate observability artifacts: traces are parsed back and \
+         checked for begin/end balance per domain, journals are \
+         reconstructed and put through the soundness audit."
+  in
+  Cmd.v info
+    Term.(term_result (const check_artifacts $ logs_term $ artifact_files_arg))
 
 let trace_check_cmd =
   let file_arg =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file to validate.")
+      & info [] ~docv:"FILE" ~doc:"Artifact file to validate.")
   in
   let info =
     Cmd.info "trace-check"
       ~doc:
-        "Validate a Chrome trace_event JSON file written by --trace (parses \
-         it back and checks begin/end balance per domain)."
+        "Alias of check-artifacts for a single file (kept for \
+         compatibility; journals are accepted too)."
   in
-  Cmd.v info Term.(term_result (const trace_check $ logs_term $ file_arg))
+  Cmd.v info
+    Term.(
+      term_result
+        (const (fun () file -> check_artifacts () [ file ])
+        $ logs_term $ file_arg))
 
 (* ---- models listing ---- *)
 
@@ -795,6 +1018,7 @@ let main_cmd =
   let info = Cmd.info "biomc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ simulate_cmd; reach_cmd; robustness_cmd; therapy_cmd; stability_cmd;
-      smc_cmd; solve_cmd; synth_cmd; export_cmd; trace_check_cmd; list_cmd ]
+      smc_cmd; solve_cmd; synth_cmd; export_cmd; explain_cmd;
+      check_artifacts_cmd; trace_check_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -477,8 +477,15 @@ let contractor ?tol ?max_rounds ?newton:newton_req ?affine:affine_req
     if not (Cache.enabled ()) then base box
     else
       match Cache.find hc4_cache ~group box with
-      | Cache.Hit r -> r
-      | Cache.Subsumed (_, None) -> None
+      | Cache.Hit r ->
+          (* journal provenance: a replayed refutation is a
+             "cache-replay" prune, not a fresh hc4-empty *)
+          if Option.is_none r && Journal.on () then
+            Journal.set_reason ~group "cache-replay";
+          r
+      | Cache.Subsumed (_, None) ->
+          if Journal.on () then Journal.set_reason ~group "cache-replay";
+          None
       | Cache.Subsumed (_, Some parent) ->
           let seeded = Box.inter box parent in
           let r = if Box.is_empty seeded then None else base seeded in

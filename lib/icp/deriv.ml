@@ -233,6 +233,7 @@ let contract_inner sys box =
         done;
         if I.is_empty (I.inter !mv e.target) then begin
           Telemetry.Counter.incr m_prunings;
+          if Journal.on () then Journal.set_reason "mean-value";
           raise Refuted
         end;
         (* Gauss–Seidel Newton step per variable with 0 ∉ Gᵢ. *)
@@ -255,6 +256,7 @@ let contract_inner sys box =
             let refined = I.inter ws.dom.(vi) candidate in
             if I.is_empty refined then begin
               Telemetry.Counter.incr m_prunings;
+              if Journal.on () then Journal.set_reason "newton";
               raise Refuted
             end;
             if not (I.equal refined ws.dom.(vi)) then begin

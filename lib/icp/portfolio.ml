@@ -152,6 +152,7 @@ let last : string option Atomic.t = Atomic.make None
 
 let record_win name =
   Telemetry.Counter.incr (win_counter name);
+  if Journal.on () then Journal.racer ~event:"win" ~strategy:name;
   Atomic.set last (Some name)
 
 let last_winner () = Atomic.get last

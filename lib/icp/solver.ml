@@ -49,6 +49,23 @@ let m_pave_boxes = Telemetry.Counter.make ~always:true "icp.pave.boxes"
 let m_pave_splits = Telemetry.Counter.make ~always:true "icp.pave.splits"
 let m_pave_prunings = Telemetry.Counter.make ~always:true "icp.pave.prunings"
 
+(* Provenance journal rendering: boxes are pre-rendered to (var, lo, hi)
+   arrays so the journal library does not depend on [Interval].  Search
+   loops thread a journal node id alongside each (box, depth) work item;
+   the id is 0 (and never read) when journaling is off, so the disabled
+   search differs from the pre-journal code only by dead tuple slots. *)
+let jbounds b =
+  Array.of_list
+    (List.map (fun (x, i) -> (x, I.lo i, I.hi i)) (Box.to_list b))
+
+let journal_flags jobs =
+  [ ("newton", string_of_bool (Deriv.enabled ()));
+    ("affine", string_of_bool (Interval.Affine.enabled ()));
+    ("cache", string_of_bool (Cache.enabled ()));
+    ("tape", string_of_bool (Expr.Tape.enabled ()));
+    ("portfolio", string_of_bool (Portfolio.active ()));
+    ("jobs", string_of_int jobs) ]
+
 type config = {
   delta : float;  (** perturbation bound δ of the δ-decision problem *)
   epsilon : float;  (** boxes thinner than this are no longer split *)
@@ -241,6 +258,10 @@ let process_box_inner cfg stats ?refuted ?dsys contract formula b =
   in
   if known_refuted then begin
     stats.prunings <- stats.prunings + 1;
+    (if Journal.on () then
+       match refuted with
+       | Some group -> Journal.set_reason ~group "cache-replay"
+       | None -> ());
     Pruned
   end
   else
@@ -258,6 +279,7 @@ let process_box_inner cfg stats ?refuted ?dsys contract formula b =
       else if not (Expr.Formula.sat_possible ~delta:cfg.delta b' formula) then begin
         record_refuted ();
         stats.prunings <- stats.prunings + 1;
+        if Journal.on () then Journal.set_reason "sat-impossible";
         Pruned
       end
       else begin
@@ -309,29 +331,63 @@ let conjunction_contractor cfg atoms =
    [spend] consumes one unit of the (possibly shared) box budget and
    reports whether any budget remains; [cancelled] is polled once per box
    so a portfolio winner on another domain stops this search promptly. *)
-let decide_conjunction ?(cancelled = fun () -> false) ~spend cfg stats formula
-    atoms box =
+let decide_conjunction ?(cancelled = fun () -> false) ?root_label ~spend cfg
+    stats formula atoms box =
   let contract = conjunction_contractor cfg atoms in
   let refuted = refuted_group cfg atoms in
   let dsys = conjunction_deriv ~delta:cfg.delta atoms in
+  let jon = Journal.on () in
+  let heur = if Option.is_some dsys then "smear" else "bisect" in
   let rec loop = function
     | [] -> Unsat
-    | (b, depth) :: rest ->
+    | (b, depth, jid) :: rest ->
         if cancelled () then Unknown "cancelled"
         else begin
           stats.boxes_processed <- stats.boxes_processed + 1;
           if depth > stats.max_depth then stats.max_depth <- depth;
-          if not (spend ()) then Unknown "box budget exhausted"
+          if jon then begin
+            Journal.enter ~id:jid ~depth;
+            Journal.clear_reason ()
+          end;
+          if not (spend ()) then begin
+            if jon then
+              Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
+            Unknown "box budget exhausted"
+          end
           else
             match process_box cfg stats ?refuted ?dsys contract formula b with
-            | Pruned -> loop rest
-            | Found r -> r
+            | Pruned ->
+                if jon then begin
+                  let reason, group = Journal.take_reason () in
+                  Journal.prune ~id:jid ~reason ?group ()
+                end;
+                loop rest
+            | Found r ->
+                (if jon then
+                   match r with
+                   | Delta_sat w ->
+                       Journal.sat ~id:jid ~point:w.point
+                         ~certified:w.certified (jbounds w.box)
+                   | _ -> ());
+                r
             | Split_into (l, r) ->
                 stats.splits <- stats.splits + 1;
-                loop ((l, depth + 1) :: (r, depth + 1) :: rest)
+                let lid, rid =
+                  if jon then begin
+                    let lid = Journal.fresh_id () in
+                    let rid = Journal.fresh_id () in
+                    Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                      ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                    (lid, rid)
+                  end
+                  else (0, 0)
+                in
+                loop ((l, depth + 1, lid) :: (r, depth + 1, rid) :: rest)
         end
   in
-  loop [ (box, 0) ]
+  let root_id = if jon then Journal.fresh_id () else 0 in
+  if jon then Journal.root ~id:root_id ?label:root_label (jbounds box);
+  loop [ (box, 0, root_id) ]
 
 (* ---- Parallel search machinery ---- *)
 
@@ -361,27 +417,57 @@ let decide_conjunction_parallel ~jobs ~spend cfg worker_stats formula atoms box 
   let contract = conjunction_contractor cfg atoms in
   let refuted = refuted_group cfg atoms in
   let dsys = conjunction_deriv ~delta:cfg.delta atoms in
+  let jon = Journal.on () in
+  let heur = if Option.is_some dsys then "smear" else "bisect" in
   let cell = make_verdict_cell () in
-  let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
-  Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth) ->
+  let root_id = if jon then Journal.fresh_id () else 0 in
+  if jon then Journal.root ~id:root_id (jbounds box);
+  let fr = Parallel.Pool.Frontier.create [ (box, 0, root_id) ] in
+  Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth, jid) ->
       let stats = worker_stats.(w) in
       stats.boxes_processed <- stats.boxes_processed + 1;
       if depth > stats.max_depth then stats.max_depth <- depth;
+      if jon then begin
+        Journal.enter ~id:jid ~depth;
+        Journal.clear_reason ()
+      end;
       if not (spend w) then begin
+        if jon then
+          Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
         record_verdict cell (Unknown "box budget exhausted");
         Parallel.Pool.Frontier.stop fr
       end
       else
         match process_box cfg stats ?refuted ?dsys contract formula b with
-        | Pruned -> ()
+        | Pruned ->
+            if jon then begin
+              let reason, group = Journal.take_reason () in
+              Journal.prune ~id:jid ~reason ?group ()
+            end
         | Found r ->
+            (if jon then
+               match r with
+               | Delta_sat w ->
+                   Journal.sat ~id:jid ~point:w.point ~certified:w.certified
+                     (jbounds w.box)
+               | _ -> ());
             record_verdict cell r;
             Parallel.Pool.Frontier.stop fr
         | Split_into (l, r) ->
             stats.splits <- stats.splits + 1;
+            let lid, rid =
+              if jon then begin
+                let lid = Journal.fresh_id () in
+                let rid = Journal.fresh_id () in
+                Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                  ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                (lid, rid)
+              end
+              else (0, 0)
+            in
             (* one publish for both halves; the left is popped next *)
             Parallel.Pool.Frontier.push_batch slot
-              [ (l, depth + 1); (r, depth + 1) ]);
+              [ (l, depth + 1, lid); (r, depth + 1, rid) ]);
   match Atomic.get cell with Some v -> v | None -> Unsat
 
 (* Portfolio over DNF branches: each branch is searched (sequentially)
@@ -399,8 +485,8 @@ let decide_branches_portfolio ~jobs ~spend cfg worker_stats branches box =
         Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
       in
       match
-        decide_conjunction ~cancelled ~spend:(fun () -> spend w) cfg stats conj
-          atoms box
+        decide_conjunction ~cancelled ~root_label:"dnf-branch"
+          ~spend:(fun () -> spend w) cfg stats conj atoms box
       with
       | Unsat -> ()
       | Delta_sat _ as r ->
@@ -510,6 +596,10 @@ let racer_process_box cfg stats strategy ?refuted ?dsys contract ~depth
   in
   if known_refuted then begin
     stats.prunings <- stats.prunings + 1;
+    (if Journal.on () then
+       match refuted with
+       | Some group -> Journal.set_reason ~group "cache-replay"
+       | None -> ());
     Pruned
   end
   else
@@ -528,6 +618,7 @@ let racer_process_box cfg stats strategy ?refuted ?dsys contract ~depth
         then begin
           record_refuted ();
           stats.prunings <- stats.prunings + 1;
+          if Journal.on () then Journal.set_reason "sat-impossible";
           Pruned
         end
         else begin
@@ -550,6 +641,7 @@ let racer_process_box cfg stats strategy ?refuted ?dsys contract ~depth
    own budget lease.  Once the budget is out the remaining branches
    could only come back Unknown too, so the racer retires at once. *)
 let racer_decide cfg stats ~cancelled ~spend strategy ~epoch formula box =
+  let jon = Journal.on () in
   let rec branch_loop = function
     | [] -> Unsat
     | atoms :: rest -> (
@@ -559,32 +651,71 @@ let racer_decide cfg stats ~cancelled ~spend strategy ~epoch formula box =
         in
         let dsys = strategy_deriv strategy ~delta:cfg.delta atoms in
         let refuted = portfolio_refuted_group cfg ~epoch atoms in
+        let heur =
+          match strategy.Portfolio.order with
+          | Portfolio.Round_robin -> "rr"
+          | Portfolio.Widest -> if Option.is_some dsys then "smear" else "bisect"
+        in
         let conj =
           Expr.Formula.and_ (List.map (fun a -> Expr.Formula.Atom a) atoms)
         in
         let rec loop = function
           | [] -> branch_loop rest
-          | (b, depth) :: tail ->
+          | (b, depth, jid) :: tail ->
               if cancelled () then Unknown "cancelled"
               else begin
                 stats.boxes_processed <- stats.boxes_processed + 1;
                 if depth > stats.max_depth then stats.max_depth <- depth;
-                if not (spend ()) then Unknown "box budget exhausted"
+                if jon then begin
+                  Journal.enter ~id:jid ~depth;
+                  Journal.clear_reason ()
+                end;
+                if not (spend ()) then begin
+                  if jon then
+                    Journal.leaf ~id:jid ~cls:"undecided"
+                      ~reason:"budget-exhaust" ();
+                  Unknown "box budget exhausted"
+                end
                 else
                   match
                     racer_process_box cfg stats strategy ?refuted ?dsys
                       contract ~depth conj b
                   with
-                  | Pruned -> loop tail
-                  | Found r -> r
+                  | Pruned ->
+                      if jon then begin
+                        let reason, group = Journal.take_reason () in
+                        Journal.prune ~id:jid ~reason ?group ()
+                      end;
+                      loop tail
+                  | Found r ->
+                      (if jon then
+                         match r with
+                         | Delta_sat w ->
+                             Journal.sat ~id:jid ~point:w.point
+                               ~certified:w.certified (jbounds w.box)
+                         | _ -> ());
+                      r
                   | Split_into (l, r) ->
                       stats.splits <- stats.splits + 1;
-                      loop ((l, depth + 1) :: (r, depth + 1) :: tail)
+                      let lid, rid =
+                        if jon then begin
+                          let lid = Journal.fresh_id () in
+                          let rid = Journal.fresh_id () in
+                          Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                            ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                          (lid, rid)
+                        end
+                        else (0, 0)
+                      in
+                      loop ((l, depth + 1, lid) :: (r, depth + 1, rid) :: tail)
               end
         in
+        let root_id = if jon then Journal.fresh_id () else 0 in
+        if jon then
+          Journal.root ~id:root_id ~label:strategy.Portfolio.name (jbounds box);
         (* [loop []] tail-calls [branch_loop rest], so the only way out
            with [Unsat] is every branch of every disjunct refuted. *)
-        loop [ (box, 0) ])
+        loop [ (box, 0, root_id) ])
   in
   branch_loop (Expr.Formula.dnf formula)
 
@@ -639,18 +770,28 @@ let decide_portfolio cfg stats formula box =
       let locals = Array.map Parallel.Pool.Lease.local leases in
       let racer_stats = Array.init n (fun _ -> fresh_stats ()) in
       let results = Array.make n None in
+      let jon = Journal.on () in
       let tasks =
         List.mapi
           (fun i s ~cancelled ~conclude ->
             (* Construction is inside the task: racers cancelled before
                they run never compile their tapes. *)
             if not (cancelled ()) then begin
+              if jon then
+                Journal.racer ~event:"start" ~strategy:s.Portfolio.name;
               let spend () = Parallel.Pool.Lease.spend locals.(i) in
               let r =
                 racer_decide cfg racer_stats.(i) ~cancelled ~spend s ~epoch
                   formula box
               in
               results.(i) <- Some (s.Portfolio.name, r);
+              (if jon then
+                 match r with
+                 | Unknown "cancelled" ->
+                     Journal.racer ~event:"cancel" ~strategy:s.Portfolio.name
+                 | Unknown _ ->
+                     Journal.racer ~event:"retire" ~strategy:s.Portfolio.name
+                 | _ -> ());
               if conclusive r then conclude i
             end)
           strategies
@@ -737,16 +878,37 @@ let decide_with_stats_inner ?(config = default_config) ?strategy formula box =
   in
   (result, stats)
 
+let verdict_string = function
+  | Unsat -> "unsat"
+  | Delta_sat _ -> "delta-sat"
+  | Unknown _ -> "unknown"
+
 let decide_with_stats ?config ?strategy formula box =
   Telemetry.Span.with_ tm_decide (fun () ->
-      let ((_, stats) as r) =
-        decide_with_stats_inner ?config ?strategy formula box
+      let jrun =
+        if Journal.on () then begin
+          let cfg = Option.value config ~default:default_config in
+          Journal.begin_run ~kind:"decide"
+            ~flags:(journal_flags (Stdlib.max 1 cfg.jobs))
+            ()
+        end
+        else 0
       in
-      Telemetry.Counter.add m_decide_boxes stats.boxes_processed;
-      Telemetry.Counter.add m_decide_splits stats.splits;
-      Telemetry.Counter.add m_decide_prunings stats.prunings;
-      Telemetry.Counter.add m_decide_certifications stats.certifications;
-      r)
+      match decide_with_stats_inner ?config ?strategy formula box with
+      | ((result, stats) as r) ->
+          Telemetry.Counter.add m_decide_boxes stats.boxes_processed;
+          Telemetry.Counter.add m_decide_splits stats.splits;
+          Telemetry.Counter.add m_decide_prunings stats.prunings;
+          Telemetry.Counter.add m_decide_certifications stats.certifications;
+          if jrun <> 0 then
+            Journal.end_run
+              ~truncated:(match result with Unknown _ -> true | _ -> false)
+              ~verdict:(verdict_string result) jrun;
+          r
+      | exception e ->
+          if jrun <> 0 then
+            Journal.end_run ~truncated:true ~verdict:"error" jrun;
+          raise e)
 
 let decide ?config ?strategy formula box =
   fst (decide_with_stats ?config ?strategy formula box)
@@ -811,12 +973,19 @@ let pave_step cfg ?refuted ?dsys contract formula b =
     | None -> ()
     | Some group -> Cache.add refuted_cache ~group b ()
   in
-  if known_unsat then Pave_unsat
+  if known_unsat then begin
+    (if Journal.on () then
+       match refuted with
+       | Some group -> Journal.set_reason ~group "cache-replay"
+       | None -> ());
+    Pave_unsat
+  end
   else
   match Expr.Formula.eval_cert b formula with
   | Expr.Formula.Certain -> Pave_sat
   | Expr.Formula.Impossible ->
       record_unsat ();
+      if Journal.on () then Journal.set_reason "eval-impossible";
       Pave_unsat
   | Expr.Formula.Unknown ->
       (* Contraction accelerates carving of the unsat region, but the
@@ -861,36 +1030,65 @@ let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
     | None -> ()
     | Some group -> Cache.add refuted_cache ~group b ()
   in
+  let jon = Journal.on () in
+  let heur =
+    match strategy.Portfolio.order with
+    | Portfolio.Round_robin -> "rr"
+    | Portfolio.Widest -> if Option.is_some dsys then "smear" else "bisect"
+  in
   let sat = ref [] and unsat = ref [] and undecided = ref [] in
   let truncated = ref false in
   let rec loop = function
     | [] -> ()
     | rest when cancelled () ->
         truncated := true;
-        List.iter (fun (b, _) -> undecided := b :: !undecided) rest
-    | (b, depth) :: tail ->
-        if Box.is_empty b then loop tail
+        List.iter
+          (fun (b, _, jid) ->
+            if jon then
+              Journal.leaf ~id:jid ~cls:"undecided" ~reason:"cancelled" ();
+            undecided := b :: !undecided)
+          rest
+    | (b, depth, jid) :: tail ->
+        if Box.is_empty b then begin
+          if jon then Journal.leaf ~id:jid ~cls:"empty" ();
+          loop tail
+        end
         else if not (spend ()) then begin
           truncated := true;
+          if jon then
+            Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
           undecided := b :: !undecided;
           loop tail
         end
         else begin
           stats.boxes_processed <- stats.boxes_processed + 1;
           if depth > stats.max_depth then stats.max_depth <- depth;
+          if jon then begin
+            Journal.enter ~id:jid ~depth;
+            Journal.clear_reason ()
+          end;
           if known_unsat b then begin
             stats.prunings <- stats.prunings + 1;
+            if jon then begin
+              (match refuted with
+              | Some group -> Journal.set_reason ~group "cache-replay"
+              | None -> ());
+              let reason, group = Journal.take_reason () in
+              Journal.prune ~id:jid ~reason ?group ()
+            end;
             unsat := b :: !unsat;
             loop tail
           end
           else
             match Expr.Formula.eval_cert b formula with
             | Expr.Formula.Certain ->
+                if jon then Journal.leaf ~id:jid ~cls:"sat" ();
                 sat := b :: !sat;
                 loop tail
             | Expr.Formula.Impossible ->
                 record_unsat b;
                 stats.prunings <- stats.prunings + 1;
+                if jon then Journal.prune ~id:jid ~reason:"eval-impossible" ();
                 unsat := b :: !unsat;
                 loop tail
             | Expr.Formula.Unknown ->
@@ -900,6 +1098,10 @@ let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
                 if infeasible then begin
                   record_unsat b;
                   stats.prunings <- stats.prunings + 1;
+                  if jon then begin
+                    let reason, group = Journal.take_reason () in
+                    Journal.prune ~id:jid ~reason ?group ()
+                  end;
                   unsat := b :: !unsat;
                   loop tail
                 end
@@ -910,13 +1112,29 @@ let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
                   with
                   | Some (l, r) ->
                       stats.splits <- stats.splits + 1;
-                      loop ((l, depth + 1) :: (r, depth + 1) :: tail)
+                      let lid, rid =
+                        if jon then begin
+                          let lid = Journal.fresh_id () in
+                          let rid = Journal.fresh_id () in
+                          Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                            ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                          (lid, rid)
+                        end
+                        else (0, 0)
+                      in
+                      loop ((l, depth + 1, lid) :: (r, depth + 1, rid) :: tail)
                   | None ->
+                      if jon then
+                        Journal.leaf ~id:jid ~cls:"undecided"
+                          ~reason:"sub-epsilon" ();
                       undecided := b :: !undecided;
                       loop tail)
         end
   in
-  loop [ (box, 0) ];
+  let root_id = if jon then Journal.fresh_id () else 0 in
+  if jon then
+    Journal.root ~id:root_id ~label:strategy.Portfolio.name (jbounds box);
+  loop [ (box, 0, root_id) ];
   ( { sat = !sat; unsat = !unsat; undecided = !undecided }, !truncated )
 
 let pave_strategy_inner cfg strategy formula box =
@@ -953,16 +1171,23 @@ let pave_portfolio cfg formula box =
       let locals = Array.map Parallel.Pool.Lease.local leases in
       let racer_stats = Array.init n (fun _ -> fresh_stats ()) in
       let results = Array.make n None in
+      let jon = Journal.on () in
       let tasks =
         List.mapi
           (fun i s ~cancelled ~conclude ->
             if not (cancelled ()) then begin
+              if jon then
+                Journal.racer ~event:"start" ~strategy:s.Portfolio.name;
               let spend () = Parallel.Pool.Lease.spend locals.(i) in
               let p, truncated =
                 racer_pave cfg racer_stats.(i) ~cancelled ~spend s ~epoch
                   formula box
               in
               results.(i) <- Some (s.Portfolio.name, p, truncated);
+              (if jon && truncated then
+                 Journal.racer
+                   ~event:(if cancelled () then "cancel" else "retire")
+                   ~strategy:s.Portfolio.name);
               if not truncated then conclude i
             end)
           strategies
@@ -1016,30 +1241,62 @@ let pave_default ?(config = default_config) formula box =
        [jobs = 1] (or on a one-domain budget) the frontier's sequential
        drive makes this the historical sequential paving — same DFS
        order, so even the leaf list order is identical. *)
+    let jon = Journal.on () in
+    let heur = if Option.is_some dsys then "smear" else "bisect" in
     let lease = Parallel.Pool.Lease.create ~total:config.max_boxes () in
     let locals = Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease) in
     let worker_stats = Array.init jobs (fun _ -> fresh_stats ()) in
     let acc = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
-    let fr = Parallel.Pool.Frontier.create [ (box, 0) ] in
-    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth) ->
+    let root_id = if jon then Journal.fresh_id () else 0 in
+    if jon then Journal.root ~id:root_id (jbounds box);
+    let fr = Parallel.Pool.Frontier.create [ (box, 0, root_id) ] in
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (b, depth, jid) ->
         let st = worker_stats.(w) in
         let sat, unsat, undecided = acc.(w) in
-        if Box.is_empty b then ()
-        else if not (Parallel.Pool.Lease.spend locals.(w)) then
+        if Box.is_empty b then begin
+          if jon then Journal.leaf ~id:jid ~cls:"empty" ()
+        end
+        else if not (Parallel.Pool.Lease.spend locals.(w)) then begin
+          if jon then
+            Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
           undecided := b :: !undecided
+        end
         else begin
           st.boxes_processed <- st.boxes_processed + 1;
           if depth > st.max_depth then st.max_depth <- depth;
+          if jon then begin
+            Journal.enter ~id:jid ~depth;
+            Journal.clear_reason ()
+          end;
           match pave_step config ?refuted ?dsys contract formula b with
-          | Pave_sat -> sat := b :: !sat
+          | Pave_sat ->
+              if jon then Journal.leaf ~id:jid ~cls:"sat" ();
+              sat := b :: !sat
           | Pave_unsat ->
               st.prunings <- st.prunings + 1;
+              if jon then begin
+                let reason, group = Journal.take_reason () in
+                Journal.prune ~id:jid ~reason ?group ()
+              end;
               unsat := b :: !unsat
           | Pave_split (l, r) ->
               st.splits <- st.splits + 1;
+              let lid, rid =
+                if jon then begin
+                  let lid = Journal.fresh_id () in
+                  let rid = Journal.fresh_id () in
+                  Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                    ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                  (lid, rid)
+                end
+                else (0, 0)
+              in
               Parallel.Pool.Frontier.push_batch slot
-                [ (l, depth + 1); (r, depth + 1) ]
-          | Pave_undecided -> undecided := b :: !undecided
+                [ (l, depth + 1, lid); (r, depth + 1, rid) ]
+          | Pave_undecided ->
+              if jon then
+                Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon" ();
+              undecided := b :: !undecided
         end);
     Array.iter Parallel.Pool.Lease.return_unspent locals;
     Array.iter (merge_stats stats) worker_stats;
@@ -1064,13 +1321,32 @@ let pave_with_stats_inner ?(config = default_config) ?strategy formula box =
 
 let pave_with_stats ?config ?strategy formula box =
   Telemetry.Span.with_ tm_pave (fun () ->
-      let ((_, stats) as r) =
-        pave_with_stats_inner ?config ?strategy formula box
+      let jrun =
+        if Journal.on () then begin
+          let cfg = Option.value config ~default:default_config in
+          Journal.begin_run ~kind:"pave"
+            ~flags:(journal_flags (Stdlib.max 1 cfg.jobs))
+            ()
+        end
+        else 0
       in
-      Telemetry.Counter.add m_pave_boxes stats.boxes_processed;
-      Telemetry.Counter.add m_pave_splits stats.splits;
-      Telemetry.Counter.add m_pave_prunings stats.prunings;
-      r)
+      match pave_with_stats_inner ?config ?strategy formula box with
+      | ((paving, stats) as r) ->
+          Telemetry.Counter.add m_pave_boxes stats.boxes_processed;
+          Telemetry.Counter.add m_pave_splits stats.splits;
+          Telemetry.Counter.add m_pave_prunings stats.prunings;
+          if jrun <> 0 then
+            Journal.end_run
+              ~verdict:
+                (Printf.sprintf "paving sat=%d unsat=%d undecided=%d"
+                   (List.length paving.sat) (List.length paving.unsat)
+                   (List.length paving.undecided))
+              jrun;
+          r
+      | exception e ->
+          if jrun <> 0 then
+            Journal.end_run ~truncated:true ~verdict:"error" jrun;
+          raise e)
 
 let pave ?config ?strategy formula box =
   fst (pave_with_stats ?config ?strategy formula box)

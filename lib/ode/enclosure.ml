@@ -394,7 +394,19 @@ let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
     Telemetry.Counter.add m_steps (List.length tube.steps);
     (tube, !iters)
   in
-  if not (Cache.enabled ()) then fst (run ())
+  (* Journal provenance of the tube this flow returned: inside a
+     journaled reach/synth run every integration (fresh, warm-started
+     or replayed) leaves one record, so explain can report how much of
+     the verdict rested on cached dynamics. *)
+  let jemit ~cached tube =
+    if Journal.on () && Journal.in_run () then
+      Journal.tube
+        ~sys:(String.sub (Digest.to_hex (Digest.string (System.digest sys))) 0 12)
+        ~t0 ~t1:tube.t_end ~steps:(List.length tube.steps)
+        ~complete:tube.complete ~cached;
+    tube
+  in
+  if not (Cache.enabled ()) then jemit ~cached:false (fst (run ()))
   else begin
     let group =
       Printf.sprintf "flow|%s|%s|%b|%b|%h|%h" (System.digest sys)
@@ -407,17 +419,17 @@ let flow ?(config = default_config) ?prepared ?(t0 = 0.0) ~params ~init ~t_end
     in
     let key = Box.join params init in
     match Cache.find tube_cache ~group key with
-    | Cache.Hit (tube, _) -> tube
+    | Cache.Hit (tube, _) -> jemit ~cached:true tube
     | Cache.Subsumed (_, (ctube, citers))
       when Expr.Tape.enabled () && ctube.complete ->
         let tube, iters = run ~warm:ctube.steps () in
         Cache.note_warm_start tube_cache ~saved_iterations:(citers - iters);
         Cache.add tube_cache ~group key (tube, iters);
-        tube
+        jemit ~cached:true tube
     | Cache.Subsumed _ | Cache.Miss ->
         let tube, iters = run () in
         Cache.add tube_cache ~group key (tube, iters);
-        tube
+        jemit ~cached:false tube
   end
 
 (* Hull of the tube over its whole time span. *)

@@ -49,6 +49,21 @@ let m_paths = Telemetry.Counter.make "reach.paths"
 let m_segments = Telemetry.Counter.make "reach.segments"
 let m_brackets = Telemetry.Counter.make "reach.fallback_brackets"
 
+(* Provenance journal support (same conventions as Icp.Solver): boxes
+   are pre-rendered, node ids ride alongside the search items and are 0
+   when journaling is off. *)
+let jbounds b =
+  Array.of_list
+    (List.map (fun (x, i) -> (x, I.lo i, I.hi i)) (Box.to_list b))
+
+let journal_flags jobs =
+  [ ("newton", string_of_bool (Icp.Deriv.enabled ()));
+    ("affine", string_of_bool (Interval.Affine.enabled ()));
+    ("cache", string_of_bool (Cache.enabled ()));
+    ("tape", string_of_bool (Expr.Tape.enabled ()));
+    ("portfolio", string_of_bool (Icp.Portfolio.active ()));
+    ("jobs", string_of_int jobs) ]
+
 type config = {
   delta : float;
   epsilon : float;  (** minimum search-box width before giving up splitting *)
@@ -277,18 +292,32 @@ let flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
     | steps -> Some { steps; rigorous = false }
   end
 
-let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
-  if not (Cache.enabled ()) then
+let flow_enclosure ?jseg cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
+  (* [jseg = (path, depth, mode)]: journal one segment record per flow
+     step of a path unrolling, tagged with whether the enclosure came
+     out of the segment store or was integrated afresh. *)
+  let jemit ~cached =
+    match jseg with
+    | Some (p, i, m) when Journal.on () && Journal.in_run () ->
+        Journal.seg ~path:p ~index:i ~mode:m ~cached
+    | _ -> ()
+  in
+  if not (Cache.enabled ()) then begin
+    jemit ~cached:false;
     flow_enclosure_uncached cfg pb_sys ~prepared ~params_box ~init_box ~t_end
+  end
   else begin
     let group = seg_group cfg pb_sys ~t_end in
     let key = Box.join params_box init_box in
     match Cache.find seg_cache ~group key with
-    | Cache.Hit seg -> seg
+    | Cache.Hit seg ->
+        jemit ~cached:true;
+        seg
     | Cache.Subsumed (_, seg) ->
         (* Warm policy only: a containing box's enclosure (or its
            conservative [None]) is valid for this sub-box as-is. *)
         Cache.note_warm_start seg_cache ~saved_iterations:0;
+        jemit ~cached:true;
         seg
     | Cache.Miss ->
         let seg =
@@ -296,6 +325,7 @@ let flow_enclosure cfg pb_sys ~prepared ~params_box ~init_box ~t_end =
             ~t_end
         in
         Cache.add seg_cache ~group key seg;
+        jemit ~cached:false;
         seg
   end
 
@@ -449,7 +479,8 @@ let traced_segment ~depth f =
   Telemetry.Span.with_ ~arg:(float_of_int depth) tm_segment f
 
 (* `Infeasible of rigor | `Maybe *)
-let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
+let path_feasible ?(jpath = -1) cfg (pb : Encoding.t) prep path ~params_box
+    ~init_box =
   let automaton = pb.Encoding.automaton in
   let rec walk depth state_box rigorous = function
     | [] -> `Infeasible true
@@ -457,7 +488,7 @@ let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
         let sys = Hybrid.Automaton.mode_system automaton last in
         match
           traced_segment ~depth (fun () ->
-              flow_enclosure cfg sys
+              flow_enclosure ~jseg:(jpath, depth, last) cfg sys
                 ~prepared:(Hashtbl.find prep.flow_prep last)
                 ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound)
         with
@@ -473,7 +504,7 @@ let path_feasible cfg (pb : Encoding.t) prep path ~params_box ~init_box =
         let sys = Hybrid.Automaton.mode_system automaton q in
         match
           traced_segment ~depth (fun () ->
-              flow_enclosure cfg sys
+              flow_enclosure ~jseg:(jpath, depth, q) cfg sys
                 ~prepared:(Hashtbl.find prep.flow_prep q)
                 ~params_box ~init_box:state_box ~t_end:pb.Encoding.time_bound)
         with
@@ -601,12 +632,21 @@ let certify cfg pb path sbox =
 
 (* ---- Per-path branch and prune over the search box ---- *)
 
-let decide_path ?(cancelled = fun () -> false) ?strategy cfg pb prep path =
+let decide_path ?(cancelled = fun () -> false) ?(jindex = 0) ?strategy cfg pb
+    prep path =
   Telemetry.Counter.incr m_paths;
   Telemetry.Span.with_ ~arg:(float_of_int (List.length path)) tm_path
   @@ fun () ->
   let budget = ref cfg.max_param_boxes in
   let rigorous_all = ref true in
+  let jon = Journal.on () && Journal.in_run () in
+  let heur =
+    match strategy with
+    | Some { Icp.Portfolio.order = Icp.Portfolio.Round_robin; _ } -> "rr"
+    | _ -> "bisect"
+  in
+  if jon then
+    Journal.path_event ~index:jindex ~info:(String.concat "->" path);
   (* Strategy only changes the branch order here: the path search has no
      derivative system, so smear branching degrades to widest-first and
      the round-robin order is the one real alternative. *)
@@ -616,33 +656,74 @@ let decide_path ?(cancelled = fun () -> false) ?strategy cfg pb prep path =
         Icp.Portfolio.round_robin_split ~min_width:cfg.epsilon ~depth sbox
     | _ -> Box.split ~min_width:cfg.epsilon sbox
   in
-  let rec search depth sbox =
-    if cancelled () then Unknown "cancelled"
-    else if !budget <= 0 then Unknown "search box budget exhausted"
+  let rec search depth sbox jid =
+    if cancelled () then begin
+      if jon then Journal.leaf ~id:jid ~cls:"undecided" ~reason:"cancelled" ();
+      Unknown "cancelled"
+    end
+    else if !budget <= 0 then begin
+      if jon then
+        Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
+      Unknown "search box budget exhausted"
+    end
     else begin
       decr budget;
+      if jon then Journal.enter ~id:jid ~depth;
       let params_box, init_box = interpret_box pb sbox in
-      match path_feasible cfg pb prep path ~params_box ~init_box with
+      match path_feasible ~jpath:jindex cfg pb prep path ~params_box ~init_box
+      with
       | `Infeasible rigorous ->
           if not rigorous then rigorous_all := false;
+          if jon then
+            Journal.prune ~id:jid
+              ~reason:
+                (if rigorous then "path-infeasible"
+                 else "path-infeasible-bracket")
+              ();
           Unsat { rigorous }
       | `Maybe -> (
           match certify cfg pb path sbox with
-          | Some r -> r
+          | Some r ->
+              (if jon then
+                 match r with
+                 | Delta_sat w ->
+                     Journal.sat ~id:jid ~point:(w.params @ w.init)
+                       ~certified:w.certified (jbounds sbox)
+                 | _ -> ());
+              r
           | None -> (
               match split ~depth sbox with
               | Some (l, r) -> (
-                  match search (depth + 1) l with
+                  let lid, rid =
+                    if jon then begin
+                      let lid = Journal.fresh_id () in
+                      let rid = Journal.fresh_id () in
+                      Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                        ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                      (lid, rid)
+                    end
+                    else (0, 0)
+                  in
+                  match search (depth + 1) l lid with
                   | Unsat { rigorous = rl } -> (
-                      match search (depth + 1) r with
+                      match search (depth + 1) r rid with
                       | Unsat { rigorous = rr } -> Unsat { rigorous = rl && rr }
                       | other -> other)
                   | other -> other)
               | None ->
+                  if jon then
+                    Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon"
+                      ();
                   Unknown "sub-epsilon box survived pruning without a witness"))
     end
   in
-  search 0 (searchable_box pb)
+  let sbox = searchable_box pb in
+  let root_id = if jon then Journal.fresh_id () else 0 in
+  if jon then
+    Journal.root ~id:root_id
+      ~label:(Printf.sprintf "path%d:%s" jindex (String.concat "->" path))
+      (jbounds sbox);
+  search 0 sbox root_id
 
 (* ---- Public API ---- *)
 
@@ -660,18 +741,20 @@ let decide_path ?(cancelled = fun () -> false) ?strategy cfg pb prep path =
    sequential [check] loop, pollable for cancellation.  Used both for a
    forced [?strategy] baseline and as one racer of the portfolio. *)
 let scan_paths ?(cancelled = fun () -> false) ?strategy config pb prep paths =
-  let rec go unknown rigorous = function
+  let rec go i unknown rigorous = function
     | [] -> (
         match unknown with Some why -> Unknown why | None -> Unsat { rigorous })
     | path :: rest -> (
         Log.debug (fun m -> m "path %a" Fmt.(list ~sep:(any "->") string) path);
-        match decide_path ~cancelled ?strategy config pb prep path with
-        | Unsat { rigorous = r } -> go unknown (rigorous && r) rest
+        match
+          decide_path ~cancelled ~jindex:i ?strategy config pb prep path
+        with
+        | Unsat { rigorous = r } -> go (i + 1) unknown (rigorous && r) rest
         | Delta_sat w -> Delta_sat w
         | Unknown "cancelled" -> Unknown "cancelled"
-        | Unknown why -> go (Some why) rigorous rest)
+        | Unknown why -> go (i + 1) (Some why) rigorous rest)
   in
-  go None true paths
+  go 0 None true paths
 
 (* Race the portfolio lineup over full path scans.  Racers share the
    flow-tube segment store ([seg_cache] keys carry no strategy flags —
@@ -689,14 +772,23 @@ let check_portfolio config pb paths =
       let jobs = Stdlib.max 1 config.jobs in
       let n = List.length strategies in
       let results = Array.make n None in
+      let jon = Journal.on () in
       let tasks =
         List.mapi
           (fun i (s : Icp.Portfolio.strategy) ~cancelled ~conclude ->
             if not (cancelled ()) then begin
+              if jon then
+                Journal.racer ~event:"start" ~strategy:s.Icp.Portfolio.name;
               let prep = prepare_pb ~strategy:s pb in
               let r = scan_paths ~cancelled ~strategy:s config pb prep paths in
               results.(i) <- Some (s.Icp.Portfolio.name, r);
-              match r with Unknown _ -> () | Unsat _ | Delta_sat _ -> conclude i
+              match r with
+              | Unknown why ->
+                  if jon then
+                    Journal.racer
+                      ~event:(if why = "cancelled" then "cancel" else "retire")
+                      ~strategy:s.Icp.Portfolio.name
+              | Unsat _ | Delta_sat _ -> conclude i
             end)
           strategies
       in
@@ -749,7 +841,7 @@ let check_default config (pb : Encoding.t) paths =
     Parallel.Pool.Frontier.drain ~jobs fr (fun _w _slot i ->
         (* skip paths the sequential scan would never reach *)
         if i <= Atomic.get winner then begin
-          let r = decide_path config pb prep paths.(i) in
+          let r = decide_path ~jindex:i config pb prep paths.(i) in
           results.(i) <- Some r;
           match r with
           | Delta_sat _ ->
@@ -776,22 +868,48 @@ let check_default config (pb : Encoding.t) paths =
 
 let check ?(config = default_config) ?strategy (pb : Encoding.t) =
   Telemetry.Span.with_ tm_check @@ fun () ->
-  let paths =
-    List.sort
-      (fun a b -> compare (List.length a) (List.length b))
-      (Encoding.candidate_paths pb)
+  let jrun =
+    if Journal.on () then
+      Journal.begin_run ~kind:"reach"
+        ~flags:(journal_flags (Stdlib.max 1 config.jobs))
+        ()
+    else 0
   in
-  Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
-  match strategy with
-  | Some s ->
-      let prep = prepare_pb ~strategy:s pb in
-      scan_paths ~strategy:s config pb prep paths
-  | None ->
-      if Icp.Portfolio.active () then
-        match check_portfolio config pb paths with
-        | Some r -> r
-        | None -> check_default config pb paths
-      else check_default config pb paths
+  let finish r =
+    if jrun <> 0 then
+      Journal.end_run
+        ~truncated:(match r with Unknown _ -> true | _ -> false)
+        ~verdict:
+          (match r with
+          | Unsat _ -> "unsat"
+          | Delta_sat _ -> "delta-sat"
+          | Unknown _ -> "unknown")
+        jrun;
+    r
+  in
+  let body () =
+    let paths =
+      List.sort
+        (fun a b -> compare (List.length a) (List.length b))
+        (Encoding.candidate_paths pb)
+    in
+    Log.info (fun m -> m "checking %d candidate path(s)" (List.length paths));
+    match strategy with
+    | Some s ->
+        let prep = prepare_pb ~strategy:s pb in
+        scan_paths ~strategy:s config pb prep paths
+    | None ->
+        if Icp.Portfolio.active () then
+          match check_portfolio config pb paths with
+          | Some r -> r
+          | None -> check_default config pb paths
+        else check_default config pb paths
+  in
+  match body () with
+  | r -> finish r
+  | exception e ->
+      if jrun <> 0 then Journal.end_run ~truncated:true ~verdict:"error" jrun;
+      raise e
 
 (* Universal feasibility on jump-free paths (see the synthesis notes). *)
 let path_surely_reaches cfg (pb : Encoding.t) prep path ~params_box ~init_box =
@@ -840,6 +958,24 @@ type synth_outcome =
 
 let synthesize ?(config = default_config) (pb : Encoding.t) =
   Telemetry.Span.with_ tm_synth @@ fun () ->
+  let jrun =
+    if Journal.on () then
+      Journal.begin_run ~kind:"synth"
+        ~flags:(journal_flags (Stdlib.max 1 config.jobs))
+        ()
+    else 0
+  in
+  let jon = jrun <> 0 in
+  let finish s =
+    if jon then
+      Journal.end_run
+        ~verdict:
+          (Printf.sprintf "synthesis feasible=%d infeasible=%d undecided=%d"
+             (List.length s.feasible) (List.length s.infeasible)
+             (List.length s.undecided))
+        jrun;
+    s
+  in
   let paths =
     List.sort
       (fun a b -> compare (List.length a) (List.length b))
@@ -888,22 +1024,53 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
   if jobs = 1 then begin
     let feasible = ref [] and infeasible = ref [] and undecided = ref [] in
     let budget = ref config.max_param_boxes in
-    let rec go sbox =
-      if !budget <= 0 then undecided := (sbox, None) :: !undecided
+    let rec go depth sbox jid =
+      if !budget <= 0 then begin
+        if jon then
+          Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
+        undecided := (sbox, None) :: !undecided
+      end
       else begin
         decr budget;
+        if jon then Journal.enter ~id:jid ~depth;
         match classify sbox with
-        | Synth_feasible w -> feasible := (sbox, w) :: !feasible
+        | Synth_feasible w ->
+            if jon then Journal.leaf ~id:jid ~cls:"feasible" ();
+            feasible := (sbox, w) :: !feasible
         | Synth_infeasible rigorous ->
+            if jon then
+              Journal.prune ~id:jid
+                ~reason:
+                  (if rigorous then "path-infeasible"
+                   else "path-infeasible-bracket")
+                ();
             infeasible := (sbox, rigorous) :: !infeasible
         | Synth_split (l, r) ->
-            go l;
-            go r
-        | Synth_undecided w -> undecided := (sbox, w) :: !undecided
+            let lid, rid =
+              if jon then begin
+                let lid = Journal.fresh_id () in
+                let rid = Journal.fresh_id () in
+                Journal.split ~id:jid ~heur:"bisect" ~left:lid ~right:rid
+                  ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                (lid, rid)
+              end
+              else (0, 0)
+            in
+            go (depth + 1) l lid;
+            go (depth + 1) r rid
+        | Synth_undecided w ->
+            if jon then
+              Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon" ();
+            undecided := (sbox, w) :: !undecided
       end
     in
-    go (searchable_box pb);
-    { feasible = !feasible; infeasible = !infeasible; undecided = !undecided }
+    let sbox = searchable_box pb in
+    let root_id = if jon then Journal.fresh_id () else 0 in
+    if jon then Journal.root ~id:root_id (jbounds sbox);
+    go 0 sbox root_id;
+    finish
+      { feasible = !feasible; infeasible = !infeasible;
+        undecided = !undecided }
   end
   else begin
     (* Worker domains share the paving frontier and a leased box budget;
@@ -916,29 +1083,60 @@ let synthesize ?(config = default_config) (pb : Encoding.t) =
     in
     let locals = Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease) in
     let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
-    let fr = Parallel.Pool.Frontier.create [ searchable_box pb ] in
-    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot sbox ->
+    let sbox0 = searchable_box pb in
+    let root_id = if jon then Journal.fresh_id () else 0 in
+    if jon then Journal.root ~id:root_id (jbounds sbox0);
+    let fr = Parallel.Pool.Frontier.create [ (sbox0, 0, root_id) ] in
+    Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (sbox, depth, jid) ->
         let feasible, infeasible, undecided = accs.(w) in
-        if not (Parallel.Pool.Lease.spend locals.(w)) then
+        if not (Parallel.Pool.Lease.spend locals.(w)) then begin
+          if jon then
+            Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
           undecided := (sbox, None) :: !undecided
-        else
+        end
+        else begin
+          if jon then Journal.enter ~id:jid ~depth;
           match classify sbox with
-          | Synth_feasible wit -> feasible := (sbox, wit) :: !feasible
+          | Synth_feasible wit ->
+              if jon then Journal.leaf ~id:jid ~cls:"feasible" ();
+              feasible := (sbox, wit) :: !feasible
           | Synth_infeasible rigorous ->
+              if jon then
+                Journal.prune ~id:jid
+                  ~reason:
+                    (if rigorous then "path-infeasible"
+                     else "path-infeasible-bracket")
+                  ();
               infeasible := (sbox, rigorous) :: !infeasible
           | Synth_split (l, r) ->
-              Parallel.Pool.Frontier.push_batch slot [ r; l ]
-          | Synth_undecided wit -> undecided := (sbox, wit) :: !undecided);
+              let lid, rid =
+                if jon then begin
+                  let lid = Journal.fresh_id () in
+                  let rid = Journal.fresh_id () in
+                  Journal.split ~id:jid ~heur:"bisect" ~left:lid ~right:rid
+                    ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                  (lid, rid)
+                end
+                else (0, 0)
+              in
+              Parallel.Pool.Frontier.push_batch slot
+                [ (r, depth + 1, rid); (l, depth + 1, lid) ]
+          | Synth_undecided wit ->
+              if jon then
+                Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon" ();
+              undecided := (sbox, wit) :: !undecided
+        end);
     Array.iter Parallel.Pool.Lease.return_unspent locals;
-    Array.fold_left
-      (fun acc (f, i, u) ->
-        {
-          feasible = !f @ acc.feasible;
-          infeasible = !i @ acc.infeasible;
-          undecided = !u @ acc.undecided;
-        })
-      { feasible = []; infeasible = []; undecided = [] }
-      accs
+    finish
+      (Array.fold_left
+         (fun acc (f, i, u) ->
+           {
+             feasible = !f @ acc.feasible;
+             infeasible = !i @ acc.infeasible;
+             undecided = !u @ acc.undecided;
+           })
+         { feasible = []; infeasible = []; undecided = [] }
+         accs)
   end
 
 let pp_synthesis ppf s =

@@ -95,6 +95,7 @@ val interpret_box : Encoding.t -> Box.t -> Box.t * Box.t
 type segment_enclosure = { steps : Ode.Enclosure.step list; rigorous : bool }
 
 val flow_enclosure :
+  ?jseg:int * int * string ->
   config ->
   Ode.System.t ->
   prepared:Ode.Enclosure.prepared ->
@@ -102,6 +103,9 @@ val flow_enclosure :
   init_box:Box.t ->
   t_end:float ->
   segment_enclosure option
+(** [?jseg:(path, depth, mode)] attaches journal segment provenance:
+    inside a journaled run, one [Journal.seg] record per call, tagged
+    with whether the enclosure was replayed from the segment store. *)
 
 val prepare_contract :
   ?strategy:Icp.Portfolio.strategy ->
@@ -126,6 +130,7 @@ type prep
 val prepare_pb : ?strategy:Icp.Portfolio.strategy -> Encoding.t -> prep
 
 val path_feasible :
+  ?jpath:int ->
   config ->
   Encoding.t ->
   prep ->

@@ -24,6 +24,11 @@ let tm_synth = Telemetry.Span.probe "biopsy.synthesize"
 let tm_classify = Telemetry.Span.probe "biopsy.classify"
 let m_boxes = Telemetry.Counter.make "biopsy.boxes"
 
+(* Provenance journal support (same conventions as Icp.Solver). *)
+let jbounds b =
+  Array.of_list
+    (List.map (fun (x, i) -> (x, I.lo i, I.hi i)) (Box.to_list b))
+
 type config = {
   epsilon : float;  (** minimum parameter-box width *)
   max_boxes : int;
@@ -109,7 +114,10 @@ let classify_uncached cfg prob prepared pbox =
           | Some state ->
               let x = Box.find p.Data.var state in
               let b = Data.band p in
-              if I.is_empty (I.inter x b) then None_fit
+              if I.is_empty (I.inter x b) then begin
+                if Journal.on () then Journal.set_reason "band-miss";
+                None_fit
+              end
               else go (all_inside && I.subset x b) rest)
     in
     go true prob.data
@@ -122,9 +130,14 @@ let classify_inner cfg prob prepared ?group pbox =
   | None -> classify_uncached cfg prob prepared pbox
   | Some group -> (
       match Cache.find verdict_cache ~group pbox with
-      | Cache.Hit v -> v
+      | Cache.Hit v ->
+          if v = None_fit && Journal.on () then
+            Journal.set_reason ~group "cache-replay";
+          v
       | Cache.Subsumed (_, (All_fit | None_fit as v)) ->
           Cache.note_warm_start verdict_cache ~saved_iterations:0;
+          if v = None_fit && Journal.on () then
+            Journal.set_reason ~group "cache-replay";
           v
       | Cache.Subsumed (_, Split_) | Cache.Miss ->
           let v = classify_uncached cfg prob prepared pbox in
@@ -173,39 +186,75 @@ let pp_result ppf r =
    does not depend on how the paving splits), so racers share every
    All_fit/None_fit verdict: that store is the cross-racer pruning
    channel here. *)
-let pave_order cfg prob prepared ?group ~cancelled ~order () =
+let pave_order cfg prob prepared ?group ?jlabel ~cancelled ~order () =
   let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
   let explored = ref 0 in
   let budget = ref cfg.max_boxes in
   let truncated = ref false in
+  let jon = Journal.on () && Journal.in_run () in
+  let heur =
+    match order with
+    | Icp.Portfolio.Round_robin -> "rr"
+    | Icp.Portfolio.Widest -> "bisect"
+  in
   let split ~depth pbox =
     match order with
     | Icp.Portfolio.Round_robin ->
         Icp.Portfolio.round_robin_split ~min_width:cfg.epsilon ~depth pbox
     | Icp.Portfolio.Widest -> Box.split ~min_width:cfg.epsilon pbox
   in
-  let rec go depth pbox =
+  let rec go depth pbox jid =
     if cancelled () || !budget <= 0 then begin
       (* Flushing the box into [undecided] keeps the result a partition
          even when the race cancels this racer mid-paving. *)
       truncated := true;
+      if jon then
+        Journal.leaf ~id:jid ~cls:"undecided"
+          ~reason:(if cancelled () then "cancelled" else "budget-exhaust")
+          ();
       undecided := pbox :: !undecided
     end
     else begin
       decr budget;
       incr explored;
+      if jon then begin
+        Journal.enter ~id:jid ~depth;
+        Journal.clear_reason ()
+      end;
       match classify cfg prob prepared ?group pbox with
-      | All_fit -> consistent := pbox :: !consistent
-      | None_fit -> inconsistent := pbox :: !inconsistent
+      | All_fit ->
+          if jon then Journal.leaf ~id:jid ~cls:"consistent" ();
+          consistent := pbox :: !consistent
+      | None_fit ->
+          if jon then begin
+            let reason, group = Journal.take_reason () in
+            Journal.prune ~id:jid ~reason ?group ()
+          end;
+          inconsistent := pbox :: !inconsistent
       | Split_ -> (
           match split ~depth pbox with
           | Some (l, r) ->
-              go (depth + 1) l;
-              go (depth + 1) r
-          | None -> undecided := pbox :: !undecided)
+              let lid, rid =
+                if jon then begin
+                  let lid = Journal.fresh_id () in
+                  let rid = Journal.fresh_id () in
+                  Journal.split ~id:jid ~heur ~left:lid ~right:rid
+                    ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                  (lid, rid)
+                end
+                else (0, 0)
+              in
+              go (depth + 1) l lid;
+              go (depth + 1) r rid
+          | None ->
+              if jon then
+                Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon" ();
+              undecided := pbox :: !undecided)
     end
   in
-  go 0 prob.param_box;
+  let root_id = if jon then Journal.fresh_id () else 0 in
+  if jon then Journal.root ~id:root_id ?label:jlabel (jbounds prob.param_box);
+  go 0 prob.param_box root_id;
   ( {
       consistent = !consistent;
       inconsistent = !inconsistent;
@@ -236,14 +285,21 @@ let synthesize_portfolio cfg prob prepared ?group () =
       let jobs = Stdlib.max 1 cfg.jobs in
       let n = List.length orders in
       let results = Array.make n None in
+      let jon = Journal.on () in
       let tasks =
         List.mapi
           (fun i (name, order) ~cancelled ~conclude ->
             if not (cancelled ()) then begin
+              if jon then Journal.racer ~event:"start" ~strategy:name;
               let r, truncated =
-                pave_order cfg prob prepared ?group ~cancelled ~order ()
+                pave_order cfg prob prepared ?group ~jlabel:name ~cancelled
+                  ~order ()
               in
               results.(i) <- Some (name, r, truncated);
+              (if jon && truncated then
+                 Journal.racer
+                   ~event:(if cancelled () then "cancel" else "retire")
+                   ~strategy:name);
               if not truncated then conclude i
             end)
           orders
@@ -272,6 +328,32 @@ let synthesize_portfolio cfg prob prepared ?group () =
 let synthesize ?(config = default_config) ?strategy prob =
   Telemetry.Span.with_ tm_synth @@ fun () ->
   let jobs = Stdlib.max 1 config.jobs in
+  let jrun =
+    if Journal.on () then
+      Journal.begin_run ~kind:"synth"
+        ~flags:
+          [ ("newton", string_of_bool (Icp.Deriv.enabled ()));
+            ("affine", string_of_bool (Interval.Affine.enabled ()));
+            ("cache", string_of_bool (Cache.enabled ()));
+            ("tape", string_of_bool (Expr.Tape.enabled ()));
+            ("portfolio", string_of_bool (Icp.Portfolio.active ()));
+            ("jobs", string_of_int jobs) ]
+        ()
+    else 0
+  in
+  let jon = jrun <> 0 in
+  let finish result =
+    if jon then
+      Journal.end_run
+        ~verdict:
+          (Printf.sprintf "synthesis consistent=%d inconsistent=%d undecided=%d"
+             (List.length result.consistent)
+             (List.length result.inconsistent)
+             (List.length result.undecided))
+        jrun;
+    result
+  in
+  let body () =
   let prepared = Ode.Enclosure.prepare prob.sys in
   let group =
     if Cache.enabled () then Some (problem_group config prob) else None
@@ -282,6 +364,7 @@ let synthesize ?(config = default_config) ?strategy prob =
         Some
           (fst
              (pave_order config prob prepared ?group
+                ~jlabel:s.Icp.Portfolio.name
                 ~cancelled:(fun () -> false)
                 ~order:s.Icp.Portfolio.order ()))
     | None ->
@@ -297,23 +380,54 @@ let synthesize ?(config = default_config) ?strategy prob =
       let consistent = ref [] and inconsistent = ref [] and undecided = ref [] in
       let explored = ref 0 in
       let budget = ref config.max_boxes in
-      let rec go pbox =
-        if !budget <= 0 then undecided := pbox :: !undecided
+      let rec go depth pbox jid =
+        if !budget <= 0 then begin
+          if jon then
+            Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust" ();
+          undecided := pbox :: !undecided
+        end
         else begin
           decr budget;
           incr explored;
+          if jon then begin
+            Journal.enter ~id:jid ~depth;
+            Journal.clear_reason ()
+          end;
           match classify config prob prepared ?group pbox with
-          | All_fit -> consistent := pbox :: !consistent
-          | None_fit -> inconsistent := pbox :: !inconsistent
+          | All_fit ->
+              if jon then Journal.leaf ~id:jid ~cls:"consistent" ();
+              consistent := pbox :: !consistent
+          | None_fit ->
+              if jon then begin
+                let reason, group = Journal.take_reason () in
+                Journal.prune ~id:jid ~reason ?group ()
+              end;
+              inconsistent := pbox :: !inconsistent
           | Split_ -> (
               match Box.split ~min_width:config.epsilon pbox with
               | Some (l, r) ->
-                  go l;
-                  go r
-              | None -> undecided := pbox :: !undecided)
+                  let lid, rid =
+                    if jon then begin
+                      let lid = Journal.fresh_id () in
+                      let rid = Journal.fresh_id () in
+                      Journal.split ~id:jid ~heur:"bisect" ~left:lid ~right:rid
+                        ~left_bounds:(jbounds l) ~right_bounds:(jbounds r);
+                      (lid, rid)
+                    end
+                    else (0, 0)
+                  in
+                  go (depth + 1) l lid;
+                  go (depth + 1) r rid
+              | None ->
+                  if jon then
+                    Journal.leaf ~id:jid ~cls:"undecided" ~reason:"sub-epsilon"
+                      ();
+                  undecided := pbox :: !undecided)
         end
       in
-      go prob.param_box;
+      let root_id = if jon then Journal.fresh_id () else 0 in
+      if jon then Journal.root ~id:root_id (jbounds prob.param_box);
+      go 0 prob.param_box root_id;
       {
         consistent = !consistent;
         inconsistent = !inconsistent;
@@ -333,20 +447,54 @@ let synthesize ?(config = default_config) ?strategy prob =
         Array.init jobs (fun _ -> Parallel.Pool.Lease.local lease)
       in
       let accs = Array.init jobs (fun _ -> (ref [], ref [], ref [])) in
-      let fr = Parallel.Pool.Frontier.create [ prob.param_box ] in
-      Parallel.Pool.Frontier.drain ~jobs fr (fun w slot pbox ->
+      let root_id = if jon then Journal.fresh_id () else 0 in
+      if jon then Journal.root ~id:root_id (jbounds prob.param_box);
+      let fr = Parallel.Pool.Frontier.create [ (prob.param_box, 0, root_id) ] in
+      Parallel.Pool.Frontier.drain ~jobs fr (fun w slot (pbox, depth, jid) ->
           let consistent, inconsistent, undecided = accs.(w) in
-          if not (Parallel.Pool.Lease.spend locals.(w)) then
+          if not (Parallel.Pool.Lease.spend locals.(w)) then begin
+            if jon then
+              Journal.leaf ~id:jid ~cls:"undecided" ~reason:"budget-exhaust"
+                ();
             undecided := pbox :: !undecided
-          else
+          end
+          else begin
+            if jon then begin
+              Journal.enter ~id:jid ~depth;
+              Journal.clear_reason ()
+            end;
             match classify config prob prepared ?group pbox with
-            | All_fit -> consistent := pbox :: !consistent
-            | None_fit -> inconsistent := pbox :: !inconsistent
+            | All_fit ->
+                if jon then Journal.leaf ~id:jid ~cls:"consistent" ();
+                consistent := pbox :: !consistent
+            | None_fit ->
+                if jon then begin
+                  let reason, group = Journal.take_reason () in
+                  Journal.prune ~id:jid ~reason ?group ()
+                end;
+                inconsistent := pbox :: !inconsistent
             | Split_ -> (
                 match Box.split ~min_width:config.epsilon pbox with
                 | Some (l, r) ->
-                    Parallel.Pool.Frontier.push_batch slot [ r; l ]
-                | None -> undecided := pbox :: !undecided));
+                    let lid, rid =
+                      if jon then begin
+                        let lid = Journal.fresh_id () in
+                        let rid = Journal.fresh_id () in
+                        Journal.split ~id:jid ~heur:"bisect" ~left:lid
+                          ~right:rid ~left_bounds:(jbounds l)
+                          ~right_bounds:(jbounds r);
+                        (lid, rid)
+                      end
+                      else (0, 0)
+                    in
+                    Parallel.Pool.Frontier.push_batch slot
+                      [ (r, depth + 1, rid); (l, depth + 1, lid) ]
+                | None ->
+                    if jon then
+                      Journal.leaf ~id:jid ~cls:"undecided"
+                        ~reason:"sub-epsilon" ();
+                    undecided := pbox :: !undecided)
+          end);
       Array.iter Parallel.Pool.Lease.return_unspent locals;
       let explored = Parallel.Pool.Lease.consumed lease in
       Array.fold_left
@@ -368,6 +516,12 @@ let synthesize ?(config = default_config) ?strategy prob =
         (List.length result.inconsistent)
         (List.length result.undecided));
   result
+  in
+  match body () with
+  | r -> finish r
+  | exception e ->
+      if jon then Journal.end_run ~truncated:true ~verdict:"error" jrun;
+      raise e
 
 (* The model is falsified when no parameter box survives. *)
 let falsified r = r.consistent = [] && r.undecided = []

@@ -767,4 +767,44 @@ module Metrics = struct
       (histograms ());
     Buffer.add_string buf "\n  }\n}\n";
     Buffer.contents buf
+
+  (* Prometheus text exposition (version 0.0.4).  Metric names are the
+     registry names with every non-[a-zA-Z0-9_] mapped to '_' and a
+     "biomc_" prefix; histograms are exported as summaries (quantiles
+     are upper bucket edges, like {!Histogram.quantile}) because the
+     log-bucket edges are process-internal. *)
+  let prom_name name =
+    let b = Buffer.create (String.length name + 6) in
+    Buffer.add_string b "biomc_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let to_prometheus () =
+    let buf = Buffer.create 2048 in
+    List.iter
+      (fun (name, v) ->
+        let n = prom_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+      (counters ());
+    List.iter
+      (fun (name, (s : Histogram.snapshot)) ->
+        let n = prom_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%g\"} %d\n" n q
+                 (Histogram.quantile q s)))
+          [ 0.5; 0.9; 0.99 ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %d\n%s_count %d\n" n s.Histogram.total n
+             s.Histogram.count))
+      (histograms ());
+    Buffer.contents buf
 end

@@ -182,6 +182,28 @@ module Trace : sig
   val validate_file : string -> (check, string) result
 end
 
+(** {1 Minimal JSON}
+
+    The writer/parser used by the trace validator and the provenance
+    journal (no external JSON dependency).  Exposed so sibling
+    observability code ([Journal], [biomc check-artifacts]) shares one
+    implementation. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val escape : Buffer.t -> string -> unit
+  (** Append [s] as a quoted, escaped JSON string. *)
+
+  val parse : string -> (t, string) result
+end
+
 (** {1 Metrics snapshot} *)
 
 module Metrics : sig
@@ -199,4 +221,13 @@ module Metrics : sig
   val to_json : unit -> string
   (** Counters and histograms as one JSON object (the [--metrics-json]
       payload and the bench breakdown section). *)
+
+  val to_prometheus : unit -> string
+  (** Counters and histograms in the Prometheus text exposition format
+      (the [--metrics-prom] payload, and what a future [biomc serve]
+      scrape endpoint would return).  Counter names are sanitized to
+      [biomc_<name>] with non-alphanumerics mapped to underscores;
+      histograms are exported as summaries whose quantile values are
+      upper log-bucket edges (over-approximations within a power of
+      two, same contract as {!Histogram.quantile}). *)
 end

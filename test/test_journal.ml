@@ -1,0 +1,327 @@
+(* Provenance-journal tests: the load-bearing differential — the leaf
+   partition reconstructed from the journal is fingerprint-identical to
+   the solver's own paving, sequential and parallel — plus explain
+   round-trips on pinned decide / pave / reach runs, audit rejection of
+   corrupted journals, and the disabled-mode no-op (journaling off is
+   bit-identical to no journaling at all). *)
+
+module I = Interval.Ia
+module Box = Interval.Box
+module S = Icp.Solver
+module P = Expr.Parse
+module A = Hybrid.Automaton
+module E = Reach.Encoding
+module C = Reach.Checker
+module J = Journal
+
+(* Journal state is process-global; every test starts and ends from a
+   clean, disabled slate so ordering cannot leak between tests (and so
+   a BIOMC_JOURNAL=1 ablation run cannot either). *)
+let clean f () =
+  J.set_sink J.Off;
+  J.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      J.set_sink J.Off;
+      J.reset ())
+    f
+
+let formula s =
+  match P.formula_opt s with
+  | Some f -> f
+  | None -> Alcotest.failf "cannot parse %S" s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m = 0 || go 0
+
+let jbounds b =
+  Array.of_list (List.map (fun (x, i) -> (x, I.lo i, I.hi i)) (Box.to_list b))
+
+(* Flush the memory sink, parse it back, reconstruct. *)
+let load_forest () =
+  let s = J.contents () in
+  match J.of_string s with
+  | Error e -> Alcotest.failf "journal parse: %s" e
+  | Ok records -> (records, J.reconstruct records)
+
+let the_run forest =
+  match J.runs forest with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected exactly 1 run, got %d" (List.length rs)
+
+let check_audit forest = Alcotest.(check (list string)) "audit" [] (J.audit forest)
+
+(* Terminal bounds of a run, excluding empty-box leaves (those are
+   dropped from the solver's paving as well). *)
+let leaf_bounds forest run =
+  List.filter_map
+    (fun (n : J.node) ->
+      match n.J.outcome with
+      | Some (J.O_leaf ("empty", _)) -> None
+      | Some _ -> (
+          match n.J.bounds with
+          | Some b -> Some b
+          | None -> Alcotest.fail "terminal node without bounds")
+      | None -> None)
+    (J.leaves forest ~run)
+
+(* ---- the differential: journal leaves == paving leaves ---- *)
+
+let test_pave_fingerprint jobs () =
+  J.set_sink J.Memory;
+  let f = formula "x^2 + y^2 <= 1" in
+  let box =
+    Box.of_list [ ("x", I.make (-1.5) 1.5); ("y", I.make (-1.5) 1.5) ]
+  in
+  let config = { S.default_config with epsilon = 0.25; jobs } in
+  let paving = S.pave ~config f box in
+  let solver_boxes = paving.S.sat @ paving.S.unsat @ paving.S.undecided in
+  let solver_fp = J.leaf_bounds_fingerprint (List.map jbounds solver_boxes) in
+  let _, forest = load_forest () in
+  check_audit forest;
+  let run = the_run forest in
+  Alcotest.(check string) "kind" "pave" run.J.kind;
+  let lb = leaf_bounds forest run.J.rid in
+  Alcotest.(check int) "leaf count" (List.length solver_boxes) (List.length lb);
+  Alcotest.(check string)
+    "leaf partition fingerprint" solver_fp (J.leaf_bounds_fingerprint lb)
+
+(* An unsat decide explores the whole tree: the journal's terminals are
+   a refutation cover of the query box, every one a prune, and the
+   cover is the same set at any worker count. *)
+let test_decide_unsat_cover () =
+  let f = formula "x^2 + y^2 = 1 and x + y = 2" in
+  let box = Box.of_list [ ("x", I.make 0.0 1.0); ("y", I.make 0.0 1.0) ] in
+  let run_one jobs =
+    J.set_sink J.Memory;
+    J.reset ();
+    let config = { S.default_config with jobs } in
+    (match S.decide ~config f box with
+    | S.Unsat -> ()
+    | r -> Alcotest.failf "expected unsat, got %a" S.pp_result r);
+    let _, forest = load_forest () in
+    check_audit forest;
+    let run = the_run forest in
+    Alcotest.(check (option string)) "verdict" (Some "unsat") run.J.verdict;
+    Alcotest.(check bool) "not truncated" false run.J.truncated;
+    let leaves = J.leaves forest ~run:run.J.rid in
+    List.iter
+      (fun (n : J.node) ->
+        match n.J.outcome with
+        | Some (J.O_prune _) -> ()
+        | _ -> Alcotest.fail "an unsat cover must consist of prunes")
+      leaves;
+    J.leaf_bounds_fingerprint (leaf_bounds forest run.J.rid)
+  in
+  let fp1 = run_one 1 in
+  let fp2 = run_one 2 in
+  Alcotest.(check string) "jobs-invariant refutation cover" fp1 fp2
+
+(* ---- explain round-trips on pinned runs ---- *)
+
+let test_explain_decide () =
+  J.set_sink J.Memory;
+  let f = formula "x^2 + y^2 = 1 and y = x^2" in
+  let box = Box.of_list [ ("x", I.make 0.0 2.0); ("y", I.make 0.0 2.0) ] in
+  (match S.decide f box with
+  | S.Delta_sat _ -> ()
+  | r -> Alcotest.failf "expected delta-sat, got %a" S.pp_result r);
+  let records, forest = load_forest () in
+  check_audit forest;
+  let run = the_run forest in
+  Alcotest.(check (option string)) "verdict" (Some "delta-sat") run.J.verdict;
+  Alcotest.(check bool) "conclusive run is not truncated" false run.J.truncated;
+  let sats =
+    List.filter
+      (fun (n : J.node) ->
+        match n.J.outcome with Some (J.O_sat _) -> true | _ -> false)
+      (J.nodes forest)
+  in
+  Alcotest.(check int) "one sat probe" 1 (List.length sats);
+  let report = J.report forest in
+  Alcotest.(check bool) "report names verdict" true (contains report "delta-sat");
+  Alcotest.(check bool)
+    "report has witness chain" true
+    (contains report "witness chain");
+  let json = J.provenance_json forest in
+  Alcotest.(check bool) "json mentions runs" true (contains json "\"runs\"");
+  let dot = J.to_dot ~max_nodes:50 forest in
+  Alcotest.(check bool) "dot export" true (contains dot "digraph");
+  (* parse round-trip: every record re-read is already sorted *)
+  Alcotest.(check bool) "records non-empty" true (records <> []);
+  Alcotest.(check int)
+    "reconstruct keeps every record" (List.length records)
+    (List.length (J.records forest))
+
+let decay_automaton =
+  A.of_system
+    ~init:(Box.of_list [ ("x", I.of_float 1.0) ])
+    (Ode.System.of_strings ~vars:[ "x" ] ~params:[] ~rhs:[ ("x", "-x") ])
+
+let test_explain_reach () =
+  J.set_sink J.Memory;
+  let pb =
+    E.create
+      ~goal:{ E.goal_modes = []; predicate = P.formula "x <= 1/2" }
+      ~k:0 ~time_bound:1.0 decay_automaton
+  in
+  (match C.check pb with
+  | C.Delta_sat _ -> ()
+  | r -> Alcotest.failf "expected delta-sat, got %a" C.pp_result r);
+  let _, forest = load_forest () in
+  check_audit forest;
+  let run = the_run forest in
+  Alcotest.(check string) "kind" "reach" run.J.kind;
+  Alcotest.(check (option string)) "verdict" (Some "delta-sat") run.J.verdict;
+  let has_seg =
+    List.exists
+      (fun r -> match r.J.ev with J.Seg _ -> true | _ -> false)
+      (J.records forest)
+  and has_path =
+    List.exists
+      (fun r -> match r.J.ev with J.Path _ -> true | _ -> false)
+      (J.records forest)
+  and has_tube =
+    List.exists
+      (fun r -> match r.J.ev with J.Tube _ -> true | _ -> false)
+      (J.records forest)
+  in
+  Alcotest.(check bool) "segment provenance" true has_seg;
+  Alcotest.(check bool) "path provenance" true has_path;
+  Alcotest.(check bool) "tube provenance" true has_tube;
+  Alcotest.(check bool)
+    "report names reach" true
+    (contains (J.report forest) "reach")
+
+(* ---- audit rejections ---- *)
+
+(* Emit a synthetic journal through the public emitters, then audit. *)
+let audit_of build =
+  J.set_sink J.Memory;
+  J.reset ();
+  build ();
+  let _, forest = load_forest () in
+  J.audit forest
+
+let b1 lo hi : J.bounds = [| ("x", lo, hi) |]
+
+let test_audit_clean_synthetic () =
+  let problems =
+    audit_of (fun () ->
+        let r = J.begin_run ~kind:"pave" ~flags:[] () in
+        let root = J.fresh_id () in
+        J.root ~id:root (b1 0.0 1.0);
+        J.enter ~id:root ~depth:0;
+        let l = J.fresh_id () and rt = J.fresh_id () in
+        J.split ~id:root ~heur:"bisect" ~left:l ~right:rt
+          ~left_bounds:(b1 0.0 0.5) ~right_bounds:(b1 0.5 1.0);
+        J.enter ~id:l ~depth:1;
+        J.prune ~id:l ~reason:"hc4-empty" ();
+        J.enter ~id:rt ~depth:1;
+        J.leaf ~id:rt ~cls:"sat" ();
+        J.end_run ~verdict:"ok" r)
+  in
+  Alcotest.(check (list string)) "well-formed synthetic journal" [] problems
+
+let test_audit_rejects_dropped_leaf () =
+  let problems =
+    audit_of (fun () ->
+        let r = J.begin_run ~kind:"pave" ~flags:[] () in
+        let root = J.fresh_id () in
+        J.root ~id:root (b1 0.0 1.0);
+        J.enter ~id:root ~depth:0;
+        let l = J.fresh_id () and rt = J.fresh_id () in
+        J.split ~id:root ~heur:"bisect" ~left:l ~right:rt
+          ~left_bounds:(b1 0.0 0.5) ~right_bounds:(b1 0.5 1.0);
+        J.enter ~id:l ~depth:1;
+        J.prune ~id:l ~reason:"hc4-empty" ();
+        (* the right child is never accounted for *)
+        J.end_run ~verdict:"ok" r)
+  in
+  Alcotest.(check bool) "dropped leaf is flagged" true (problems <> [])
+
+let test_audit_rejects_non_partition () =
+  let problems =
+    audit_of (fun () ->
+        let r = J.begin_run ~kind:"pave" ~flags:[] () in
+        let root = J.fresh_id () in
+        J.root ~id:root (b1 0.0 1.0);
+        J.enter ~id:root ~depth:0;
+        let l = J.fresh_id () and rt = J.fresh_id () in
+        (* gap: [0, 0.4] ∪ [0.5, 1] does not partition [0, 1] *)
+        J.split ~id:root ~heur:"bisect" ~left:l ~right:rt
+          ~left_bounds:(b1 0.0 0.4) ~right_bounds:(b1 0.5 1.0);
+        J.enter ~id:l ~depth:1;
+        J.prune ~id:l ~reason:"hc4-empty" ();
+        J.enter ~id:rt ~depth:1;
+        J.prune ~id:rt ~reason:"hc4-empty" ();
+        J.end_run ~verdict:"ok" r)
+  in
+  Alcotest.(check bool) "split gap is flagged" true (problems <> [])
+
+let test_audit_rejects_impossible_reason () =
+  let problems =
+    audit_of (fun () ->
+        let r =
+          J.begin_run ~kind:"pave" ~flags:[ ("newton", "false") ] ()
+        in
+        let root = J.fresh_id () in
+        J.root ~id:root (b1 0.0 1.0);
+        J.enter ~id:root ~depth:0;
+        (* a newton prune in a run whose header says newton was off *)
+        J.prune ~id:root ~reason:"newton" ();
+        J.end_run ~verdict:"ok" r)
+  in
+  Alcotest.(check bool) "impossible prune reason is flagged" true
+    (problems <> [])
+
+(* ---- disabled mode is a no-op ---- *)
+
+let test_disabled_noop () =
+  let f = formula "x^3 - x = 1/4" in
+  let box = Box.of_list [ ("x", I.make (-2.0) 2.0) ] in
+  let prev_policy = Cache.policy () in
+  Cache.set_policy Cache.Off;
+  Fun.protect ~finally:(fun () -> Cache.set_policy prev_policy) @@ fun () ->
+  J.set_sink J.Off;
+  Alcotest.(check bool) "off" false (J.on ());
+  let r_off = S.decide f box in
+  Alcotest.(check string) "no records when off" "" (J.contents ());
+  J.set_sink J.Memory;
+  Alcotest.(check bool) "on" true (J.on ());
+  let r_on = S.decide f box in
+  J.set_sink J.Off;
+  Alcotest.(check string) "verdict bit-identical"
+    (Fmt.str "%a" S.pp_result r_off)
+    (Fmt.str "%a" S.pp_result r_on)
+
+let () =
+  Alcotest.run "journal"
+    [ ("differential",
+       [ Alcotest.test_case "pave fingerprint, jobs=1" `Quick
+           (clean (test_pave_fingerprint 1));
+         Alcotest.test_case "pave fingerprint, jobs=2" `Quick
+           (clean (test_pave_fingerprint 2));
+         Alcotest.test_case "decide unsat cover" `Quick
+           (clean test_decide_unsat_cover) ]);
+      ("explain",
+       [ Alcotest.test_case "decide round-trip" `Quick
+           (clean test_explain_decide);
+         Alcotest.test_case "reach round-trip" `Quick
+           (clean test_explain_reach) ]);
+      ("audit",
+       [ Alcotest.test_case "clean synthetic journal" `Quick
+           (clean test_audit_clean_synthetic);
+         Alcotest.test_case "rejects dropped leaf" `Quick
+           (clean test_audit_rejects_dropped_leaf);
+         Alcotest.test_case "rejects non-partition split" `Quick
+           (clean test_audit_rejects_non_partition);
+         Alcotest.test_case "rejects impossible prune reason" `Quick
+           (clean test_audit_rejects_impossible_reason) ]);
+      ("discipline",
+       [ Alcotest.test_case "disabled journaling is a no-op" `Quick
+           (clean test_disabled_noop) ]) ]
