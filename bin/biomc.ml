@@ -182,6 +182,14 @@ let no_affine_arg =
   in
   Arg.(value & flag & info [ "no-affine" ] ~doc)
 
+let no_tm_arg =
+  let doc =
+    "Disable degree-2 Taylor-model evaluation in the HC4 forward \
+     passes, pave certification and ODE enclosures, restoring the \
+     affine/interval-only search; equivalent to BIOMC_NO_TM=1."
+  in
+  Arg.(value & flag & info [ "no-tm" ] ~doc)
+
 let portfolio_arg =
   let doc =
     "Race solver strategy configurations per query (first conclusive \
@@ -209,6 +217,7 @@ type common = {
   no_cache : bool;
   no_newton : bool;
   no_affine : bool;
+  no_tm : bool;
   portfolio : string option;  (** strategy-portfolio mode (curated/all) *)
   trace : string option;  (** Chrome trace_event JSON output file *)
   metrics : bool;  (** print the telemetry metrics section *)
@@ -260,14 +269,14 @@ let progress_arg =
   Arg.(value & flag & info [ "progress" ] ~doc)
 
 let common_term =
-  let mk jobs no_cache no_newton no_affine portfolio trace metrics metrics_json
-      metrics_prom journal progress =
-    { jobs; no_cache; no_newton; no_affine; portfolio; trace; metrics;
+  let mk jobs no_cache no_newton no_affine no_tm portfolio trace metrics
+      metrics_json metrics_prom journal progress =
+    { jobs; no_cache; no_newton; no_affine; no_tm; portfolio; trace; metrics;
       metrics_json; metrics_prom; journal; progress }
   in
   Term.(
     const mk $ jobs_arg $ no_cache_arg $ no_newton_arg $ no_affine_arg
-    $ portfolio_arg $ trace_arg $ metrics_arg $ metrics_json_arg
+    $ no_tm_arg $ portfolio_arg $ trace_arg $ metrics_arg $ metrics_json_arg
     $ metrics_prom_arg $ journal_arg $ progress_arg)
 
 (* Telemetry section appended to a report when metrics are on: non-zero
@@ -306,6 +315,7 @@ let with_common c body =
   apply_cache_policy c.no_cache;
   if c.no_newton then Icp.Deriv.set_enabled false;
   if c.no_affine then Interval.Affine.set_enabled false;
+  if c.no_tm then Interval.Tm.set_enabled false;
   (match c.portfolio with
   | None -> ()
   | Some "all" -> Icp.Portfolio.set_mode Icp.Portfolio.All

@@ -92,6 +92,21 @@ val eval_cert : Interval.Box.t -> t -> verdict
 (** [Certain]: every point of the box satisfies the formula;
     [Impossible]: no point does; [Unknown]: cannot tell at this width. *)
 
+val eval_atom_interval : Interval.Box.t -> atom -> verdict
+(** The default atom certifier behind {!eval_cert}: interval-evaluate
+    the atom's term over the box and compare the enclosure against
+    zero under the atom's relation. *)
+
+val eval_cert_with :
+  atom:(Interval.Box.t -> atom -> verdict) -> Interval.Box.t -> t -> verdict
+(** {!eval_cert} with a caller-supplied atom certifier.  Sound as long
+    as [atom] is: [Certain]/[Impossible] claims propagate through the
+    And/Or recursion unchanged.  The solver's enclosure-assisted
+    certification path injects an evaluator that tightens atom ranges
+    with affine / Taylor-model forward passes before the zero
+    comparison, certifying feasible band boxes earlier than plain
+    interval evaluation can. *)
+
 val sat_possible : delta:float -> Interval.Box.t -> t -> bool
 (** [false] is definitive: the δ-weakened formula has no solution in the
     box.  [true] only means "not refuted". *)

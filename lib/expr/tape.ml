@@ -58,6 +58,7 @@ and scratch = {
   ihis : float array;
   req : reqcell;
   aff : Interval.Affine.t array;  (* affine walker slot values *)
+  tms : Interval.Tm.t array;      (* Taylor-model walker slot values *)
 }
 
 and reqcell = { mutable rlo : float; mutable rhi : float }
@@ -162,7 +163,8 @@ let compile ~vars terms =
           ilos = Array.make n neg_infinity;
           ihis = Array.make n infinity;
           req = { rlo = neg_infinity; rhi = infinity };
-          aff = Array.make n (Interval.Affine.const 0.0) })
+          aff = Array.make n (Interval.Affine.const 0.0);
+          tms = Array.make n (Interval.Tm.const 0.0) })
   in
   { inputs; ops; roots; var_slots; const_los; const_his;
     interior_shared = !interior; scratch_key }
@@ -178,7 +180,8 @@ let scratch tp =
     ilos = Array.make n neg_infinity;
     ihis = Array.make n infinity;
     req = { rlo = neg_infinity; rhi = infinity };
-    aff = Array.make n (Interval.Affine.const 0.0) }
+    aff = Array.make n (Interval.Affine.const 0.0);
+    tms = Array.make n (Interval.Tm.const 0.0) }
 
 let dls_scratch tp = Domain.DLS.get tp.scratch_key
 
@@ -537,6 +540,91 @@ let affine_tighten tp sc dom =
   done;
   !tightened
 
+(* ---- Taylor-model forward pass ----
+
+   The third operand interpretation: slot values are degree-2
+   {!Interval.Tm} models over the same input-indexed symbols as the
+   affine pass, so the two walkers agree on what each symbol means and
+   their concretizations can both be intersected into the interval
+   slots.  Where the affine walker folds every second-order product
+   into a scalar radius, this one keeps quadratic monomials exactly and
+   bounds the polynomial range by Bernstein coefficients — tighter on
+   the band-boundary boxes that dominate paving. *)
+
+module T = Interval.Tm
+
+let forward_tm tp sc (inputs : I.t array) =
+  let tm = sc.tms in
+  let ops = tp.ops in
+  for s = 0 to Array.length ops - 1 do
+    let r =
+      match Array.unsafe_get ops s with
+      | OVar i -> T.of_interval ~sym:i (Array.unsafe_get inputs i)
+      | OConst c -> T.const c
+      | OAdd (a, b) -> T.add tm.(a) tm.(b)
+      | OSub (a, b) -> T.sub tm.(a) tm.(b)
+      | OMul (a, b) -> T.mul tm.(a) tm.(b)
+      | ODiv (a, b) -> T.div tm.(a) tm.(b)
+      | ONeg a -> T.neg tm.(a)
+      | OPow (a, k) -> T.pow_int tm.(a) k
+      | OExp a -> T.exp tm.(a)
+      | OLog a -> T.log tm.(a)
+      | OSqrt a -> T.sqrt tm.(a)
+      | OSin a -> T.sin tm.(a)
+      | OCos a -> T.cos tm.(a)
+      | OTan a -> T.tan tm.(a)
+      | OAtan a -> T.atan tm.(a)
+      | OTanh a -> T.tanh tm.(a)
+      | OAbs a -> T.abs tm.(a)
+      | OMin (a, b) -> T.min_ tm.(a) tm.(b)
+      | OMax (a, b) -> T.max_ tm.(a) tm.(b)
+    in
+    tm.(s) <- r
+  done
+
+let eval_tm_into tp sc ~inputs ~out =
+  forward_tm tp sc inputs;
+  for k = 0 to Array.length tp.roots - 1 do
+    out.(k) <- T.concretize sc.tms.(tp.roots.(k))
+  done
+
+(* Taylor-model analogue of [affine_tighten]: intersect interval slot
+   enclosures with concretized TM slot ranges, recording emptiness as
+   the (nan, nan) slot.  Returns [true] iff some slot strictly
+   tightened. *)
+let tm_tighten tp sc dom =
+  forward_tm tp sc dom;
+  let lo = sc.ilos and hi = sc.ihis in
+  let tm = sc.tms in
+  let tightened = ref false in
+  for s = 0 to Array.length tp.ops - 1 do
+    let l = Array.unsafe_get lo s in
+    if l = l then begin
+      let r = T.concretize tm.(s) in
+      let rl = r.I.lo and rh = r.I.hi in
+      if rl <> rl || rh <> rh then begin
+        Array.unsafe_set lo s nan;
+        Array.unsafe_set hi s nan;
+        tightened := true
+      end
+      else begin
+        let h = Array.unsafe_get hi s in
+        let l' = fmax l rl and h' = fmin h rh in
+        if l' > h' then begin
+          Array.unsafe_set lo s nan;
+          Array.unsafe_set hi s nan;
+          tightened := true
+        end
+        else if not (l' = l && h' = h) then begin
+          Array.unsafe_set lo s l';
+          Array.unsafe_set hi s h';
+          tightened := true
+        end
+      end
+    end
+  done;
+  !tightened
+
 (* ---- Smoothness certificate ----
 
    After [forward_intervals] over a box, decide whether every function
@@ -779,32 +867,34 @@ and push tp sc s =
         require tp sc b
       end
 
-let hc4_revise tp sc ?(affine = false) ?mask ~target dom =
+let hc4_revise tp sc ?(affine = false) ?(tm = false) ?mask ~target dom =
   forward_intervals tp sc dom;
+  (* Each enclosure pass intersects every slot with its concretized
+     range before the backward pass sees them, and refutes outright
+     when it empties root ∩ target.  Refutation short-circuits: the TM
+     pass only runs when the affine pass left the root feasible. *)
+  let r0 = tp.roots.(0) in
+  let tlo = target.I.lo and thi = target.I.hi in
+  let meets_target () =
+    let l = Array.unsafe_get sc.ilos r0
+    and h = Array.unsafe_get sc.ihis r0 in
+    l = l && tlo = tlo && fmax l tlo <= fmin h thi
+  in
   let refuted =
-    affine
+    (affine
     && A.with_span (fun () ->
-           (* Tightened forward pass: intersect every slot with its
-              affine range before the backward pass sees it, and refute
-              outright when the affine pass empties root ∩ target. *)
-           let r0 = tp.roots.(0) in
-           let tlo = target.I.lo and thi = target.I.hi in
-           let meets_target l h =
-             l = l && tlo = tlo && fmax l tlo <= fmin h thi
-           in
-           let pre =
-             meets_target
-               (Array.unsafe_get sc.ilos r0)
-               (Array.unsafe_get sc.ihis r0)
-           in
+           let pre = meets_target () in
            if affine_tighten tp sc dom then A.note_tightening ();
-           let post =
-             meets_target
-               (Array.unsafe_get sc.ilos r0)
-               (Array.unsafe_get sc.ihis r0)
-           in
+           let post = meets_target () in
            if pre && not post then A.note_refutation ();
-           not post)
+           not post))
+    || tm
+       && T.with_span (fun () ->
+              let pre = meets_target () in
+              if tm_tighten tp sc dom then T.note_tightening ();
+              let post = meets_target () in
+              if pre && not post then T.note_refutation ();
+              not post)
   in
   if refuted then false
   else begin

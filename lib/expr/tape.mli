@@ -98,6 +98,21 @@ val eval_affine_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
 (** Evaluate every root affinely over the input box and store the
     concretized range of root [k] in [out.(k)]. *)
 
+(** {1 Taylor-model evaluation}
+
+    A third operand interpretation: slot values are degree-2
+    {!Interval.Tm} models over the same input-indexed symbols as the
+    affine pass.  Quadratic monomials are kept exactly — where the
+    affine walker folds every product's second-order structure into a
+    scalar radius — and the polynomial range is bounded per variable by
+    Bernstein coefficients over the unit box.  Concretized results are
+    sound enclosures of the same value sets as {!eval_interval_into};
+    callers intersect the two. *)
+
+val eval_tm_into : t -> scratch -> inputs:I.t array -> out:I.t array -> unit
+(** Evaluate every root as a Taylor model over the input box and store
+    the concretized range of root [k] in [out.(k)]. *)
+
 val smooth_on : t -> scratch -> bool
 (** Must be called directly after an interval evaluation over a box
     ([eval_interval]/[eval_interval_into] with the box's component
@@ -118,6 +133,7 @@ val hc4_revise :
   t ->
   scratch ->
   ?affine:bool ->
+  ?tm:bool ->
   ?mask:bool array ->
   target:I.t ->
   I.t array ->
@@ -138,6 +154,13 @@ val hc4_revise :
     the [icp.affine] telemetry span and feeds the [affine.tightenings] /
     [affine.refutations] counters.  With [~affine:false] the result is
     bit-for-bit the pre-affine behaviour.
+
+    With [~tm:true] (default [false]) the Taylor-model walker is
+    intersected the same way after the affine pass (skipped entirely
+    when the affine pass already refuted), inside the [icp.tm] span
+    with the [tm.tightenings] / [tm.refutations] counters and the
+    [tm-refute] journal prune reason.  With [~tm:false] the TM walker
+    never runs, restoring the pre-TM search bit-for-bit.
 
     Matches the tree-walking [Icp.Contractor.revise] exactly when
     {!interior_sharing} is [0]; shared interior slots accumulate

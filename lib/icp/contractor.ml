@@ -308,7 +308,7 @@ let compile constraints =
   { cvars = Array.of_list vars; ctapes; ws_key }
 
 let fixpoint_compiled ?(tol = default_tol) ?(max_rounds = default_max_rounds)
-    ?(affine = false) cs box =
+    ?(affine = false) ?(tm = false) cs box =
   let n = Array.length cs.cvars in
   let ws = Domain.DLS.get cs.ws_key in
   let dom = ws.dom and present = ws.present in
@@ -332,7 +332,9 @@ let fixpoint_compiled ?(tol = default_tol) ?(max_rounds = default_max_rounds)
     let m = Array.length cs.ctapes in
     while !ok && !k < m do
       let tp, target = cs.ctapes.(!k) in
-      ok := Expr.Tape.hc4_revise tp scratches.(!k) ~affine ~mask:present ~target dom;
+      ok :=
+        Expr.Tape.hc4_revise tp scratches.(!k) ~affine ~tm ~mask:present
+          ~target dom;
       incr k
     done;
     !ok
@@ -405,16 +407,17 @@ let hc4_cache : Box.t option Cache.t = Cache.create ~group_capacity:1024 "hc4"
    domains (tapes are immutable; scratch is per-domain via Domain.DLS;
    the cache shards are mutex-guarded). *)
 let contractor ?tol ?max_rounds ?newton:newton_req ?affine:affine_req
-    constraints =
+    ?tm:tm_req constraints =
   let tape = Expr.Tape.enabled () in
-  (* Affine-tightened forward passes only exist on the tape path (the
-     tree walker has no slot arrays to intersect into); sampled at build
-     time like [tape] so the closure and its cache group stay
-     consistent.  [?affine] / [?newton] override the global switches
-     for this closure only — portfolio racers need per-strategy layer
-     choices without flipping process-wide atomics under each other —
-     and key the cache group exactly like the sampled globals would, so
-     per-strategy closures share groups with same-flag global runs. *)
+  (* Affine- and TM-tightened forward passes only exist on the tape
+     path (the tree walker has no slot arrays to intersect into);
+     sampled at build time like [tape] so the closure and its cache
+     group stay consistent.  [?affine] / [?tm] / [?newton] override the
+     global switches for this closure only — portfolio racers need
+     per-strategy layer choices without flipping process-wide atomics
+     under each other — and key the cache group exactly like the
+     sampled globals would, so per-strategy closures share groups with
+     same-flag global runs. *)
   let affine =
     tape
     &&
@@ -422,10 +425,14 @@ let contractor ?tol ?max_rounds ?newton:newton_req ?affine:affine_req
     | Some b -> b
     | None -> Interval.Affine.enabled ()
   in
+  let tm =
+    tape
+    && match tm_req with Some b -> b | None -> Interval.Tm.enabled ()
+  in
   let base =
     if tape then begin
       let cs = compile constraints in
-      fun box -> fixpoint_compiled ?tol ?max_rounds ~affine cs box
+      fun box -> fixpoint_compiled ?tol ?max_rounds ~affine ~tm cs box
     end
     else fun box -> fixpoint ?tol ?max_rounds constraints box
   in
@@ -466,12 +473,12 @@ let contractor ?tol ?max_rounds ?newton:newton_req ?affine:affine_req
     (* The newton flag keys the group too: Newton-contracted results
        must never replay into a Newton-off run (and vice versa), or the
        kill-switch would no longer reproduce the HC4-only search. *)
-    Printf.sprintf "hc4|%s|%h|%d|%b|%b|%b" (fingerprint constraints)
+    Printf.sprintf "hc4|%s|%h|%d|%b|%b|%b|%b" (fingerprint constraints)
       (Option.value tol ~default:default_tol)
       (Option.value max_rounds ~default:default_max_rounds)
       tape
       (Option.is_some newton)
-      affine
+      affine tm
   in
   let cached box =
     if not (Cache.enabled ()) then base box

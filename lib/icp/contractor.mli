@@ -55,18 +55,21 @@ val fixpoint_compiled :
   ?tol:float ->
   ?max_rounds:int ->
   ?affine:bool ->
+  ?tm:bool ->
   compiled ->
   Interval.Box.t ->
   Interval.Box.t option
-(** [?affine] (default [false]) threads the affine-tightened forward
-    pass into every HC4 revise (see {!Expr.Tape.hc4_revise}); sound
-    either way, possibly tighter with it on. *)
+(** [?affine] / [?tm] (default [false]) thread the affine- and
+    Taylor-model-tightened forward passes into every HC4 revise (see
+    {!Expr.Tape.hc4_revise}); sound either way, possibly tighter with
+    them on. *)
 
 val contractor :
   ?tol:float ->
   ?max_rounds:int ->
   ?newton:bool ->
   ?affine:bool ->
+  ?tm:bool ->
   constr list ->
   Interval.Box.t ->
   Interval.Box.t option
@@ -83,10 +86,11 @@ val contractor :
     closure may be shared across worker domains: tapes are immutable
     and scratch buffers are per-domain.
 
-    [?newton] / [?affine] pin the respective layer on or off for this
-    closure, overriding the global switches — portfolio racers build
-    per-strategy contractors this way, without flipping process-wide
-    state under concurrent racers.  The affine pass still requires the
-    tape path: [~affine:true] is ignored under [BIOMC_NO_TAPE=1].  The
-    HC4 cache group keys on the effective flags, exactly as for
+    [?newton] / [?affine] / [?tm] pin the respective layer on or off
+    for this closure, overriding the global switches — portfolio racers
+    build per-strategy contractors this way, without flipping
+    process-wide state under concurrent racers.  The affine and
+    Taylor-model passes still require the tape path: [~affine:true] /
+    [~tm:true] are ignored under [BIOMC_NO_TAPE=1].  The HC4 cache
+    group keys on the effective flags, exactly as for
     globally-switched closures. *)

@@ -27,14 +27,16 @@ type strategy = {
   branching : branching;
   newton : bool;
   affine : bool;
+  tm : bool;
   order : order;
 }
 
 let pp_strategy ppf s =
-  Fmt.pf ppf "%s{%s%s%s,%s}" s.name
+  Fmt.pf ppf "%s{%s%s%s%s,%s}" s.name
     (match s.branching with Bisect -> "bisect" | Smear -> "smear")
     (if s.newton then "+newton" else "")
     (if s.affine then "+affine" else "")
+    (if s.tm then "+tm" else "")
     (match s.order with Widest -> "widest" | Round_robin -> "rr")
 
 (* ---- Runtime switch (same shape as Expr.Tape / Deriv) ---- *)
@@ -73,16 +75,18 @@ let active () = mode () <> Off
 
 let hc4 =
   { name = "hc4"; branching = Bisect; newton = false; affine = false;
-    order = Widest }
+    tm = false; order = Widest }
 
 let curated () =
   [ hc4;
     { name = "newton-smear"; branching = Smear; newton = true; affine = false;
-      order = Widest };
+      tm = false; order = Widest };
     { name = "affine-rr"; branching = Bisect; newton = false; affine = true;
-      order = Round_robin };
+      tm = false; order = Round_robin };
+    { name = "tm-bisect"; branching = Bisect; newton = false; affine = false;
+      tm = true; order = Widest };
     { name = "full"; branching = Smear; newton = true; affine = true;
-      order = Widest } ]
+      tm = true; order = Widest } ]
 
 let all_strategies () =
   let bools = [ false; true ] in
@@ -97,20 +101,24 @@ let all_strategies () =
           else
             List.concat_map
               (fun newton ->
-                List.map
+                List.concat_map
                   (fun affine ->
-                    let name =
-                      Printf.sprintf "%s%s%s%s"
-                        (match branching with
-                        | Bisect -> "bisect"
-                        | Smear -> "smear")
-                        (if newton then "+newton" else "")
-                        (if affine then "+affine" else "")
-                        (match order with
-                        | Widest -> ""
-                        | Round_robin -> "+rr")
-                    in
-                    { name; branching; newton; affine; order })
+                    List.map
+                      (fun tm ->
+                        let name =
+                          Printf.sprintf "%s%s%s%s%s"
+                            (match branching with
+                            | Bisect -> "bisect"
+                            | Smear -> "smear")
+                            (if newton then "+newton" else "")
+                            (if affine then "+affine" else "")
+                            (if tm then "+tm" else "")
+                            (match order with
+                            | Widest -> ""
+                            | Round_robin -> "+rr")
+                        in
+                        { name; branching; newton; affine; tm; order })
+                      bools)
                   bools)
               bools)
         [ Bisect; Smear ])
@@ -118,12 +126,13 @@ let all_strategies () =
 
 (* A strategy is runnable only when the layers it needs are globally
    enabled: the portfolio must respect BIOMC_NO_NEWTON / BIOMC_NO_AFFINE
-   exactly like the single-strategy search does. *)
+   / BIOMC_NO_TM exactly like the single-strategy search does. *)
 let runnable s =
   (match s.branching, s.newton with
   | Smear, _ | _, true -> Deriv.enabled ()
   | _ -> true)
   && ((not s.affine) || (Expr.Tape.enabled () && Interval.Affine.enabled ()))
+  && ((not s.tm) || (Expr.Tape.enabled () && Interval.Tm.enabled ()))
 
 let filter_runnable = function
   | [] -> [ hc4 ]

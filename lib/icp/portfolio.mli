@@ -3,10 +3,11 @@
     [Reach.Checker] and [Synth.Biopsy].
 
     A {e strategy} fixes the per-query search knobs that the global
-    kill-switches ([BIOMC_NO_NEWTON], [BIOMC_NO_AFFINE]) otherwise set
-    process-wide: the branching heuristic (widest-dimension bisection
-    vs Kearfott smear), the Newton/affine contraction layers, and the
-    branch order (heuristic-first vs round-robin over the variables).
+    kill-switches ([BIOMC_NO_NEWTON], [BIOMC_NO_AFFINE],
+    [BIOMC_NO_TM]) otherwise set process-wide: the branching heuristic
+    (widest-dimension bisection vs Kearfott smear), the
+    Newton/affine/Taylor-model contraction layers, and the branch
+    order (heuristic-first vs round-robin over the variables).
     In portfolio mode a query races a ranked lineup of strategies —
     each with its own box budget — and the first {e conclusive} verdict
     wins ([Pool.first_conclusive]); an Unknown racer (budget exhausted)
@@ -40,6 +41,7 @@ type strategy = {
   branching : branching;
   newton : bool;  (** interval Newton + mean-value refutation in HC4 *)
   affine : bool;  (** affine-tightened forward passes in HC4 *)
+  tm : bool;  (** Taylor-model-tightened forward passes in HC4 *)
   order : order;
 }
 
@@ -54,7 +56,7 @@ val pp_strategy : strategy Fmt.t
 
 type mode =
   | Off  (** default single-strategy search *)
-  | Curated  (** the ~4-racer default lineup *)
+  | Curated  (** the ~5-racer default lineup *)
   | All  (** the full strategy product (deduplicated) *)
 
 val mode : unit -> mode
@@ -72,7 +74,9 @@ val lineup : unit -> strategy list
 (** The racers for the current {!mode}, in rank order (index = rank),
     filtered by the global layer switches: strategies needing the
     derivative layer are dropped under [BIOMC_NO_NEWTON=1], affine
-    strategies under [BIOMC_NO_AFFINE=1] (or [BIOMC_NO_TAPE=1]).
+    strategies under [BIOMC_NO_AFFINE=1] (or [BIOMC_NO_TAPE=1]),
+    Taylor-model strategies under [BIOMC_NO_TM=1] (or
+    [BIOMC_NO_TAPE=1]).
     Never empty — degenerates to the plain HC4 strategy when every
     layer is off.  Under [Off] the lineup is the single HC4-default
     strategy (callers should not race it). *)
@@ -84,9 +88,10 @@ val curated : unit -> strategy list
     measure fastest on wall-clock). *)
 
 val all_strategies : unit -> strategy list
-(** The full {branching} × {newton} × {affine} × {order} product,
-    deduplicated (under [Round_robin] the branching heuristic does not
-    pick the split variable, so the two branchings coincide). *)
+(** The full {branching} × {newton} × {affine} × {tm} × {order}
+    product, deduplicated (under [Round_robin] the branching heuristic
+    does not pick the split variable, so the two branchings
+    coincide). *)
 
 (** {1 Race bookkeeping} *)
 

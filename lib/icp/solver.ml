@@ -61,6 +61,8 @@ let jbounds b =
 let journal_flags jobs =
   [ ("newton", string_of_bool (Deriv.enabled ()));
     ("affine", string_of_bool (Interval.Affine.enabled ()));
+    ("affine_budget", string_of_int (Interval.Affine.budget ()));
+    ("tm", string_of_bool (Interval.Tm.enabled ()));
     ("cache", string_of_bool (Cache.enabled ()));
     ("tape", string_of_bool (Expr.Tape.enabled ()));
     ("portfolio", string_of_bool (Portfolio.active ()));
@@ -210,7 +212,7 @@ let refuted_group cfg atoms =
     let constraints = List.map (Contractor.of_atom ~delta:cfg.delta) atoms in
     let rels = rels_key atoms in
     Some
-      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b|%b"
+      (Printf.sprintf "prune|%s|%s|%h|%d|%b|%b|%b|%b|%b"
          (Contractor.fingerprint constraints) rels
          cfg.delta cfg.contractor_rounds cfg.use_contraction
          (Expr.Tape.enabled ())
@@ -218,9 +220,10 @@ let refuted_group cfg atoms =
             into a BIOMC_NO_NEWTON=1 run would change that run's search
             trajectory — the kill-switch must reproduce the HC4-only
             search exactly, so the two populations stay separate.  Same
-            story for the affine flag below. *)
+            story for the affine and Taylor-model flags below. *)
          (Deriv.enabled ())
-         (Interval.Affine.enabled ()))
+         (Interval.Affine.enabled ())
+         (Interval.Tm.enabled ()))
 
 (* Per-query gradient system for smear-guided branching (and, through
    [Contractor.contractor], the Newton contraction).  [None] when the
@@ -555,7 +558,7 @@ let strategy_contractor cfg (s : Portfolio.strategy) ~delta ~max_rounds atoms =
   else
     let constraints = List.map (Contractor.of_atom ~delta) atoms in
     Contractor.contractor ~max_rounds ~newton:s.Portfolio.newton
-      ~affine:s.Portfolio.affine constraints
+      ~affine:s.Portfolio.affine ~tm:s.Portfolio.tm constraints
 
 (* Gradient system for smear branching, compiled iff the strategy asks
    for it (the lineup already filtered smear strategies out under
@@ -952,14 +955,117 @@ let pave_group cfg formula =
   if not (Cache.enabled ()) then None
   else
     Some
-      (Printf.sprintf "pave|%s|%b|%b|%b|%b"
+      (Printf.sprintf "pave|%s|%b|%b|%b|%b|%b"
          (Digest.to_hex (Digest.string (Expr.Formula.fingerprint formula)))
          cfg.use_contraction
          (Expr.Tape.enabled ())
          (Deriv.enabled ())
-         (Interval.Affine.enabled ()))
+         (Interval.Affine.enabled ())
+         (Interval.Tm.enabled ()))
 
-let pave_step cfg ?refuted ?dsys contract formula b =
+(* ---- Enclosure-assisted sat-certification ----
+
+   [Formula.eval_cert] classifies boxes with plain interval evaluation
+   of each atom, so a feasible band box only certifies once bisection
+   has shrunk the interval overestimate below the band's slack — on
+   dependency-rich atoms that is exactly the overestimate the affine
+   and Taylor-model walkers remove.  Build a per-query atom certifier
+   that re-evaluates Unknown atoms through the tape's enclosure passes
+   and intersects the ranges before the zero test; sound because every
+   pass encloses the atom's true value set on the box.
+
+   The certifier belongs to the Taylor-model layer: it is built only
+   when that layer is live (so [BIOMC_NO_TM=1]/[--no-tm] restores the
+   plain {!Expr.Formula.eval_cert} classifier — and with it the
+   pre-Taylor-model pave — bit for bit), and the affine pass inside it
+   rides along only when the affine layer is also on.  Returns [None]
+   when disabled (kill-switches or [BIOMC_NO_TAPE]).
+
+   One single-root tape per distinct atom term, shared by fingerprint;
+   scratch is per-domain (Domain.DLS), so the returned certifier may be
+   called from racing worker domains. *)
+let enclosure_atom_cert ~affine ~tm formula =
+  let use_tm = tm && Expr.Tape.enabled () && Interval.Tm.enabled () in
+  let use_aff = use_tm && affine && Interval.Affine.enabled () in
+  if not use_tm then None
+  else begin
+    let key (t : Expr.Term.t) =
+      let b = Buffer.create 64 in
+      Expr.Term.fingerprint_acc b t;
+      Buffer.contents b
+    in
+    let tapes : (string, Expr.Tape.t * string array) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (a : Expr.Formula.atom) ->
+        let k = key a.term in
+        if not (Hashtbl.mem tapes k) then begin
+          let vars = Expr.Term.free_var_list a.term in
+          Hashtbl.add tapes k
+            (Expr.Tape.compile ~vars [ a.term ], Array.of_list vars)
+        end)
+      (Expr.Formula.atoms formula);
+    let verdict_of (i : I.t) (rel : Expr.Formula.rel) =
+      if I.is_empty i then Expr.Formula.Impossible
+      else
+        match rel with
+        | Expr.Formula.Gt ->
+            if I.certainly_gt_zero i then Expr.Formula.Certain
+            else if I.certainly_le_zero i then Expr.Formula.Impossible
+            else Expr.Formula.Unknown
+        | Expr.Formula.Ge ->
+            if I.certainly_ge_zero i then Expr.Formula.Certain
+            else if I.certainly_lt_zero i then Expr.Formula.Impossible
+            else Expr.Formula.Unknown
+    in
+    Some
+      (fun box (a : Expr.Formula.atom) ->
+        match Expr.Formula.eval_atom_interval box a with
+        | (Expr.Formula.Certain | Expr.Formula.Impossible) as v -> v
+        | Expr.Formula.Unknown -> (
+            match Hashtbl.find_opt tapes (key a.term) with
+            | None -> Expr.Formula.Unknown
+            | Some (tp, vars) ->
+                let inputs =
+                  Array.map
+                    (fun x ->
+                      match Box.find_opt x box with
+                      | Some itv -> itv
+                      | None -> I.entire)
+                    vars
+                in
+                let sc = Expr.Tape.dls_scratch tp in
+                let out = Array.make 1 I.empty in
+                let r = ref (Expr.Term.eval_interval box a.term) in
+                let intersect () =
+                  let w = I.inter !r out.(0) in
+                  if not (I.equal w !r) then begin
+                    r := w;
+                    true
+                  end
+                  else false
+                in
+                if use_aff then
+                  Interval.Affine.with_span (fun () ->
+                      Expr.Tape.eval_affine_into tp sc ~inputs ~out;
+                      if intersect () then
+                        Interval.Affine.note_tightening ());
+                if use_tm && not (I.is_empty !r) then
+                  Interval.Tm.with_span (fun () ->
+                      Expr.Tape.eval_tm_into tp sc ~inputs ~out;
+                      if intersect () then Interval.Tm.note_tightening ());
+                verdict_of !r a.rel))
+  end
+
+(* The box classifier used by the paving loops: [eval_cert] with the
+   enclosure-assisted atom certifier when one is live. *)
+let pave_cert ~affine ~tm formula =
+  match enclosure_atom_cert ~affine ~tm formula with
+  | None -> Expr.Formula.eval_cert
+  | Some atom -> Expr.Formula.eval_cert_with ~atom
+
+let pave_step cfg ~cert ?refuted ?dsys contract formula b =
   let known_unsat =
     match refuted with
     | None -> false
@@ -981,7 +1087,7 @@ let pave_step cfg ?refuted ?dsys contract formula b =
     Pave_unsat
   end
   else
-  match Expr.Formula.eval_cert b formula with
+  match cert b formula with
   | Expr.Formula.Certain -> Pave_sat
   | Expr.Formula.Impossible ->
       record_unsat ();
@@ -1014,6 +1120,10 @@ let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
   let atoms = Expr.Formula.atoms formula in
   let contract =
     strategy_contractor cfg strategy ~delta:0.0 ~max_rounds:2 atoms
+  in
+  let cert =
+    pave_cert ~affine:strategy.Portfolio.affine ~tm:strategy.Portfolio.tm
+      formula
   in
   let dsys = strategy_deriv strategy ~delta:0.0 atoms in
   let refuted = portfolio_pave_group cfg ~epoch formula in
@@ -1080,7 +1190,7 @@ let racer_pave cfg stats ~cancelled ~spend strategy ~epoch formula box =
             loop tail
           end
           else
-            match Expr.Formula.eval_cert b formula with
+            match cert b formula with
             | Expr.Formula.Certain ->
                 if jon then Journal.leaf ~id:jid ~cls:"sat" ();
                 sat := b :: !sat;
@@ -1230,6 +1340,10 @@ let pave_default ?(config = default_config) formula box =
     else fun b -> Some b
   in
   let refuted = pave_group config formula in
+  let cert =
+    pave_cert ~affine:(Interval.Affine.enabled ())
+      ~tm:(Interval.Tm.enabled ()) formula
+  in
   let dsys = conjunction_deriv ~delta:0.0 atoms in
   let jobs = Stdlib.max 1 config.jobs in
   let stats = fresh_stats () in
@@ -1268,7 +1382,7 @@ let pave_default ?(config = default_config) formula box =
             Journal.enter ~id:jid ~depth;
             Journal.clear_reason ()
           end;
-          match pave_step config ?refuted ?dsys contract formula b with
+          match pave_step config ~cert ?refuted ?dsys contract formula b with
           | Pave_sat ->
               if jon then Journal.leaf ~id:jid ~cls:"sat" ();
               sat := b :: !sat

@@ -42,9 +42,28 @@ let clear_enabled_override () = Atomic.set override None
 (* ---- Noise budget ---- *)
 
 let default_budget = 64
-let budget_cell = Atomic.make default_budget
-let budget () = Atomic.get budget_cell
-let set_budget b = Atomic.set budget_cell (Stdlib.max 1 b)
+
+(* BIOMC_AFFINE_BUDGET tunes the default; a [set_budget] call wins over
+   the environment.  Malformed or non-positive values fall back to the
+   compiled default rather than failing — the budget only trades
+   precision for speed, never soundness. *)
+let env_budget =
+  lazy
+    (match Sys.getenv_opt "BIOMC_AFFINE_BUDGET" with
+    | None -> default_budget
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some b when b >= 1 -> b
+        | _ -> default_budget))
+
+let budget_cell : int option Atomic.t = Atomic.make None
+
+let budget () =
+  match Atomic.get budget_cell with
+  | Some b -> b
+  | None -> Lazy.force env_budget
+
+let set_budget b = Atomic.set budget_cell (Some (Stdlib.max 1 b))
 
 (* ---- Representation ---- *)
 

@@ -59,8 +59,16 @@ val default_budget : int
 (** Default maximum number of noise terms per form (64). *)
 
 val budget : unit -> int
+(** The effective budget: the last {!set_budget} value if any,
+    otherwise [BIOMC_AFFINE_BUDGET] from the environment (positive
+    integers only; malformed values fall back to {!default_budget}),
+    otherwise {!default_budget}.  Also caps each monomial family of
+    the {!Tm} forms.  The solver snapshots this into the journal flag
+    header, so [biomc explain]'s flag-consistency audit covers it. *)
+
 val set_budget : int -> unit
-(** Set the process-wide budget (clamped to ≥ 1). *)
+(** Set the process-wide budget (clamped to ≥ 1); overrides the
+    environment. *)
 
 val condense : ?budget:int -> t -> t
 (** Fold the smallest-magnitude noise terms into the error radius until

@@ -1,0 +1,877 @@
+(* Degree-2 Taylor models: sparse quadratic polynomial + interval
+   remainder over the same normalized input symbols as Affine.  See
+   tm.mli for the soundness contract; the layout below mirrors
+   affine.ml so the two operand interpretations stay reviewable side by
+   side. *)
+
+module I = Ia
+module R = Round
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tm_span = Telemetry.Span.probe "icp.tm"
+
+(* Created always-on so kill-switch ablations report explicit zeros
+   rather than missing metrics (same policy as the affine counters). *)
+let m_refutations = Telemetry.Counter.make ~always:true "tm.refutations"
+let m_tightenings = Telemetry.Counter.make ~always:true "tm.tightenings"
+let m_truncations = Telemetry.Counter.make ~always:true "tm.truncations"
+
+let note_refutation () =
+  Telemetry.Counter.incr m_refutations;
+  Journal.set_reason "tm-refute"
+
+let note_tightening () = Telemetry.Counter.incr m_tightenings
+let note_truncation () = Telemetry.Counter.incr m_truncations
+let truncations () = Telemetry.Counter.value m_truncations
+let with_span f = Telemetry.Span.with_ tm_span f
+
+(* ------------------------------------------------------------------ *)
+(* Enable/disable switch                                              *)
+(* ------------------------------------------------------------------ *)
+
+let override : bool option Atomic.t = Atomic.make None
+
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "BIOMC_NO_TM" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+let enabled () =
+  match Atomic.get override with
+  | Some b -> b
+  | None -> Lazy.force env_enabled
+
+let set_enabled b = Atomic.set override (Some b)
+let clear_enabled_override () = Atomic.set override None
+
+(* ------------------------------------------------------------------ *)
+(* Representation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Monomial families are kept as parallel (index, coefficient) arrays,
+   each sorted by index ([cross_idx] lexicographically with i < j) with
+   finite nonzero coefficients; [rem] is a nonempty bounded interval.
+   The model denotes { c + Σ lin·ε + Σ diag·ε² + Σ cross·εε' + r :
+   ε ∈ [−1,1]ⁿ, r ∈ rem }. *)
+type form = {
+  c : float;
+  lin_idx : int array;
+  lin : float array;
+  diag_idx : int array;
+  diag : float array;
+  cross_idx : (int * int) array;
+  cross : float array;
+  rem : I.t;
+}
+
+type t = Bot | Itv of I.t | Tm of form
+
+let[@inline] up x = R.next_after x infinity
+
+let[@inline] ulp z =
+  let az = Float.abs z in
+  if az = infinity then infinity else up az -. az
+
+(* Running upward-rounded slack accumulator. *)
+let[@inline] eplus e d = up (e +. d)
+
+let unit_itv = I.make (-1.0) 1.0
+let unit_sq = I.make 0.0 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Range bounds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Range of the linear monomials: symmetric, Σ|lᵢ| upward. *)
+let lin_range f =
+  let s = ref 0.0 in
+  Array.iter (fun v -> s := eplus !s (Float.abs v)) f.lin;
+  I.make (-. !s) !s
+
+(* Range of the quadratic monomials by interval evaluation:
+   diag·[0,1] + cross·[−1,1]. *)
+let quad_range f =
+  let acc = ref I.zero in
+  Array.iter (fun v -> acc := I.add !acc (I.mul_float unit_sq v)) f.diag;
+  Array.iter (fun v -> acc := I.add !acc (I.mul_float unit_itv v)) f.cross;
+  !acc
+
+(* Range of the whole polynomial part (constant included).  Per
+   variable the univariate slice g(t) = q·t² + l·t on [−1,1] is bounded
+   by its degree-2 Bernstein coefficients — over [−1,1] these are
+   b₀ = g(−1) = q − l, b₁ = −q, b₂ = g(1) = q + l, and the control
+   polygon [min bᵢ, max bᵢ] encloses the curve — intersected with the
+   interval evaluation l·[−1,1] + q·[0,1].  Each bound is sound on its
+   own (Bernstein wins when l, q interact, e.g. (t−1)² near its root;
+   the interval form wins when the parabola's vertex lies outside
+   [−1,1]), so the intersection is sound and never empty.  Coefficient
+   arithmetic runs in interval space, keeping the bound outward-rounded.
+   Cross monomials, which couple two variables, are bounded by
+   magnitude. *)
+let poly_range f =
+  let acc = ref (I.of_float f.c) in
+  let nl = Array.length f.lin_idx and nd = Array.length f.diag_idx in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl || !j < nd do
+    let l, q =
+      if !j >= nd || (!i < nl && f.lin_idx.(!i) < f.diag_idx.(!j)) then begin
+        let l = f.lin.(!i) in
+        incr i;
+        (l, 0.0)
+      end
+      else if !i >= nl || f.diag_idx.(!j) < f.lin_idx.(!i) then begin
+        let q = f.diag.(!j) in
+        incr j;
+        (0.0, q)
+      end
+      else begin
+        let l = f.lin.(!i) and q = f.diag.(!j) in
+        incr i;
+        incr j;
+        (l, q)
+      end
+    in
+    let li = I.of_float l and qi = I.of_float q in
+    let bern = I.hull (I.hull (I.sub qi li) (I.neg qi)) (I.add qi li) in
+    let itv = I.add (I.mul li unit_itv) (I.mul qi unit_sq) in
+    acc := I.add !acc (I.inter bern itv)
+  done;
+  Array.iter (fun v -> acc := I.add !acc (I.mul_float unit_itv v)) f.cross;
+  !acc
+
+let concretize_form f = I.add (poly_range f) f.rem
+
+let concretize = function
+  | Bot -> I.empty
+  | Itv v -> v
+  | Tm f -> concretize_form f
+
+let is_bot = function Bot -> true | _ -> false
+let is_tm = function Tm _ -> true | _ -> false
+
+let nterms = function
+  | Tm f ->
+      Array.length f.lin + Array.length f.diag + Array.length f.cross
+  | _ -> 0
+
+let is_quadratic = function
+  | Tm f -> Array.length f.diag > 0 || Array.length f.cross > 0
+  | _ -> false
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | Itv v -> I.pp ppf v
+  | Tm f ->
+      Fmt.pf ppf "@[<h>%g" f.c;
+      Array.iteri
+        (fun k i -> Fmt.pf ppf " %+g·e%d" f.lin.(k) i)
+        f.lin_idx;
+      Array.iteri
+        (fun k i -> Fmt.pf ppf " %+g·e%d²" f.diag.(k) i)
+        f.diag_idx;
+      Array.iteri
+        (fun k (i, j) -> Fmt.pf ppf " %+g·e%de%d" f.cross.(k) i j)
+        f.cross_idx;
+      Fmt.pf ppf " + %a@]" I.pp f.rem
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mk_itv v = if I.is_empty v then Bot else Itv v
+
+(* Deterministic condensation of one monomial family past the budget:
+   rank by |coefficient| descending (index ascending on ties), keep the
+   top [b], fold the rest into an interval via [to_itv].  Shares the
+   affine noise budget so BIOMC_AFFINE_BUDGET tunes both layers. *)
+let condense_family b idx coef to_itv =
+  let n = Array.length coef in
+  if n <= b then (idx, coef, I.zero)
+  else begin
+    let order = Array.init n (fun k -> k) in
+    Array.sort
+      (fun a bk ->
+        let ca = Float.abs coef.(a) and cb = Float.abs coef.(bk) in
+        if ca > cb then -1 else if ca < cb then 1 else compare a bk)
+      order;
+    let keep = Array.sub order 0 b in
+    Array.sort compare keep;
+    let folded = ref I.zero in
+    for k = b to n - 1 do
+      folded := I.add !folded (to_itv coef.(order.(k)))
+    done;
+    ( Array.map (fun k -> idx.(k)) keep,
+      Array.map (fun k -> coef.(k)) keep,
+      !folded )
+  end
+
+let sym_itv v =
+  let a = Float.abs v in
+  I.make (-.a) a
+
+(* diag monomials range over coef·[0,1]. *)
+let diag_itv v = I.mul_float unit_sq v
+
+(* Drop zero coefficients from a family (products and scalings create
+   exact zeros that would otherwise accumulate as dead monomials). *)
+let compact idx coef =
+  let n = Array.length coef in
+  let m = ref 0 in
+  for k = 0 to n - 1 do
+    if coef.(k) <> 0.0 then incr m
+  done;
+  if !m = n then (idx, coef)
+  else begin
+    let idx' = Array.make !m idx.(0) and coef' = Array.make !m 0.0 in
+    let j = ref 0 in
+    for k = 0 to n - 1 do
+      if coef.(k) <> 0.0 then begin
+        idx'.(!j) <- idx.(k);
+        coef'.(!j) <- coef.(k);
+        incr j
+      end
+    done;
+    (idx', coef')
+  end
+
+let finite_arr a = Array.for_all Float.is_finite a
+
+(* Smart constructor: folds accumulated rounding slack into the
+   remainder, demotes non-finite results to a sound interval fallback,
+   drops zero coefficients and condenses each family to the budget. *)
+let mk ~c ~lin_idx ~lin ~diag_idx ~diag ~cross_idx ~cross ~rem ~slack =
+  let rem =
+    if slack > 0.0 then I.add rem (I.make (-.slack) slack) else rem
+  in
+  if
+    (not (Float.is_finite c))
+    || I.is_empty rem
+    || (not (I.is_bounded rem))
+    || (not (finite_arr lin))
+    || (not (finite_arr diag))
+    || not (finite_arr cross)
+  then Itv I.entire
+  else begin
+    let lin_idx, lin = compact lin_idx lin in
+    let diag_idx, diag = compact diag_idx diag in
+    let cross_idx, cross = compact cross_idx cross in
+    let b = Affine.budget () in
+    let lin_idx, lin, e1 = condense_family b lin_idx lin sym_itv in
+    let diag_idx, diag, e2 = condense_family b diag_idx diag diag_itv in
+    let cross_idx, cross, e3 = condense_family b cross_idx cross sym_itv in
+    let rem = I.add rem (I.add e1 (I.add e2 e3)) in
+    if I.is_bounded rem then
+      Tm { c; lin_idx; lin; diag_idx; diag; cross_idx; cross; rem }
+    else Itv I.entire
+  end
+
+let no_ints : int array = [||]
+let no_pairs : (int * int) array = [||]
+let no_coefs : float array = [||]
+
+let const c =
+  if c <> c then Bot
+  else if Float.is_finite c then
+    Tm
+      {
+        c;
+        lin_idx = no_ints;
+        lin = no_coefs;
+        diag_idx = no_ints;
+        diag = no_coefs;
+        cross_idx = no_pairs;
+        cross = no_coefs;
+        rem = I.zero;
+      }
+  else Itv (I.of_float c)
+
+let of_interval ~sym iv =
+  if I.is_empty iv then Bot
+  else if not (I.is_bounded iv) then Itv iv
+  else begin
+    let c = I.mid iv in
+    let r = I.mag (I.sub_float iv c) in
+    if r = 0.0 then const c
+    else
+      Tm
+        {
+          c;
+          lin_idx = [| sym |];
+          lin = [| r |];
+          diag_idx = no_ints;
+          diag = no_coefs;
+          cross_idx = no_pairs;
+          cross = no_coefs;
+          rem = I.zero;
+        }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Linear combination machinery                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Merged sum x + s·y over one sorted coefficient family.  Returns the
+   packed arrays plus the upward-rounded slack of the coefficient
+   additions (scaling by s = ±1 is exact). *)
+let merge_scaled (type k) (cmp : k -> k -> int) s (xi : k array) xc
+    (yi : k array) yc =
+  let nx = Array.length xi and ny = Array.length yi in
+  if nx = 0 && ny = 0 then ([||], [||], 0.0)
+  else begin
+  let dummy = if nx > 0 then xi.(0) else yi.(0) in
+  let idx = Array.make (nx + ny) dummy in
+  let coef = Array.make (nx + ny) 0.0 in
+  let e = ref 0.0 and i = ref 0 and j = ref 0 and n = ref 0 in
+  let store ix v =
+    if v <> 0.0 then begin
+      idx.(!n) <- ix;
+      coef.(!n) <- v;
+      incr n
+    end
+  in
+  while !i < nx || !j < ny do
+    if !j >= ny || (!i < nx && cmp xi.(!i) yi.(!j) < 0) then begin
+      store xi.(!i) xc.(!i);
+      incr i
+    end
+    else if !i >= nx || cmp yi.(!j) xi.(!i) < 0 then begin
+      store yi.(!j) (s *. yc.(!j));
+      incr j
+    end
+    else begin
+      let v = xc.(!i) +. (s *. yc.(!j)) in
+      e := eplus !e (ulp v);
+      store xi.(!i) v;
+      incr i;
+      incr j
+    end
+  done;
+  (Array.sub idx 0 !n, Array.sub coef 0 !n, !e)
+  end
+
+let cmp_int (a : int) b = compare a b
+let cmp_pair (a : int * int) b = compare a b
+
+let addsub_form s fx fy =
+  let c = fx.c +. (s *. fy.c) in
+  let slack = ref (ulp c) in
+  let lin_idx, lin, e1 =
+    merge_scaled cmp_int s fx.lin_idx fx.lin fy.lin_idx fy.lin
+  in
+  let diag_idx, diag, e2 =
+    merge_scaled cmp_int s fx.diag_idx fx.diag fy.diag_idx fy.diag
+  in
+  let cross_idx, cross, e3 =
+    merge_scaled cmp_pair s fx.cross_idx fx.cross fy.cross_idx fy.cross
+  in
+  slack := eplus (eplus (eplus !slack e1) e2) e3;
+  let rem = I.add fx.rem (if s > 0.0 then fy.rem else I.neg fy.rem) in
+  mk ~c ~lin_idx ~lin ~diag_idx ~diag ~cross_idx ~cross ~rem ~slack:!slack
+
+(* Sound enclosure of konst + alpha·x ± delta (alpha, delta floats;
+   konst an interval): the workhorse behind scaling and every unary
+   linearization.  Coefficients scale in float with per-term ulp slack;
+   the centre is recentred through interval arithmetic. *)
+let lin_map ~alpha ~konst ~delta fx =
+  let ci = I.add konst (I.mul_float (I.of_float fx.c) alpha) in
+  if I.is_empty ci || not (I.is_bounded ci) then
+    mk_itv (I.add konst (I.mul_float (concretize_form fx) alpha))
+  else begin
+    let c = I.mid ci in
+    let slop = I.mag (I.sub_float ci c) in
+    let slack = ref (eplus slop delta) in
+    let scale_arr arr =
+      Array.map
+        (fun v ->
+          let r = alpha *. v in
+          slack := eplus !slack (ulp r);
+          r)
+        arr
+    in
+    let lin = scale_arr fx.lin in
+    let diag = scale_arr fx.diag in
+    let cross = scale_arr fx.cross in
+    let rem = I.mul_float fx.rem alpha in
+    mk ~c ~lin_idx:(Array.copy fx.lin_idx) ~lin
+      ~diag_idx:(Array.copy fx.diag_idx) ~diag
+      ~cross_idx:(Array.copy fx.cross_idx) ~cross ~rem ~slack:!slack
+  end
+
+let neg = function
+  | Bot -> Bot
+  | Itv v -> Itv (I.neg v)
+  | Tm f -> lin_map ~alpha:(-1.0) ~konst:I.zero ~delta:0.0 f
+
+let scale k = function
+  | Bot -> Bot
+  | _ when k <> k -> Bot
+  | Itv v -> mk_itv (I.mul_float v k)
+  | Tm f ->
+      if Float.is_finite k then lin_map ~alpha:k ~konst:I.zero ~delta:0.0 f
+      else mk_itv (I.mul_float (concretize_form f) k)
+
+let add_const k = function
+  | Bot -> Bot
+  | _ when k <> k -> Bot
+  | Itv v -> mk_itv (I.add_float v k)
+  | Tm f ->
+      if Float.is_finite k then
+        lin_map ~alpha:1.0 ~konst:(I.of_float k) ~delta:0.0 f
+      else mk_itv (I.add_float (concretize_form f) k)
+
+let add x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Tm fx, Tm fy -> addsub_form 1.0 fx fy
+  | Tm f, Itv v | Itv v, Tm f when I.is_bounded v ->
+      lin_map ~alpha:1.0 ~konst:v ~delta:0.0 f
+  | _ -> mk_itv (I.add (concretize x) (concretize y))
+
+let sub x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Tm fx, Tm fy -> addsub_form (-1.0) fx fy
+  | Tm f, Itv v when I.is_bounded v ->
+      lin_map ~alpha:1.0 ~konst:(I.neg v) ~delta:0.0 f
+  | Itv v, Tm f when I.is_bounded v ->
+      lin_map ~alpha:(-1.0) ~konst:v ~delta:0.0 f
+  | _ -> mk_itv (I.sub (concretize x) (concretize y))
+
+(* ------------------------------------------------------------------ *)
+(* Products                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Quadratic-coefficient accumulator: hashed on the (normalized)
+   variable pair, extracted in sorted order so products stay
+   deterministic. *)
+let quad_acc () = (Hashtbl.create 16 : (int * int, float ref) Hashtbl.t)
+
+let quad_add tbl slack i j v =
+  if v <> 0.0 then begin
+    let key = if i <= j then (i, j) else (j, i) in
+    match Hashtbl.find_opt tbl key with
+    | Some r ->
+        let s = !r +. v in
+        slack := eplus !slack (ulp s);
+        r := s
+    | None -> Hashtbl.add tbl key (ref v)
+  end
+
+let quad_extract tbl =
+  let all =
+    Hashtbl.fold
+      (fun k r acc -> if !r <> 0.0 then (k, !r) :: acc else acc)
+      tbl []
+  in
+  let all = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) all in
+  let diag, cross = List.partition (fun ((i, j), _) -> i = j) all in
+  ( Array.of_list (List.map (fun ((i, _), _) -> i) diag),
+    Array.of_list (List.map snd diag),
+    Array.of_list (List.map fst cross),
+    Array.of_list (List.map snd cross) )
+
+(* x·y with x = cₓ + Lₓ + Qₓ + remₓ (L linear, Q quadratic monomials):
+   keep cₓc_y, cₓL_y + c_yLₓ, cₓQ_y + c_yQₓ + Lₓ⊗L_y exactly (degree
+   ≤ 2); truncate LQ and QQ products — degree 3 and 4 — into the
+   remainder via their ranges; remainders couple through the full
+   polynomial ranges. *)
+let mul_form fx fy =
+  let slack = ref 0.0 in
+  let c = fx.c *. fy.c in
+  slack := eplus !slack (ulp c);
+  let scaled k arr =
+    Array.map
+      (fun v ->
+        let r = k *. v in
+        slack := eplus !slack (ulp r);
+        r)
+      arr
+  in
+  let lin_idx, lin, e1 =
+    merge_scaled cmp_int 1.0 fx.lin_idx (scaled fy.c fx.lin) fy.lin_idx
+      (scaled fx.c fy.lin)
+  in
+  slack := eplus !slack e1;
+  let tbl = quad_acc () in
+  let addq = quad_add tbl slack in
+  Array.iteri
+    (fun k i ->
+      let v = fy.c *. fx.diag.(k) in
+      slack := eplus !slack (ulp v);
+      addq i i v)
+    fx.diag_idx;
+  Array.iteri
+    (fun k (i, j) ->
+      let v = fy.c *. fx.cross.(k) in
+      slack := eplus !slack (ulp v);
+      addq i j v)
+    fx.cross_idx;
+  Array.iteri
+    (fun k i ->
+      let v = fx.c *. fy.diag.(k) in
+      slack := eplus !slack (ulp v);
+      addq i i v)
+    fy.diag_idx;
+  Array.iteri
+    (fun k (i, j) ->
+      let v = fx.c *. fy.cross.(k) in
+      slack := eplus !slack (ulp v);
+      addq i j v)
+    fy.cross_idx;
+  Array.iteri
+    (fun a i ->
+      Array.iteri
+        (fun b j ->
+          let v = fx.lin.(a) *. fy.lin.(b) in
+          slack := eplus !slack (ulp v);
+          addq i j v)
+        fy.lin_idx)
+    fx.lin_idx;
+  let diag_idx, diag, cross_idx, cross = quad_extract tbl in
+  let rlx = lin_range fx and rly = lin_range fy in
+  let rqx = quad_range fx and rqy = quad_range fy in
+  let fold =
+    I.add (I.add (I.mul rlx rqy) (I.mul rly rqx)) (I.mul rqx rqy)
+  in
+  if not (I.lo fold = 0.0 && I.hi fold = 0.0) then note_truncation ();
+  let rax = poly_range fx and ray = poly_range fy in
+  let rem =
+    I.add
+      (I.add
+         (I.add (I.mul rax fy.rem) (I.mul ray fx.rem))
+         (I.mul fx.rem fy.rem))
+      fold
+  in
+  mk ~c ~lin_idx ~lin ~diag_idx ~diag ~cross_idx ~cross ~rem ~slack:!slack
+
+(* x² = c² + 2cL + (2cQ + L⊗L) + [2LQ + Q²] + remainder coupling, with
+   the degree-3/4 bracket truncated by range.  The remainder coupling
+   2·A·rem + rem² and the Q² range use one-sided forms (I.sqr) rather
+   than the generic product, which is what makes sqr worth keeping
+   separate from mul. *)
+let sqr_form f =
+  let slack = ref 0.0 in
+  let c = f.c *. f.c in
+  slack := eplus !slack (ulp c);
+  let two_c = 2.0 *. f.c in
+  slack := eplus !slack (ulp two_c);
+  let lin =
+    Array.map
+      (fun v ->
+        let r = two_c *. v in
+        slack := eplus !slack (ulp r);
+        r)
+      f.lin
+  in
+  let tbl = quad_acc () in
+  let addq = quad_add tbl slack in
+  Array.iteri
+    (fun k i ->
+      let v = two_c *. f.diag.(k) in
+      slack := eplus !slack (ulp v);
+      addq i i v)
+    f.diag_idx;
+  Array.iteri
+    (fun k (i, j) ->
+      let v = two_c *. f.cross.(k) in
+      slack := eplus !slack (ulp v);
+      addq i j v)
+    f.cross_idx;
+  let nl = Array.length f.lin_idx in
+  for a = 0 to nl - 1 do
+    for b = a to nl - 1 do
+      let v = f.lin.(a) *. f.lin.(b) in
+      slack := eplus !slack (ulp v);
+      let v = if a = b then v else 2.0 *. v in
+      slack := eplus !slack (ulp v);
+      addq f.lin_idx.(a) f.lin_idx.(b) v
+    done
+  done;
+  let diag_idx, diag, cross_idx, cross = quad_extract tbl in
+  let rl = lin_range f and rq = quad_range f in
+  let fold = I.add (I.mul_float (I.mul rl rq) 2.0) (I.sqr rq) in
+  if not (I.lo fold = 0.0 && I.hi fold = 0.0) then note_truncation ();
+  let ra = poly_range f in
+  let rem =
+    I.add (I.add (I.mul_float (I.mul ra f.rem) 2.0) (I.sqr f.rem)) fold
+  in
+  mk ~c ~lin_idx:(Array.copy f.lin_idx) ~lin ~diag_idx ~diag ~cross_idx
+    ~cross ~rem ~slack:!slack
+
+let mul x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | Tm fx, Tm fy -> mul_form fx fy
+  | Tm f, Itv v when I.is_singleton v && I.is_bounded v ->
+      lin_map ~alpha:(I.lo v) ~konst:I.zero ~delta:0.0 f
+  | Itv v, Tm f when I.is_singleton v && I.is_bounded v ->
+      lin_map ~alpha:(I.lo v) ~konst:I.zero ~delta:0.0 f
+  | _ -> mk_itv (I.mul (concretize x) (concretize y))
+
+let sqr = function
+  | Bot -> Bot
+  | Itv v -> mk_itv (I.sqr v)
+  | Tm f -> sqr_form f
+
+(* ------------------------------------------------------------------ *)
+(* Unary linearizations                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared prologue for unary ops: concretize, compute the interval
+   image, handle the degenerate cases, otherwise hand the polynomial
+   form plus its range to the op-specific body. *)
+let unary fi x k =
+  match x with
+  | Bot -> Bot
+  | Itv v -> mk_itv (fi v)
+  | Tm f ->
+      let xr = concretize_form f in
+      let fx = fi xr in
+      if I.is_empty fx then Bot
+      else if not (I.is_bounded fx) then Itv fx
+      else k f xr fx
+
+(* First-order Chebyshev (mean-value) linearization, identical in shape
+   to Affine.mean_value but applied to the whole degree-2 polynomial:
+   f(x) ∈ f(m) + f'(X)(x − m) over x ∈ X. *)
+let mean_value ~f ~f' fx0 xr fx =
+  let di = f' xr in
+  if I.is_empty di || not (I.is_bounded di) then Itv fx
+  else begin
+    let alpha = I.mid di in
+    let m = I.mid xr in
+    let dev = I.mag (I.sub_float xr m) in
+    let delta = up (I.mag (I.sub_float di alpha) *. dev) in
+    if not (delta < I.width fx) then Itv fx
+    else begin
+      let fm = f (I.of_float m) in
+      if I.is_empty fm || not (I.is_bounded fm) then Itv fx
+      else
+        let konst = I.sub fm (I.mul_float (I.of_float m) alpha) in
+        lin_map ~alpha ~konst ~delta fx0
+    end
+  end
+
+(* Min-range linearization with caller-chosen slope (monotone ops pick
+   the endpoint derivative, making the enclosure one-sided). *)
+let min_range ~f ~alpha fx0 xr fx =
+  if not (Float.is_finite alpha) then Itv fx
+  else begin
+    let glo = I.sub (f (I.of_float (I.lo xr))) (I.mul_float (I.of_float (I.lo xr)) alpha) in
+    let ghi = I.sub (f (I.of_float (I.hi xr))) (I.mul_float (I.of_float (I.hi xr)) alpha) in
+    let g = I.hull glo ghi in
+    if I.is_empty g || not (I.is_bounded g) then Itv fx
+    else begin
+      let konst = I.of_float (I.mid g) in
+      let delta = I.mag (I.sub_float g (I.mid g)) in
+      if not (delta < I.width fx) then Itv fx
+      else lin_map ~alpha ~konst ~delta fx0
+    end
+  end
+
+let is_linear_form f =
+  Array.length f.diag_idx = 0 && Array.length f.cross_idx = 0
+
+(* Second-order Taylor form around the midpoint, for linear operands
+   only (there (x − m)² is exactly degree 2, so nothing truncates):
+   f(x) = f(m) + f'(m)(x − m) + ½f''(ξ)(x − m)², ξ ∈ X.  Enclose f(m)
+   and f'(m) as intervals, take ½f''(X) = β ± ρ, and emit
+   mid(f'(m))·u + f(m) + mid-slops + β·u² with ρ·|u²| pushed into the
+   remainder.  On a width-r operand the residual slops are O(r³) —
+   versus O(r²) for the first-order forms — which is the mechanism
+   that cracks band-paving boundary boxes. *)
+let taylor2 ~f ~f' ~f'' x xr fx =
+  if not (is_linear_form x) then None
+  else begin
+    let d2 = f'' xr in
+    if I.is_empty d2 || not (I.is_bounded d2) then None
+    else begin
+      let m = I.mid xr in
+      let fm = f (I.of_float m) in
+      let f1m = f' (I.of_float m) in
+      if
+        I.is_empty fm
+        || (not (I.is_bounded fm))
+        || I.is_empty f1m
+        || not (I.is_bounded f1m)
+      then None
+      else begin
+        let am = I.mid f1m in
+        let dev = I.mag (I.sub_float xr m) in
+        let slop1 = up (I.mag (I.sub_float f1m am) *. dev) in
+        let beta = I.mul_float d2 0.5 in
+        let bm = I.mid beta in
+        match add_const (-.m) (Tm x) with
+        | Tm u -> (
+            match sqr_form u with
+            | Tm uq ->
+                let r2 = I.mag (concretize_form uq) in
+                let delta2 = up (I.mag (I.sub_float beta bm) *. r2) in
+                let delta = eplus slop1 delta2 in
+                if not (delta < I.width fx) then None
+                else begin
+                  let t1 = lin_map ~alpha:am ~konst:fm ~delta u in
+                  let t2 = scale bm (Tm uq) in
+                  match add t1 t2 with Bot -> None | r -> Some r
+                end
+            | _ -> None)
+        | _ -> None
+      end
+    end
+  end
+
+(* Smooth ops: second-order form when the operand is linear, otherwise
+   first-order Chebyshev applied to the full polynomial. *)
+let chebyshev2 ~f ~f' ~f'' x xr fx =
+  match taylor2 ~f ~f' ~f'' x xr fx with
+  | Some r -> r
+  | None -> mean_value ~f ~f' x xr fx
+
+(* Monotone-convex/concave ops: second-order form when linear,
+   min-range with the caller's endpoint slope otherwise. *)
+let min_range2 ~f ~f' ~f'' ~alpha x xr fx =
+  match taylor2 ~f ~f' ~f'' x xr fx with
+  | Some r -> r
+  | None -> min_range ~f ~alpha x xr fx
+
+let exp x =
+  unary I.exp x (fun f xr fx ->
+      min_range2 ~f:I.exp ~f':I.exp ~f'':I.exp
+        ~alpha:(I.lo (I.exp (I.of_float (I.lo xr))))
+        f xr fx)
+
+let log x =
+  unary I.log x (fun f xr fx ->
+      if I.lo xr <= 0.0 then Itv fx
+      else
+        min_range2 ~f:I.log ~f':I.inv
+          ~f'':(fun v -> I.neg (I.inv (I.sqr v)))
+          ~alpha:(I.lo (I.inv (I.of_float (I.hi xr))))
+          f xr fx)
+
+let sqrt x =
+  unary I.sqrt x (fun f xr fx ->
+      if I.lo xr <= 0.0 then Itv fx
+      else
+        min_range2 ~f:I.sqrt
+          ~f':(fun v -> I.inv (I.mul_float (I.sqrt v) 2.0))
+          ~f'':(fun v ->
+            I.neg (I.inv (I.mul_float (I.mul (I.sqrt v) v) 4.0)))
+          ~alpha:(I.lo (I.inv (I.mul_float (I.sqrt (I.of_float (I.hi xr))) 2.0)))
+          f xr fx)
+
+let inv x =
+  unary I.inv x (fun f xr fx ->
+      if I.lo xr > 0.0 || I.hi xr < 0.0 then begin
+        (* 1/x is convex on each sign branch; slope at the endpoint of
+           larger magnitude gives the min-range form. *)
+        let e = if I.lo xr > 0.0 then I.hi xr else I.lo xr in
+        let alpha_i = I.neg (I.inv (I.sqr (I.of_float e))) in
+        min_range2 ~f:I.inv
+          ~f':(fun v -> I.neg (I.inv (I.sqr v)))
+          ~f'':(fun v -> I.mul_float (I.inv (I.mul (I.sqr v) v)) 2.0)
+          ~alpha:(I.hi alpha_i) f xr fx
+      end
+      else Itv fx)
+
+let div x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | _, Tm _ -> mul x (inv y)
+  | _ -> mk_itv (I.div (concretize x) (concretize y))
+
+let pow_int x k =
+  match x with
+  | Bot -> Bot
+  | Itv v -> mk_itv (I.pow_int v k)
+  | Tm f when k = 0 -> if I.is_empty (concretize_form f) then Bot else const 1.0
+  | Tm _ when k = 1 -> x
+  | Tm _ when k = 2 -> sqr x
+  | Tm _ when k = -1 -> inv x
+  | Tm _ ->
+      unary
+        (fun v -> I.pow_int v k)
+        x
+        (fun f xr fx ->
+          if k < 0 && I.lo xr <= 0.0 && I.hi xr >= 0.0 then Itv fx
+          else
+            let kf = float_of_int k in
+            chebyshev2
+              ~f:(fun v -> I.pow_int v k)
+              ~f':(fun v -> I.mul_float (I.pow_int v (k - 1)) kf)
+              ~f'':(fun v ->
+                I.mul_float (I.pow_int v (k - 2)) (kf *. float_of_int (k - 1)))
+              f xr fx)
+
+let sin x =
+  unary I.sin x (fun f xr fx ->
+      chebyshev2 ~f:I.sin ~f':I.cos ~f'':(fun v -> I.neg (I.sin v)) f xr fx)
+
+let cos x =
+  unary I.cos x (fun f xr fx ->
+      chebyshev2 ~f:I.cos
+        ~f':(fun v -> I.neg (I.sin v))
+        ~f'':(fun v -> I.neg (I.cos v))
+        f xr fx)
+
+let tan x =
+  unary I.tan x (fun f xr fx ->
+      chebyshev2 ~f:I.tan
+        ~f':(fun v -> I.add I.one (I.sqr (I.tan v)))
+        ~f'':(fun v ->
+          let t = I.tan v in
+          I.mul_float (I.mul t (I.add I.one (I.sqr t))) 2.0)
+        f xr fx)
+
+let atan x =
+  unary I.atan x (fun f xr fx ->
+      chebyshev2 ~f:I.atan
+        ~f':(fun v -> I.inv (I.add I.one (I.sqr v)))
+        ~f'':(fun v ->
+          I.neg (I.div (I.mul_float v 2.0) (I.sqr (I.add I.one (I.sqr v)))))
+        f xr fx)
+
+let tanh x =
+  unary I.tanh x (fun f xr fx ->
+      chebyshev2 ~f:I.tanh
+        ~f':(fun v -> I.sub I.one (I.sqr (I.tanh v)))
+        ~f'':(fun v ->
+          let t = I.tanh v in
+          I.mul_float (I.mul t (I.sub I.one (I.sqr t))) (-2.0))
+        f xr fx)
+
+(* ------------------------------------------------------------------ *)
+(* Non-smooth operations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let abs x =
+  match x with
+  | Bot -> Bot
+  | Itv v -> mk_itv (I.abs v)
+  | Tm f ->
+      let xr = concretize_form f in
+      if I.lo xr >= 0.0 then x
+      else if I.hi xr <= 0.0 then neg x
+      else mk_itv (I.abs xr)
+
+let min_ x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | _ ->
+      let xr = concretize x and yr = concretize y in
+      if I.hi xr <= I.lo yr then x
+      else if I.hi yr <= I.lo xr then y
+      else mk_itv (I.min_ xr yr)
+
+let max_ x y =
+  match (x, y) with
+  | Bot, _ | _, Bot -> Bot
+  | _ ->
+      let xr = concretize x and yr = concretize y in
+      if I.lo xr >= I.hi yr then x
+      else if I.lo yr >= I.hi xr then y
+      else mk_itv (I.max_ xr yr)

@@ -1,0 +1,142 @@
+(** Degree-2 Taylor models: sparse quadratic polynomial enclosures with
+    an interval remainder.
+
+    A Taylor model [x̂ = c + Σᵢ lᵢ·εᵢ + Σᵢ qᵢᵢ·εᵢ² + Σᵢ<ⱼ qᵢⱼ·εᵢεⱼ + R]
+    represents a quantity as a sparse polynomial of degree at most 2 over
+    normalized input variables [εᵢ ∈ [−1, 1]] (the same input-indexed
+    symbols as {!Affine}) plus an interval remainder [R] absorbing
+    truncation, linearization and rounding errors.  Where affine forms
+    fold all second-order structure into a scalar error radius — the
+    [mul]/[sqr] remainder is O(width²) — Taylor models keep the quadratic
+    monomials exactly, so the remainder of smooth compositions is
+    O(width³): exactly the gap that dominates on band-constraint
+    boundaries, where the value surface is locally quadratic and an
+    affine enclosure can neither refute nor certify.
+
+    Soundness contract: for every assignment of the variables to
+    [[−1, 1]] consistent with the operand models, the result model
+    encloses the exact real-valued result.  Concretizations are always
+    valid interval enclosures, never assumed tighter than the interval
+    evaluation of the same expression — callers intersect the two.
+    Every bound is widened outward (see {!Round}); coefficient
+    arithmetic is done in floats with per-operation ulp slack pushed
+    into the remainder, so no soundness argument depends on a float
+    operation being exact.
+
+    The range of the polynomial part is bounded per variable by the
+    degree-2 Bernstein coefficients over the unit box (the control
+    polygon encloses the curve), intersected with plain interval
+    evaluation — each is sound, and each wins on different coefficient
+    signs; cross monomials are bounded by magnitude.  This polynomial
+    range bound is what the affine layer structurally cannot provide.
+
+    Nonlinear operations:
+    - [mul]/[sqr] keep every monomial of degree ≤ 2 exactly and
+      truncate degree-3/4 products into the remainder, bounded by the
+      factor ranges (counted by the [tm.truncations] telemetry);
+    - unary operations lift the {!Affine} linearizations (min-range for
+      [exp], [log], [sqrt], [inv]; Chebyshev mean-value for the rest),
+      applied to the whole polynomial part, and upgrade to a
+      second-order Taylor form [f(m) + f'(m)(x−m) + ½f''(X)(x−m)²]
+      when the operand is linear — there [(x−m)²] is exactly degree 2,
+      so the upgrade is cheap and the remainder third-order;
+    - non-smooth operations ([abs], [min_], [max_]) fall back to
+      interval arithmetic unless their operand ranges make them exact.
+
+    A model degrades to a plain interval when unbounded or through a
+    non-polynomial fallback, and to bottom (empty) when the operand
+    leaves the operation's domain entirely.  Forms stay small: each
+    monomial family is condensed deterministically past the shared
+    {!Affine.budget} (smallest-magnitude coefficients folded into the
+    remainder, ties broken by variable index). *)
+
+type t
+
+(** {1 Enable/disable switch}
+
+    Gates the TM-powered solver paths (HC4 forward tightening, pave
+    certification, ODE enclosure intersection), not this module's
+    arithmetic.  [BIOMC_NO_TM=1] (or [true]/[yes]) disables the layer;
+    {!set_enabled} overrides the environment (CLI [--no-tm],
+    benchmarks, differential tests). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val clear_enabled_override : unit -> unit
+
+(** {1 Constructors and queries} *)
+
+val const : float -> t
+(** Singleton model (no monomials, zero remainder). *)
+
+val of_interval : sym:int -> Ia.t -> t
+(** [of_interval ~sym iv]: the model [mid iv + rad iv·ε_sym], enclosing
+    [iv].  Models built from the same [sym] are perfectly correlated —
+    callers must use distinct symbols for independent quantities (the
+    tape walker uses input positions, matching {!Affine}).  Empty [iv]
+    yields bottom; unbounded [iv] an interval-fallback model. *)
+
+val concretize : t -> Ia.t
+(** The interval enclosure of the model (empty for bottom): Bernstein ∩
+    interval range of the polynomial part, plus the remainder. *)
+
+val is_bot : t -> bool
+
+val is_tm : t -> bool
+(** True when the value carries monomials (not bottom, not an interval
+    fallback). *)
+
+val nterms : t -> int
+(** Number of monomials (linear + quadratic); 0 for bottom, intervals
+    and constants. *)
+
+val is_quadratic : t -> bool
+(** True when the model carries at least one degree-2 monomial. *)
+
+val pp : t Fmt.t
+
+(** {1 Arithmetic}
+
+    Every operation matches the domain semantics of the corresponding
+    {!Ia} operation, so concretized results may be intersected with
+    interval evaluations of the same expression. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+val mul : t -> t -> t
+val sqr : t -> t
+val inv : t -> t
+val div : t -> t -> t
+val pow_int : t -> int -> t
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val sin : t -> t
+val cos : t -> t
+val tan : t -> t
+val atan : t -> t
+val tanh : t -> t
+val abs : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** {1 Telemetry}
+
+    Counters live in the process-wide registry (created always-on, like
+    the cache statistics): [tm.refutations] — boxes refuted because a
+    TM range missed a constraint target; [tm.tightenings] — evaluations
+    where a TM range strictly tightened an interval enclosure;
+    [tm.truncations] — products whose degree-3/4 monomials were folded
+    into the remainder.  The first two are incremented by the solver
+    layers through {!note_refutation}/{!note_tightening} (the former
+    also records the [tm-refute] journal prune reason); truncations are
+    counted here.  {!with_span} wraps TM evaluation passes in the
+    [icp.tm] trace span. *)
+
+val note_refutation : unit -> unit
+val note_tightening : unit -> unit
+val truncations : unit -> int
+val with_span : (unit -> 'a) -> 'a

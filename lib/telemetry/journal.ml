@@ -910,10 +910,25 @@ let audit f =
               (match reason with
               | "newton" | "mean-value" -> requires "newton"
               | "affine-refute" -> requires "affine"
+              | "tm-refute" -> requires "tm"
               | "cache-replay" -> requires "cache"
               | _ -> ()))
       | _ -> ())
     (nodes f);
+  (* flag snapshot well-formedness: a recorded affine budget must be a
+     positive integer (the solver writes [Affine.budget ()], which is
+     clamped — anything else means a corrupted or hand-edited header) *)
+  List.iter
+    (fun (r : run_info) ->
+      match List.assoc_opt "affine_budget" r.flags with
+      | None -> ()
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some b when b >= 1 -> ()
+          | _ ->
+              add "run %d: affine_budget flag %S is not a positive integer"
+                r.rid s))
+    (runs f);
   List.rev !violations
 
 (* ------------------------------------------------------------------ *)

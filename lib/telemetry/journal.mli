@@ -267,8 +267,9 @@ val audit : forest -> string list
     (un-truncated, no-cancel) run every reachable node is accounted for
     (split or terminal); prune reasons are consistent with the run
     header's flag snapshot (["newton"]/["mean-value"] need the newton
-    flag, ["affine-refute"] the affine flag, ["cache-replay"] the cache
-    flag). *)
+    flag, ["affine-refute"] the affine flag, ["tm-refute"] the tm flag,
+    ["cache-replay"] the cache flag); a recorded ["affine_budget"] flag
+    parses as a positive integer. *)
 
 val provenance_json : forest -> string
 (** The explain payload: per-run verdict, prune-reason breakdown per

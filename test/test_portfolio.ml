@@ -239,14 +239,14 @@ let test_winner_reported () =
 
 let test_lineups () =
   let curated = Pf.curated () in
-  Alcotest.(check int) "curated lineup has 4 strategies" 4
+  Alcotest.(check int) "curated lineup has 5 strategies" 5
     (List.length curated);
   Alcotest.(check string) "rank 0 is the plain-HC4 racer" "hc4"
     (List.hd curated).Pf.name;
   let all = Pf.all_strategies () in
-  (* 2 branchings × 2 newton × 2 affine × 2 orders, minus the smear+rr
-     duplicates (rr ignores the branching heuristic) *)
-  Alcotest.(check int) "full product deduped" 12 (List.length all);
+  (* 2 branchings × 2 newton × 2 affine × 2 tm × 2 orders, minus the
+     smear+rr duplicates (rr ignores the branching heuristic) *)
+  Alcotest.(check int) "full product deduped" 24 (List.length all);
   let names = List.map (fun s -> s.Pf.name) all in
   Alcotest.(check int) "strategy names unique"
     (List.length names)

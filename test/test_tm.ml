@@ -1,0 +1,517 @@
+(* Differential tests for the degree-2 Taylor-model layer (Interval.Tm
+   and its wiring): TM ranges vs true (sampled) values, the TM tape
+   walker vs the interval and affine walkers, the Bernstein range bound,
+   the TM-tightened HC4 revise, TM-on vs TM-off search agreement, and
+   the kill-switch guarantee that BIOMC_NO_TM reproduces the
+   affine-era search bit for bit (leaf sets pinned by fingerprint,
+   including cache interactions). *)
+
+module I = Interval.Ia
+module TM = Interval.Tm
+module Box = Interval.Box
+module T = Expr.Term
+module Tape = Expr.Tape
+module P = Expr.Parse
+module S = Icp.Solver
+module J = Journal
+
+let vars = [ "x"; "y"; "z" ]
+let nvars = List.length vars
+
+(* ---- random generators (deterministic seeds) ---- *)
+
+let rand_leaf st =
+  if Random.State.bool st then T.var (List.nth vars (Random.State.int st nvars))
+  else T.const (Random.State.float st 4.0 -. 2.0)
+
+let rec rand_smooth st depth =
+  if depth = 0 then rand_leaf st
+  else
+    let sub () = rand_smooth st (depth - 1) in
+    match Random.State.int st 16 with
+    | 0 -> T.add (sub ()) (sub ())
+    | 1 -> T.sub (sub ()) (sub ())
+    | 2 -> T.mul (sub ()) (sub ())
+    | 3 -> T.div (sub ()) (sub ())
+    | 4 -> T.neg (sub ())
+    | 5 -> T.pow (sub ()) (Random.State.int st 7 - 3)
+    | 6 -> T.exp (sub ())
+    | 7 -> T.log (sub ())
+    | 8 -> T.sqrt (sub ())
+    | 9 -> T.sin (sub ())
+    | 10 -> T.cos (sub ())
+    | 11 -> T.tan (sub ())
+    | 12 -> T.atan (sub ())
+    | 13 -> T.tanh (sub ())
+    | 14 -> T.abs (sub ())
+    | _ -> rand_leaf st
+
+(* The full constructor set: the TM walker must stay sound through its
+   Min/Max interval fallbacks too. *)
+let rand_term st depth =
+  if depth = 0 || Random.State.int st 8 > 0 then rand_smooth st depth
+  else
+    let sub () = rand_smooth st (depth - 1) in
+    if Random.State.bool st then T.min_ (sub ()) (sub ())
+    else T.max_ (sub ()) (sub ())
+
+let rand_box st =
+  Box.of_list
+    (List.map
+       (fun v ->
+         let a = Random.State.float st 8.0 -. 4.0 in
+         let w =
+           match Random.State.int st 4 with
+           | 0 -> 0.0 (* singleton *)
+           | 1 -> Random.State.float st 0.5
+           | _ -> Random.State.float st 4.0
+         in
+         (v, I.make a (a +. w)))
+       vars)
+
+let rand_point st b =
+  List.map
+    (fun (v, itv) ->
+      (v, I.lo itv +. (Random.State.float st 1.0 *. I.width itv)))
+    (Box.to_list b)
+
+let rand_target st =
+  match Random.State.int st 4 with
+  | 0 -> I.of_float (Random.State.float st 4.0 -. 2.0)
+  | 1 -> I.make (Random.State.float st 2.0 -. 2.0) (Random.State.float st 2.0)
+  | 2 -> I.make (Random.State.float st 4.0 -. 2.0) Float.infinity
+  | _ ->
+      let a = Random.State.float st 6.0 -. 3.0 in
+      I.make a (a +. Random.State.float st 1.0)
+
+let inputs_of_box b =
+  Array.of_list (List.map (fun v -> Box.find v b) vars)
+
+(* ---- TM walker vs true values and the other walkers ----
+
+   For every sampled point where the float evaluation is finite, all
+   three walkers' root enclosures must contain it (up to
+   float-evaluation slack): the TM concretization is a sound range,
+   never *assumed* tighter than the interval or affine results — solver
+   layers intersect them, which is exactly the licence this checks. *)
+let test_tm_soundness_sampled () =
+  let st = Random.State.make [| 70 |] in
+  let checked = ref 0 in
+  for case = 1 to 1_200 do
+    let t = rand_term st (1 + Random.State.int st 4) in
+    let b = rand_box st in
+    let tp = Tape.compile ~vars [ t ] in
+    let sc = Tape.scratch tp in
+    let inp = inputs_of_box b in
+    let r_tm = Array.make 1 I.empty
+    and r_aff = Array.make 1 I.empty
+    and r_itv = Array.make 1 I.empty in
+    Tape.eval_tm_into tp sc ~inputs:inp ~out:r_tm;
+    Tape.eval_affine_into tp sc ~inputs:inp ~out:r_aff;
+    Tape.eval_interval_into tp sc ~inputs:inp ~out:r_itv;
+    for _probe = 1 to 3 do
+      let pt = rand_point st b in
+      let v = try T.eval_env pt t with _ -> nan in
+      if Float.is_finite v then begin
+        incr checked;
+        let slack = 1e-7 *. Float.max 1.0 (Float.abs v) in
+        if not (I.mem v (I.inflate slack r_tm.(0))) then
+          Alcotest.failf "case %d: %.17g outside TM range %s of %s" case v
+            (I.to_string r_tm.(0)) (T.to_string t);
+        if not (I.mem v (I.inflate slack r_aff.(0))) then
+          Alcotest.failf "case %d: %.17g outside affine range %s of %s" case v
+            (I.to_string r_aff.(0)) (T.to_string t);
+        if not (I.mem v (I.inflate slack r_itv.(0))) then
+          Alcotest.failf "case %d: %.17g outside interval range %s of %s" case
+            v (I.to_string r_itv.(0)) (T.to_string t)
+      end
+    done
+  done;
+  if !checked < 1_000 then
+    Alcotest.failf "only %d points checked — generator drifted" !checked
+
+(* Second-order dependency problems where Taylor models provably beat
+   affine forms; the tightness claim of the whole PR, pinned on its
+   canonical examples (including the cubic band kernel that plateaued
+   at 1.00x under the affine layer). *)
+let test_tm_tightness_quadratic () =
+  let widths ts box_l =
+    let t = P.term ts in
+    let tvars = T.free_var_list t in
+    let tp = Tape.compile ~vars:tvars [ t ] in
+    let sc = Tape.scratch tp in
+    let b = Box.of_list box_l in
+    let inp = Array.of_list (List.map (fun v -> Box.find v b) tvars) in
+    let r_tm = Array.make 1 I.empty and r_aff = Array.make 1 I.empty in
+    Tape.eval_tm_into tp sc ~inputs:inp ~out:r_tm;
+    Tape.eval_affine_into tp sc ~inputs:inp ~out:r_aff;
+    (r_tm.(0), r_aff.(0))
+  in
+  let check name ts box_l expect_width =
+    let tm, aff = widths ts box_l in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: TM (%s) tighter than affine (%s)" name
+         (I.to_string tm) (I.to_string aff))
+      true
+      (I.width tm < I.width aff);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: TM width %g below %g" name (I.width tm)
+         expect_width)
+      true
+      (I.width tm <= expect_width)
+  in
+  (* x·(1−x) on [0,1]: true range [0, 1/4]; affine gives [0, 1/2]. *)
+  check "logistic" "x*(1 - x)" [ ("x", I.make 0.0 1.0) ] 0.26;
+  (* (x+y)² − 2xy = x² + y² on [0,1]²: the kept εₓεᵧ cross monomial
+     cancels exactly; an affine form widens by its two product balls. *)
+  check "cross-term" "(x + y)^2 - 2*x*y"
+    [ ("x", I.make 0.0 1.0); ("y", I.make 0.0 1.0) ]
+    2.01;
+  (* The pave-cubic-band kernel's left edge, where the band test
+     saturated at 1.00x under AF1. *)
+  check "cubic-band" "x^3 - 2*x^2 + 1.25*x"
+    [ ("x", I.make 0.0 0.5) ] 0.52
+
+(* ---- the Bernstein range bound ---- *)
+
+(* Random univariate quadratics q·ε² + l·ε + c built through the public
+   ops: every sampled evaluation lies in the concretization, and the
+   concretization is within the Bernstein control-polygon hull (the
+   bound the affine layer structurally cannot provide). *)
+let test_bernstein_bound () =
+  let st = Random.State.make [| 71 |] in
+  for case = 1 to 1_000 do
+    let q = Random.State.float st 6.0 -. 3.0
+    and l = Random.State.float st 6.0 -. 3.0
+    and c = Random.State.float st 6.0 -. 3.0 in
+    let x = TM.of_interval ~sym:0 (I.make (-1.0) 1.0) in
+    let f = TM.add_const c (TM.add (TM.scale q (TM.sqr x)) (TM.scale l x)) in
+    let range = TM.concretize f in
+    (* Sampled containment. *)
+    for _probe = 1 to 5 do
+      let e = Random.State.float st 2.0 -. 1.0 in
+      let v = (q *. e *. e) +. (l *. e) +. c in
+      let slack = 1e-9 *. Float.max 1.0 (Float.abs v) in
+      if not (I.mem v (I.inflate slack range)) then
+        Alcotest.failf "case %d: %.17g escapes %s (q=%g l=%g c=%g)" case v
+          (I.to_string range) q l c
+    done;
+    (* The Bernstein hull over the endpoints and midpoint control values
+       {c+q−l, c−q, c+q+l} contains the true range, and the computed
+       range must sit inside it (up to rounding slack). *)
+    let b0 = c +. q -. l and b1 = c -. q and b2 = c +. q +. l in
+    let hull =
+      I.make
+        (Float.min b0 (Float.min b1 b2))
+        (Float.max b0 (Float.max b1 b2))
+    in
+    let slack = 1e-9 *. Float.max 1.0 (I.mag hull) in
+    if not (I.subset range (I.inflate slack hull)) then
+      Alcotest.failf "case %d: range %s exceeds Bernstein hull %s" case
+        (I.to_string range) (I.to_string hull)
+  done
+
+(* ε² on [−1,1] pinned: the Bernstein bound gives [0, 1]; an affine
+   form cannot see the sign. *)
+let test_bernstein_sqr_pinned () =
+  let x = TM.of_interval ~sym:0 (I.make (-1.0) 1.0) in
+  let r = TM.concretize (TM.sqr x) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sqr range %s is [0,1] up to slack" (I.to_string r))
+    true
+    (I.lo r >= -1e-9 && I.hi r <= 1.0 +. 1e-9 && I.hi r >= 1.0 -. 1e-9)
+
+(* Degree-3 products must fold their high-degree part into the
+   remainder — and say so in the truncation counter. *)
+let test_truncation_counted () =
+  let before = TM.truncations () in
+  let x = TM.of_interval ~sym:0 (I.make 0.5 1.5) in
+  let cube = TM.mul (TM.sqr x) x in
+  Alcotest.(check bool) "cube is still a model" true
+    (not (TM.is_bot cube));
+  Alcotest.(check bool) "truncation counted" true (TM.truncations () > before);
+  (* And the truncated model is still sound at the endpoints. *)
+  let r = TM.concretize cube in
+  List.iter
+    (fun v ->
+      if not (I.mem (v *. v *. v) (I.inflate 1e-9 r)) then
+        Alcotest.failf "%g³ escapes truncated cube range %s" v
+          (I.to_string r))
+    [ 0.5; 1.0; 1.5 ]
+
+(* ---- TM-tightened HC4 revise ---- *)
+
+let robustly_in value target =
+  Float.is_finite value
+  && (not (I.is_empty target))
+  &&
+  let m = 1e-6 *. Float.max 1.0 (Float.abs value) in
+  value >= I.lo target +. m && value <= I.hi target -. m
+
+(* The tightened forward pass must never lose a witness: any sampled
+   point robustly satisfying the constraint survives the contraction,
+   and a plain-interval refutation is never un-refuted by the TM pass
+   (its slots are subsets of the plain ones). *)
+let test_hc4_tm_witnesses () =
+  let st = Random.State.make [| 72 |] in
+  let witnessed = ref 0 in
+  for case = 1 to 1_000 do
+    let t = rand_smooth st (1 + Random.State.int st 3) in
+    let target = rand_target st in
+    let b = rand_box st in
+    let tp = Tape.compile ~vars [ t ] in
+    let sc = Tape.scratch tp in
+    let witnesses =
+      List.filter_map
+        (fun _ ->
+          let pt = rand_point st b in
+          let v = try T.eval_env pt t with _ -> nan in
+          if robustly_in v target then Some pt else None)
+        (List.init 20 Fun.id)
+    in
+    let dom_plain = inputs_of_box b in
+    let ok_plain = Tape.hc4_revise tp sc ~target dom_plain in
+    let dom_tm = inputs_of_box b in
+    let ok_tm = Tape.hc4_revise tp sc ~affine:true ~tm:true ~target dom_tm in
+    if (not ok_plain) && ok_tm then
+      Alcotest.failf "case %d: TM pass un-refuted %s ∈ %s" case
+        (T.to_string t) (I.to_string target);
+    List.iter
+      (fun pt ->
+        incr witnessed;
+        if not ok_tm then
+          Alcotest.failf "case %d: TM revise refuted a witness of %s" case
+            (T.to_string t);
+        List.iteri
+          (fun i v ->
+            let x = List.assoc v pt in
+            if not (I.mem x (I.inflate 1e-9 dom_tm.(i))) then
+              Alcotest.failf "case %d: witness %s=%.17g contracted away (%s)"
+                case v x
+                (I.to_string dom_tm.(i)))
+          vars)
+      witnesses
+  done;
+  if !witnessed < 300 then
+    Alcotest.failf "only %d witnesses checked — generator drifted" !witnessed
+
+(* The canonical second-order refutation: x·(1−x) on [0,1] has true
+   range [0, 1/4], but one plain forward/backward sweep keeps the
+   target alive and the affine product's recentered quadratic still
+   reaches 1/2 — only the kept ε² monomial kills the box.  The
+   refutation counter must tick. *)
+let test_hc4_tm_refutes_quadratic () =
+  let refs = Telemetry.Counter.make ~always:true "tm.refutations" in
+  let t = P.term "x*(1 - x)" in
+  let tp = Tape.compile ~vars:[ "x" ] [ t ] in
+  let sc = Tape.scratch tp in
+  let target = I.make 0.5 1.0 in
+  let dom () = [| I.make 0.0 1.0 |] in
+  Alcotest.(check bool) "plain HC4 cannot refute" true
+    (Tape.hc4_revise tp sc ~target (dom ()));
+  Alcotest.(check bool) "affine pass cannot refute" true
+    (Tape.hc4_revise tp sc ~affine:true ~target (dom ()));
+  let before = Telemetry.Counter.value refs in
+  Alcotest.(check bool) "TM pass refutes" false
+    (Tape.hc4_revise tp sc ~tm:true ~target (dom ()));
+  Alcotest.(check bool) "refutation counted" true
+    (Telemetry.Counter.value refs > before)
+
+(* ---- TM on vs off: decide and pave agreement ---- *)
+
+let with_tm flag f =
+  TM.set_enabled flag;
+  Fun.protect ~finally:TM.clear_enabled_override f
+
+let verdict_kind = function
+  | S.Delta_sat _ -> "delta-sat"
+  | S.Unsat -> "unsat"
+  | S.Unknown _ -> "unknown"
+
+let box l = Box.of_list (List.map (fun (x, lo, hi) -> (x, I.make lo hi)) l)
+
+(* Workloads kept away from the δ-boundary so both searches reach the
+   same verdict kind (at the boundary, Unsat and Delta_sat are both
+   δ-correct answers and the comparison would be meaningless). *)
+let decide_cases =
+  [ ("sqrt2", "x^2 = 2", box [ ("x", 0.0, 2.0) ]);
+    ( "geom-unsat",
+      "x^2 + y^2 <= 1 and x + y >= 3",
+      box [ ("x", -1.0, 1.0); ("y", -1.0, 1.0) ] );
+    ("sin", "sin(x) = 1/2", box [ ("x", 0.0, 3.0) ]);
+    ( "cubic-dependency",
+      "x^3 - 2*x^2 + 1.25*x = 0.25 and y^3 - 2*y^2 + 1.25*y = 0.25 and \
+       (x - y)^2 >= 0.3",
+      box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] );
+    ( "mm-kinetics",
+      "1.2*s1/(0.4 + s1) + 1.2*s2/(0.4 + s2) = 1.35 and s1 + s2 = 1",
+      box [ ("s1", 0.0, 1.0); ("s2", 0.0, 1.0) ] );
+    ( "tangency",
+      "x^2 + y^2 = 1 and x*y = 1/2",
+      box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] ) ]
+
+let test_decide_on_vs_off () =
+  List.iter
+    (fun (name, fs, bx) ->
+      let f = P.formula fs in
+      List.iter
+        (fun jobs ->
+          let config = { S.default_config with jobs } in
+          let on =
+            with_tm true (fun () -> verdict_kind (S.decide ~config f bx))
+          in
+          let off =
+            with_tm false (fun () -> verdict_kind (S.decide ~config f bx))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at jobs=%d" name jobs)
+            off on)
+        [ 1; 2 ])
+    decide_cases
+
+(* Paving on vs off: leaf sets legitimately differ (the TM pass changes
+   contraction trajectories and certifies sat leaves earlier), but both
+   are proofs over the same box, so a sat leaf of one run may never
+   share volume with an unsat leaf of the other; feasibility must
+   agree; and the TM paving must be identical between jobs=1 and
+   jobs=2. *)
+(* Pinned on the default pave path: under BIOMC_PORTFOLIO=1 a non-TM
+   racer can win the race and certify nothing, which is legitimate but
+   not what this test measures. *)
+let test_pave_on_vs_off () =
+  Icp.Portfolio.set_mode Icp.Portfolio.Off;
+  Fun.protect ~finally:Icp.Portfolio.clear_mode_override @@ fun () ->
+  let f =
+    P.formula
+      "x^3 - 2*x^2 + 1.25*x >= 0.2 and x^3 - 2*x^2 + 1.25*x <= 0.3 and \
+       y^3 - 2*y^2 + 1.25*y >= 0.2 and y^3 - 2*y^2 + 1.25*y <= 0.3"
+  in
+  let bx = box [ ("x", 0.0, 2.0); ("y", 0.0, 2.0) ] in
+  let config jobs = { S.default_config with S.epsilon = 0.05; jobs } in
+  let p_on = with_tm true (fun () -> S.pave ~config:(config 1) f bx) in
+  let p_off = with_tm false (fun () -> S.pave ~config:(config 1) f bx) in
+  let contradicts sats unsats =
+    List.exists
+      (fun s -> List.exists (fun u -> Box.volume (Box.inter s u) > 0.0) unsats)
+      sats
+  in
+  Alcotest.(check bool) "no sat(on)/unsat(off) contradiction" false
+    (contradicts p_on.S.sat p_off.S.unsat);
+  Alcotest.(check bool) "no sat(off)/unsat(on) contradiction" false
+    (contradicts p_off.S.sat p_on.S.unsat);
+  (* The band is feasible; at this ε the interval certifier leaves it
+     all undecided while the TM certifier proves sat leaves — that gap
+     is the point of the enclosure-assisted certification.  Every
+     TM-certified leaf must actually satisfy the formula: check the
+     center point of each. *)
+  Alcotest.(check bool) "TM certifies the feasible band" true
+    (p_on.S.sat <> []);
+  List.iter
+    (fun leaf ->
+      match Expr.Formula.eval_cert (Box.midpoint leaf) f with
+      | Expr.Formula.Impossible ->
+          Alcotest.failf "TM-certified leaf %s has infeasible center"
+            (Box.to_string leaf)
+      | _ -> ())
+    p_on.S.sat;
+  let sort = List.sort (fun a b -> compare (Box.to_list a) (Box.to_list b)) in
+  let p_on2 = with_tm true (fun () -> S.pave ~config:(config 2) f bx) in
+  List.iter
+    (fun (label, l, l') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s leaves equal at jobs=2" label)
+        true
+        (List.equal Box.equal (sort l) (sort l')))
+    [ ("sat", p_on.S.sat, p_on2.S.sat);
+      ("unsat", p_on.S.unsat, p_on2.S.unsat);
+      ("undecided", p_on.S.undecided, p_on2.S.undecided) ]
+
+(* ---- the kill-switch: BIOMC_NO_TM reproduces the old search ---- *)
+
+(* Off-run, on-run, off-run again — with the caches at their default
+   policy.  The second off-run must match the first in verdict kind AND
+   in every stats field: any divergence would mean TM-era cache entries
+   (HC4 fixpoints, refuted boxes, paving verdicts, flow tubes) leaked
+   into the disabled search. *)
+let stats_tuple (s : S.stats) =
+  (s.S.boxes_processed, s.S.splits, s.S.prunings, s.S.max_depth,
+   s.S.certifications)
+
+let test_killswitch_decide_bitforbit () =
+  List.iter
+    (fun (name, fs, bx) ->
+      let f = P.formula fs in
+      let run on =
+        with_tm on (fun () ->
+            let r, stats = S.decide_with_stats f bx in
+            (verdict_kind r, stats_tuple stats))
+      in
+      let v1, s1 = run false in
+      let _ = run true in
+      let v2, s2 = run false in
+      Alcotest.(check string) (name ^ ": off verdict reproduced") v1 v2;
+      Alcotest.(check bool)
+        (name ^ ": off stats reproduced (no cache leakage)") true (s1 = s2))
+    decide_cases
+
+(* The off-run leaf sets are compared through the same canonical
+   fingerprint [biomc explain] uses to check reconstructed pavings, so
+   "bit for bit" here means the digest of every leaf box endpoint. *)
+let fingerprint paving =
+  let bounds b =
+    Array.of_list
+      (List.map (fun (v, itv) -> (v, I.lo itv, I.hi itv)) (Box.to_list b))
+  in
+  J.leaf_bounds_fingerprint
+    (List.map bounds (paving.S.sat @ paving.S.unsat @ paving.S.undecided))
+
+let test_killswitch_pave_bitforbit () =
+  let f = P.formula "x^2 + y^2 <= 1 and x^2 + y^2 >= 1/2" in
+  let bx = box [ ("x", -1.5, 1.5); ("y", -1.5, 1.5) ] in
+  let config = { S.default_config with S.epsilon = 0.05 } in
+  let run on = with_tm on (fun () -> S.pave ~config f bx) in
+  let p1 = run false in
+  let _ = run true in
+  let p2 = run false in
+  Alcotest.(check string) "off leaf-set fingerprint reproduced"
+    (fingerprint p1) (fingerprint p2);
+  let sort = List.sort (fun a b -> compare (Box.to_list a) (Box.to_list b)) in
+  List.iter
+    (fun (label, l, l') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "off %s leaves reproduced" label)
+        true
+        (List.equal Box.equal (sort l) (sort l')))
+    [ ("sat", p1.S.sat, p2.S.sat);
+      ("unsat", p1.S.unsat, p2.S.unsat);
+      ("undecided", p1.S.undecided, p2.S.undecided) ]
+
+let () =
+  Alcotest.run "tm"
+    [ ( "soundness",
+        [ Alcotest.test_case "TM range contains sampled values" `Quick
+            test_tm_soundness_sampled;
+          Alcotest.test_case "second-order tightness pinned" `Quick
+            test_tm_tightness_quadratic ] );
+      ( "bernstein",
+        [ Alcotest.test_case "bound sound and within control hull" `Quick
+            test_bernstein_bound;
+          Alcotest.test_case "sqr range pinned to [0,1]" `Quick
+            test_bernstein_sqr_pinned;
+          Alcotest.test_case "degree-3 truncation counted" `Quick
+            test_truncation_counted ] );
+      ( "hc4",
+        [ Alcotest.test_case "never loses a witness" `Quick
+            test_hc4_tm_witnesses;
+          Alcotest.test_case "refutes x(1-x) quadratic" `Quick
+            test_hc4_tm_refutes_quadratic ] );
+      ( "search",
+        [ Alcotest.test_case "decide on vs off (jobs 1, 2)" `Quick
+            test_decide_on_vs_off;
+          Alcotest.test_case "pave on vs off consistency" `Quick
+            test_pave_on_vs_off ] );
+      ( "kill-switch",
+        [ Alcotest.test_case "decide off-run reproduced" `Quick
+            test_killswitch_decide_bitforbit;
+          Alcotest.test_case "pave off-run fingerprint reproduced" `Quick
+            test_killswitch_pave_bitforbit ] ) ]
